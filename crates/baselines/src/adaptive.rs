@@ -1,0 +1,166 @@
+//! **Adaptive** — the adaptive set-intersection algorithm of Demaine,
+//! López-Ortiz & Munro \[12, 13\]: a round-robin *eliminator* walk. The current
+//! eliminator value is galloped for in the next set (cyclically); a miss
+//! promotes the overshoot to the new eliminator, a hit in `k−1` consecutive
+//! sets outputs the value. The number of comparisons adapts to how
+//! interleaved the sets actually are (their "proof complexity").
+
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::search::gallop;
+use fsi_core::traits::{KIntersect, PairIntersect, SetIndex};
+
+/// A plain sorted list; Adaptive needs no auxiliary structure.
+#[derive(Debug, Clone)]
+pub struct AdaptiveIndex {
+    elems: Vec<Elem>,
+}
+
+impl AdaptiveIndex {
+    /// Wraps the sorted list.
+    pub fn build(set: &SortedSet) -> Self {
+        Self {
+            elems: set.as_slice().to_vec(),
+        }
+    }
+
+    /// Sorted elements.
+    pub fn as_slice(&self) -> &[Elem] {
+        &self.elems
+    }
+}
+
+/// The eliminator loop over raw slices.
+pub fn intersect_adaptive(sets: &[&[Elem]], out: &mut Vec<Elem>) {
+    match sets {
+        [] => {}
+        [a] => out.extend_from_slice(a),
+        _ => {
+            let k = sets.len();
+            if sets.iter().any(|s| s.is_empty()) {
+                return;
+            }
+            let mut cursors = vec![0usize; k];
+            // Eliminator: (value, index of the set it came from).
+            let mut elim = sets[0][0];
+            let mut owner = 0usize;
+            cursors[0] = 1;
+            let mut matched = 1usize; // sets known to contain `elim`
+            let mut i = 1usize; // next set to probe
+            loop {
+                if i == owner {
+                    i = (i + 1) % k;
+                    continue;
+                }
+                let s = sets[i];
+                let pos = gallop(s, cursors[i], elim);
+                cursors[i] = pos;
+                if pos >= s.len() {
+                    return; // some set is exhausted: no further matches
+                }
+                if s[pos] == elim {
+                    matched += 1;
+                    cursors[i] = pos + 1;
+                    if matched == k {
+                        out.push(elim);
+                        // Start a new eliminator from this set.
+                        if cursors[i] >= s.len() {
+                            return;
+                        }
+                        elim = s[cursors[i]];
+                        owner = i;
+                        cursors[i] += 1;
+                        matched = 1;
+                    }
+                } else {
+                    // Miss: the overshoot becomes the new eliminator.
+                    elim = s[pos];
+                    owner = i;
+                    cursors[i] = pos + 1;
+                    matched = 1;
+                }
+                i = (i + 1) % k;
+            }
+        }
+    }
+}
+
+impl SetIndex for AdaptiveIndex {
+    fn n(&self) -> usize {
+        self.elems.len()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.elems.len() * 4
+    }
+}
+
+impl PairIntersect for AdaptiveIndex {
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        intersect_adaptive(&[&self.elems, &other.elems], out);
+    }
+}
+
+impl KIntersect for AdaptiveIndex {
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        let slices: Vec<&[Elem]> = indexes.iter().map(|ix| ix.as_slice()).collect();
+        intersect_adaptive(&slices, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn random_inputs_match_reference() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for k in 1..=6usize {
+            for trial in 0..15 {
+                let sets: Vec<SortedSet> = (0..k)
+                    .map(|_| {
+                        let n = rng.gen_range(0..500);
+                        (0..n).map(|_| rng.gen_range(0..1000u32)).collect()
+                    })
+                    .collect();
+                let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+                let mut out = Vec::new();
+                intersect_adaptive(&slices, &mut out);
+                assert_eq!(out, reference_intersection(&slices), "k={k} trial={trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_blocks_favor_adaptivity() {
+        // Two sets whose ranges barely interleave: adaptive skips in large
+        // strides, but the result must still be exact.
+        let a: SortedSet = (0..1000u32).chain(1_000_000..1_001_000).collect();
+        let b: SortedSet = (500..1500u32).chain(1_000_500..1_001_500).collect();
+        let mut out = Vec::new();
+        intersect_adaptive(&[a.as_slice(), b.as_slice()], &mut out);
+        assert_eq!(
+            out,
+            reference_intersection(&[a.as_slice(), b.as_slice()])
+        );
+    }
+
+    #[test]
+    fn identical_sets() {
+        let s: SortedSet = (0..100u32).map(|x| x * 3).collect();
+        let mut out = Vec::new();
+        intersect_adaptive(&[s.as_slice(), s.as_slice(), s.as_slice()], &mut out);
+        assert_eq!(out, s.as_slice());
+    }
+
+    #[test]
+    fn empty_input() {
+        let s: SortedSet = (0..10u32).collect();
+        let e = SortedSet::new();
+        let mut out = Vec::new();
+        intersect_adaptive(&[s.as_slice(), e.as_slice()], &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! **BaezaYates** — the divide-and-conquer intersection of Baeza-Yates
+//! \[1, 2\]: probe the median of the smaller set in the larger by binary
+//! search, then recurse on the two halves. Expected
+//! `O(n₁ log(n₂/n₁))` for sorted sequences; generalized to k sets by
+//! iterating over the sets ascending by size, as in \[5\].
+
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::search::lower_bound;
+use fsi_core::traits::{KIntersect, PairIntersect, SetIndex};
+
+/// A plain sorted list; BaezaYates needs no auxiliary structure.
+#[derive(Debug, Clone)]
+pub struct BaezaYatesIndex {
+    elems: Vec<Elem>,
+}
+
+impl BaezaYatesIndex {
+    /// Wraps the sorted list.
+    pub fn build(set: &SortedSet) -> Self {
+        Self {
+            elems: set.as_slice().to_vec(),
+        }
+    }
+
+    /// Sorted elements.
+    pub fn as_slice(&self) -> &[Elem] {
+        &self.elems
+    }
+}
+
+/// Recursive two-set intersection; output ascends (in-order traversal).
+pub fn intersect_by2(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
+    // Keep the smaller sequence in the "probe" role at every level.
+    if a.len() > b.len() {
+        return intersect_by2(b, a, out);
+    }
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    let m = a.len() / 2;
+    let med = a[m];
+    let pos = lower_bound(b, 0, b.len(), med);
+    intersect_by2(&a[..m], &b[..pos], out);
+    let matched = pos < b.len() && b[pos] == med;
+    if matched {
+        out.push(med);
+    }
+    intersect_by2(&a[m + 1..], &b[pos + usize::from(matched)..], out);
+}
+
+/// k sets: fold ascending by size (the \[5\] generalization). The running
+/// result is sorted, so it can stay in the "smaller sequence" role.
+pub fn intersect_by_k(sets: &[&[Elem]], out: &mut Vec<Elem>) {
+    match sets {
+        [] => {}
+        [a] => out.extend_from_slice(a),
+        _ => {
+            let mut order: Vec<&[Elem]> = sets.to_vec();
+            order.sort_by_key(|s| s.len());
+            let mut acc = Vec::new();
+            intersect_by2(order[0], order[1], &mut acc);
+            for s in &order[2..] {
+                if acc.is_empty() {
+                    break;
+                }
+                let mut next = Vec::new();
+                intersect_by2(&acc, s, &mut next);
+                acc = next;
+            }
+            out.extend(acc);
+        }
+    }
+}
+
+impl SetIndex for BaezaYatesIndex {
+    fn n(&self) -> usize {
+        self.elems.len()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.elems.len() * 4
+    }
+}
+
+impl PairIntersect for BaezaYatesIndex {
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        intersect_by2(&self.elems, &other.elems, out);
+    }
+}
+
+impl KIntersect for BaezaYatesIndex {
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        let slices: Vec<&[Elem]> = indexes.iter().map(|ix| ix.as_slice()).collect();
+        intersect_by_k(&slices, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pair_matches_reference_and_is_sorted() {
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..30 {
+            let n1 = rng.gen_range(0..700);
+            let n2 = rng.gen_range(0..700);
+            let u = rng.gen_range(1..2000u32);
+            let a: SortedSet = (0..n1).map(|_| rng.gen_range(0..u)).collect();
+            let b: SortedSet = (0..n2).map(|_| rng.gen_range(0..u)).collect();
+            let mut out = Vec::new();
+            intersect_by2(a.as_slice(), b.as_slice(), &mut out);
+            let expect = reference_intersection(&[a.as_slice(), b.as_slice()]);
+            assert_eq!(out, expect, "output must already be ascending");
+        }
+    }
+
+    #[test]
+    fn k_way_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(52);
+        for k in 2..=5usize {
+            for _ in 0..10 {
+                let sets: Vec<SortedSet> = (0..k)
+                    .map(|_| {
+                        let n = rng.gen_range(0..500);
+                        (0..n).map(|_| rng.gen_range(0..1100u32)).collect()
+                    })
+                    .collect();
+                let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+                let mut out = Vec::new();
+                intersect_by_k(&slices, &mut out);
+                assert_eq!(out, reference_intersection(&slices));
+            }
+        }
+    }
+
+    #[test]
+    fn recursion_edges() {
+        let mut out = Vec::new();
+        intersect_by2(&[], &[1, 2, 3], &mut out);
+        assert!(out.is_empty());
+        intersect_by2(&[2], &[1, 2, 3], &mut out);
+        assert_eq!(out, vec![2]);
+        out.clear();
+        let v: Vec<u32> = (0..100).collect();
+        intersect_by2(&v, &v, &mut out);
+        assert_eq!(out, v);
+    }
+}

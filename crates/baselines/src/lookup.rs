@@ -1,0 +1,277 @@
+//! **Lookup** — the two-level bucketed posting lists of Sanders &
+//! Transier \[19, 21\] ("Intersection in Integer Inverted Indices"), with
+//! bucket width `B = 32` (the value the VLDB paper — and the original
+//! authors — found best).
+//!
+//! The universe is cut into fixed buckets of `B` consecutive IDs; a directory
+//! maps each bucket of the set's ID range to the offset of its elements.
+//! Intersection iterates the non-empty buckets of the smaller set and jumps
+//! *directly* (one array index, no search) to the matching bucket of the
+//! larger set, then merges the two short bucket ranges. \[21\] randomizes
+//! document IDs so buckets stay balanced; the evaluation's synthetic IDs are
+//! already uniform, and the search-engine substrate assigns IDs uniformly.
+
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::traits::{KIntersect, PairIntersect, SetIndex};
+
+/// log2 of the default bucket width `B = 32` (the best value "in our and
+/// the authors' experience", Section 4; the ablation harness sweeps it).
+pub const BUCKET_LOG2: u32 = 5;
+
+/// A set with its bucket directory.
+#[derive(Debug, Clone)]
+pub struct LookupIndex {
+    elems: Vec<Elem>,
+    /// log2 of the bucket width in use.
+    bucket_log2: u32,
+    /// First bucket id covered by the directory.
+    first_bucket: u32,
+    /// `dir[b - first_bucket] .. dir[b - first_bucket + 1]` delimits bucket
+    /// `b`'s elements.
+    dir: Vec<u32>,
+}
+
+impl LookupIndex {
+    /// Builds the directory over the set's ID range with `B = 32`.
+    pub fn build(set: &SortedSet) -> Self {
+        Self::with_bucket_log2(set, BUCKET_LOG2)
+    }
+
+    /// Builds with an explicit bucket width `B = 2^bucket_log2` (ablation
+    /// hook for the paper's "B = 32 is best" claim).
+    pub fn with_bucket_log2(set: &SortedSet, bucket_log2: u32) -> Self {
+        assert!(bucket_log2 < 32, "bucket width must leave residue bits");
+        let elems = set.as_slice().to_vec();
+        if elems.is_empty() {
+            return Self {
+                elems,
+                bucket_log2,
+                first_bucket: 0,
+                dir: vec![0],
+            };
+        }
+        let first_bucket = elems[0] >> bucket_log2;
+        let last_bucket = elems[elems.len() - 1] >> bucket_log2;
+        let nb = (last_bucket - first_bucket + 1) as usize;
+        let mut dir = vec![0u32; nb + 1];
+        for &x in &elems {
+            dir[(x >> bucket_log2) as usize - first_bucket as usize + 1] += 1;
+        }
+        for i in 0..nb {
+            dir[i + 1] += dir[i];
+        }
+        Self {
+            elems,
+            bucket_log2,
+            first_bucket,
+            dir,
+        }
+    }
+
+    /// The bucket width in use, as log2.
+    pub fn bucket_log2(&self) -> u32 {
+        self.bucket_log2
+    }
+
+    /// Sorted elements.
+    pub fn as_slice(&self) -> &[Elem] {
+        &self.elems
+    }
+
+    /// Elements of bucket `b` (empty slice if outside the directory).
+    #[inline]
+    pub fn bucket(&self, b: u32) -> &[Elem] {
+        debug_assert!(self.dir.len() >= 1);
+        let Some(rel) = b.checked_sub(self.first_bucket) else {
+            return &[];
+        };
+        let rel = rel as usize;
+        if rel + 1 >= self.dir.len() {
+            return &[];
+        }
+        &self.elems[self.dir[rel] as usize..self.dir[rel + 1] as usize]
+    }
+
+    /// Iterates `(bucket_id, elements)` for non-empty buckets.
+    fn non_empty_buckets(&self) -> impl Iterator<Item = (u32, &[Elem])> {
+        let mut i = 0usize;
+        let shift = self.bucket_log2;
+        std::iter::from_fn(move || {
+            if i >= self.elems.len() {
+                return None;
+            }
+            let b = self.elems[i] >> shift;
+            let start = i;
+            while i < self.elems.len() && self.elems[i] >> shift == b {
+                i += 1;
+            }
+            Some((b, &self.elems[start..i]))
+        })
+    }
+}
+
+impl SetIndex for LookupIndex {
+    fn n(&self) -> usize {
+        self.elems.len()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.elems.len() * 4 + self.dir.len() * 4 + 4
+    }
+}
+
+impl PairIntersect for LookupIndex {
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        assert_eq!(
+            self.bucket_log2, other.bucket_log2,
+            "Lookup indexes must share a bucket width"
+        );
+        let (small, large) = if self.n() <= other.n() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        for (b, bucket_small) in small.non_empty_buckets() {
+            let bucket_large = large.bucket(b);
+            if bucket_large.is_empty() {
+                continue;
+            }
+            crate::merge::intersect2_into(bucket_small, bucket_large, out);
+        }
+    }
+}
+
+impl KIntersect for LookupIndex {
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        match indexes {
+            [] => {}
+            [a] => out.extend_from_slice(&a.elems),
+            [a, b] => a.intersect_pair_into(b, out),
+            _ => {
+                let mut order: Vec<&Self> = indexes.to_vec();
+                order.sort_by_key(|ix| ix.n());
+                let (small, rest) = order.split_first().expect("k >= 2");
+                let mut slices: Vec<&[Elem]> = Vec::with_capacity(indexes.len());
+                for (b, bucket_small) in small.non_empty_buckets() {
+                    slices.clear();
+                    slices.push(bucket_small);
+                    let mut dead = false;
+                    for ix in rest {
+                        let s = ix.bucket(b);
+                        if s.is_empty() {
+                            dead = true;
+                            break;
+                        }
+                        slices.push(s);
+                    }
+                    if !dead {
+                        crate::merge::intersect_k_into(&slices, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn directory_is_consistent() {
+        let set: SortedSet = (0..10_000u32).map(|x| x * 7 + 3).collect();
+        let idx = LookupIndex::build(&set);
+        for &x in set.as_slice() {
+            assert!(idx.bucket(x >> BUCKET_LOG2).contains(&x));
+        }
+        let covered: usize = idx.non_empty_buckets().map(|(_, s)| s.len()).sum();
+        assert_eq!(covered, set.len());
+    }
+
+    #[test]
+    fn bucket_out_of_range_is_empty() {
+        let idx = LookupIndex::build(&SortedSet::from_unsorted(vec![1000, 2000]));
+        assert!(idx.bucket(0).is_empty());
+        assert!(idx.bucket(u32::MAX >> BUCKET_LOG2).is_empty());
+    }
+
+    #[test]
+    fn pair_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..25 {
+            let n1 = rng.gen_range(0..800);
+            let n2 = rng.gen_range(0..800);
+            let u = rng.gen_range(1..4000u32);
+            let a: SortedSet = (0..n1).map(|_| rng.gen_range(0..u)).collect();
+            let b: SortedSet = (0..n2).map(|_| rng.gen_range(0..u)).collect();
+            let ia = LookupIndex::build(&a);
+            let ib = LookupIndex::build(&b);
+            assert_eq!(
+                ia.intersect_pair_sorted(&ib),
+                reference_intersection(&[a.as_slice(), b.as_slice()])
+            );
+        }
+    }
+
+    #[test]
+    fn k_way_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for k in 2..=5usize {
+            for _ in 0..8 {
+                let sets: Vec<SortedSet> = (0..k)
+                    .map(|_| {
+                        let n = rng.gen_range(0..600);
+                        (0..n).map(|_| rng.gen_range(0..1300u32)).collect()
+                    })
+                    .collect();
+                let idx: Vec<LookupIndex> = sets.iter().map(LookupIndex::build).collect();
+                let refs: Vec<&LookupIndex> = idx.iter().collect();
+                let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+                assert_eq!(
+                    LookupIndex::intersect_k_sorted(&refs),
+                    reference_intersection(&slices)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_ranges_never_merge() {
+        let a = LookupIndex::build(&(0..100).collect());
+        let b = LookupIndex::build(&(10_000..10_100).collect());
+        assert_eq!(a.intersect_pair_sorted(&b), Vec::<u32>::new());
+        let e = LookupIndex::build(&SortedSet::new());
+        assert_eq!(a.intersect_pair_sorted(&e), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn bucket_width_sweep_stays_correct() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a: SortedSet = (0..700).map(|_| rng.gen_range(0..9000u32)).collect();
+        let b: SortedSet = (0..700).map(|_| rng.gen_range(0..9000u32)).collect();
+        let expect = reference_intersection(&[a.as_slice(), b.as_slice()]);
+        for log2b in [1u32, 3, 5, 7, 10, 16] {
+            let ia = LookupIndex::with_bucket_log2(&a, log2b);
+            let ib = LookupIndex::with_bucket_log2(&b, log2b);
+            assert_eq!(ia.intersect_pair_sorted(&ib), expect, "B=2^{log2b}");
+            assert_eq!(ia.bucket_log2(), log2b);
+        }
+    }
+
+    #[test]
+    fn mismatched_bucket_widths_rejected() {
+        let a = LookupIndex::with_bucket_log2(&(0..50).collect(), 4);
+        let b = LookupIndex::with_bucket_log2(&(0..50).collect(), 6);
+        assert!(std::panic::catch_unwind(|| a.intersect_pair_sorted(&b)).is_err());
+    }
+
+    #[test]
+    fn extreme_ids() {
+        let a = LookupIndex::build(&SortedSet::from_unsorted(vec![0, 31, 32, u32::MAX]));
+        let b = LookupIndex::build(&SortedSet::from_unsorted(vec![31, u32::MAX]));
+        assert_eq!(a.intersect_pair_sorted(&b), vec![31, u32::MAX]);
+    }
+}

@@ -1,0 +1,165 @@
+//! **Merge** — the inverted-index baseline: a parallel scan of sorted
+//! posting lists (the "merge step" of merge sort), `O(|L₁| + |L₂|)`.
+//!
+//! Per the paper's implementation notes (Section 4), the inner loop is kept
+//! branch-light and the postings are stored in one contiguous allocation.
+
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::traits::{KIntersect, PairIntersect, SetIndex};
+
+/// An uncompressed posting list (the baseline "index" is the sorted list
+/// itself).
+#[derive(Debug, Clone)]
+pub struct MergeIndex {
+    elems: Vec<Elem>,
+}
+
+impl MergeIndex {
+    /// "Preprocessing" is a copy of the sorted list.
+    pub fn build(set: &SortedSet) -> Self {
+        Self {
+            elems: set.as_slice().to_vec(),
+        }
+    }
+
+    /// The sorted elements.
+    pub fn as_slice(&self) -> &[Elem] {
+        &self.elems
+    }
+}
+
+/// Two-pointer linear merge of two sorted slices, appending matches.
+pub fn intersect2_into(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        // Branch-light advance: both cursors move on equality.
+        i += (x <= y) as usize;
+        j += (y <= x) as usize;
+        if x == y {
+            out.push(x);
+        }
+    }
+}
+
+/// k-way parallel scan: advances all cursors toward a common candidate.
+pub fn intersect_k_into(slices: &[&[Elem]], out: &mut Vec<Elem>) {
+    match slices {
+        [] => {}
+        [a] => out.extend_from_slice(a),
+        [a, b] => intersect2_into(a, b, out),
+        _ => {
+            let k = slices.len();
+            let mut cursors = vec![0usize; k];
+            'candidates: loop {
+                if cursors[0] >= slices[0].len() {
+                    return;
+                }
+                let mut cand = slices[0][cursors[0]];
+                for i in 1..k {
+                    let s = slices[i];
+                    let c = &mut cursors[i];
+                    while *c < s.len() && s[*c] < cand {
+                        *c += 1;
+                    }
+                    if *c >= s.len() {
+                        return;
+                    }
+                    if s[*c] != cand {
+                        cand = s[*c];
+                        let c0 = &mut cursors[0];
+                        while *c0 < slices[0].len() && slices[0][*c0] < cand {
+                            *c0 += 1;
+                        }
+                        continue 'candidates;
+                    }
+                }
+                out.push(cand);
+                cursors[0] += 1;
+            }
+        }
+    }
+}
+
+impl SetIndex for MergeIndex {
+    fn n(&self) -> usize {
+        self.elems.len()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.elems.len() * 4
+    }
+}
+
+impl PairIntersect for MergeIndex {
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        intersect2_into(&self.elems, &other.elems, out);
+    }
+}
+
+impl KIntersect for MergeIndex {
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        let slices: Vec<&[Elem]> = indexes.iter().map(|ix| ix.as_slice()).collect();
+        intersect_k_into(&slices, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pairwise_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..40 {
+            let n1 = rng.gen_range(0..500);
+            let n2 = rng.gen_range(0..500);
+            let u = rng.gen_range(1..1500u32);
+            let a: SortedSet = (0..n1).map(|_| rng.gen_range(0..u)).collect();
+            let b: SortedSet = (0..n2).map(|_| rng.gen_range(0..u)).collect();
+            let mut out = Vec::new();
+            intersect2_into(a.as_slice(), b.as_slice(), &mut out);
+            assert_eq!(out, reference_intersection(&[a.as_slice(), b.as_slice()]));
+        }
+    }
+
+    #[test]
+    fn k_way_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in 1..=5usize {
+            for _ in 0..10 {
+                let sets: Vec<SortedSet> = (0..k)
+                    .map(|_| {
+                        let n = rng.gen_range(0..400);
+                        (0..n).map(|_| rng.gen_range(0..900u32)).collect()
+                    })
+                    .collect();
+                let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+                let mut out = Vec::new();
+                intersect_k_into(&slices, &mut out);
+                assert_eq!(out, reference_intersection(&slices));
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_ascending() {
+        let a = [1u32, 2, 3, 100, 200];
+        let b = [2u32, 3, 100, 201];
+        let mut out = Vec::new();
+        intersect2_into(&a, &b, &mut out);
+        assert_eq!(out, vec![2, 3, 100]);
+    }
+
+    #[test]
+    fn index_wrappers() {
+        let a = MergeIndex::build(&SortedSet::from_unsorted(vec![1, 4, 9]));
+        let b = MergeIndex::build(&SortedSet::from_unsorted(vec![4, 9, 12]));
+        assert_eq!(a.intersect_pair_sorted(&b), vec![4, 9]);
+        assert_eq!(a.size_in_bytes(), 12);
+        assert_eq!(MergeIndex::intersect_k_sorted(&[&a, &b]), vec![4, 9]);
+    }
+}

@@ -1,0 +1,223 @@
+//! **SkipList** — set intersection over skip lists (Pugh's cookbook \[18\]).
+//!
+//! Since the data is static (Section 4's implementation note), the list is
+//! array-backed with deterministic promotion: level `l` keeps every
+//! `SKIP^l`-th element (`p = 1/4`, Pugh's recommended fan-out). Seeking
+//! starts from a *finger* (the previous match position), walks right on the
+//! top level while the next tower key is below the target, then descends —
+//! the textbook `O(log n)` search without per-node allocation.
+
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::traits::{KIntersect, PairIntersect, SetIndex};
+
+/// Fan-out between adjacent levels (`p = 1/4`).
+const SKIP_LOG2: usize = 2;
+const SKIP: usize = 1 << SKIP_LOG2;
+
+/// A static, array-backed skip list.
+#[derive(Debug, Clone)]
+pub struct SkipListIndex {
+    /// `levels\[0\]` is the full sorted list; `levels[l][i] = levels\[0\][i << (2l)]`.
+    levels: Vec<Vec<Elem>>,
+}
+
+impl SkipListIndex {
+    /// Builds the level hierarchy; `O(n)` extra space (geometric series).
+    pub fn build(set: &SortedSet) -> Self {
+        let mut levels = vec![set.as_slice().to_vec()];
+        while levels.last().expect("non-empty").len() > SKIP {
+            let prev = levels.last().expect("non-empty");
+            let next: Vec<Elem> = prev.iter().step_by(SKIP).copied().collect();
+            levels.push(next);
+        }
+        Self { levels }
+    }
+
+    /// Bottom-level sorted elements.
+    pub fn as_slice(&self) -> &[Elem] {
+        &self.levels[0]
+    }
+
+    /// First bottom-level index `>= finger` whose value is `>= target`.
+    pub fn seek(&self, target: Elem, finger: usize) -> usize {
+        let n = self.levels[0].len();
+        if finger >= n {
+            return n;
+        }
+        // Climb to the highest level where walking right can help.
+        let top = self.levels.len() - 1;
+        let mut lvl = top;
+        let mut pos = finger >> (SKIP_LOG2 * lvl);
+        loop {
+            let level = &self.levels[lvl];
+            while pos + 1 < level.len() && level[pos + 1] < target {
+                pos += 1;
+            }
+            if lvl == 0 {
+                break;
+            }
+            pos <<= SKIP_LOG2;
+            lvl -= 1;
+        }
+        // `pos` now points at the last element < target (or the finger);
+        // advance past any remainder.
+        let level0 = &self.levels[0];
+        let mut pos = pos.max(finger);
+        while pos < n && level0[pos] < target {
+            pos += 1;
+        }
+        pos
+    }
+
+    /// Membership test via `seek`.
+    pub fn contains(&self, x: Elem) -> bool {
+        let p = self.seek(x, 0);
+        p < self.levels[0].len() && self.levels[0][p] == x
+    }
+}
+
+impl SetIndex for SkipListIndex {
+    fn n(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.len() * 4).sum()
+    }
+}
+
+impl PairIntersect for SkipListIndex {
+    /// Iterate the smaller list, seek in the larger with a moving finger.
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        let (small, large) = if self.n() <= other.n() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut finger = 0usize;
+        let large0 = &large.levels[0];
+        for &x in &small.levels[0] {
+            finger = large.seek(x, finger);
+            if finger >= large0.len() {
+                break;
+            }
+            if large0[finger] == x {
+                out.push(x);
+            }
+        }
+    }
+}
+
+impl KIntersect for SkipListIndex {
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        match indexes {
+            [] => {}
+            [a] => out.extend_from_slice(a.as_slice()),
+            [a, b] => a.intersect_pair_into(b, out),
+            _ => {
+                let mut order: Vec<&Self> = indexes.to_vec();
+                order.sort_by_key(|ix| ix.n());
+                let small = order[0];
+                let rest = &order[1..];
+                let mut fingers = vec![0usize; rest.len()];
+                'elems: for &x in small.as_slice() {
+                    for (ix, f) in rest.iter().zip(fingers.iter_mut()) {
+                        *f = ix.seek(x, *f);
+                        if *f >= ix.n() {
+                            break 'elems;
+                        }
+                        if ix.as_slice()[*f] != x {
+                            continue 'elems;
+                        }
+                    }
+                    out.push(x);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use fsi_core::search::lower_bound;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn levels_shrink_geometrically() {
+        let set: SortedSet = (0..1000u32).collect();
+        let sl = SkipListIndex::build(&set);
+        for w in sl.levels.windows(2) {
+            assert_eq!(w[1].len(), w[0].len().div_ceil(SKIP));
+        }
+        // Space is a small multiple of the data.
+        assert!(sl.size_in_bytes() < set.len() * 4 * 2);
+    }
+
+    #[test]
+    fn seek_agrees_with_lower_bound() {
+        let set: SortedSet = (0..5000u32).map(|x| x * 3).collect();
+        let sl = SkipListIndex::build(&set);
+        let v = sl.as_slice();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let target = rng.gen_range(0..16_000u32);
+            let finger = rng.gen_range(0..=v.len());
+            let expect = lower_bound(v, finger.min(v.len()), v.len(), target).max(finger.min(v.len()));
+            assert_eq!(sl.seek(target, finger), expect, "t={target} f={finger}");
+        }
+    }
+
+    #[test]
+    fn pair_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..25 {
+            let n1 = rng.gen_range(0..400);
+            let n2 = rng.gen_range(0..1500);
+            let u = rng.gen_range(1..3000u32);
+            let a: SortedSet = (0..n1).map(|_| rng.gen_range(0..u)).collect();
+            let b: SortedSet = (0..n2).map(|_| rng.gen_range(0..u)).collect();
+            let ia = SkipListIndex::build(&a);
+            let ib = SkipListIndex::build(&b);
+            assert_eq!(
+                ia.intersect_pair_sorted(&ib),
+                reference_intersection(&[a.as_slice(), b.as_slice()])
+            );
+        }
+    }
+
+    #[test]
+    fn k_way_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for k in 2..=4usize {
+            for _ in 0..10 {
+                let sets: Vec<SortedSet> = (0..k)
+                    .map(|_| {
+                        let n = rng.gen_range(0..500);
+                        (0..n).map(|_| rng.gen_range(0..1200u32)).collect()
+                    })
+                    .collect();
+                let idx: Vec<SkipListIndex> = sets.iter().map(SkipListIndex::build).collect();
+                let refs: Vec<&SkipListIndex> = idx.iter().collect();
+                let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+                assert_eq!(
+                    SkipListIndex::intersect_k_sorted(&refs),
+                    reference_intersection(&slices)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let e = SkipListIndex::build(&SortedSet::new());
+        let one = SkipListIndex::build(&SortedSet::from_unsorted(vec![9]));
+        assert_eq!(e.intersect_pair_sorted(&one), Vec::<u32>::new());
+        assert_eq!(one.intersect_pair_sorted(&one), vec![9]);
+        assert!(one.contains(9));
+        assert!(!one.contains(8));
+        assert_eq!(e.seek(5, 0), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! **SmallAdaptive** — the hybrid of Barbay, López-Ortiz, Lu & Salinger \[5\]
+//! ("An experimental investigation of set intersection algorithms for text
+//! searching"): like SvS it always draws the candidate from the set with the
+//! *fewest remaining* elements, but like Adaptive it re-ranks the sets after
+//! every probe, so a set that eliminates many candidates cheaply is consulted
+//! early. Probes use galloping search over each set's remaining range.
+
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::search::gallop;
+use fsi_core::traits::{KIntersect, PairIntersect, SetIndex};
+
+/// A plain sorted list; SmallAdaptive needs no auxiliary structure.
+#[derive(Debug, Clone)]
+pub struct SmallAdaptiveIndex {
+    elems: Vec<Elem>,
+}
+
+impl SmallAdaptiveIndex {
+    /// Wraps the sorted list.
+    pub fn build(set: &SortedSet) -> Self {
+        Self {
+            elems: set.as_slice().to_vec(),
+        }
+    }
+
+    /// Sorted elements.
+    pub fn as_slice(&self) -> &[Elem] {
+        &self.elems
+    }
+}
+
+/// The SmallAdaptive loop over raw slices.
+pub fn intersect_small_adaptive(sets: &[&[Elem]], out: &mut Vec<Elem>) {
+    match sets {
+        [] => {}
+        [a] => out.extend_from_slice(a),
+        _ => {
+            let k = sets.len();
+            let mut cursors = vec![0usize; k];
+            // Index order, re-sorted by remaining length each round.
+            let mut order: Vec<usize> = (0..k).collect();
+            loop {
+                // Rank sets by remaining elements (k is tiny; insertion sort).
+                order.sort_by_key(|&i| sets[i].len() - cursors[i]);
+                let first = order[0];
+                if cursors[first] >= sets[first].len() {
+                    return;
+                }
+                let mut cand = sets[first][cursors[first]];
+                cursors[first] += 1;
+                // Probe the candidate through the remaining sets in rank
+                // order; a miss promotes the overshoot and restarts.
+                let mut confirmed = true;
+                for &i in &order[1..] {
+                    let s = sets[i];
+                    let pos = gallop(s, cursors[i], cand);
+                    cursors[i] = pos;
+                    if pos >= s.len() {
+                        return;
+                    }
+                    if s[pos] != cand {
+                        cand = s[pos];
+                        confirmed = false;
+                        break;
+                    }
+                    cursors[i] = pos + 1;
+                }
+                if confirmed {
+                    out.push(cand);
+                } else {
+                    // Drag the rank-0 cursor up to the new candidate so the
+                    // next round starts from a consistent frontier.
+                    let s = sets[first];
+                    let pos = gallop(s, cursors[first], cand);
+                    cursors[first] = pos;
+                    if pos >= s.len() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl SetIndex for SmallAdaptiveIndex {
+    fn n(&self) -> usize {
+        self.elems.len()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.elems.len() * 4
+    }
+}
+
+impl PairIntersect for SmallAdaptiveIndex {
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        intersect_small_adaptive(&[&self.elems, &other.elems], out);
+    }
+}
+
+impl KIntersect for SmallAdaptiveIndex {
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        let slices: Vec<&[Elem]> = indexes.iter().map(|ix| ix.as_slice()).collect();
+        intersect_small_adaptive(&slices, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn random_inputs_match_reference() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for k in 1..=6usize {
+            for trial in 0..15 {
+                let sets: Vec<SortedSet> = (0..k)
+                    .map(|_| {
+                        let n = rng.gen_range(0..600);
+                        (0..n).map(|_| rng.gen_range(0..1400u32)).collect()
+                    })
+                    .collect();
+                let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+                let mut out = Vec::new();
+                intersect_small_adaptive(&slices, &mut out);
+                assert_eq!(out, reference_intersection(&slices), "k={k} trial={trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_sizes() {
+        let small: SortedSet = (0..20u32).map(|x| x * 50_000).collect();
+        let mid: SortedSet = (0..10_000u32).map(|x| x * 100).collect();
+        let large: SortedSet = (0..1_000_000u32).collect();
+        let slices = [small.as_slice(), mid.as_slice(), large.as_slice()];
+        let mut out = Vec::new();
+        intersect_small_adaptive(&slices, &mut out);
+        assert_eq!(out, reference_intersection(&slices));
+    }
+
+    #[test]
+    fn empties_and_wrappers() {
+        let e = SmallAdaptiveIndex::build(&SortedSet::new());
+        let a = SmallAdaptiveIndex::build(&SortedSet::from_unsorted(vec![1, 3, 5]));
+        assert_eq!(a.intersect_pair_sorted(&e), Vec::<u32>::new());
+        assert_eq!(a.intersect_pair_sorted(&a), vec![1, 3, 5]);
+        assert_eq!(
+            SmallAdaptiveIndex::intersect_k_sorted(&[&a, &a, &a]),
+            vec![1, 3, 5]
+        );
+    }
+}

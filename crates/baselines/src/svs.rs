@@ -1,0 +1,127 @@
+//! **SvS** ("small versus small") — the classic sorted-list algorithm: sort
+//! the sets by size, take the smallest as the candidate list, and probe each
+//! candidate into every other set by galloping search over a shrinking
+//! range. With `|L₁| < |L₂|` this meets the
+//! `log C(|L₁|+|L₂|, |L₁|) + |L₁|` comparison bound of Hwang & Lin \[16\].
+
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::search::gallop;
+use fsi_core::traits::{KIntersect, PairIntersect, SetIndex};
+
+/// A plain sorted list; SvS needs no auxiliary structure.
+#[derive(Debug, Clone)]
+pub struct SvsIndex {
+    elems: Vec<Elem>,
+}
+
+impl SvsIndex {
+    /// Wraps the sorted list.
+    pub fn build(set: &SortedSet) -> Self {
+        Self {
+            elems: set.as_slice().to_vec(),
+        }
+    }
+
+    /// Sorted elements.
+    pub fn as_slice(&self) -> &[Elem] {
+        &self.elems
+    }
+}
+
+/// SvS over raw slices: intersects `sets` (any sizes, any count ≥ 1).
+pub fn intersect_svs(sets: &[&[Elem]], out: &mut Vec<Elem>) {
+    match sets {
+        [] => {}
+        [a] => out.extend_from_slice(a),
+        _ => {
+            let mut order: Vec<&[Elem]> = sets.to_vec();
+            order.sort_by_key(|s| s.len());
+            let (small, rest) = order.split_first().expect("k >= 2");
+            let mut fingers = vec![0usize; rest.len()];
+            'cands: for &x in *small {
+                for (s, f) in rest.iter().zip(fingers.iter_mut()) {
+                    *f = gallop(s, *f, x);
+                    if *f >= s.len() {
+                        break 'cands;
+                    }
+                    if s[*f] != x {
+                        continue 'cands;
+                    }
+                }
+                out.push(x);
+            }
+        }
+    }
+}
+
+impl SetIndex for SvsIndex {
+    fn n(&self) -> usize {
+        self.elems.len()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.elems.len() * 4
+    }
+}
+
+impl PairIntersect for SvsIndex {
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        intersect_svs(&[&self.elems, &other.elems], out);
+    }
+}
+
+impl KIntersect for SvsIndex {
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        let slices: Vec<&[Elem]> = indexes.iter().map(|ix| ix.as_slice()).collect();
+        intersect_svs(&slices, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn random_inputs_match_reference() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for k in 1..=5usize {
+            for _ in 0..12 {
+                let sets: Vec<SortedSet> = (0..k)
+                    .map(|i| {
+                        let n = rng.gen_range(0..(300 * (i + 1)));
+                        (0..n).map(|_| rng.gen_range(0..2000u32)).collect()
+                    })
+                    .collect();
+                let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+                let mut out = Vec::new();
+                intersect_svs(&slices, &mut out);
+                assert_eq!(out, reference_intersection(&slices), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn highly_skewed_is_fast_path_correct() {
+        let small: SortedSet = (0..10u32).map(|x| x * 1_000_000).collect();
+        let large: SortedSet = (0..3_000_000u32).step_by(3).collect();
+        let mut out = Vec::new();
+        intersect_svs(&[small.as_slice(), large.as_slice()], &mut out);
+        assert_eq!(
+            out,
+            reference_intersection(&[small.as_slice(), large.as_slice()])
+        );
+    }
+
+    #[test]
+    fn wrappers() {
+        let a = SvsIndex::build(&SortedSet::from_unsorted(vec![1, 5, 9]));
+        let b = SvsIndex::build(&SortedSet::from_unsorted(vec![5, 9, 11]));
+        assert_eq!(a.intersect_pair_sorted(&b), vec![5, 9]);
+        assert_eq!(SvsIndex::intersect_k_sorted(&[&a, &b, &a]), vec![5, 9]);
+        let e = SvsIndex::build(&SortedSet::new());
+        assert_eq!(a.intersect_pair_sorted(&e), Vec::<u32>::new());
+    }
+}

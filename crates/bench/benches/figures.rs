@@ -1,0 +1,198 @@
+//! Criterion micro-benchmarks mirroring the paper's figures on reduced
+//! sizes (one group per figure; the `paper` binary runs the full-scale
+//! parameter sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsi_compress::{EliasCode, GroupCoding};
+use fsi_core::elem::SortedSet;
+use fsi_core::hash::HashContext;
+use fsi_index::strategy::{intersect_into, PreparedList, Strategy};
+use fsi_workloads::synthetic::{k_sets_uniform, pair_with_intersection};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const N: usize = 250_000;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn prepare_pair(
+    ctx: &HashContext,
+    strategy: Strategy,
+    a: &SortedSet,
+    b: &SortedSet,
+) -> (PreparedList, PreparedList) {
+    (strategy.prepare(ctx, a), strategy.prepare(ctx, b))
+}
+
+fn bench_pair(c: &mut Criterion, group: &str, strategies: &[Strategy], a: &SortedSet, b: &SortedSet) {
+    let ctx = HashContext::with_family_size(7, 8);
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for &s in strategies {
+        let (pa, pb) = prepare_pair(&ctx, s, a, b);
+        let mut out = Vec::new();
+        g.bench_function(BenchmarkId::from_parameter(s.name()), |bench| {
+            bench.iter(|| {
+                out.clear();
+                intersect_into(&[&pa, &pb], &mut out);
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 4 shape: equal sizes, r = 1%.
+fn fig4_set_size(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(41);
+    let (a, b) = pair_with_intersection(&mut rng, N, N, N / 100, (N as u64) * 20);
+    bench_pair(
+        configure(c),
+        "fig4_set_size",
+        &[
+            Strategy::Merge,
+            Strategy::SkipList,
+            Strategy::Hash,
+            Strategy::Bpp,
+            Strategy::Adaptive,
+            Strategy::Lookup,
+            Strategy::IntGroup,
+            Strategy::RanGroup,
+            Strategy::RanGroupScan { m: 4 },
+        ],
+        &a,
+        &b,
+    );
+}
+
+/// Figure 5 shape: the r = 70% crossover point.
+fn fig5_intersection_size(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(51);
+    for (label, r_frac) in [("r1pct", 0.01), ("r70pct", 0.70)] {
+        let r = (N as f64 * r_frac) as usize;
+        let (a, b) = pair_with_intersection(&mut rng, N, N, r, (N as u64) * 20);
+        bench_pair(
+            c,
+            &format!("fig5_{label}"),
+            &[
+                Strategy::Merge,
+                Strategy::RanGroup,
+                Strategy::RanGroupScan { m: 4 },
+            ],
+            &a,
+            &b,
+        );
+    }
+}
+
+/// Size-ratio experiment shape: sr = 100.
+fn ratio_sweep(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(61);
+    let n1 = N / 100;
+    let (a, b) = pair_with_intersection(&mut rng, n1, N, n1 / 100, (N as u64) * 20);
+    bench_pair(
+        c,
+        "ratio_sr100",
+        &[
+            Strategy::Merge,
+            Strategy::Hash,
+            Strategy::Lookup,
+            Strategy::Svs,
+            Strategy::RanGroupScan { m: 4 },
+            Strategy::HashBin,
+            Strategy::Auto,
+        ],
+        &a,
+        &b,
+    );
+}
+
+/// Figure 6 shape: k = 4 uniform sets.
+fn fig6_kway(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(71);
+    let sets = k_sets_uniform(&mut rng, 4, N, (N as u64) * 20);
+    let ctx = HashContext::with_family_size(7, 8);
+    let mut g = c.benchmark_group("fig6_k4");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for s in [
+        Strategy::Merge,
+        Strategy::Hash,
+        Strategy::Lookup,
+        Strategy::Adaptive,
+        Strategy::RanGroup,
+        Strategy::RanGroupScan { m: 2 },
+    ] {
+        let prepared: Vec<PreparedList> = sets.iter().map(|x| s.prepare(&ctx, x)).collect();
+        let refs: Vec<&PreparedList> = prepared.iter().collect();
+        let mut out = Vec::new();
+        g.bench_function(BenchmarkId::from_parameter(s.name()), |bench| {
+            bench.iter(|| {
+                out.clear();
+                intersect_into(&refs, &mut out);
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8 shape: compressed variants.
+fn fig8_compressed(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(81);
+    let (a, b) = pair_with_intersection(&mut rng, N, N, N / 100, (N as u64) * 20);
+    bench_pair(
+        c,
+        "fig8_compressed",
+        &[
+            Strategy::MergeCompressed(EliasCode::Delta),
+            Strategy::LookupCompressed(EliasCode::Delta),
+            Strategy::RgsCompressed(GroupCoding::Lowbits),
+            Strategy::RgsCompressed(GroupCoding::Elias(EliasCode::Delta)),
+        ],
+        &a,
+        &b,
+    );
+}
+
+/// Figure 10 shape: preprocessing cost.
+fn fig10_preprocessing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(91);
+    let set: SortedSet = fsi_workloads::sample_distinct(&mut rng, N, (N as u64) * 20)
+        .into_iter()
+        .collect();
+    let ctx = HashContext::with_family_size(7, 8);
+    let mut g = c.benchmark_group("fig10_preprocessing");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for s in [
+        Strategy::HashBin,
+        Strategy::IntGroup,
+        Strategy::RanGroup,
+        Strategy::RanGroupScan { m: 4 },
+        Strategy::RgsCompressed(GroupCoding::Lowbits),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(s.name()), |bench| {
+            bench.iter(|| s.prepare(&ctx, &set).size_in_bytes())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig4_set_size,
+    fig5_intersection_size,
+    ratio_sweep,
+    fig6_kway,
+    fig8_compressed,
+    fig10_preprocessing
+);
+criterion_main!(figures);

@@ -1,0 +1,173 @@
+//! # fsi-bench — shared measurement utilities for the paper harness
+//!
+//! The `paper` binary (`cargo run --release -p fsi-bench --bin paper`)
+//! regenerates every figure and table of the paper's evaluation; the
+//! criterion benches exercise the same code on reduced sizes. This library
+//! holds what they share: timing helpers, plain-text table rendering, and
+//! seeded dataset construction.
+
+use fsi_core::elem::SortedSet;
+use fsi_core::hash::HashContext;
+use fsi_index::strategy::{intersect_into, PreparedList, Strategy};
+use std::time::{Duration, Instant};
+
+/// Runs `f` once and returns its wall-clock duration, guarding the result
+/// from being optimized away.
+pub fn time_once<T>(mut f: impl FnMut() -> T) -> Duration {
+    let start = Instant::now();
+    let out = f();
+    let elapsed = start.elapsed();
+    std::hint::black_box(out);
+    elapsed
+}
+
+/// Median wall-clock duration over `reps` runs (one warm-up run first).
+pub fn median_time<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    std::hint::black_box(f());
+    let mut times: Vec<Duration> = (0..reps.max(1)).map(|_| time_once(&mut f)).collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Milliseconds as a float.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// A plain-text (markdown-flavoured) table printer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:>w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a millisecond value for table cells.
+pub fn fmt_ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Prepares one strategy over several sets and times `reps` intersections;
+/// returns (median duration, result size, prepared bytes).
+pub fn run_strategy(
+    strategy: Strategy,
+    ctx: &HashContext,
+    sets: &[&SortedSet],
+    reps: usize,
+) -> (Duration, usize, usize) {
+    let prepared: Vec<PreparedList> = sets.iter().map(|s| strategy.prepare(ctx, s)).collect();
+    let bytes: usize = prepared.iter().map(|p| p.size_in_bytes()).sum();
+    let refs: Vec<&PreparedList> = prepared.iter().collect();
+    let mut out = Vec::new();
+    let d = median_time(reps, || {
+        out.clear();
+        intersect_into(&refs, &mut out);
+        out.len()
+    });
+    (d, out.len(), bytes)
+}
+
+/// Standard harness seed so every experiment is reproducible.
+pub const HARNESS_SEED: u64 = 0x2011_0404;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_time_smoke() {
+        let d = median_time(3, || (0..1000u64).sum::<u64>());
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["333", "4"]);
+        let r = t.render();
+        assert!(r.contains("| 333 |"));
+        assert_eq!(r.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn run_strategy_smoke() {
+        let ctx = HashContext::new(1);
+        let a: SortedSet = (0..1000u32).collect();
+        let b: SortedSet = (500..1500u32).collect();
+        let (d, r, bytes) = run_strategy(Strategy::Merge, &ctx, &[&a, &b], 2);
+        assert_eq!(r, 500);
+        assert!(bytes > 0);
+        let _ = d;
+    }
+
+    #[test]
+    fn fmt_ms_ranges() {
+        assert_eq!(fmt_ms(250.0), "250");
+        assert_eq!(fmt_ms(2.5), "2.50");
+        assert_eq!(fmt_ms(0.5), "0.5000");
+    }
+}

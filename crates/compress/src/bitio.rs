@@ -1,0 +1,287 @@
+//! MSB-first bit streams over `u64` words — the substrate for the γ/δ codes
+//! of Witten, Moffat & Bell \[23\] and the Lowbits codec of Appendix B.
+//!
+//! Bit `i` of the stream is bit `63 − (i mod 64)` of word `i / 64`, so a
+//! value written with [`BitWriter::write_bits`] reads back with
+//! [`BitReader::read_bits`] most-significant-bit first.
+
+/// An append-only bit stream.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    words: Vec<u64>,
+    /// Total number of bits written.
+    len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends the low `nbits` bits of `value`, MSB first. `nbits ≤ 64`.
+    pub fn write_bits(&mut self, value: u64, nbits: u32) {
+        debug_assert!(nbits <= 64);
+        if nbits == 0 {
+            return;
+        }
+        let value = if nbits == 64 {
+            value
+        } else {
+            value & ((1u64 << nbits) - 1)
+        };
+        let off = (self.len % 64) as u32;
+        if off == 0 {
+            self.words.push(0);
+        }
+        let word = self.words.last_mut().expect("pushed above");
+        let room = 64 - off;
+        if nbits <= room {
+            *word |= value << (room - nbits);
+        } else {
+            let hi = nbits - room;
+            *word |= value >> hi;
+            self.words.push(value << (64 - hi));
+        }
+        self.len += nbits as usize;
+    }
+
+    /// Appends `n` in unary: `n` zeros followed by a one (the paper's
+    /// Appendix B example: `011` encodes 2).
+    pub fn write_unary(&mut self, mut n: u64) {
+        while n >= 63 {
+            self.write_bits(0, 63);
+            n -= 63;
+        }
+        self.write_bits(1, n as u32 + 1);
+    }
+
+    /// Finishes the stream.
+    pub fn finish(self) -> BitBuf {
+        BitBuf {
+            words: self.words.into_boxed_slice(),
+            len: self.len,
+        }
+    }
+}
+
+/// A finished, immutable bit stream.
+#[derive(Debug, Clone, Default)]
+pub struct BitBuf {
+    words: Box<[u64]>,
+    len: usize,
+}
+
+impl BitBuf {
+    /// Number of bits in the stream.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap footprint in bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// A reader positioned at bit 0.
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader {
+            words: &self.words,
+            pos: 0,
+            len: self.len,
+        }
+    }
+}
+
+/// A cursor over a [`BitBuf`].
+#[derive(Debug, Clone, Copy)]
+pub struct BitReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+    len: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Current bit position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Repositions the cursor.
+    pub fn seek(&mut self, pos: usize) {
+        debug_assert!(pos <= self.len);
+        self.pos = pos;
+    }
+
+    /// Advances without reading.
+    pub fn skip(&mut self, nbits: usize) {
+        self.pos += nbits;
+        debug_assert!(self.pos <= self.len);
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.len - self.pos
+    }
+
+    /// Reads `nbits ≤ 64` bits, MSB first.
+    pub fn read_bits(&mut self, nbits: u32) -> u64 {
+        debug_assert!(nbits <= 64);
+        debug_assert!(self.pos + nbits as usize <= self.len, "bit stream overrun");
+        if nbits == 0 {
+            return 0;
+        }
+        let idx = self.pos / 64;
+        let off = (self.pos % 64) as u32;
+        self.pos += nbits as usize;
+        let room = 64 - off;
+        if nbits <= room {
+            let shifted = self.words[idx] << off;
+            shifted >> (64 - nbits)
+        } else {
+            let hi_bits = room;
+            let lo_bits = nbits - room;
+            let hi = (self.words[idx] << off) >> (64 - hi_bits);
+            let lo = self.words[idx + 1] >> (64 - lo_bits);
+            (hi << lo_bits) | lo
+        }
+    }
+
+    /// Reads a unary-coded value: counts zeros up to the terminating one.
+    pub fn read_unary(&mut self) -> u64 {
+        let mut n = 0u64;
+        loop {
+            debug_assert!(self.pos < self.len, "unary ran off the stream");
+            let idx = self.pos / 64;
+            let off = (self.pos % 64) as u32;
+            let window = self.words[idx] << off;
+            let avail = 64 - off;
+            let z = window.leading_zeros().min(avail);
+            if z < avail {
+                // Found the terminating one within this word.
+                self.pos += z as usize + 1;
+                return n + z as u64;
+            }
+            n += avail as u64;
+            self.pos += avail as usize;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bits_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xffff_ffff_ffff_ffff, 64);
+        w.write_bits(0, 1);
+        w.write_bits(0x1234, 16);
+        let buf = w.finish();
+        let mut r = buf.reader();
+        assert_eq!(r.read_bits(3), 0b101);
+        assert_eq!(r.read_bits(64), u64::MAX);
+        assert_eq!(r.read_bits(1), 0);
+        assert_eq!(r.read_bits(16), 0x1234);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn random_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let items: Vec<(u64, u32)> = (0..200)
+                .map(|_| {
+                    let nbits = rng.gen_range(1..=64);
+                    let v = rng.gen::<u64>() & if nbits == 64 { u64::MAX } else { (1 << nbits) - 1 };
+                    (v, nbits)
+                })
+                .collect();
+            let mut w = BitWriter::new();
+            for &(v, n) in &items {
+                w.write_bits(v, n);
+            }
+            let buf = w.finish();
+            let mut r = buf.reader();
+            for &(v, n) in &items {
+                assert_eq!(r.read_bits(n), v);
+            }
+        }
+    }
+
+    #[test]
+    fn unary_round_trip() {
+        let values = [0u64, 1, 2, 5, 62, 63, 64, 200, 1000];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_unary(v);
+        }
+        let buf = w.finish();
+        let mut r = buf.reader();
+        for &v in &values {
+            assert_eq!(r.read_unary(), v);
+        }
+    }
+
+    #[test]
+    fn unary_example_from_paper() {
+        // The paper's Appendix B example encodes 2 in three bits ("011");
+        // our (equivalent) convention is zeros-then-terminator: "001".
+        let mut w = BitWriter::new();
+        w.write_unary(2);
+        let buf = w.finish();
+        assert_eq!(buf.len(), 3);
+        let mut r = buf.reader();
+        assert_eq!(r.read_bits(3), 0b001);
+    }
+
+    #[test]
+    fn seek_and_skip() {
+        let mut w = BitWriter::new();
+        for i in 0..32u64 {
+            w.write_bits(i, 8);
+        }
+        let buf = w.finish();
+        let mut r = buf.reader();
+        r.skip(8 * 5);
+        assert_eq!(r.read_bits(8), 5);
+        r.seek(8 * 31);
+        assert_eq!(r.read_bits(8), 31);
+        r.seek(0);
+        assert_eq!(r.read_bits(8), 0);
+    }
+
+    #[test]
+    fn mixed_unary_and_bits() {
+        let mut w = BitWriter::new();
+        w.write_unary(7);
+        w.write_bits(0xabcd, 16);
+        w.write_unary(0);
+        w.write_bits(3, 2);
+        let buf = w.finish();
+        let mut r = buf.reader();
+        assert_eq!(r.read_unary(), 7);
+        assert_eq!(r.read_bits(16), 0xabcd);
+        assert_eq!(r.read_unary(), 0);
+        assert_eq!(r.read_bits(2), 3);
+    }
+}

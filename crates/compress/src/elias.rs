@@ -1,0 +1,166 @@
+//! Elias γ- and δ-codes (Witten, Moffat & Bell, *Managing Gigabytes*,
+//! p. 116 — the reference the paper cites in Section 4.1) for positive
+//! integers.
+//!
+//! * γ(x): `⌊log₂ x⌋` zeros, then the `⌊log₂ x⌋ + 1` bits of `x` (the leading
+//!   one doubles as the unary terminator).
+//! * δ(x): γ(`⌊log₂ x⌋ + 1`), then the `⌊log₂ x⌋` low bits of `x`.
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Which Elias code a structure uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EliasCode {
+    /// Elias γ.
+    Gamma,
+    /// Elias δ.
+    Delta,
+}
+
+impl EliasCode {
+    /// Encodes `x ≥ 1`.
+    #[inline]
+    pub fn encode(self, w: &mut BitWriter, x: u64) {
+        match self {
+            EliasCode::Gamma => encode_gamma(w, x),
+            EliasCode::Delta => encode_delta(w, x),
+        }
+    }
+
+    /// Decodes one value.
+    #[inline]
+    pub fn decode(self, r: &mut BitReader<'_>) -> u64 {
+        match self {
+            EliasCode::Gamma => decode_gamma(r),
+            EliasCode::Delta => decode_delta(r),
+        }
+    }
+
+    /// Display suffix matching the paper's figure labels
+    /// (`Merge_Delta`, `RanGroupScan_Gamma`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            EliasCode::Gamma => "Gamma",
+            EliasCode::Delta => "Delta",
+        }
+    }
+}
+
+/// Writes γ(x); panics in debug builds if `x == 0`.
+pub fn encode_gamma(w: &mut BitWriter, x: u64) {
+    debug_assert!(x >= 1, "gamma is defined for positive integers");
+    let nbits = 64 - x.leading_zeros(); // ⌊log₂ x⌋ + 1
+    w.write_bits(0, nbits - 1);
+    w.write_bits(x, nbits);
+}
+
+/// Reads γ⁻¹.
+pub fn decode_gamma(r: &mut BitReader<'_>) -> u64 {
+    let n = r.read_unary() as u32; // zeros consumed, terminating 1 consumed
+    // The terminating 1 is the value's leading bit.
+    (1u64 << n) | r.read_bits(n)
+}
+
+/// Writes δ(x); panics in debug builds if `x == 0`.
+pub fn encode_delta(w: &mut BitWriter, x: u64) {
+    debug_assert!(x >= 1, "delta is defined for positive integers");
+    let nbits = 64 - x.leading_zeros(); // ⌊log₂ x⌋ + 1
+    encode_gamma(w, nbits as u64);
+    w.write_bits(x, nbits - 1); // low bits; the leading one is implicit
+}
+
+/// Reads δ⁻¹.
+pub fn decode_delta(r: &mut BitReader<'_>) -> u64 {
+    let nbits = decode_gamma(r) as u32;
+    (1u64 << (nbits - 1)) | r.read_bits(nbits - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn round_trip(code: EliasCode, values: &[u64]) {
+        let mut w = BitWriter::new();
+        for &v in values {
+            code.encode(&mut w, v);
+        }
+        let buf = w.finish();
+        let mut r = buf.reader();
+        for &v in values {
+            assert_eq!(code.decode(&mut r), v, "{code:?} {v}");
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn gamma_known_codewords() {
+        // γ(1) = "1", γ(2) = "010", γ(3) = "011", γ(4) = "00100".
+        let mut w = BitWriter::new();
+        encode_gamma(&mut w, 1);
+        encode_gamma(&mut w, 2);
+        encode_gamma(&mut w, 3);
+        encode_gamma(&mut w, 4);
+        let buf = w.finish();
+        assert_eq!(buf.len(), 1 + 3 + 3 + 5);
+        let mut r = buf.reader();
+        #[allow(clippy::unusual_byte_groupings)] // grouped by codeword, not nibble
+        let expect = 0b1_010_011_00100;
+        assert_eq!(r.read_bits(12), expect);
+    }
+
+    #[test]
+    fn delta_known_codewords() {
+        // δ(1) = γ(1) = "1"; δ(8) = γ(4)+"000" = "00100 000".
+        let mut w = BitWriter::new();
+        encode_delta(&mut w, 1);
+        encode_delta(&mut w, 8);
+        let buf = w.finish();
+        assert_eq!(buf.len(), 1 + 8);
+        let mut r = buf.reader();
+        #[allow(clippy::unusual_byte_groupings)] // grouped by codeword, not nibble
+        let expect = 0b1_00100_000;
+        assert_eq!(r.read_bits(9), expect);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let vals = [
+            1u64,
+            2,
+            3,
+            4,
+            7,
+            8,
+            (1 << 16) - 1,
+            1 << 16,
+            u32::MAX as u64,
+            u32::MAX as u64 + 1,
+            u64::MAX >> 1,
+        ];
+        round_trip(EliasCode::Gamma, &vals);
+        round_trip(EliasCode::Delta, &vals);
+    }
+
+    #[test]
+    fn random_round_trips() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let vals: Vec<u64> = (0..500).map(|_| rng.gen_range(1..=u32::MAX as u64)).collect();
+            round_trip(EliasCode::Gamma, &vals);
+            round_trip(EliasCode::Delta, &vals);
+        }
+    }
+
+    #[test]
+    fn delta_is_shorter_for_large_values() {
+        let mut wg = BitWriter::new();
+        let mut wd = BitWriter::new();
+        for x in [1_000_000u64, 5_000_000, 100_000_000] {
+            encode_gamma(&mut wg, x);
+            encode_delta(&mut wd, x);
+        }
+        assert!(wd.len() < wg.len());
+    }
+}

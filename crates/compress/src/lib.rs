@@ -1,0 +1,19 @@
+//! # fsi-compress — compressed structures of Section 4.1 and Appendix B
+//!
+//! * [`bitio`] — MSB-first bit streams.
+//! * [`elias`] — Elias γ/δ codes (Witten–Moffat–Bell, the paper's reference
+//!   compression).
+//! * [`postings`] — gap-compressed posting lists: the `Merge_Gamma/Delta`
+//!   and `Lookup_Gamma/Delta` variants of Figure 8.
+//! * [`lowbits`] — compressed RanGroupScan: `RanGroupScan_Gamma/Delta` and
+//!   the paper's own `RanGroupScan_Lowbits` codec (Appendix B).
+
+pub mod bitio;
+pub mod elias;
+pub mod lowbits;
+pub mod postings;
+
+pub use bitio::{BitBuf, BitReader, BitWriter};
+pub use elias::EliasCode;
+pub use lowbits::{CompressedRgsIndex, GroupCoding};
+pub use postings::{CompressedLookup, CompressedPostings, PostingsDecoder};

@@ -1,0 +1,523 @@
+//! Compressed **RanGroupScan** (Section 4.1 / Appendix B): the γ/δ variants
+//! and the paper's own *Lowbits* codec.
+//!
+//! Appendix B's scheme, reproduced exactly:
+//!
+//! 1. group length `|L^z|` in **unary** (`011` = 2) instead of a length word;
+//! 2. the `m` hash images stored (raw, 64 bits each) **only if** `|L^z| > 0`;
+//! 3. elements stored as `lowbits_t(x) = g(x) mod 2^{w−t}` — the top `t` bits
+//!    of `g(x)` are exactly the group id `z`, so nothing is lost; decoding is
+//!    a shift-or (`g(x) = z‖lowbits`), *much* cheaper than γ/δ decoding.
+//!    Since `g` is a bijection, intersecting the `g(·)` images is equivalent
+//!    to intersecting the original sets, and results are recovered through
+//!    `g⁻¹`.
+//!
+//! The γ/δ variants replace step 3 with Elias-coded in-group gaps; they must
+//! be decoded even for groups the word-filter skips (the stream cannot be
+//! advanced otherwise), whereas Lowbits skips a filtered group in O(1) by bit
+//! arithmetic — this asymmetry is precisely why `RanGroupScan_Lowbits`
+//! dominates Figure 8.
+
+use crate::bitio::{BitBuf, BitReader, BitWriter};
+use crate::elias::EliasCode;
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::hash::{
+    partition_level_for_group_size, top_bits_of, HashContext, Permutation, UniversalHash,
+    SQRT_WORD_BITS,
+};
+use fsi_core::traits::{KIntersect, PairIntersect, SetIndex};
+
+/// Element coding inside a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupCoding {
+    /// Appendix B: fixed-width low bits of `g(x)`.
+    Lowbits,
+    /// Elias-coded in-group gaps (γ or δ).
+    Elias(EliasCode),
+}
+
+impl GroupCoding {
+    /// Display suffix matching the paper's figure labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            GroupCoding::Lowbits => "Lowbits",
+            GroupCoding::Elias(EliasCode::Gamma) => "Gamma",
+            GroupCoding::Elias(EliasCode::Delta) => "Delta",
+        }
+    }
+}
+
+/// A compressed RanGroupScan structure.
+#[derive(Debug, Clone)]
+pub struct CompressedRgsIndex {
+    t: u32,
+    m: usize,
+    n: usize,
+    g: Permutation,
+    hs: Vec<UniversalHash>,
+    coding: GroupCoding,
+    bits: BitBuf,
+}
+
+#[inline]
+fn group_base(z: u64, t: u32) -> u32 {
+    if t == 0 {
+        0
+    } else {
+        (z as u32) << (32 - t)
+    }
+}
+
+impl CompressedRgsIndex {
+    /// Compresses `set` with `m = 1` hash image (the paper's choice for the
+    /// compression experiments, "since we are interested in small structures
+    /// here").
+    pub fn build(ctx: &HashContext, set: &SortedSet, coding: GroupCoding) -> Self {
+        Self::with_m(ctx, set, coding, 1)
+    }
+
+    /// Compresses `set` with an explicit number of hash images.
+    pub fn with_m(ctx: &HashContext, set: &SortedSet, coding: GroupCoding, m: usize) -> Self {
+        let m = m.max(1);
+        assert!(m <= ctx.family().len());
+        let g = *ctx.g();
+        let hs: Vec<UniversalHash> = ctx.prefix(m).to_vec();
+        let t = partition_level_for_group_size(set.len(), SQRT_WORD_BITS);
+        let mut gvalues: Vec<u32> = set.iter().map(|x| g.apply(x)).collect();
+        gvalues.sort_unstable();
+
+        let mut w = BitWriter::new();
+        let elem_width = 32 - t;
+        let mut i = 0usize;
+        for z in 0..(1u64 << t) {
+            let start = i;
+            while i < gvalues.len() && top_bits_of(gvalues[i], t) as u64 == z {
+                i += 1;
+            }
+            let group = &gvalues[start..i];
+            w.write_unary(group.len() as u64);
+            if group.is_empty() {
+                continue;
+            }
+            for h in &hs {
+                let mut word = 0u64;
+                for &gv in group {
+                    word |= h.bit(gv);
+                }
+                w.write_bits(word, 64);
+            }
+            match coding {
+                GroupCoding::Lowbits => {
+                    for &gv in group {
+                        w.write_bits(
+                            (gv & low_mask(elem_width)) as u64,
+                            elem_width,
+                        );
+                    }
+                }
+                GroupCoding::Elias(code) => {
+                    let base = group_base(z, t);
+                    let mut prev: Option<u32> = None;
+                    for &gv in group {
+                        let off = gv - base;
+                        let gap = match prev {
+                            None => off as u64 + 1,
+                            Some(p) => (off - p) as u64,
+                        };
+                        code.encode(&mut w, gap);
+                        prev = Some(off);
+                    }
+                }
+            }
+        }
+        Self {
+            t,
+            m,
+            n: set.len(),
+            g,
+            hs,
+            coding,
+            bits: w.finish(),
+        }
+    }
+
+    /// The partition level `t`.
+    pub fn level(&self) -> u32 {
+        self.t
+    }
+
+    /// Number of hash images per group.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The element coding in use.
+    pub fn coding(&self) -> GroupCoding {
+        self.coding
+    }
+
+    /// Decompresses the entire set (ascending element order is *not*
+    /// guaranteed — this is the `g`-order walk; used by tests / recovery).
+    pub fn decode_all(&self) -> Vec<Elem> {
+        let mut cursor = GroupCursor::new(self);
+        let mut out = Vec::with_capacity(self.n);
+        for _ in 0..(1u64 << self.t) {
+            cursor.advance();
+            for &gv in cursor.elems() {
+                out.push(self.g.invert(gv));
+            }
+        }
+        out
+    }
+
+    fn assert_compatible(indexes: &[&Self]) {
+        if let Some((first, rest)) = indexes.split_first() {
+            for ix in rest {
+                assert_eq!(first.g, ix.g, "indexes built under different permutations g");
+                let m = first.m.min(ix.m);
+                assert!(
+                    first.hs[..m] == ix.hs[..m],
+                    "indexes built under different hash families"
+                );
+            }
+        }
+    }
+}
+
+#[inline]
+fn low_mask(width: u32) -> u32 {
+    if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    }
+}
+
+impl SetIndex for CompressedRgsIndex {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.bits.size_in_bytes() + self.hs.len() * 16 + 16
+    }
+}
+
+/// Sequential cursor over a compressed group stream.
+struct GroupCursor<'a> {
+    idx: &'a CompressedRgsIndex,
+    reader: BitReader<'a>,
+    /// Current group id (valid after the first `advance`).
+    z: u64,
+    len: usize,
+    words: Vec<u64>,
+    /// Lowbits only: bit position of the element section.
+    elems_pos: usize,
+    elems: Vec<u32>,
+    decoded: bool,
+}
+
+impl<'a> GroupCursor<'a> {
+    fn new(idx: &'a CompressedRgsIndex) -> Self {
+        Self {
+            idx,
+            reader: idx.bits.reader(),
+            z: u64::MAX, // pre-first
+            len: 0,
+            words: vec![0; idx.m],
+            elems_pos: 0,
+            elems: Vec::with_capacity(4 * SQRT_WORD_BITS),
+            decoded: false,
+        }
+    }
+
+    /// Moves to the next group, reading its header and (γ/δ only) elements.
+    fn advance(&mut self) {
+        self.z = self.z.wrapping_add(1);
+        self.len = self.reader.read_unary() as usize;
+        self.decoded = false;
+        self.elems.clear();
+        if self.len == 0 {
+            self.words.fill(0);
+            self.decoded = true;
+            return;
+        }
+        for w in self.words.iter_mut() {
+            *w = self.reader.read_bits(64);
+        }
+        match self.idx.coding {
+            GroupCoding::Lowbits => {
+                // Skippable in O(1): fixed-width elements.
+                self.elems_pos = self.reader.pos();
+                self.reader.skip(self.len * (32 - self.idx.t) as usize);
+            }
+            GroupCoding::Elias(code) => {
+                // γ/δ gaps must be decoded to find the group's end.
+                let base = group_base(self.z, self.idx.t);
+                let mut prev = 0u32;
+                for i in 0..self.len {
+                    let gap = code.decode(&mut self.reader) as u32;
+                    prev = if i == 0 { gap - 1 } else { prev + gap };
+                    self.elems.push(base | prev);
+                }
+                self.decoded = true;
+            }
+        }
+    }
+
+    /// Decodes the group's elements if not yet decoded (Lowbits lazy path).
+    fn ensure_decoded(&mut self) {
+        if !self.decoded {
+            let width = 32 - self.idx.t;
+            let base = group_base(self.z, self.idx.t);
+            let resume = self.reader.pos();
+            self.reader.seek(self.elems_pos);
+            for _ in 0..self.len {
+                let low = self.reader.read_bits(width) as u32;
+                self.elems.push(base | low);
+            }
+            self.reader.seek(resume);
+            self.decoded = true;
+        }
+    }
+
+    /// The group's `g`-values (decodes lazily for Lowbits).
+    fn elems(&mut self) -> &[u32] {
+        self.ensure_decoded();
+        &self.elems
+    }
+
+    /// The group's `g`-values, assuming [`Self::ensure_decoded`] ran.
+    fn elems_ref(&self) -> &[u32] {
+        debug_assert!(self.decoded);
+        &self.elems
+    }
+}
+
+impl PairIntersect for CompressedRgsIndex {
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        Self::intersect_k_into(&[self, other], out);
+    }
+}
+
+impl KIntersect for CompressedRgsIndex {
+    /// Algorithm 5 over k compressed streams: every stream is scanned once,
+    /// sequentially; a stream at level `t_i` advances every `2^{t_k−t_i}`
+    /// steps of the finest stream.
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        match indexes {
+            [] => {}
+            [a] => out.extend(a.decode_all()),
+            _ => {
+                Self::assert_compatible(indexes);
+                let mut order: Vec<&Self> = indexes.to_vec();
+                order.sort_by_key(|ix| ix.t);
+                let levels: Vec<u32> = order.iter().map(|ix| ix.t).collect();
+                let tk = *levels.last().expect("k >= 2");
+                let m = order.iter().map(|ix| ix.m).min().expect("k >= 2");
+                let g = order[0].g;
+                let k = order.len();
+                let mut cursors: Vec<GroupCursor<'_>> =
+                    order.iter().map(|ix| GroupCursor::new(ix)).collect();
+                let mut merge_cursors = vec![0usize; k];
+                for zk in 0..(1u64 << tk) {
+                    // Advance every stream whose group id changes at this zk.
+                    for (c, &ti) in cursors.iter_mut().zip(&levels) {
+                        let step = tk - ti;
+                        if zk & ((1u64 << step) - 1) == 0 {
+                            c.advance();
+                        }
+                    }
+                    // Word filter: skip if any h_j AND is zero.
+                    let mut pass = true;
+                    'filter: for j in 0..m {
+                        let mut and = u64::MAX;
+                        for c in &cursors {
+                            and &= c.words[j];
+                            if and == 0 {
+                                pass = false;
+                                break 'filter;
+                            }
+                        }
+                    }
+                    if !pass {
+                        continue;
+                    }
+                    // Linear merge of the k groups.
+                    for c in cursors.iter_mut() {
+                        c.ensure_decoded();
+                    }
+                    merge_k_cursors(&cursors, &mut merge_cursors, |gv| {
+                        out.push(g.invert(gv))
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Linear k-way merge of the (decoded) cursor groups.
+fn merge_k_cursors(
+    group_cursors: &[GroupCursor<'_>],
+    cursors: &mut [usize],
+    mut emit: impl FnMut(u32),
+) {
+    let k = group_cursors.len();
+    cursors[..k].fill(0);
+    let first = group_cursors[0].elems_ref();
+    'candidates: loop {
+        if cursors[0] >= first.len() {
+            return;
+        }
+        let cand = first[cursors[0]];
+        for (gc, c) in group_cursors[1..].iter().zip(cursors[1..].iter_mut()) {
+            let s = gc.elems_ref();
+            while *c < s.len() && s[*c] < cand {
+                *c += 1;
+            }
+            if *c >= s.len() {
+                return;
+            }
+            if s[*c] != cand {
+                cursors[0] += 1;
+                continue 'candidates;
+            }
+        }
+        emit(cand);
+        cursors[0] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const CODINGS: [GroupCoding; 3] = [
+        GroupCoding::Lowbits,
+        GroupCoding::Elias(EliasCode::Gamma),
+        GroupCoding::Elias(EliasCode::Delta),
+    ];
+
+    fn ctx() -> HashContext {
+        HashContext::new(2011)
+    }
+
+    #[test]
+    fn decode_recovers_the_set() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(80);
+        for coding in CODINGS {
+            for _ in 0..10 {
+                let n = rng.gen_range(0..3000);
+                let set: SortedSet = (0..n).map(|_| rng.gen::<u32>()).collect();
+                let c = CompressedRgsIndex::build(&ctx, &set, coding);
+                let mut got = c.decode_all();
+                got.sort_unstable();
+                assert_eq!(got, set.as_slice(), "{coding:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_sets_round_trip() {
+        let ctx = ctx();
+        for coding in CODINGS {
+            for set in [
+                SortedSet::new(),
+                SortedSet::from_unsorted(vec![0]),
+                SortedSet::from_unsorted(vec![u32::MAX]),
+                SortedSet::from_unsorted(vec![0, u32::MAX]),
+                (0..9u32).collect(), // t becomes 1: two groups
+            ] {
+                let c = CompressedRgsIndex::build(&ctx, &set, coding);
+                let mut got = c.decode_all();
+                got.sort_unstable();
+                assert_eq!(got, set.as_slice(), "{coding:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_match_reference() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(81);
+        for coding in CODINGS {
+            for _ in 0..15 {
+                let n1 = rng.gen_range(0..900);
+                let n2 = rng.gen_range(0..900);
+                let u = rng.gen_range(1..4000u32);
+                let a: SortedSet = (0..n1).map(|_| rng.gen_range(0..u)).collect();
+                let b: SortedSet = (0..n2).map(|_| rng.gen_range(0..u)).collect();
+                let ca = CompressedRgsIndex::build(&ctx, &a, coding);
+                let cb = CompressedRgsIndex::build(&ctx, &b, coding);
+                assert_eq!(
+                    ca.intersect_pair_sorted(&cb),
+                    reference_intersection(&[a.as_slice(), b.as_slice()]),
+                    "{coding:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_way_matches_reference() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(82);
+        for coding in CODINGS {
+            for k in 2..=4usize {
+                let sets: Vec<SortedSet> = (0..k)
+                    .map(|_| {
+                        let n = rng.gen_range(0..800);
+                        (0..n).map(|_| rng.gen_range(0..2000u32)).collect()
+                    })
+                    .collect();
+                let cs: Vec<CompressedRgsIndex> = sets
+                    .iter()
+                    .map(|s| CompressedRgsIndex::with_m(&ctx, s, coding, 2))
+                    .collect();
+                let refs: Vec<&CompressedRgsIndex> = cs.iter().collect();
+                let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+                assert_eq!(
+                    CompressedRgsIndex::intersect_k_sorted(&refs),
+                    reference_intersection(&slices),
+                    "{coding:?} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lowbits_is_smaller_than_raw_structure() {
+        // Appendix B's bound: ≈ n + n/√w bits for lengths + m·w·n/√w bits of
+        // hash words + (w−t)·n bits of elements; for n = 65536 and m = 1 that
+        // is well below the 4-byte-per-element raw array plus words.
+        let ctx = ctx();
+        let set: SortedSet = (0..65_536u32).map(|x| x.wrapping_mul(40_503)).collect();
+        let c = CompressedRgsIndex::build(&ctx, &set, GroupCoding::Lowbits);
+        let raw = fsi_core::RanGroupScanIndex::with_m(&ctx, &set, 1);
+        assert!(
+            c.size_in_bytes() < raw.size_in_bytes(),
+            "lowbits {} vs raw {}",
+            c.size_in_bytes(),
+            raw.size_in_bytes()
+        );
+    }
+
+    #[test]
+    fn mismatched_context_rejected() {
+        let a = CompressedRgsIndex::build(
+            &HashContext::new(1),
+            &(0..50).collect(),
+            GroupCoding::Lowbits,
+        );
+        let b = CompressedRgsIndex::build(
+            &HashContext::new(2),
+            &(0..50).collect(),
+            GroupCoding::Lowbits,
+        );
+        assert!(std::panic::catch_unwind(|| a.intersect_pair_sorted(&b)).is_err());
+    }
+}

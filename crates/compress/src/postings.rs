@@ -1,0 +1,492 @@
+//! Gap-compressed posting lists and the compressed **Merge** / **Lookup**
+//! variants of Section 4.1.
+//!
+//! A sorted list `x₁ < x₂ < …` is stored as γ/δ-coded gaps
+//! `x₁+1, x₂−x₁, …` (the `+1` keeps document ID 0 encodable). Merge decodes
+//! both streams on the fly; Lookup keeps its B=32 bucket directory
+//! uncompressed (it is the randomly-accessed part) and compresses each
+//! bucket's residues, decoding only buckets both sets populate.
+
+use crate::bitio::{BitBuf, BitReader, BitWriter};
+use crate::elias::EliasCode;
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::traits::{KIntersect, PairIntersect, SetIndex};
+
+/// A γ/δ gap-compressed posting list (the compressed `Merge` structure).
+#[derive(Debug, Clone)]
+pub struct CompressedPostings {
+    code: EliasCode,
+    n: usize,
+    bits: BitBuf,
+}
+
+impl CompressedPostings {
+    /// Compresses `set`.
+    pub fn build(code: EliasCode, set: &SortedSet) -> Self {
+        let mut w = BitWriter::new();
+        let mut prev: Option<Elem> = None;
+        for x in set.iter() {
+            let gap = match prev {
+                None => x as u64 + 1,
+                Some(p) => (x - p) as u64,
+            };
+            code.encode(&mut w, gap);
+            prev = Some(x);
+        }
+        Self {
+            code,
+            n: set.len(),
+            bits: w.finish(),
+        }
+    }
+
+    /// The code in use.
+    pub fn code(&self) -> EliasCode {
+        self.code
+    }
+
+    /// Streaming decoder positioned at the first element.
+    pub fn decoder(&self) -> PostingsDecoder<'_> {
+        PostingsDecoder {
+            code: self.code,
+            reader: self.bits.reader(),
+            remaining: self.n,
+            prev: 0,
+            first: true,
+        }
+    }
+
+    /// Decompresses the whole list (tests / recovery path).
+    pub fn decode_all(&self) -> Vec<Elem> {
+        self.decoder().collect()
+    }
+}
+
+/// Sequential decoder over a [`CompressedPostings`].
+#[derive(Debug, Clone)]
+pub struct PostingsDecoder<'a> {
+    code: EliasCode,
+    reader: BitReader<'a>,
+    remaining: usize,
+    prev: Elem,
+    first: bool,
+}
+
+impl Iterator for PostingsDecoder<'_> {
+    type Item = Elem;
+
+    #[inline]
+    fn next(&mut self) -> Option<Elem> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let gap = self.code.decode(&mut self.reader);
+        let x = if self.first {
+            self.first = false;
+            (gap - 1) as Elem
+        } else {
+            self.prev + gap as Elem
+        };
+        self.prev = x;
+        Some(x)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PostingsDecoder<'_> {}
+
+impl SetIndex for CompressedPostings {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.bits.size_in_bytes()
+    }
+}
+
+impl PairIntersect for CompressedPostings {
+    /// Decode-on-the-fly linear merge (`Merge_Gamma` / `Merge_Delta`).
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        let mut da = self.decoder();
+        let mut db = other.decoder();
+        let (Some(mut x), Some(mut y)) = (da.next(), db.next()) else {
+            return;
+        };
+        loop {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => match da.next() {
+                    Some(v) => x = v,
+                    None => return,
+                },
+                std::cmp::Ordering::Greater => match db.next() {
+                    Some(v) => y = v,
+                    None => return,
+                },
+                std::cmp::Ordering::Equal => {
+                    out.push(x);
+                    match (da.next(), db.next()) {
+                        (Some(v), Some(u)) => {
+                            x = v;
+                            y = u;
+                        }
+                        _ => return,
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl KIntersect for CompressedPostings {
+    /// k-way candidate scan over k decoders.
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        match indexes {
+            [] => {}
+            [a] => out.extend(a.decoder()),
+            [a, b] => a.intersect_pair_into(b, out),
+            _ => {
+                let mut decs: Vec<PostingsDecoder<'_>> =
+                    indexes.iter().map(|ix| ix.decoder()).collect();
+                let mut heads: Vec<Elem> = Vec::with_capacity(decs.len());
+                for d in &mut decs {
+                    match d.next() {
+                        Some(v) => heads.push(v),
+                        None => return,
+                    }
+                }
+                'candidates: loop {
+                    let mut cand = heads[0];
+                    for i in 1..decs.len() {
+                        while heads[i] < cand {
+                            match decs[i].next() {
+                                Some(v) => heads[i] = v,
+                                None => return,
+                            }
+                        }
+                        if heads[i] != cand {
+                            cand = heads[i];
+                            while heads[0] < cand {
+                                match decs[0].next() {
+                                    Some(v) => heads[0] = v,
+                                    None => return,
+                                }
+                            }
+                            continue 'candidates;
+                        }
+                    }
+                    out.push(cand);
+                    for (d, h) in decs.iter_mut().zip(heads.iter_mut()) {
+                        match d.next() {
+                            Some(v) => *h = v,
+                            None => return,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Compressed **Lookup**: a B=32 bucket directory over γ/δ-coded per-bucket
+/// residues (`Lookup_Gamma` / `Lookup_Delta`).
+///
+/// The directory stores only a `u32` bit offset per bucket (the randomly
+/// accessed part); each non-empty bucket's stream starts with its element
+/// count in unary, so empty buckets cost zero stream bits and are detected
+/// by two equal directory entries.
+#[derive(Debug, Clone)]
+pub struct CompressedLookup {
+    code: EliasCode,
+    n: usize,
+    first_bucket: u32,
+    /// Per-bucket bit offsets into `bits` (`nb + 1` entries).
+    bitpos: Vec<u32>,
+    bits: BitBuf,
+}
+
+/// log2 of the bucket width, matching the uncompressed Lookup baseline.
+const BUCKET_LOG2: u32 = fsi_baselines::lookup::BUCKET_LOG2;
+
+impl CompressedLookup {
+    /// Compresses `set` bucket by bucket.
+    pub fn build(code: EliasCode, set: &SortedSet) -> Self {
+        let elems = set.as_slice();
+        if elems.is_empty() {
+            return Self {
+                code,
+                n: 0,
+                first_bucket: 0,
+                bitpos: vec![0],
+                bits: BitWriter::new().finish(),
+            };
+        }
+        let first_bucket = elems[0] >> BUCKET_LOG2;
+        let last_bucket = elems[elems.len() - 1] >> BUCKET_LOG2;
+        let nb = (last_bucket - first_bucket + 1) as usize;
+        let mut bitpos = vec![0u32; nb + 1];
+        let mut w = BitWriter::new();
+        let mut i = 0usize;
+        #[allow(clippy::needless_range_loop)] // bitpos[b] is written, not read
+        for b in 0..nb {
+            bitpos[b] = u32::try_from(w.len()).expect("bit stream exceeds 4 Gbit");
+            let bucket = first_bucket + b as u32;
+            let start = i;
+            while i < elems.len() && elems[i] >> BUCKET_LOG2 == bucket {
+                i += 1;
+            }
+            if start == i {
+                continue; // empty bucket: zero bits
+            }
+            w.write_unary((i - start) as u64);
+            let mut prev: Option<u32> = None;
+            for &x in &elems[start..i] {
+                let residue = x & ((1 << BUCKET_LOG2) - 1);
+                let gap = match prev {
+                    None => residue as u64 + 1,
+                    Some(p) => (residue - p) as u64,
+                };
+                code.encode(&mut w, gap);
+                prev = Some(residue);
+            }
+        }
+        bitpos[nb] = u32::try_from(w.len()).expect("bit stream exceeds 4 Gbit");
+        Self {
+            code,
+            n: elems.len(),
+            first_bucket,
+            bitpos,
+            bits: w.finish(),
+        }
+    }
+
+    /// Decodes bucket `b`'s residues into `buf`; returns `false` if the
+    /// bucket is absent/empty.
+    fn decode_bucket(&self, b: u32, buf: &mut Vec<u32>) -> bool {
+        buf.clear();
+        let Some(rel) = b.checked_sub(self.first_bucket) else {
+            return false;
+        };
+        let rel = rel as usize;
+        if rel + 1 >= self.bitpos.len() || self.bitpos[rel] == self.bitpos[rel + 1] {
+            return false;
+        }
+        let mut r = self.bits.reader();
+        r.seek(self.bitpos[rel] as usize);
+        let count = r.read_unary() as usize;
+        let base = b << BUCKET_LOG2;
+        let mut prev = 0u32;
+        for i in 0..count {
+            let gap = self.code.decode(&mut r) as u32;
+            prev = if i == 0 { gap - 1 } else { prev + gap };
+            buf.push(base | prev);
+        }
+        true
+    }
+
+    /// Iterates non-empty bucket ids.
+    fn non_empty_buckets(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.bitpos.len().saturating_sub(1))
+            .filter(|&b| self.bitpos[b + 1] > self.bitpos[b])
+            .map(move |b| self.first_bucket + b as u32)
+    }
+}
+
+impl SetIndex for CompressedLookup {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.bits.size_in_bytes() + self.bitpos.len() * 4 + 4
+    }
+}
+
+impl PairIntersect for CompressedLookup {
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        let (small, large) = if self.n <= other.n {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut bs = Vec::with_capacity(1 << BUCKET_LOG2);
+        let mut bl = Vec::with_capacity(1 << BUCKET_LOG2);
+        for b in small.non_empty_buckets() {
+            if !large.decode_bucket(b, &mut bl) {
+                continue;
+            }
+            small.decode_bucket(b, &mut bs);
+            fsi_baselines::merge::intersect2_into(&bs, &bl, out);
+        }
+    }
+}
+
+impl KIntersect for CompressedLookup {
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        match indexes {
+            [] => {}
+            [a] => {
+                let mut buf = Vec::new();
+                for b in a.non_empty_buckets() {
+                    a.decode_bucket(b, &mut buf);
+                    out.extend_from_slice(&buf);
+                }
+            }
+            [a, b] => a.intersect_pair_into(b, out),
+            _ => {
+                let mut order: Vec<&Self> = indexes.to_vec();
+                order.sort_by_key(|ix| ix.n);
+                let (small, rest) = order.split_first().expect("k >= 2");
+                let mut bufs: Vec<Vec<u32>> = vec![Vec::new(); indexes.len()];
+                'buckets: for b in small.non_empty_buckets() {
+                    for (ix, buf) in rest.iter().zip(bufs[1..].iter_mut()) {
+                        if !ix.decode_bucket(b, buf) {
+                            continue 'buckets;
+                        }
+                    }
+                    small.decode_bucket(b, &mut bufs[0]);
+                    let slices: Vec<&[u32]> = bufs.iter().map(|v| v.as_slice()).collect();
+                    fsi_baselines::merge::intersect_k_into(&slices, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_set(rng: &mut StdRng, n: usize, u: u32) -> SortedSet {
+        (0..n).map(|_| rng.gen_range(0..u)).collect()
+    }
+
+    #[test]
+    fn postings_round_trip() {
+        let mut rng = StdRng::seed_from_u64(70);
+        for code in [EliasCode::Gamma, EliasCode::Delta] {
+            for _ in 0..15 {
+                let n = rng.gen_range(0..2000);
+                let set = random_set(&mut rng, n, 100_000);
+                let c = CompressedPostings::build(code, &set);
+                assert_eq!(c.decode_all(), set.as_slice());
+                assert_eq!(c.n(), set.len());
+            }
+            // Boundary content.
+            for set in [
+                SortedSet::new(),
+                SortedSet::from_unsorted(vec![0]),
+                SortedSet::from_unsorted(vec![0, 1, 2]),
+                SortedSet::from_unsorted(vec![u32::MAX]),
+                SortedSet::from_unsorted(vec![0, u32::MAX]),
+            ] {
+                let c = CompressedPostings::build(code, &set);
+                assert_eq!(c.decode_all(), set.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn compression_actually_compresses_dense_lists() {
+        let set: SortedSet = (0..100_000u32).map(|x| x * 3).collect();
+        for code in [EliasCode::Gamma, EliasCode::Delta] {
+            let c = CompressedPostings::build(code, &set);
+            assert!(
+                c.size_in_bytes() < set.len() * 4 / 2,
+                "{code:?}: {} bytes for {} elems",
+                c.size_in_bytes(),
+                set.len()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_compressed_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for code in [EliasCode::Gamma, EliasCode::Delta] {
+            for _ in 0..15 {
+                let (na, nb) = (rng.gen_range(0..800), rng.gen_range(0..800));
+                let a = random_set(&mut rng, na, 3000);
+                let b = random_set(&mut rng, nb, 3000);
+                let ca = CompressedPostings::build(code, &a);
+                let cb = CompressedPostings::build(code, &b);
+                assert_eq!(
+                    ca.intersect_pair_sorted(&cb),
+                    reference_intersection(&[a.as_slice(), b.as_slice()])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_compressed_k_way() {
+        let mut rng = StdRng::seed_from_u64(72);
+        for k in 2..=5usize {
+            let sets: Vec<SortedSet> =
+                (0..k).map(|_| random_set(&mut rng, 600, 1500)).collect();
+            let cs: Vec<CompressedPostings> = sets
+                .iter()
+                .map(|s| CompressedPostings::build(EliasCode::Delta, s))
+                .collect();
+            let refs: Vec<&CompressedPostings> = cs.iter().collect();
+            let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+            assert_eq!(
+                CompressedPostings::intersect_k_sorted(&refs),
+                reference_intersection(&slices)
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_compressed_round_trip_and_intersection() {
+        let mut rng = StdRng::seed_from_u64(73);
+        for code in [EliasCode::Gamma, EliasCode::Delta] {
+            for _ in 0..15 {
+                let (na, nb) = (rng.gen_range(0..1000), rng.gen_range(0..1000));
+                let a = random_set(&mut rng, na, 20_000);
+                let b = random_set(&mut rng, nb, 20_000);
+                let ca = CompressedLookup::build(code, &a);
+                let cb = CompressedLookup::build(code, &b);
+                assert_eq!(
+                    ca.intersect_pair_sorted(&cb),
+                    reference_intersection(&[a.as_slice(), b.as_slice()]),
+                    "{code:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_compressed_k_way() {
+        let mut rng = StdRng::seed_from_u64(74);
+        for k in 2..=4usize {
+            let sets: Vec<SortedSet> =
+                (0..k).map(|_| random_set(&mut rng, 700, 4000)).collect();
+            let cs: Vec<CompressedLookup> = sets
+                .iter()
+                .map(|s| CompressedLookup::build(EliasCode::Gamma, s))
+                .collect();
+            let refs: Vec<&CompressedLookup> = cs.iter().collect();
+            let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+            assert_eq!(
+                CompressedLookup::intersect_k_sorted(&refs),
+                reference_intersection(&slices)
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_compressed_empty() {
+        let e = CompressedLookup::build(EliasCode::Delta, &SortedSet::new());
+        let a = CompressedLookup::build(EliasCode::Delta, &(0..50).collect());
+        assert_eq!(e.intersect_pair_sorted(&a), Vec::<u32>::new());
+        assert_eq!(e.n(), 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Online algorithm choice (end of Section 3.4): because HashBin and the
+//! randomized-partition algorithms read the same `g`-ordered structure, the
+//! executor can pick per query, based on the size ratio `n_2/n_1`, between
+//! RanGroup-style group filtering (balanced sizes) and HashBin's
+//! binary-search probing (skewed sizes).
+
+use crate::elem::Elem;
+use crate::hashbin;
+use crate::multires::{intersect_pair_opt, MultiResIndex};
+
+/// Size-ratio threshold above which HashBin wins.
+///
+/// Section 4 ("Varying the Sets Size Ratios") reports the group-filtering
+/// algorithms ahead below `sr = 32` and lookup/probing algorithms ahead from
+/// around `sr = 100`; `w = 64` sits between and is where the cost models
+/// `√(n_1·n_2/w)` and `n_1·log(n_2/n_1)` cross for typical sizes.
+pub const HASHBIN_RATIO_THRESHOLD: usize = 64;
+
+/// Which algorithm [`intersect_auto`] chose (exposed for tests/telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AutoChoice {
+    /// Balanced sizes: randomized partitions at the Theorem 3.5 level.
+    RanGroup,
+    /// Skewed sizes: HashBin.
+    HashBin,
+}
+
+/// Decides the algorithm from the two set sizes.
+pub fn choose(n1: usize, n2: usize) -> AutoChoice {
+    let (small, large) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+    if small == 0 || large / small.max(1) >= HASHBIN_RATIO_THRESHOLD {
+        AutoChoice::HashBin
+    } else {
+        AutoChoice::RanGroup
+    }
+}
+
+/// Intersects two multi-resolution indexes with the per-query algorithm
+/// choice; returns which algorithm ran.
+pub fn intersect_auto(a: &MultiResIndex, b: &MultiResIndex, out: &mut Vec<Elem>) -> AutoChoice {
+    use crate::traits::SetIndex;
+    let choice = choose(a.n(), b.n());
+    match choice {
+        AutoChoice::RanGroup => intersect_pair_opt(a, b, out),
+        AutoChoice::HashBin => hashbin::intersect_multires(a, b, out),
+    }
+    choice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elem::{reference_intersection, SortedSet};
+    use crate::hash::HashContext;
+
+    #[test]
+    fn choice_threshold() {
+        assert_eq!(choose(1000, 1000), AutoChoice::RanGroup);
+        assert_eq!(choose(1000, 10_000), AutoChoice::RanGroup);
+        assert_eq!(choose(1000, 64_000), AutoChoice::HashBin);
+        assert_eq!(choose(64_000, 1000), AutoChoice::HashBin);
+        assert_eq!(choose(0, 5), AutoChoice::HashBin);
+    }
+
+    #[test]
+    fn auto_is_correct_in_both_regimes() {
+        let ctx = HashContext::new(99);
+        let balanced1: SortedSet = (0..4000u32).filter(|x| x % 2 == 0).collect();
+        let balanced2: SortedSet = (0..4000u32).filter(|x| x % 3 == 0).collect();
+        let small: SortedSet = (0..40u32).map(|x| x * 17).collect();
+        let large: SortedSet = (0..50_000u32).collect();
+
+        let b1 = MultiResIndex::build(&ctx, &balanced1);
+        let b2 = MultiResIndex::build(&ctx, &balanced2);
+        let s = MultiResIndex::build(&ctx, &small);
+        let l = MultiResIndex::build(&ctx, &large);
+
+        let mut out = Vec::new();
+        let c = intersect_auto(&b1, &b2, &mut out);
+        assert_eq!(c, AutoChoice::RanGroup);
+        out.sort_unstable();
+        assert_eq!(
+            out,
+            reference_intersection(&[balanced1.as_slice(), balanced2.as_slice()])
+        );
+
+        let mut out = Vec::new();
+        let c = intersect_auto(&s, &l, &mut out);
+        assert_eq!(c, AutoChoice::HashBin);
+        out.sort_unstable();
+        assert_eq!(
+            out,
+            reference_intersection(&[small.as_slice(), large.as_slice()])
+        );
+    }
+}

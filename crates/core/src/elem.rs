@@ -1,0 +1,211 @@
+//! Element and set types shared by every algorithm in the crate.
+//!
+//! The paper works over a universe `Σ` of document identifiers; we fix
+//! `Σ = u32`, which covers the 8M-document corpus of the evaluation (and the
+//! `[0, 2·10^8]` universe of Figure 6) with room to spare. All algorithms
+//! consume a [`SortedSet`]: a strictly increasing, duplicate-free sequence of
+//! elements, which is exactly the invariant of an uncompressed posting list.
+
+/// An element of the universe `Σ` (a document identifier).
+pub type Elem = u32;
+
+/// A duplicate-free, ascending sequence of [`Elem`]s.
+///
+/// This is the canonical *input* representation shared by all algorithms: an
+/// uncompressed, sorted posting list. Each algorithm's preprocessing consumes
+/// a `SortedSet` and produces its own index structure.
+///
+/// # Examples
+///
+/// ```
+/// use fsi_core::SortedSet;
+///
+/// let set = SortedSet::from_unsorted(vec![5, 1, 3, 3, 2]);
+/// assert_eq!(set.as_slice(), &[1, 2, 3, 5]);
+/// assert!(set.contains(3));
+/// assert!(!set.contains(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SortedSet {
+    elems: Vec<Elem>,
+}
+
+impl SortedSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self { elems: Vec::new() }
+    }
+
+    /// Builds a set from arbitrary input, sorting and removing duplicates.
+    pub fn from_unsorted(mut elems: Vec<Elem>) -> Self {
+        elems.sort_unstable();
+        elems.dedup();
+        Self { elems }
+    }
+
+    /// Builds a set from input that is already strictly increasing.
+    ///
+    /// Returns `None` if the input is not strictly increasing (unsorted input
+    /// or duplicates), so callers on the hot build path can avoid a re-sort
+    /// without silently corrupting invariants.
+    pub fn from_sorted(elems: Vec<Elem>) -> Option<Self> {
+        if elems.windows(2).all(|w| w[0] < w[1]) {
+            Some(Self { elems })
+        } else {
+            None
+        }
+    }
+
+    /// Builds a set from input that the caller guarantees to be strictly
+    /// increasing; the invariant is only checked in debug builds.
+    pub fn from_sorted_unchecked(elems: Vec<Elem>) -> Self {
+        debug_assert!(
+            elems.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted_unchecked requires strictly increasing input"
+        );
+        Self { elems }
+    }
+
+    /// Number of elements (`n_i` in the paper).
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// `true` iff the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The elements in ascending order.
+    pub fn as_slice(&self) -> &[Elem] {
+        &self.elems
+    }
+
+    /// Consumes the set and returns the underlying storage.
+    pub fn into_vec(self) -> Vec<Elem> {
+        self.elems
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Elem>> {
+        self.elems.iter().copied()
+    }
+
+    /// Membership test by binary search.
+    pub fn contains(&self, x: Elem) -> bool {
+        self.elems.binary_search(&x).is_ok()
+    }
+
+    /// Minimum element (`inf(L)` in the paper), if any.
+    pub fn min(&self) -> Option<Elem> {
+        self.elems.first().copied()
+    }
+
+    /// Maximum element (`sup(L)` in the paper), if any.
+    pub fn max(&self) -> Option<Elem> {
+        self.elems.last().copied()
+    }
+}
+
+impl From<Vec<Elem>> for SortedSet {
+    fn from(elems: Vec<Elem>) -> Self {
+        Self::from_unsorted(elems)
+    }
+}
+
+impl<'a> IntoIterator for &'a SortedSet {
+    type Item = Elem;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Elem>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<Elem> for SortedSet {
+    fn from_iter<T: IntoIterator<Item = Elem>>(iter: T) -> Self {
+        Self::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+/// Reference intersection of many sorted slices by repeated two-pointer merge.
+///
+/// This is the ground truth used throughout the test suites; it is `O(Σ n_i)`
+/// and makes no assumption beyond ascending order.
+pub fn reference_intersection(sets: &[&[Elem]]) -> Vec<Elem> {
+    let Some((first, rest)) = sets.split_first() else {
+        return Vec::new();
+    };
+    let mut acc: Vec<Elem> = first.to_vec();
+    for set in rest {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < acc.len() && j < set.len() {
+            match acc[i].cmp(&set[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(acc[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc = out;
+        if acc.is_empty() {
+            break;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_unsorted_sorts_and_dedups() {
+        let s = SortedSet::from_unsorted(vec![9, 1, 4, 4, 4, 0, 9]);
+        assert_eq!(s.as_slice(), &[0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn from_sorted_rejects_bad_input() {
+        assert!(SortedSet::from_sorted(vec![1, 2, 2]).is_none());
+        assert!(SortedSet::from_sorted(vec![2, 1]).is_none());
+        assert!(SortedSet::from_sorted(vec![]).is_some());
+        assert!(SortedSet::from_sorted(vec![7]).is_some());
+        assert!(SortedSet::from_sorted(vec![0, u32::MAX]).is_some());
+    }
+
+    #[test]
+    fn min_max_and_contains() {
+        let s = SortedSet::from_unsorted(vec![10, 20, 30]);
+        assert_eq!(s.min(), Some(10));
+        assert_eq!(s.max(), Some(30));
+        assert!(s.contains(20));
+        assert!(!s.contains(25));
+        let empty = SortedSet::new();
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+    }
+
+    #[test]
+    fn reference_intersection_basics() {
+        let a = [1u32, 3, 5, 7];
+        let b = [3u32, 4, 5, 6, 7];
+        let c = [5u32, 7, 9];
+        assert_eq!(reference_intersection(&[&a, &b]), vec![3, 5, 7]);
+        assert_eq!(reference_intersection(&[&a, &b, &c]), vec![5, 7]);
+        assert_eq!(reference_intersection(&[]), Vec::<u32>::new());
+        assert_eq!(reference_intersection(&[&a]), a.to_vec());
+        let empty: [u32; 0] = [];
+        assert_eq!(reference_intersection(&[&a, &empty]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn collect_into_sorted_set() {
+        let s: SortedSet = [3u32, 1, 2].into_iter().collect();
+        assert_eq!(s.as_slice(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,441 @@
+//! The two hash families of the paper's framework (Figure 1).
+//!
+//! * `h : Σ → [w]` — a 2-universal hash mapping elements into the small
+//!   universe `[w] = {0, …, w−1}` so a group's image fits in one machine word
+//!   (the paper's *word representation*). We use the multiply-(add-)shift
+//!   family of Dietzfelbinger et al., which is 2-approximately universal:
+//!   `Pr[h(x)=h(y)] ≤ 2/w` for `x ≠ y` — the constant-factor slack is
+//!   absorbed by the paper's `O(·)` analysis and the family costs one
+//!   multiplication per evaluation.
+//! * `g : Σ → Σ` — a random **permutation** used to partition sets into small
+//!   groups by the top `t` bits of `g(x)` (Section 3.2). The paper remarks
+//!   that a permutation and a universal hash are interchangeable for `g`, but
+//!   the multi-resolution structure (Section 3.2.1) and the Lowbits codec
+//!   (Appendix B) rely on a total order / exact invertibility, so we
+//!   implement a true bijection built from invertible mixing rounds
+//!   (odd multiplication and xor-shift, as in well-known integer finalizers),
+//!   together with its exact inverse.
+
+use crate::elem::Elem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of bits in a machine word (`w` in the paper).
+pub const WORD_BITS: u32 = 64;
+
+/// `log2(w)`: number of bits needed to index a bit of a word.
+pub const LOG_WORD_BITS: u32 = 6;
+
+/// `⌈√w⌉ = 8`: the paper's nominal small-group size.
+pub const SQRT_WORD_BITS: usize = 8;
+
+/// A 2-universal hash `h : Σ → [w]` from the multiply-add-shift family.
+///
+/// `h(x) = ((a·x + b) mod 2^64) >> (64 − log2 w)` with `a` odd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniversalHash {
+    a: u64,
+    b: u64,
+}
+
+impl UniversalHash {
+    /// Draws a hash function from the family using `rng`.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            a: rng.gen::<u64>() | 1,
+            b: rng.gen::<u64>(),
+        }
+    }
+
+    /// Constructs the function with explicit parameters (mainly for tests;
+    /// `a` is forced odd).
+    pub fn from_params(a: u64, b: u64) -> Self {
+        Self { a: a | 1, b }
+    }
+
+    /// Hash value in `[0, w) = [0, 64)`.
+    #[inline(always)]
+    pub fn hash(&self, x: Elem) -> u32 {
+        ((self.a.wrapping_mul(x as u64).wrapping_add(self.b)) >> (64 - LOG_WORD_BITS)) as u32
+    }
+
+    /// The single set bit `2^{h(x)}`: the element's contribution to its
+    /// group's word representation.
+    #[inline(always)]
+    pub fn bit(&self, x: Elem) -> u64 {
+        1u64 << self.hash(x)
+    }
+}
+
+/// A family of `m` independent [`UniversalHash`] functions
+/// (`h_1, …, h_m` in Section 3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashFamily {
+    funcs: Vec<UniversalHash>,
+}
+
+impl HashFamily {
+    /// Draws `m` independent functions using `rng`.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, m: usize) -> Self {
+        Self {
+            funcs: (0..m).map(|_| UniversalHash::random(rng)).collect(),
+        }
+    }
+
+    /// Number of functions in the family (`m`).
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// `true` iff the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// The functions, in order.
+    pub fn funcs(&self) -> &[UniversalHash] {
+        &self.funcs
+    }
+
+    /// The `j`-th function.
+    pub fn get(&self, j: usize) -> UniversalHash {
+        self.funcs[j]
+    }
+}
+
+/// Number of invertible mixing rounds in [`Permutation`].
+const PERM_ROUNDS: usize = 3;
+
+/// A pseudorandom bijection `g : u32 → u32` with an exact inverse.
+///
+/// Built from `PERM_ROUNDS` rounds of `x ^= x >> s; x *= odd` followed by a
+/// final xor-shift, the structure of avalanche finalizers (e.g. MurmurHash3),
+/// but with randomly drawn odd multipliers so each [`HashContext`] gets an
+/// independent permutation. Every step is invertible: xor-shift by repeated
+/// back-substitution, odd multiplication by the multiplicative inverse
+/// mod `2^32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Permutation {
+    muls: [u32; PERM_ROUNDS],
+    inv_muls: [u32; PERM_ROUNDS],
+    shifts: [u32; PERM_ROUNDS],
+    final_shift: u32,
+}
+
+/// Multiplicative inverse of an odd `m` modulo `2^32` via Newton iteration
+/// (five steps double the number of correct low bits from 5 to 160 ≥ 32).
+fn odd_inverse(m: u32) -> u32 {
+    debug_assert!(m & 1 == 1);
+    let mut inv = m; // correct to 5 bits: m * m ≡ 1 (mod 32) for odd m
+    for _ in 0..4 {
+        inv = inv.wrapping_mul(2u32.wrapping_sub(m.wrapping_mul(inv)));
+    }
+    inv
+}
+
+/// Inverts `y = x ^ (x >> s)` for `1 ≤ s < 32`.
+fn invert_xorshift(y: u32, s: u32) -> u32 {
+    // The top `s` bits of x equal those of y; recover lower bits in blocks.
+    let mut x = y;
+    let mut recovered = s;
+    while recovered < 32 {
+        x = y ^ (x >> s);
+        recovered += s;
+    }
+    x
+}
+
+impl Permutation {
+    /// Draws a random permutation using `rng`.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut muls = [0u32; PERM_ROUNDS];
+        let mut inv_muls = [0u32; PERM_ROUNDS];
+        for i in 0..PERM_ROUNDS {
+            muls[i] = rng.gen::<u32>() | 1;
+            inv_muls[i] = odd_inverse(muls[i]);
+        }
+        // Shift amounts near 16 give good avalanche; vary them slightly so
+        // different permutations differ structurally, not just in constants.
+        let shifts = [
+            rng.gen_range(13..=17),
+            rng.gen_range(14..=16),
+            rng.gen_range(13..=17),
+        ];
+        let final_shift = rng.gen_range(15..=17);
+        Self {
+            muls,
+            inv_muls,
+            shifts,
+            final_shift,
+        }
+    }
+
+    /// The identity permutation (useful for deterministic tests).
+    pub fn identity() -> Self {
+        Self {
+            muls: [1; PERM_ROUNDS],
+            inv_muls: [1; PERM_ROUNDS],
+            shifts: [16; PERM_ROUNDS],
+            final_shift: 16,
+        }
+    }
+
+    /// `g(x)`.
+    #[inline(always)]
+    pub fn apply(&self, x: Elem) -> u32 {
+        let mut v = x;
+        for i in 0..PERM_ROUNDS {
+            v ^= v >> self.shifts[i];
+            v = v.wrapping_mul(self.muls[i]);
+        }
+        v ^ (v >> self.final_shift)
+    }
+
+    /// `g⁻¹(y)`: recovers `x` with `apply(x) == y`.
+    #[inline]
+    pub fn invert(&self, y: u32) -> Elem {
+        let mut v = invert_xorshift(y, self.final_shift);
+        for i in (0..PERM_ROUNDS).rev() {
+            v = v.wrapping_mul(self.inv_muls[i]);
+            v = invert_xorshift(v, self.shifts[i]);
+        }
+        v
+    }
+
+    /// `g_t(x)`: the `t` most significant bits of `g(x)` — the group
+    /// identifier of `x` at resolution `t` (Section 3.2). `t = 0` puts every
+    /// element in group 0.
+    #[inline(always)]
+    pub fn top_bits(&self, x: Elem, t: u32) -> u32 {
+        top_bits_of(self.apply(x), t)
+    }
+}
+
+/// The `t` most significant bits of an (already permuted) 32-bit value.
+#[inline(always)]
+pub fn top_bits_of(g_value: u32, t: u32) -> u32 {
+    debug_assert!(t <= 32);
+    if t == 0 {
+        0
+    } else {
+        g_value >> (32 - t)
+    }
+}
+
+/// `⌈log2(x)⌉` for `x ≥ 1`; returns 0 for `x ≤ 1`.
+pub fn ceil_log2(x: usize) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        usize::BITS - (x - 1).leading_zeros()
+    }
+}
+
+/// The paper's partition level `t_i = ⌈log2(n_i / √w)⌉`, clamped to `\[0, 32\]`.
+///
+/// This makes the *expected* group size `√w = 8` (Proposition A.2 shows group
+/// sizes concentrate between `√w/2` and `δ(w)√w`).
+pub fn partition_level(n: usize) -> u32 {
+    partition_level_for_group_size(n, SQRT_WORD_BITS)
+}
+
+/// Generalized `t = ⌈log2(n / s)⌉` for a target expected group size `s`
+/// (used by ablation experiments that sweep the group size).
+pub fn partition_level_for_group_size(n: usize, s: usize) -> u32 {
+    let s = s.max(1);
+    ceil_log2(n.div_ceil(s)).min(32)
+}
+
+/// Shared hash context: one permutation `g` and a family of `h_j` functions.
+///
+/// **All sets that may ever be intersected with each other must be
+/// preprocessed under the same context** — the word representations of two
+/// groups are only comparable if they were produced by the same `h`, and the
+/// group identifiers only align if produced by the same `g`. The context is
+/// deterministic in the seed, so indexes built in different processes agree.
+#[derive(Debug, Clone)]
+pub struct HashContext {
+    g: Permutation,
+    family: HashFamily,
+}
+
+/// Default number of hash images kept by contexts (`m = 4`, the paper's
+/// default for RanGroup experiments; RanGroupScan uses a prefix of them).
+pub const DEFAULT_FAMILY_SIZE: usize = 8;
+
+impl HashContext {
+    /// Builds a context from a seed, with [`DEFAULT_FAMILY_SIZE`] hash
+    /// functions available.
+    pub fn new(seed: u64) -> Self {
+        Self::with_family_size(seed, DEFAULT_FAMILY_SIZE)
+    }
+
+    /// Builds a context with `m` hash functions available.
+    pub fn with_family_size(seed: u64, m: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Permutation::random(&mut rng);
+        let family = HashFamily::random(&mut rng, m.max(1));
+        Self { g, family }
+    }
+
+    /// The shared permutation `g`.
+    pub fn g(&self) -> &Permutation {
+        &self.g
+    }
+
+    /// The primary hash function `h = h_1`.
+    pub fn h(&self) -> UniversalHash {
+        self.family.get(0)
+    }
+
+    /// The hash family `h_1, …`.
+    pub fn family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// The first `m` functions of the family; panics if `m` exceeds the
+    /// family size the context was built with.
+    pub fn prefix(&self, m: usize) -> &[UniversalHash] {
+        &self.family.funcs()[..m]
+    }
+}
+
+impl Default for HashContext {
+    fn default() -> Self {
+        Self::new(0x5e71_47e5_ec70_2011)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universal_hash_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = UniversalHash::random(&mut rng);
+        for x in [0u32, 1, 2, 1000, u32::MAX, u32::MAX - 1] {
+            assert!(h.hash(x) < WORD_BITS);
+            assert_eq!(h.bit(x), 1u64 << h.hash(x));
+        }
+    }
+
+    #[test]
+    fn universal_hash_collision_rate_is_small() {
+        // Empirical check of 2-universality: over random pairs, collision
+        // probability should be close to 1/64 (allow 3x slack: family is
+        // 2-*approximately* universal).
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = UniversalHash::random(&mut rng);
+        let mut collisions = 0u32;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let x: u32 = rng.gen();
+            let y: u32 = rng.gen();
+            if x != y && h.hash(x) == h.hash(y) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        assert!(rate < 3.0 / 64.0, "collision rate too high: {rate}");
+    }
+
+    #[test]
+    fn odd_inverse_is_inverse() {
+        for m in [1u32, 3, 5, 0xdead_beef | 1, u32::MAX] {
+            assert_eq!(m.wrapping_mul(odd_inverse(m)), 1);
+        }
+    }
+
+    #[test]
+    fn xorshift_inversion() {
+        for s in 1..32 {
+            for x in [0u32, 1, 0xffff_ffff, 0x1234_5678, 0x8000_0001] {
+                let y = x ^ (x >> s);
+                assert_eq!(invert_xorshift(y, s), x, "s={s} x={x:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_round_trips() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..8 {
+            let p = Permutation::random(&mut rng);
+            for x in [0u32, 1, 2, 0xffff_ffff, 0x8000_0000, 12345, 0xcafe_babe] {
+                assert_eq!(p.invert(p.apply(x)), x);
+            }
+            for _ in 0..1000 {
+                let x: u32 = rng.gen();
+                assert_eq!(p.invert(p.apply(x)), x);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_injective_on_sample() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = Permutation::random(&mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for x in 0u32..20_000 {
+            assert!(seen.insert(p.apply(x)), "collision at {x}");
+        }
+    }
+
+    #[test]
+    fn top_bits_edges() {
+        assert_eq!(top_bits_of(0xffff_ffff, 0), 0);
+        assert_eq!(top_bits_of(0xffff_ffff, 1), 1);
+        assert_eq!(top_bits_of(0x8000_0000, 1), 1);
+        assert_eq!(top_bits_of(0x7fff_ffff, 1), 0);
+        assert_eq!(top_bits_of(0xabcd_1234, 32), 0xabcd_1234);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1 << 20), 20);
+        assert_eq!(ceil_log2((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    fn partition_level_matches_paper_formula() {
+        // t = ceil(log2(n / sqrt(w))), sqrt(w) = 8.
+        assert_eq!(partition_level(8), 0);
+        assert_eq!(partition_level(9), 1);
+        assert_eq!(partition_level(16), 1);
+        assert_eq!(partition_level(64), 3);
+        assert_eq!(partition_level(100), 4); // 100/8 = 12.5 -> ceil log2 = 4
+        assert_eq!(partition_level(10_000_000), 21);
+        assert_eq!(partition_level(0), 0);
+        assert_eq!(partition_level(1), 0);
+    }
+
+    #[test]
+    fn context_is_deterministic_in_seed() {
+        let a = HashContext::new(42);
+        let b = HashContext::new(42);
+        let c = HashContext::new(43);
+        for x in [0u32, 5, 999_999] {
+            assert_eq!(a.g().apply(x), b.g().apply(x));
+            assert_eq!(a.h().hash(x), b.h().hash(x));
+        }
+        assert!(
+            (0..64u32).any(|x| a.g().apply(x) != c.g().apply(x)),
+            "different seeds should give different permutations"
+        );
+    }
+
+    #[test]
+    fn family_prefix() {
+        let ctx = HashContext::with_family_size(7, 4);
+        assert_eq!(ctx.family().len(), 4);
+        assert_eq!(ctx.prefix(2).len(), 2);
+        assert_eq!(ctx.prefix(2)[0], ctx.h());
+    }
+}

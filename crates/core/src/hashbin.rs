@@ -1,0 +1,260 @@
+//! **HashBin** — intersecting small and large sets (Section 3.4,
+//! Theorem 3.11).
+//!
+//! Both sets are viewed at resolution `t = ⌈log n_1⌉` of the `g`-ordered
+//! representation (`n_1` = size of the smallest set), which puts `O(1)`
+//! expected elements of the small set and `O(n_2/n_1)` expected elements of
+//! the large set into each aligned group. Every element of the small group is
+//! then located in the large group by binary search **on `g`-values**
+//! (Appendix A.6.1: the group is not sorted by element value, but it *is*
+//! sorted by `g(x)`, and `g` is injective) — `O(n_1 · log(n_2/n_1))` expected
+//! total.
+//!
+//! HashBin needs only the `g`-ordered element array — the "simplified
+//! multi-resolution structure" of Appendix A.6.1 — so it is exposed both over
+//! the lightweight [`HashBinIndex`] (what the preprocessing-cost experiment
+//! of Figure 10 builds) and over [`crate::multires::MultiResIndex`] (sharing
+//! one structure with RanGroup, which is what makes the online algorithm
+//! choice of [`crate::auto`] free).
+
+use crate::elem::{Elem, SortedSet};
+use crate::hash::{ceil_log2, top_bits_of, HashContext, Permutation};
+use crate::multires::MultiResIndex;
+use crate::search::{contains_in_range, gallop};
+use crate::traits::{KIntersect, PairIntersect, SetIndex};
+
+/// The simplified multi-resolution structure of Appendix A.6.1: just the
+/// `g`-ordered set. Group boundaries at any resolution are recovered by
+/// (galloping) search.
+#[derive(Debug, Clone)]
+pub struct HashBinIndex {
+    g: Permutation,
+    gvalues: Vec<u32>,
+}
+
+impl HashBinIndex {
+    /// Preprocesses `set`: apply `g`, sort — `O(n log n)` time, `O(n)` space.
+    pub fn build(ctx: &HashContext, set: &SortedSet) -> Self {
+        let g = *ctx.g();
+        let mut gvalues: Vec<u32> = set.iter().map(|x| g.apply(x)).collect();
+        gvalues.sort_unstable();
+        Self { g, gvalues }
+    }
+
+    /// The set's `g`-values, ascending.
+    pub fn gvalues(&self) -> &[u32] {
+        &self.gvalues
+    }
+
+    /// The permutation the index was built under.
+    pub fn permutation(&self) -> &Permutation {
+        &self.g
+    }
+}
+
+impl SetIndex for HashBinIndex {
+    fn n(&self) -> usize {
+        self.gvalues.len()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.gvalues.len() * 4
+    }
+}
+
+impl PairIntersect for HashBinIndex {
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        assert_eq!(self.g, other.g, "indexes built under different permutations g");
+        intersect_gvalues(&self.g, &[&self.gvalues, &other.gvalues], out);
+    }
+}
+
+impl KIntersect for HashBinIndex {
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        match indexes {
+            [] => {}
+            [a] => out.extend(a.gvalues.iter().map(|&gv| a.g.invert(gv))),
+            _ => {
+                let g = indexes[0].g;
+                for ix in &indexes[1..] {
+                    assert_eq!(g, ix.g, "indexes built under different permutations g");
+                }
+                let slices: Vec<&[u32]> = indexes.iter().map(|ix| ix.gvalues()).collect();
+                intersect_gvalues(&g, &slices, out);
+            }
+        }
+    }
+}
+
+/// HashBin over `MultiResIndex` structures (shared with RanGroup).
+pub fn intersect_multires(a: &MultiResIndex, b: &MultiResIndex, out: &mut Vec<Elem>) {
+    assert_eq!(
+        a.permutation(),
+        b.permutation(),
+        "indexes built under different permutations g"
+    );
+    intersect_gvalues(a.permutation(), &[a.gvalues(), b.gvalues()], out);
+}
+
+/// The HashBin algorithm proper, over `g`-ordered arrays.
+///
+/// Emits results in `g`-order via `out`.
+pub fn intersect_gvalues(g: &Permutation, sets: &[&[u32]], out: &mut Vec<Elem>) {
+    let k = sets.len();
+    debug_assert!(k >= 2);
+    // Order by size ascending: iterate the smallest, probe the others.
+    let mut order: Vec<&[u32]> = sets.to_vec();
+    order.sort_by_key(|s| s.len());
+    let small = order[0];
+    if small.is_empty() {
+        return;
+    }
+    let t = ceil_log2(small.len()).min(32);
+
+    // Per-set group cursors: start of the current group z in each large set,
+    // advanced by galloping (the amortized equivalent of the paper's stored
+    // left/right boundaries).
+    let mut lo = vec![0usize; k];
+    let mut hi = vec![0usize; k];
+
+    let mut i = 0usize;
+    while i < small.len() {
+        let z = top_bits_of(small[i], t);
+        // The small set's group: [i, group_end).
+        let mut group_end = i + 1;
+        while group_end < small.len() && top_bits_of(small[group_end], t) == z {
+            group_end += 1;
+        }
+        // Locate group z in every other set.
+        let z_lo = if t == 0 { 0 } else { z << (32 - t) };
+        let z_hi_excl: Option<u32> = if t == 0 {
+            None
+        } else {
+            ((z as u64 + 1) << (32 - t)).try_into().ok()
+        };
+        for (s, set) in order.iter().enumerate().skip(1) {
+            lo[s] = gallop(set, hi[s].max(lo[s]), z_lo);
+            hi[s] = match z_hi_excl {
+                Some(bound) => gallop(set, lo[s], bound),
+                None => set.len(),
+            };
+        }
+        // Binary-search each small-group element in every large group.
+        'elems: for &gv in &small[i..group_end] {
+            for s in 1..k {
+                if !contains_in_range(order[s], lo[s], hi[s], gv) {
+                    continue 'elems;
+                }
+            }
+            out.push(g.invert(gv));
+        }
+        i = group_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ctx() -> HashContext {
+        HashContext::new(3411)
+    }
+
+    fn sorted2(a: &HashBinIndex, b: &HashBinIndex) -> Vec<u32> {
+        let mut out = Vec::new();
+        a.intersect_pair_into(b, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn skewed_pair_matches_reference() {
+        let ctx = ctx();
+        let small: SortedSet = (0..100u32).map(|x| x * 997).collect();
+        let large: SortedSet = (0..80_000u32).collect();
+        let expect = reference_intersection(&[small.as_slice(), large.as_slice()]);
+        let a = HashBinIndex::build(&ctx, &small);
+        let b = HashBinIndex::build(&ctx, &large);
+        assert_eq!(sorted2(&a, &b), expect);
+        assert_eq!(sorted2(&b, &a), expect, "argument order must not matter");
+    }
+
+    #[test]
+    fn random_pairs_match_reference() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..30 {
+            let n1 = rng.gen_range(0..300);
+            let n2 = rng.gen_range(0..3000);
+            let universe = rng.gen_range(1..5000u32);
+            let l1: SortedSet = (0..n1).map(|_| rng.gen_range(0..universe)).collect();
+            let l2: SortedSet = (0..n2).map(|_| rng.gen_range(0..universe)).collect();
+            let expect = reference_intersection(&[l1.as_slice(), l2.as_slice()]);
+            let a = HashBinIndex::build(&ctx, &l1);
+            let b = HashBinIndex::build(&ctx, &l2);
+            assert_eq!(sorted2(&a, &b), expect, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn k_way_matches_reference() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(6);
+        for k in 2..=5usize {
+            for trial in 0..8 {
+                let sets: Vec<SortedSet> = (0..k)
+                    .map(|i| {
+                        let n = rng.gen_range(0..(200 * (i + 1)));
+                        (0..n).map(|_| rng.gen_range(0..2000u32)).collect()
+                    })
+                    .collect();
+                let idx: Vec<HashBinIndex> =
+                    sets.iter().map(|s| HashBinIndex::build(&ctx, s)).collect();
+                let refs: Vec<&HashBinIndex> = idx.iter().collect();
+                let got = HashBinIndex::intersect_k_sorted(&refs);
+                let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+                assert_eq!(got, reference_intersection(&slices), "k={k} trial={trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_sets_and_empties() {
+        let ctx = ctx();
+        let s: SortedSet = (0..500u32).map(|x| x * 2).collect();
+        let a = HashBinIndex::build(&ctx, &s);
+        assert_eq!(sorted2(&a, &a), s.as_slice());
+        let e = HashBinIndex::build(&ctx, &SortedSet::new());
+        assert_eq!(sorted2(&a, &e), Vec::<u32>::new());
+        assert_eq!(sorted2(&e, &e), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn multires_delegation_agrees() {
+        let ctx = ctx();
+        let l1: SortedSet = (0..64u32).map(|x| x * 31).collect();
+        let l2: SortedSet = (0..5000u32).collect();
+        let a = MultiResIndex::build(&ctx, &l1);
+        let b = MultiResIndex::build(&ctx, &l2);
+        let mut out = Vec::new();
+        intersect_multires(&a, &b, &mut out);
+        out.sort_unstable();
+        assert_eq!(
+            out,
+            reference_intersection(&[l1.as_slice(), l2.as_slice()])
+        );
+    }
+
+    #[test]
+    fn singleton_small_set() {
+        let ctx = ctx();
+        let one = HashBinIndex::build(&ctx, &SortedSet::from_unsorted(vec![777]));
+        let big = HashBinIndex::build(&ctx, &(0..10_000u32).collect());
+        assert_eq!(sorted2(&one, &big), vec![777]);
+        let miss = HashBinIndex::build(&ctx, &SortedSet::from_unsorted(vec![99_999]));
+        assert_eq!(sorted2(&miss, &big), Vec::<u32>::new());
+    }
+}

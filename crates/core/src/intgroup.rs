@@ -1,0 +1,335 @@
+//! **IntGroup** — intersection via fixed-width partitions (Section 3.1,
+//! Algorithms 1 and 2).
+//!
+//! Preprocessing sorts the set and cuts it into groups of `√w = 8` elements
+//! (the last group may be shorter). Each group stores the word representation
+//! of its image under `h` and its inverted mappings in the `(hash, key)`
+//! run layout of [`crate::smallgroup`]. Online, Algorithm 1 scans the two
+//! group sequences in tandem, intersecting each pair of groups whose value
+//! ranges overlap with `IntersectSmall`.
+//!
+//! The group width is a parameter (`s` below) so the ablation experiment of
+//! Appendix A.1.1 can sweep it; `√w` is the default, which is what the
+//! paper's *IntGroup* data points use. Theorem 3.3: expected time
+//! `O((n_1+n_2)/√w + r)`.
+//!
+//! IntGroup is designed for two-set intersection (the paper excludes it from
+//! the k > 2 experiments; Section 3.1 explains the alignment problem).
+//! [`IntGroupIndex::intersect_k_into`] is provided for completeness via
+//! pairwise folding.
+
+use crate::elem::{Elem, SortedSet};
+use crate::hash::{HashContext, UniversalHash, SQRT_WORD_BITS};
+use crate::smallgroup::{build_group, intersect_small_pair, GroupRef};
+use crate::traits::{KIntersect, PairIntersect, SetIndex};
+
+/// Preprocessed set for fixed-width-partition intersection.
+#[derive(Debug, Clone)]
+pub struct IntGroupIndex {
+    /// Group width `s` (the paper's `√w`, configurable for ablations).
+    s: usize,
+    n: usize,
+    h: UniversalHash,
+    /// Group-major keys; within a group sorted by `(h(key), key)`.
+    keys: Vec<Elem>,
+    /// `h(key)` parallel to `keys`.
+    hashes: Vec<u8>,
+    /// Word representation per group.
+    words: Vec<u64>,
+    /// `inf(L^p)` per group (ascending across groups).
+    group_min: Vec<Elem>,
+    /// `sup(L^p)` per group (ascending across groups).
+    group_max: Vec<Elem>,
+}
+
+impl IntGroupIndex {
+    /// Preprocesses `set` with the paper's default group width `√w = 8`.
+    pub fn build(ctx: &HashContext, set: &SortedSet) -> Self {
+        Self::with_group_size(ctx, set, SQRT_WORD_BITS)
+    }
+
+    /// Preprocesses `set` with an explicit group width `s ≥ 1`.
+    pub fn with_group_size(ctx: &HashContext, set: &SortedSet, s: usize) -> Self {
+        let s = s.max(1);
+        let h = ctx.h();
+        let n = set.len();
+        let mut keys: Vec<Elem> = set.as_slice().to_vec();
+        let num_groups = n.div_ceil(s);
+        let mut hashes = Vec::with_capacity(n);
+        let mut words = Vec::with_capacity(num_groups);
+        let mut group_min = Vec::with_capacity(num_groups);
+        let mut group_max = Vec::with_capacity(num_groups);
+        let mut scratch = Vec::with_capacity(s);
+        for chunk in keys.chunks_mut(s) {
+            // Record the value range before the in-group reorder destroys it.
+            group_min.push(chunk[0]);
+            group_max.push(*chunk.last().expect("chunks are non-empty"));
+            words.push(build_group(|k| h.hash(k), chunk, &mut hashes, &mut scratch));
+        }
+        Self {
+            s,
+            n,
+            h,
+            keys,
+            hashes,
+            words,
+            group_min,
+            group_max,
+        }
+    }
+
+    /// Group width used at build time.
+    pub fn group_size(&self) -> usize {
+        self.s
+    }
+
+    /// Number of groups `⌈n/s⌉`.
+    pub fn num_groups(&self) -> usize {
+        self.words.len()
+    }
+
+    fn group(&self, p: usize) -> GroupRef<'_> {
+        let lo = p * self.s;
+        let hi = (lo + self.s).min(self.n);
+        GroupRef {
+            word: self.words[p],
+            keys: &self.keys[lo..hi],
+            hashes: &self.hashes[lo..hi],
+        }
+    }
+
+    /// Membership test: locate the candidate group by its value range, then
+    /// probe the run for `h(x)`.
+    pub fn contains(&self, x: Elem) -> bool {
+        // First group whose max is >= x.
+        let p = self.group_max.partition_point(|&mx| mx < x);
+        if p == self.num_groups() || self.group_min[p] > x {
+            return false;
+        }
+        let g = self.group(p);
+        let y = self.h.hash(x) as u8;
+        if g.word & (1u64 << y) == 0 {
+            return false;
+        }
+        g.hashes
+            .iter()
+            .zip(g.keys)
+            .any(|(&hv, &k)| hv == y && k == x)
+    }
+
+    /// Algorithm 1: intersects `self` with `other`, appending matches to
+    /// `out` (ascending order — fixed-width groups preserve value order
+    /// across groups, and runs merge in key order within a group pair only;
+    /// see crate docs on output order).
+    pub fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        assert_eq!(
+            self.h, other.h,
+            "IntGroup indexes must be built under the same HashContext"
+        );
+        let (mut p, mut q) = (0usize, 0usize);
+        let (np, nq) = (self.num_groups(), other.num_groups());
+        while p < np && q < nq {
+            if other.group_min[q] > self.group_max[p] {
+                p += 1;
+            } else if self.group_min[p] > other.group_max[q] {
+                q += 1;
+            } else {
+                intersect_small_pair(self.group(p), other.group(q), |k| out.push(k));
+                if self.group_max[p] < other.group_max[q] {
+                    p += 1;
+                } else {
+                    q += 1;
+                }
+            }
+        }
+    }
+}
+
+impl SetIndex for IntGroupIndex {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.keys.len() * 4
+            + self.hashes.len()
+            + self.words.len() * 8
+            + self.group_min.len() * 4
+            + self.group_max.len() * 4
+    }
+}
+
+impl PairIntersect for IntGroupIndex {
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        IntGroupIndex::intersect_pair_into(self, other, out);
+    }
+}
+
+impl KIntersect for IntGroupIndex {
+    /// Pairwise fold: intersect the two smallest, then filter the running
+    /// result through each remaining index's `contains`.
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        match indexes {
+            [] => {}
+            [a] => {
+                // Reconstruct ascending order from the range arrays.
+                let mut v: Vec<Elem> = a.keys.clone();
+                v.sort_unstable();
+                out.extend(v);
+            }
+            [a, b, rest @ ..] => {
+                // Start from the two smallest to keep the intermediate tiny.
+                let mut order: Vec<&Self> = indexes.to_vec();
+                order.sort_by_key(|ix| ix.n());
+                let (a2, b2) = (order[0], order[1]);
+                let _ = (a, b, rest);
+                let mut acc = Vec::new();
+                a2.intersect_pair_into(b2, &mut acc);
+                for ix in &order[2..] {
+                    acc.retain(|&x| ix.contains(x));
+                }
+                acc.sort_unstable();
+                out.extend(acc);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ctx() -> HashContext {
+        HashContext::new(2011)
+    }
+
+    fn sorted_intersection(idx_a: &IntGroupIndex, idx_b: &IntGroupIndex) -> Vec<u32> {
+        let mut out = Vec::new();
+        idx_a.intersect_pair_into(idx_b, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn paper_example_3_1_and_3_2() {
+        // L1, L2 of Example 3.1; the algorithm must find {1001, 1009, 1016}
+        // regardless of the hash function in use.
+        let ctx = ctx();
+        let l1 = SortedSet::from_unsorted(vec![1001, 1002, 1004, 1009, 1016, 1027, 1043]);
+        let l2 = SortedSet::from_unsorted(vec![
+            1001, 1003, 1005, 1009, 1011, 1016, 1022, 1032, 1034, 1049,
+        ]);
+        let a = IntGroupIndex::with_group_size(&ctx, &l1, 4);
+        let b = IntGroupIndex::with_group_size(&ctx, &l2, 4);
+        assert_eq!(sorted_intersection(&a, &b), vec![1001, 1009, 1016]);
+    }
+
+    #[test]
+    fn random_pairs_match_reference() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..30 {
+            let n1 = rng.gen_range(0..400);
+            let n2 = rng.gen_range(0..400);
+            let universe = rng.gen_range(1..1000u32);
+            let l1: SortedSet = (0..n1).map(|_| rng.gen_range(0..universe)).collect();
+            let l2: SortedSet = (0..n2).map(|_| rng.gen_range(0..universe)).collect();
+            let expect = reference_intersection(&[l1.as_slice(), l2.as_slice()]);
+            let a = IntGroupIndex::build(&ctx, &l1);
+            let b = IntGroupIndex::build(&ctx, &l2);
+            assert_eq!(sorted_intersection(&a, &b), expect, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn group_size_sweep_stays_correct() {
+        let ctx = ctx();
+        let l1: SortedSet = (0..500u32).filter(|x| x % 3 == 0).collect();
+        let l2: SortedSet = (0..500u32).filter(|x| x % 5 == 0).collect();
+        let expect = reference_intersection(&[l1.as_slice(), l2.as_slice()]);
+        for s in [1usize, 2, 3, 4, 8, 16, 64, 1000] {
+            let a = IntGroupIndex::with_group_size(&ctx, &l1, s);
+            let b = IntGroupIndex::with_group_size(&ctx, &l2, s);
+            assert_eq!(sorted_intersection(&a, &b), expect, "s={s}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_group_sizes_are_fine() {
+        // Algorithm 1 does not require equal widths on both sides.
+        let ctx = ctx();
+        let l1: SortedSet = (0..64u32).collect();
+        let l2: SortedSet = (32..96u32).collect();
+        let a = IntGroupIndex::with_group_size(&ctx, &l1, 4);
+        let b = IntGroupIndex::with_group_size(&ctx, &l2, 16);
+        assert_eq!(sorted_intersection(&a, &b), (32..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_disjoint() {
+        let ctx = ctx();
+        let empty = IntGroupIndex::build(&ctx, &SortedSet::new());
+        let some = IntGroupIndex::build(&ctx, &SortedSet::from_unsorted(vec![1, 2, 3]));
+        assert_eq!(sorted_intersection(&empty, &some), Vec::<u32>::new());
+        assert_eq!(sorted_intersection(&some, &empty), Vec::<u32>::new());
+        let lo = IntGroupIndex::build(&ctx, &(0..100).collect());
+        let hi = IntGroupIndex::build(&ctx, &(1000..1100).collect());
+        assert_eq!(sorted_intersection(&lo, &hi), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn extreme_values() {
+        let ctx = ctx();
+        let a = IntGroupIndex::build(
+            &ctx,
+            &SortedSet::from_unsorted(vec![0, 1, u32::MAX - 1, u32::MAX]),
+        );
+        let b = IntGroupIndex::build(&ctx, &SortedSet::from_unsorted(vec![0, u32::MAX]));
+        assert_eq!(sorted_intersection(&a, &b), vec![0, u32::MAX]);
+    }
+
+    #[test]
+    fn contains_probes() {
+        let ctx = ctx();
+        let set: SortedSet = (0..1000u32).filter(|x| x % 7 == 0).collect();
+        let idx = IntGroupIndex::build(&ctx, &set);
+        for x in 0..1000u32 {
+            assert_eq!(idx.contains(x), x % 7 == 0, "x={x}");
+        }
+    }
+
+    #[test]
+    fn k_fold_matches_reference() {
+        let ctx = ctx();
+        let sets: Vec<SortedSet> = vec![
+            (0..300u32).filter(|x| x % 2 == 0).collect(),
+            (0..300u32).filter(|x| x % 3 == 0).collect(),
+            (0..300u32).filter(|x| x % 5 == 0).collect(),
+        ];
+        let idx: Vec<IntGroupIndex> = sets.iter().map(|s| IntGroupIndex::build(&ctx, s)).collect();
+        let refs: Vec<&IntGroupIndex> = idx.iter().collect();
+        let mut out = Vec::new();
+        IntGroupIndex::intersect_k_into(&refs, &mut out);
+        let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+        assert_eq!(out, reference_intersection(&slices));
+    }
+
+    #[test]
+    fn space_accounting_close_to_paper() {
+        // Paper (Section 4): IntGroup ≈ +75% over an uncompressed posting
+        // list. Our layout: 4B keys + 1B hash + 1B word + 1B min/max per
+        // element at s = 8 → +75%.
+        let ctx = ctx();
+        let set: SortedSet = (0..100_000u32).collect();
+        let idx = IntGroupIndex::build(&ctx, &set);
+        let base = set.len() * 4;
+        let overhead = idx.size_in_bytes() as f64 / base as f64 - 1.0;
+        assert!(
+            (0.70..0.80).contains(&overhead),
+            "overhead {overhead} outside expected band"
+        );
+    }
+}

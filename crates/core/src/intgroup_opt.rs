@@ -1,0 +1,319 @@
+//! **IntGroupOpt** — fixed-width partitions at *all* power-of-two widths
+//! simultaneously (Theorem 3.4 / Appendix A.1.1).
+//!
+//! The plain [`crate::intgroup::IntGroupIndex`] fixes one group width
+//! (`√w = 8`) and achieves `O((n₁+n₂)/√w + r)` (Theorem 3.3). Appendix A.1.1
+//! shows the *optimal* widths are `s₁* = √(w·n₁/n₂)` and `s₂* = √(w·n₂/n₁)`
+//! — they depend on the **other** set — and give the better bound
+//! `O(√(n₁·n₂/w) + r)`. Because the optimal width is only known at query
+//! time, preprocessing keeps partitions of width 2, 4, …, 2^j at once:
+//!
+//! * **word representations** for every width class, `n/2 + n/4 + … ≤ n`
+//!   words in total;
+//! * **inverted mappings** shared across all classes: the value-sorted
+//!   element array plus, per hash value `y`, the ascending list of positions
+//!   whose hash is `y` (the flattened `first`/`next` pointers of §3.2.1 —
+//!   fixed-width groups are position intervals, so `h⁻¹(y, group)` is a
+//!   contiguous slice of `y`'s position list, found by binary search).
+//!
+//! Online, the pair query picks `s** = 2^t` with `s* ≤ s** ≤ 2·s*` (clamped
+//! to the stored classes) for each side and runs Algorithm 1 on the two
+//! (differently-wide) partitions.
+
+use crate::elem::{Elem, SortedSet};
+use crate::hash::{ceil_log2, HashContext, UniversalHash, WORD_BITS};
+use crate::traits::{PairIntersect, SetIndex};
+use crate::word::BitIter;
+
+/// A set preprocessed at every power-of-two group width at once.
+#[derive(Debug, Clone)]
+pub struct IntGroupOptIndex {
+    n: usize,
+    h: UniversalHash,
+    /// Elements ascending (the posting list itself).
+    elems: Vec<Elem>,
+    /// `h(x)` per element.
+    hashes: Vec<u8>,
+    /// Width classes: `class_words[j]` holds the word representations of the
+    /// groups of width `2^(j+1)` (class 0 = width 2), each `⌈n/2^(j+1)⌉`
+    /// words long.
+    class_words: Vec<Vec<u64>>,
+    /// `bucket_offsets[y]..bucket_offsets[y+1]` delimits the ascending
+    /// positions whose hash is `y`.
+    bucket_offsets: [u32; WORD_BITS as usize + 1],
+    bucket_positions: Vec<u32>,
+}
+
+impl IntGroupOptIndex {
+    /// Preprocesses `set`: `O(n log n)` time, `O(n)` space (Theorem 3.4).
+    pub fn build(ctx: &HashContext, set: &SortedSet) -> Self {
+        Self::build_with_hash(ctx.h(), set)
+    }
+
+    /// Builds over `set` with the same hash function as `like` (lets k-set
+    /// folds rebuild intermediate results compatibly).
+    pub fn build_like(like: &Self, set: &SortedSet) -> Self {
+        Self::build_with_hash(like.h, set)
+    }
+
+    /// The sorted elements (the structure keeps the posting list verbatim).
+    pub fn as_slice(&self) -> &[Elem] {
+        &self.elems
+    }
+
+    fn build_with_hash(h: UniversalHash, set: &SortedSet) -> Self {
+        let n = set.len();
+        let elems: Vec<Elem> = set.as_slice().to_vec();
+        let hashes: Vec<u8> = elems.iter().map(|&x| h.hash(x) as u8).collect();
+
+        // Width classes 2, 4, …, up to the first width ≥ n.
+        let max_class = ceil_log2(n.max(2)).max(1) as usize; // widths 2^1..2^max
+        let mut class_words: Vec<Vec<u64>> = Vec::with_capacity(max_class);
+        // Finest class (width 2) from scratch, coarser classes by OR-ing.
+        let mut prev: Vec<u64> = elems
+            .chunks(2)
+            .map(|c| c.iter().map(|&x| h.bit(x)).fold(0, |a, b| a | b))
+            .collect();
+        for _ in 1..max_class {
+            let next: Vec<u64> = prev
+                .chunks(2)
+                .map(|c| c.iter().fold(0, |a, &b| a | b))
+                .collect();
+            class_words.push(std::mem::replace(&mut prev, next));
+        }
+        class_words.push(prev);
+
+        let mut bucket_offsets = [0u32; WORD_BITS as usize + 1];
+        for &hv in &hashes {
+            bucket_offsets[hv as usize + 1] += 1;
+        }
+        for y in 0..WORD_BITS as usize {
+            bucket_offsets[y + 1] += bucket_offsets[y];
+        }
+        let mut cursor = bucket_offsets;
+        let mut bucket_positions = vec![0u32; n];
+        for (pos, &hv) in hashes.iter().enumerate() {
+            bucket_positions[cursor[hv as usize] as usize] = pos as u32;
+            cursor[hv as usize] += 1;
+        }
+
+        Self {
+            n,
+            h,
+            elems,
+            hashes,
+            class_words,
+            bucket_offsets,
+            bucket_positions,
+        }
+    }
+
+    /// The stored width classes (widths `2^1 .. 2^classes`).
+    pub fn classes(&self) -> usize {
+        self.class_words.len()
+    }
+
+    /// Chooses the stored class for a desired width `s*`: the smallest
+    /// `2^t ≥ s*` (so `s* ≤ s** < 2·s*`), clamped to the stored range.
+    fn class_for(&self, s_star: f64) -> usize {
+        let t = s_star.max(2.0).log2().ceil() as usize; // width 2^t
+        t.clamp(1, self.class_words.len())
+    }
+
+    /// `h⁻¹(y, group)` for the group at positions `[lo, hi)`: ascending
+    /// positions, as a slice of `y`'s bucket.
+    fn run(&self, y: u32, lo: u32, hi: u32) -> &[u32] {
+        let bucket = &self.bucket_positions
+            [self.bucket_offsets[y as usize] as usize..self.bucket_offsets[y as usize + 1] as usize];
+        let a = bucket.partition_point(|&p| p < lo);
+        let b = bucket.partition_point(|&p| p < hi);
+        &bucket[a..b]
+    }
+}
+
+impl SetIndex for IntGroupOptIndex {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.elems.len() * 4
+            + self.hashes.len()
+            + self.class_words.iter().map(|c| c.len() * 8).sum::<usize>()
+            + self.bucket_positions.len() * 4
+            + std::mem::size_of_val(&self.bucket_offsets)
+    }
+}
+
+impl PairIntersect for IntGroupOptIndex {
+    /// Algorithm 1 at the Appendix A.1.1 optimal widths:
+    /// expected `O(√(n₁·n₂/w) + r)` time.
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        assert_eq!(self.h, other.h, "indexes built under different HashContexts");
+        if self.n == 0 || other.n == 0 {
+            return;
+        }
+        let (n1, n2) = (self.n as f64, other.n as f64);
+        let w = WORD_BITS as f64;
+        let ja = self.class_for((w * n1 / n2).sqrt());
+        let jb = other.class_for((w * n2 / n1).sqrt());
+        let (sa, sb) = (1usize << ja, 1usize << jb);
+        let wa = &self.class_words[ja - 1];
+        let wb = &other.class_words[jb - 1];
+
+        // Algorithm 1 over the two (unequal-width) partitions.
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < wa.len() && q < wb.len() {
+            let a_lo = p * sa;
+            let a_hi = ((p + 1) * sa).min(self.n);
+            let b_lo = q * sb;
+            let b_hi = ((q + 1) * sb).min(other.n);
+            let (a_min, a_max) = (self.elems[a_lo], self.elems[a_hi - 1]);
+            let (b_min, b_max) = (other.elems[b_lo], other.elems[b_hi - 1]);
+            if b_min > a_max {
+                p += 1;
+                continue;
+            }
+            if a_min > b_max {
+                q += 1;
+                continue;
+            }
+            let h_and = wa[p] & wb[q];
+            if h_and != 0 {
+                for y in BitIter::new(h_and) {
+                    let run_a = self.run(y, a_lo as u32, a_hi as u32);
+                    let run_b = other.run(y, b_lo as u32, b_hi as u32);
+                    // Linear merge of the two runs (positions ascend with
+                    // values — the arrays are value-sorted).
+                    let (mut i, mut j) = (0usize, 0usize);
+                    while i < run_a.len() && j < run_b.len() {
+                        let (xa, xb) = (
+                            self.elems[run_a[i] as usize],
+                            other.elems[run_b[j] as usize],
+                        );
+                        i += (xa <= xb) as usize;
+                        j += (xb <= xa) as usize;
+                        if xa == xb {
+                            out.push(xa);
+                        }
+                    }
+                }
+            }
+            if a_max < b_max {
+                p += 1;
+            } else {
+                q += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ctx() -> HashContext {
+        HashContext::new(3434)
+    }
+
+    fn sorted2(a: &IntGroupOptIndex, b: &IntGroupOptIndex) -> Vec<u32> {
+        let mut out = Vec::new();
+        a.intersect_pair_into(b, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn word_classes_match_recomputation() {
+        let ctx = ctx();
+        let set: SortedSet = (0..777u32).map(|x| x * 3).collect();
+        let idx = IntGroupOptIndex::build(&ctx, &set);
+        let h = ctx.h();
+        for (j, words) in idx.class_words.iter().enumerate() {
+            let width = 1usize << (j + 1);
+            assert_eq!(words.len(), set.len().div_ceil(width), "class {j}");
+            for (g, chunk) in set.as_slice().chunks(width).enumerate() {
+                let expect = chunk.iter().map(|&x| h.bit(x)).fold(0, |a, b| a | b);
+                assert_eq!(words[g], expect, "class {j} group {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_are_the_per_hash_position_lists() {
+        let ctx = ctx();
+        let set: SortedSet = (0..500u32).map(|x| x * 7 + 1).collect();
+        let idx = IntGroupOptIndex::build(&ctx, &set);
+        for y in 0..WORD_BITS {
+            let run = idx.run(y, 0, set.len() as u32);
+            let expect: Vec<u32> = (0..set.len())
+                .filter(|&p| idx.hashes[p] as u32 == y)
+                .map(|p| p as u32)
+                .collect();
+            assert_eq!(run, expect.as_slice(), "y={y}");
+        }
+    }
+
+    #[test]
+    fn random_pairs_match_reference() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(8);
+        for trial in 0..25 {
+            let n1 = rng.gen_range(0..600);
+            let n2 = rng.gen_range(0..600);
+            let u = rng.gen_range(1..2500u32);
+            let a: SortedSet = (0..n1).map(|_| rng.gen_range(0..u)).collect();
+            let b: SortedSet = (0..n2).map(|_| rng.gen_range(0..u)).collect();
+            let ia = IntGroupOptIndex::build(&ctx, &a);
+            let ib = IntGroupOptIndex::build(&ctx, &b);
+            assert_eq!(
+                sorted2(&ia, &ib),
+                reference_intersection(&[a.as_slice(), b.as_slice()]),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_sizes_use_unequal_widths_and_stay_correct() {
+        let ctx = ctx();
+        let small: SortedSet = (0..128u32).map(|x| x * 999).collect();
+        let large: SortedSet = (0..60_000u32).collect();
+        let ia = IntGroupOptIndex::build(&ctx, &small);
+        let ib = IntGroupOptIndex::build(&ctx, &large);
+        // Optimal widths: s1* = sqrt(64·128/60000) ≈ 0.37 → class 1 (width 2);
+        // s2* = sqrt(64·60000/128) ≈ 173 → width 256.
+        assert_eq!(ia.class_for(0.37), 1);
+        assert_eq!(ib.class_for(173.0), 8);
+        assert_eq!(
+            sorted2(&ia, &ib),
+            reference_intersection(&[small.as_slice(), large.as_slice()])
+        );
+        assert_eq!(
+            sorted2(&ib, &ia),
+            reference_intersection(&[small.as_slice(), large.as_slice()])
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let ctx = ctx();
+        let e = IntGroupOptIndex::build(&ctx, &SortedSet::new());
+        let s = IntGroupOptIndex::build(&ctx, &SortedSet::from_unsorted(vec![7]));
+        assert_eq!(sorted2(&e, &s), Vec::<u32>::new());
+        assert_eq!(sorted2(&s, &s), vec![7]);
+    }
+
+    #[test]
+    fn space_is_linear() {
+        let ctx = ctx();
+        let set: SortedSet = (0..100_000u32).map(|x| x.wrapping_mul(31)).collect();
+        let idx = IntGroupOptIndex::build(&ctx, &set);
+        // 4B elems + 1B hashes + 4B buckets + ≤8B word classes ≈ ≤ 17B/elem.
+        let per_elem = idx.size_in_bytes() as f64 / set.len() as f64;
+        assert!(per_elem < 18.0, "{per_elem} B/elem");
+    }
+}

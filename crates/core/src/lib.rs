@@ -1,0 +1,74 @@
+//! # fsi-core — Fast Set Intersection in Memory
+//!
+//! From-scratch Rust implementation of the algorithms of **“Fast Set
+//! Intersection in Memory”** (Bolin Ding, Arnd Christian König, PVLDB 4(4),
+//! 2011):
+//!
+//! | Paper name | Type | Paper section | Expected time (k sets, `n = Σnᵢ`) |
+//! |---|---|---|---|
+//! | IntGroup | [`IntGroupIndex`] | 3.1 | `O((n₁+n₂)/√w + r)` (2 sets) |
+//! | IntGroup (opt. widths) | [`IntGroupOptIndex`] | 3.1/A.1.1 | `O(√(n₁n₂/w) + r)` (2 sets) |
+//! | RanGroup | [`RanGroupIndex`] | 3.2 | `O(n/√w + k·r)` |
+//! | RanGroup (opt. 2-set) | [`MultiResIndex`] + [`multires::intersect_pair_opt`] | 3.2/3.2.1 | `O(√(n₁n₂/w) + r)` |
+//! | RanGroupScan | [`RanGroupScanIndex`] | 3.3 | `O(max(n,k·n_k)/α^m + mn/√w + k·r·√w)` |
+//! | HashBin | [`HashBinIndex`] | 3.4 | `O(n₁·log(n₂/n₁))` |
+//!
+//! `w = 64` is the machine-word width; `r` the intersection size. All
+//! structures are immutable after construction and `Send + Sync`, so queries
+//! may run from many threads concurrently (the paper treats multi-core
+//! parallelism as orthogonal, Section 2).
+//!
+//! ## Usage
+//!
+//! ```
+//! use fsi_core::{HashContext, RanGroupScanIndex, SortedSet, PairIntersect};
+//!
+//! // One shared context: sets are only mutually intersectable when
+//! // preprocessed under the same hash functions.
+//! let ctx = HashContext::new(42);
+//! let a = RanGroupScanIndex::build(&ctx, &SortedSet::from_unsorted(vec![1, 5, 7, 9]));
+//! let b = RanGroupScanIndex::build(&ctx, &SortedSet::from_unsorted(vec![2, 5, 9, 11]));
+//! assert_eq!(a.intersect_pair_sorted(&b), vec![5, 9]);
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`elem`] — element/set types and the reference intersection.
+//! * [`hash`] — the 2-universal family `h : Σ → [w]`, the invertible
+//!   permutation `g`, and [`HashContext`] tying them together.
+//! * [`word`] — single-word set representations (Section 3.1).
+//! * [`smallgroup`] — `IntersectSmall` (Algorithm 2) and the shared group
+//!   layout.
+//! * [`intgroup`], [`rangroup`], [`rangroupscan`], [`hashbin`] — the four
+//!   algorithms; [`multires`] — the Section 3.2.1 structure; [`auto`] — the
+//!   Section 3.4 online algorithm choice.
+//! * [`search`] — binary/galloping search primitives.
+//! * [`traits`] — `SetIndex` / `PairIntersect` / `KIntersect`.
+
+pub mod auto;
+pub mod elem;
+pub mod hash;
+pub mod hashbin;
+pub mod intgroup;
+pub mod intgroup_opt;
+pub mod multires;
+pub mod rangroup;
+pub mod rangroupscan;
+pub mod search;
+pub mod smallgroup;
+pub mod traits;
+pub mod word;
+
+pub use auto::{choose, intersect_auto, AutoChoice};
+pub use elem::{reference_intersection, Elem, SortedSet};
+pub use hash::{
+    ceil_log2, partition_level, HashContext, HashFamily, Permutation, UniversalHash,
+    LOG_WORD_BITS, SQRT_WORD_BITS, WORD_BITS,
+};
+pub use hashbin::HashBinIndex;
+pub use intgroup::IntGroupIndex;
+pub use intgroup_opt::IntGroupOptIndex;
+pub use multires::MultiResIndex;
+pub use rangroup::RanGroupIndex;
+pub use rangroupscan::{filtering_stats, FilterStats, RanGroupScanIndex, DEFAULT_M};
+pub use traits::{KIntersect, PairIntersect, SetIndex};

@@ -1,0 +1,350 @@
+//! The multi-resolution data structure of Section 3.2.1.
+//!
+//! Some parameter choices — the `t = ⌈log √(n_1·n_2/w)⌉` of Theorem 3.5, or
+//! HashBin's `t = ⌈log n_1⌉` — depend on the *other* set in the query, so a
+//! single precomputed partition does not suffice. Ordering the set by `g(x)`
+//! makes every group `L^z_i` (at every resolution `t`) a contiguous interval,
+//! so one `O(n)` array supports *all* resolutions at once:
+//!
+//! * **group boundaries** `left/right(L^z_i)` — recovered by binary search on
+//!   the `g`-ordered array (the paper stores them explicitly; binary search
+//!   trades an `O(log n)` probe for zero storage and is only used on groups
+//!   that survive word filtering);
+//! * **word representations** `h(L^z_i)` — precomputed for every resolution
+//!   `t = 0 .. ⌈log n⌉−1` (group sizes down to 2, as in the paper) in a
+//!   heap-shaped array built bottom-up by OR-ing children;
+//! * **inverted mappings** — the paper chains elements of equal hash value
+//!   with `next(x)` pointers and stores per-group entry points
+//!   `first(y, L^z_i)`. We store the same information flattened: for each
+//!   `y ∈ [w]`, the ascending list of positions whose hash is `y`
+//!   (`bucket_positions`); `first(y, L^z)` is a binary search in that list
+//!   and `next(x)` is the following entry. Ordered access to
+//!   `h⁻¹(y, L^z_i)` in `g`-order is therefore a contiguous slice walk,
+//!   which is what `IntersectSmall`'s linear merge requires.
+
+use crate::elem::{Elem, SortedSet};
+use crate::hash::{ceil_log2, top_bits_of, HashContext, Permutation, UniversalHash, WORD_BITS};
+use crate::search::lower_bound;
+use crate::traits::SetIndex;
+use crate::word::BitIter;
+
+/// A set preprocessed for *all* resolutions at once.
+#[derive(Debug, Clone)]
+pub struct MultiResIndex {
+    n: usize,
+    g: Permutation,
+    h: UniversalHash,
+    /// The set's `g`-values in ascending order.
+    gvalues: Vec<u32>,
+    /// Finest resolution with precomputed word representations
+    /// (`⌈log n⌉ − 1`, i.e. expected group size 2).
+    tmax_words: u32,
+    /// Heap of word representations: level `t` occupies
+    /// `words[2^t − 1 .. 2^{t+1} − 1]`.
+    words: Vec<u64>,
+    /// `bucket_offsets[y]..bucket_offsets[y+1]` delimits the positions (into
+    /// `gvalues`) whose hash value is `y`, ascending.
+    bucket_offsets: [u32; WORD_BITS as usize + 1],
+    bucket_positions: Vec<u32>,
+}
+
+impl MultiResIndex {
+    /// Preprocesses `set`: `O(n log n)` time, `O(n)` space (Theorem 3.8).
+    pub fn build(ctx: &HashContext, set: &SortedSet) -> Self {
+        let g = *ctx.g();
+        let h = ctx.h();
+        let n = set.len();
+        let mut gvalues: Vec<u32> = set.iter().map(|x| g.apply(x)).collect();
+        gvalues.sort_unstable();
+
+        let tmax_words = ceil_log2(n).saturating_sub(1);
+        let heap_len = (1usize << (tmax_words + 1)) - 1;
+        let mut words = vec![0u64; heap_len];
+        // Finest level first …
+        let base = (1usize << tmax_words) - 1;
+        for &gv in &gvalues {
+            let z = top_bits_of(gv, tmax_words) as usize;
+            words[base + z] |= h.bit(gv);
+        }
+        // … then OR children upward.
+        for t in (0..tmax_words).rev() {
+            let b = (1usize << t) - 1;
+            let bc = (1usize << (t + 1)) - 1;
+            for z in 0..(1usize << t) {
+                words[b + z] = words[bc + 2 * z] | words[bc + 2 * z + 1];
+            }
+        }
+
+        // Hash-value buckets (the flattened next(x)/first(y, ·) chains).
+        let mut bucket_offsets = [0u32; WORD_BITS as usize + 1];
+        for &gv in &gvalues {
+            bucket_offsets[h.hash(gv) as usize + 1] += 1;
+        }
+        for y in 0..WORD_BITS as usize {
+            bucket_offsets[y + 1] += bucket_offsets[y];
+        }
+        let mut cursor = bucket_offsets;
+        let mut bucket_positions = vec![0u32; n];
+        for (pos, &gv) in gvalues.iter().enumerate() {
+            let y = h.hash(gv) as usize;
+            bucket_positions[cursor[y] as usize] = pos as u32;
+            cursor[y] += 1;
+        }
+
+        Self {
+            n,
+            g,
+            h,
+            gvalues,
+            tmax_words,
+            words,
+            bucket_offsets,
+            bucket_positions,
+        }
+    }
+
+    /// The permutation the index was built under.
+    pub fn permutation(&self) -> &Permutation {
+        &self.g
+    }
+
+    /// Finest resolution with stored word representations.
+    pub fn max_word_level(&self) -> u32 {
+        self.tmax_words
+    }
+
+    /// The set's `g`-values, ascending (HashBin works directly on these).
+    pub fn gvalues(&self) -> &[u32] {
+        &self.gvalues
+    }
+
+    /// `[left(L^z), right(L^z))` at resolution `t`, by binary search.
+    pub fn group_range(&self, t: u32, z: u32) -> std::ops::Range<usize> {
+        debug_assert!(t <= 32 && (t == 32 || (z as u64) < (1u64 << t)));
+        if t == 0 {
+            return 0..self.n;
+        }
+        let lo = lower_bound(&self.gvalues, 0, self.n, z << (32 - t));
+        let hi = if (z as u64) + 1 == (1u64 << t) {
+            self.n
+        } else {
+            lower_bound(&self.gvalues, lo, self.n, (z + 1) << (32 - t))
+        };
+        lo..hi
+    }
+
+    /// Word representation `h(L^z)` at resolution `t ≤ max_word_level`.
+    pub fn word(&self, t: u32, z: u32) -> u64 {
+        debug_assert!(t <= self.tmax_words, "no word reps at level {t}");
+        self.words[((1usize << t) - 1) + z as usize]
+    }
+
+    /// The inverted mapping `h⁻¹(y, L^z)` for the group at positions
+    /// `range`: ascending positions into `gvalues`.
+    pub fn run(&self, y: u32, range: &std::ops::Range<usize>) -> &[u32] {
+        let bucket = &self.bucket_positions
+            [self.bucket_offsets[y as usize] as usize..self.bucket_offsets[y as usize + 1] as usize];
+        let lo = bucket.partition_point(|&p| (p as usize) < range.start);
+        let hi = bucket.partition_point(|&p| (p as usize) < range.end);
+        &bucket[lo..hi]
+    }
+}
+
+impl SetIndex for MultiResIndex {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.gvalues.len() * 4
+            + self.words.len() * 8
+            + self.bucket_positions.len() * 4
+            + std::mem::size_of_val(&self.bucket_offsets)
+    }
+}
+
+/// The Theorem 3.5 resolution `t_1 = t_2 = ⌈log √(n_1·n_2/w)⌉`, clamped to
+/// the levels both structures store.
+pub fn optimal_joint_level(a: &MultiResIndex, b: &MultiResIndex) -> u32 {
+    let product = (a.n as f64) * (b.n as f64) / WORD_BITS as f64;
+    let t = if product <= 1.0 {
+        0
+    } else {
+        (product.sqrt().log2().ceil()) as u32
+    };
+    t.min(a.tmax_words).min(b.tmax_words)
+}
+
+/// Algorithm 3 with the Theorem 3.5 parameters: expected
+/// `O(√(n_1·n_2)/√w + r)` time.
+pub fn intersect_pair_opt(a: &MultiResIndex, b: &MultiResIndex, out: &mut Vec<Elem>) {
+    assert_eq!(a.g, b.g, "indexes built under different permutations g");
+    assert_eq!(a.h, b.h, "indexes built under different hashes h");
+    if a.n == 0 || b.n == 0 {
+        return;
+    }
+    let t = optimal_joint_level(a, b);
+    let g = a.g;
+    for z in 0..(1u64 << t) as u32 {
+        let h_and = a.word(t, z) & b.word(t, z);
+        if h_and == 0 {
+            continue;
+        }
+        // Boundaries are only resolved for groups that survive filtering.
+        let ra = a.group_range(t, z);
+        let rb = b.group_range(t, z);
+        for y in BitIter::new(h_and) {
+            let run_a = a.run(y, &ra);
+            let run_b = b.run(y, &rb);
+            // Linear merge of the two runs in g-order.
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < run_a.len() && j < run_b.len() {
+                let (ga_v, gb_v) = (
+                    a.gvalues[run_a[i] as usize],
+                    b.gvalues[run_b[j] as usize],
+                );
+                match ga_v.cmp(&gb_v) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push(g.invert(ga_v));
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ctx() -> HashContext {
+        HashContext::new(808)
+    }
+
+    fn sorted_opt(a: &MultiResIndex, b: &MultiResIndex) -> Vec<u32> {
+        let mut out = Vec::new();
+        intersect_pair_opt(a, b, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn boundaries_partition_at_every_level() {
+        let ctx = ctx();
+        let set: SortedSet = (0..3000u32).map(|x| x * 3 + 7).collect();
+        let idx = MultiResIndex::build(&ctx, &set);
+        for t in 0..=idx.max_word_level() {
+            let mut covered = 0usize;
+            let mut prev_end = 0usize;
+            for z in 0..(1u64 << t) as u32 {
+                let r = idx.group_range(t, z);
+                assert_eq!(r.start, prev_end, "t={t} z={z}");
+                prev_end = r.end;
+                covered += r.len();
+                for &gv in &idx.gvalues()[r.clone()] {
+                    assert_eq!(top_bits_of(gv, t), z);
+                }
+            }
+            assert_eq!(covered, set.len(), "level {t} must cover the set");
+            assert_eq!(prev_end, set.len());
+        }
+    }
+
+    #[test]
+    fn words_match_recomputation() {
+        let ctx = ctx();
+        let set: SortedSet = (0..2048u32).map(|x| x.wrapping_mul(2_654_435_761)).collect();
+        let idx = MultiResIndex::build(&ctx, &set);
+        let h = ctx.h();
+        for t in 0..=idx.max_word_level() {
+            for z in 0..(1u64 << t) as u32 {
+                let r = idx.group_range(t, z);
+                let mut expect = 0u64;
+                for &gv in &idx.gvalues()[r] {
+                    expect |= h.bit(gv);
+                }
+                assert_eq!(idx.word(t, z), expect, "t={t} z={z}");
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_the_per_hash_subsequences() {
+        let ctx = ctx();
+        let set: SortedSet = (0..1000u32).collect();
+        let idx = MultiResIndex::build(&ctx, &set);
+        let h = ctx.h();
+        let t = 3;
+        for z in 0..8u32 {
+            let r = idx.group_range(t, z);
+            for y in 0..WORD_BITS {
+                let run = idx.run(y, &r);
+                let expect: Vec<u32> = (r.start..r.end)
+                    .filter(|&p| h.hash(idx.gvalues()[p]) == y)
+                    .map(|p| p as u32)
+                    .collect();
+                assert_eq!(run, expect.as_slice(), "t={t} z={z} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_pair_matches_reference() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..25 {
+            let n1 = rng.gen_range(0..500);
+            let n2 = rng.gen_range(0..2000);
+            let universe = rng.gen_range(1..4000u32);
+            let l1: SortedSet = (0..n1).map(|_| rng.gen_range(0..universe)).collect();
+            let l2: SortedSet = (0..n2).map(|_| rng.gen_range(0..universe)).collect();
+            let expect = reference_intersection(&[l1.as_slice(), l2.as_slice()]);
+            let a = MultiResIndex::build(&ctx, &l1);
+            let b = MultiResIndex::build(&ctx, &l2);
+            assert_eq!(sorted_opt(&a, &b), expect, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn skewed_sizes_clamp_level_and_stay_correct() {
+        let ctx = ctx();
+        let small: SortedSet = (0..10u32).map(|x| x * 5).collect();
+        let large: SortedSet = (0..100_000u32).collect();
+        let a = MultiResIndex::build(&ctx, &small);
+        let b = MultiResIndex::build(&ctx, &large);
+        let t = optimal_joint_level(&a, &b);
+        assert!(t <= a.max_word_level());
+        let expect = reference_intersection(&[small.as_slice(), large.as_slice()]);
+        assert_eq!(sorted_opt(&a, &b), expect);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let ctx = ctx();
+        let e = MultiResIndex::build(&ctx, &SortedSet::new());
+        let s = MultiResIndex::build(&ctx, &SortedSet::from_unsorted(vec![42]));
+        assert_eq!(sorted_opt(&e, &s), Vec::<u32>::new());
+        assert_eq!(sorted_opt(&s, &s), vec![42]);
+        assert_eq!(e.n(), 0);
+        assert!(e.size_in_bytes() > 0); // offsets table still there
+    }
+
+    #[test]
+    fn space_is_linear() {
+        let ctx = ctx();
+        for n in [1usize << 10, 1 << 12, 1 << 14] {
+            let set: SortedSet = (0..n as u32).map(|x| x.wrapping_mul(97)).collect();
+            let idx = MultiResIndex::build(&ctx, &set);
+            let per_elem = idx.size_in_bytes() as f64 / n as f64;
+            // 4B gvalues + 4B bucket positions + ≤16B words heap.
+            assert!(per_elem < 28.0, "n={n}: {per_elem} B/elem");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Search primitives shared by HashBin and several baselines: binary search
+//! over a sub-range and galloping (exponential) search.
+//!
+//! Galloping search from a moving cursor costs `O(log gap)` per probe, which
+//! by concavity sums to the `O(n_1 log(n_2/n_1))` bounds quoted for HashBin
+//! (Theorem 3.11) and the adaptive baselines.
+
+/// First index `i` in `[lo, hi)` with `slice[i] >= target`, by binary search.
+#[inline]
+pub fn lower_bound(slice: &[u32], lo: usize, hi: usize, target: u32) -> usize {
+    debug_assert!(lo <= hi && hi <= slice.len());
+    let mut lo = lo;
+    let mut hi = hi;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if slice[mid] < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// First index `i ≥ from` with `slice[i] >= target`, by galloping: doubles the
+/// step until overshooting, then binary-searches the final bracket.
+#[inline]
+pub fn gallop(slice: &[u32], from: usize, target: u32) -> usize {
+    let n = slice.len();
+    if from >= n || slice[from] >= target {
+        return from;
+    }
+    let mut step = 1usize;
+    let mut prev = from;
+    loop {
+        let probe = match prev.checked_add(step) {
+            Some(p) if p < n => p,
+            _ => return lower_bound(slice, prev + 1, n, target),
+        };
+        if slice[probe] < target {
+            prev = probe;
+            step <<= 1;
+        } else {
+            return lower_bound(slice, prev + 1, probe + 1, target);
+        }
+    }
+}
+
+/// `true` iff `target` occurs in `slice[lo..hi)` (sorted ascending).
+#[inline]
+pub fn contains_in_range(slice: &[u32], lo: usize, hi: usize, target: u32) -> bool {
+    let i = lower_bound(slice, lo, hi, target);
+    i < hi && slice[i] == target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_full_and_subrange() {
+        let v = [2u32, 4, 4, 6, 8, 10];
+        assert_eq!(lower_bound(&v, 0, v.len(), 1), 0);
+        assert_eq!(lower_bound(&v, 0, v.len(), 4), 1);
+        assert_eq!(lower_bound(&v, 0, v.len(), 5), 3);
+        assert_eq!(lower_bound(&v, 0, v.len(), 11), 6);
+        assert_eq!(lower_bound(&v, 2, 4, 4), 2);
+        assert_eq!(lower_bound(&v, 3, 3, 0), 3);
+    }
+
+    #[test]
+    fn gallop_agrees_with_lower_bound() {
+        let v: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        for from in [0usize, 1, 10, 500, 999, 1000] {
+            for target in [0u32, 1, 3, 299, 1500, 2997, 3000] {
+                let expect = lower_bound(&v, from.min(v.len()), v.len(), target).max(from);
+                assert_eq!(gallop(&v, from, target), expect, "from={from} target={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_on_empty_and_tiny() {
+        assert_eq!(gallop(&[], 0, 5), 0);
+        assert_eq!(gallop(&[7], 0, 5), 0);
+        assert_eq!(gallop(&[7], 0, 7), 0);
+        assert_eq!(gallop(&[7], 0, 8), 1);
+    }
+
+    #[test]
+    fn contains_in_range_works() {
+        let v = [1u32, 3, 5, 7];
+        assert!(contains_in_range(&v, 0, 4, 5));
+        assert!(!contains_in_range(&v, 0, 2, 5));
+        assert!(!contains_in_range(&v, 0, 4, 4));
+    }
+}

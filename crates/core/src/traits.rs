@@ -1,0 +1,54 @@
+//! Common traits implemented by every intersection index in this crate (and
+//! by the baseline structures in `fsi-baselines`), so harnesses can treat
+//! algorithms uniformly.
+//!
+//! **Output order.** Unless an algorithm documents otherwise, the order of
+//! the emitted intersection is unspecified (the randomized-partition
+//! algorithms emit in `g`-order, exactly as the paper's `∆ ← ∆ ∪ …` does).
+//! Callers needing ascending output sort the (small) result; benchmarks use
+//! the raw order to measure what the paper measured.
+
+use crate::elem::Elem;
+
+/// A preprocessed set structure.
+pub trait SetIndex {
+    /// Number of elements in the underlying set (`n_i`).
+    fn n(&self) -> usize;
+
+    /// Total heap footprint of the structure in bytes, for the space
+    /// experiments (Section 4 "Size of the Data Structure", Figure 8).
+    fn size_in_bytes(&self) -> usize;
+
+    /// Footprint in 64-bit machine words (the unit the paper reports).
+    fn size_in_words(&self) -> usize {
+        self.size_in_bytes().div_ceil(8)
+    }
+}
+
+/// Two-set intersection over like-typed indexes.
+pub trait PairIntersect: SetIndex {
+    /// Appends `self ∩ other` to `out`.
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>);
+
+    /// Convenience wrapper returning a fresh, **ascending** result vector.
+    fn intersect_pair_sorted(&self, other: &Self) -> Vec<Elem> {
+        let mut out = Vec::new();
+        self.intersect_pair_into(other, &mut out);
+        out.sort_unstable();
+        out
+    }
+}
+
+/// k-set intersection over like-typed indexes.
+pub trait KIntersect: SetIndex {
+    /// Appends `⋂ indexes` to `out`. An empty slice yields an empty result.
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>);
+
+    /// Convenience wrapper returning a fresh, **ascending** result vector.
+    fn intersect_k_sorted(indexes: &[&Self]) -> Vec<Elem> {
+        let mut out = Vec::new();
+        Self::intersect_k_into(indexes, &mut out);
+        out.sort_unstable();
+        out
+    }
+}

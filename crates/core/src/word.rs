@@ -1,0 +1,119 @@
+//! Single-word representations of sets over a small universe (Section 3.1).
+//!
+//! A set `A ⊆ [w] = {0, …, 63}` is represented by the 64-bit word with bit
+//! `y` set iff `y ∈ A`. Intersection of two such sets is one bitwise `AND`;
+//! enumerating the members of a word costs `O(|A|)` using the paper's
+//! lowest-bit trick — footnote 1 of the paper isolates the lowest set bit as
+//! `((word − 1) XOR word) AND word` and maps it to its index with an NLZ-type
+//! instruction; `u64::trailing_zeros` compiles to exactly that instruction
+//! (`tzcnt`/`bsf`), so we use it directly.
+
+use crate::hash::UniversalHash;
+use crate::Elem;
+
+/// Builds the word representation `w(h(G))` of a group's image under `h`.
+#[inline]
+pub fn word_of<I: IntoIterator<Item = Elem>>(h: UniversalHash, group: I) -> u64 {
+    let mut word = 0u64;
+    for x in group {
+        word |= h.bit(x);
+    }
+    word
+}
+
+/// Iterates the elements of a word representation in increasing order.
+///
+/// Each `next` isolates and clears the lowest set bit (the paper's footnote-1
+/// scheme).
+#[derive(Debug, Clone, Copy)]
+pub struct BitIter(u64);
+
+impl BitIter {
+    /// Iterator over the set bits of `word`.
+    #[inline]
+    pub fn new(word: u64) -> Self {
+        Self(word)
+    }
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            let y = self.0.trailing_zeros();
+            self.0 &= self.0 - 1; // clear lowest set bit
+            Some(y)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BitIter {}
+
+/// Number of set bits strictly below position `y` — the rank used to index
+/// the per-group run-offset arrays of the inverted mappings.
+#[inline(always)]
+pub fn rank_below(word: u64, y: u32) -> u32 {
+    debug_assert!(y < 64);
+    (word & ((1u64 << y) - 1)).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::UniversalHash;
+
+    #[test]
+    fn bit_iter_enumerates_ascending() {
+        let word = (1u64 << 0) | (1 << 5) | (1 << 63) | (1 << 17);
+        let got: Vec<u32> = BitIter::new(word).collect();
+        assert_eq!(got, vec![0, 5, 17, 63]);
+    }
+
+    #[test]
+    fn bit_iter_empty_and_full() {
+        assert_eq!(BitIter::new(0).count(), 0);
+        let all: Vec<u32> = BitIter::new(u64::MAX).collect();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+        assert_eq!(BitIter::new(u64::MAX).len(), 64);
+    }
+
+    #[test]
+    fn rank_below_counts_lower_bits() {
+        let word = 0b1011_0101u64;
+        assert_eq!(rank_below(word, 0), 0);
+        assert_eq!(rank_below(word, 1), 1);
+        assert_eq!(rank_below(word, 3), 2);
+        assert_eq!(rank_below(word, 8), 5);
+        assert_eq!(rank_below(word, 63), 5);
+    }
+
+    #[test]
+    fn word_of_matches_manual_or() {
+        let h = UniversalHash::from_params(0x9e37_79b9_7f4a_7c15, 3);
+        let xs = [1u32, 9, 1002, 77];
+        let word = word_of(h, xs.iter().copied());
+        for &x in &xs {
+            assert_ne!(word & h.bit(x), 0);
+        }
+        assert!(word.count_ones() <= xs.len() as u32);
+    }
+
+    #[test]
+    fn intersection_of_words_is_and() {
+        let h = UniversalHash::from_params(0xabcdef12_34567891, 0);
+        let a = word_of(h, [1u32, 2, 3]);
+        let b = word_of(h, [3u32, 4, 5]);
+        let common = a & b;
+        // h(3) must be present in the AND.
+        assert_ne!(common & h.bit(3), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Bag (multiset) semantics — the extension the paper notes in Section 3:
+//! "Our approach can be extended to bag semantics by additionally storing
+//! element frequency."
+//!
+//! A [`BagIndex`] is any set structure plus a parallel multiplicity array;
+//! the bag intersection's multiplicity is the element-wise minimum, so any
+//! of the *set* intersection algorithms can drive it unchanged — here
+//! RanGroupScan, via the shared [`HashContext`].
+
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::hash::HashContext;
+use fsi_core::traits::PairIntersect;
+use fsi_core::RanGroupScanIndex;
+
+/// A multiset of `u32` elements.
+#[derive(Debug, Clone)]
+pub struct BagIndex {
+    /// The support (distinct elements), preprocessed for intersection.
+    support: RanGroupScanIndex,
+    /// Sorted distinct elements, parallel to `counts`.
+    elems: Vec<Elem>,
+    /// Multiplicity per distinct element.
+    counts: Vec<u32>,
+}
+
+impl BagIndex {
+    /// Builds the bag from arbitrary (unsorted, repeating) items.
+    pub fn from_items(ctx: &HashContext, items: &[Elem]) -> Self {
+        let mut sorted = items.to_vec();
+        sorted.sort_unstable();
+        let mut elems = Vec::new();
+        let mut counts = Vec::new();
+        for &x in &sorted {
+            if elems.last() == Some(&x) {
+                *counts.last_mut().expect("parallel arrays") += 1;
+            } else {
+                elems.push(x);
+                counts.push(1);
+            }
+        }
+        let support = RanGroupScanIndex::build(
+            ctx,
+            &SortedSet::from_sorted_unchecked(elems.clone()),
+        );
+        Self {
+            support,
+            elems,
+            counts,
+        }
+    }
+
+    /// Number of distinct elements.
+    pub fn distinct(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Total number of items (with multiplicity).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Multiplicity of `x` (0 if absent).
+    pub fn multiplicity(&self, x: Elem) -> u32 {
+        match self.elems.binary_search(&x) {
+            Ok(i) => self.counts[i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Bag intersection: common elements with `min` multiplicities,
+    /// ascending by element.
+    pub fn intersect_bag(&self, other: &Self) -> Vec<(Elem, u32)> {
+        let mut common = Vec::new();
+        self.support.intersect_pair_into(&other.support, &mut common);
+        common.sort_unstable();
+        common
+            .into_iter()
+            .map(|x| (x, self.multiplicity(x).min(other.multiplicity(x))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplicities_are_counted() {
+        let ctx = HashContext::new(5);
+        let bag = BagIndex::from_items(&ctx, &[3, 1, 3, 3, 2, 1]);
+        assert_eq!(bag.distinct(), 3);
+        assert_eq!(bag.total(), 6);
+        assert_eq!(bag.multiplicity(3), 3);
+        assert_eq!(bag.multiplicity(1), 2);
+        assert_eq!(bag.multiplicity(9), 0);
+    }
+
+    #[test]
+    fn bag_intersection_takes_min() {
+        let ctx = HashContext::new(5);
+        let a = BagIndex::from_items(&ctx, &[1, 1, 1, 2, 5, 5, 9]);
+        let b = BagIndex::from_items(&ctx, &[1, 1, 5, 5, 5, 7]);
+        assert_eq!(a.intersect_bag(&b), vec![(1, 2), (5, 2)]);
+        assert_eq!(b.intersect_bag(&a), vec![(1, 2), (5, 2)]);
+    }
+
+    #[test]
+    fn disjoint_bags() {
+        let ctx = HashContext::new(5);
+        let a = BagIndex::from_items(&ctx, &[1, 2]);
+        let b = BagIndex::from_items(&ctx, &[3, 4]);
+        assert!(a.intersect_bag(&b).is_empty());
+        let empty = BagIndex::from_items(&ctx, &[]);
+        assert!(a.intersect_bag(&empty).is_empty());
+    }
+}

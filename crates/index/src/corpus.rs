@@ -1,0 +1,145 @@
+//! Synthetic document corpus — the stand-in for the paper's 8M-page
+//! Wikipedia collection.
+//!
+//! What the intersection algorithms observe of a corpus is only the posting
+//! lists: their length distribution (Zipfian, as in natural language) and
+//! their contents (document IDs; effectively uniform once IDs are assigned
+//! randomly, which is also what Lookup's authors \[21\] prescribe). The
+//! generator therefore synthesizes the inverted index directly: term ranks
+//! get Zipf-distributed document frequencies, and each posting list is a
+//! uniform distinct sample of the document space.
+
+use fsi_core::elem::SortedSet;
+use fsi_workloads::synthetic::sample_distinct;
+use fsi_workloads::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Corpus shape parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of documents (the paper: 8M Wikipedia pages).
+    pub num_docs: u32,
+    /// Vocabulary size (number of posting lists to materialize).
+    pub num_terms: usize,
+    /// Zipf exponent for document frequencies (≈1 for natural language).
+    pub zipf_exponent: f64,
+    /// Document frequency of the most frequent term, as a fraction of
+    /// `num_docs` (stop-word-like terms ≈ 0.3).
+    pub max_df_fraction: f64,
+    /// Minimum document frequency.
+    pub min_df: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            num_docs: 1 << 20,
+            num_terms: 1 << 12,
+            zipf_exponent: 1.0,
+            max_df_fraction: 0.3,
+            min_df: 4,
+            seed: 0xc0_4b_05,
+        }
+    }
+}
+
+/// A synthesized corpus: per-term posting lists over `[0, num_docs)`.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    config: CorpusConfig,
+    postings: Vec<SortedSet>,
+}
+
+impl Corpus {
+    /// Generates the corpus (deterministic in the seed).
+    pub fn generate(config: CorpusConfig) -> Self {
+        assert!(config.num_docs > 0 && config.num_terms > 0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let zipf = Zipf::new(config.num_terms, config.zipf_exponent);
+        let top_df = (config.num_docs as f64 * config.max_df_fraction).max(1.0);
+        let postings = (0..config.num_terms)
+            .map(|rank| {
+                // df(rank) ∝ pmf(rank), scaled so rank 0 hits top_df.
+                let df = (top_df * zipf.pmf(rank) / zipf.pmf(0)).round() as u32;
+                let df = df.clamp(config.min_df, config.num_docs);
+                SortedSet::from_sorted_unchecked(sample_distinct(
+                    &mut rng,
+                    df as usize,
+                    config.num_docs as u64,
+                ))
+            })
+            .collect();
+        Self { config, postings }
+    }
+
+    /// Number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> u32 {
+        self.config.num_docs
+    }
+
+    /// The posting list of term `rank` (0 = most frequent).
+    pub fn posting(&self, rank: usize) -> &SortedSet {
+        &self.postings[rank]
+    }
+
+    /// All posting lists, by rank.
+    pub fn postings(&self) -> &[SortedSet] {
+        &self.postings
+    }
+
+    /// Consumes the corpus, returning the posting lists.
+    pub fn into_postings(self) -> Vec<SortedSet> {
+        self.postings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Corpus {
+        Corpus::generate(CorpusConfig {
+            num_docs: 10_000,
+            num_terms: 200,
+            ..CorpusConfig::default()
+        })
+    }
+
+    #[test]
+    fn frequencies_decay_with_rank() {
+        let c = small();
+        assert!(c.posting(0).len() >= c.posting(10).len());
+        assert!(c.posting(10).len() >= c.posting(199).len());
+        // Head term hits the configured fraction.
+        let head = c.posting(0).len() as f64 / c.num_docs() as f64;
+        assert!((head - 0.3).abs() < 0.02, "head df fraction {head}");
+    }
+
+    #[test]
+    fn postings_are_valid_sets() {
+        let c = small();
+        for rank in 0..c.num_terms() {
+            let p = c.posting(rank);
+            assert!(!p.is_empty());
+            assert!(p.as_slice().windows(2).all(|w| w[0] < w[1]));
+            assert!(p.max().unwrap() < c.num_docs());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = small();
+        let b = small();
+        for (pa, pb) in a.postings().iter().zip(b.postings()) {
+            assert_eq!(pa.as_slice(), pb.as_slice());
+        }
+    }
+}

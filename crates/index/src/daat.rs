@@ -1,0 +1,319 @@
+//! Document-at-a-time top-k retrieval over small groups — the combination
+//! the paper proposes in Section 2 ("Score-based pruning"): *"DAAT-approaches
+//! can be combined with our work by using these small groups in place of
+//! individual documents."*
+//!
+//! Each posting list carries per-document scores and, per RanGroupScan
+//! group, the maximum score in the group. A conjunctive top-k query walks
+//! aligned group tuples exactly like Algorithm 5 and skips a tuple when
+//! *either*
+//!
+//! 1. some hash image's word-AND is zero (the paper's emptiness filter), or
+//! 2. the sum of the groups' max-scores cannot beat the current k-th best
+//!    score (the WAND-style upper-bound test of Broder et al. \[8\]),
+//!
+//! so both pruning signals operate at group granularity, as the paper
+//! envisions.
+
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::hash::HashContext;
+use fsi_core::{RanGroupScanIndex, SetIndex};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A posting list with per-document scores, preprocessed for group-level
+/// filtering and score-bound skipping.
+#[derive(Debug, Clone)]
+pub struct ScoredIndex {
+    rgs: RanGroupScanIndex,
+    /// Score per element, parallel to the group-major element array.
+    scores: Vec<f32>,
+    /// Maximum score per group (the DAAT upper bound).
+    group_max: Vec<f32>,
+}
+
+impl ScoredIndex {
+    /// Preprocesses `set` with scores assigned by `score_of` (e.g. a
+    /// BM25-like weight; any non-negative function of the document id).
+    pub fn build(
+        ctx: &HashContext,
+        set: &SortedSet,
+        m: usize,
+        mut score_of: impl FnMut(Elem) -> f32,
+    ) -> Self {
+        let rgs = RanGroupScanIndex::with_m(ctx, set, m);
+        let scores: Vec<f32> = rgs.elems().iter().map(|&x| score_of(x)).collect();
+        let group_max = (0..rgs.num_groups())
+            .map(|z| {
+                let (lo, hi) = rgs.group_bounds(z);
+                scores[lo..hi].iter().copied().fold(0.0f32, f32::max)
+            })
+            .collect();
+        Self {
+            rgs,
+            scores,
+            group_max,
+        }
+    }
+
+    /// Number of documents.
+    pub fn n(&self) -> usize {
+        self.rgs.n()
+    }
+
+    /// The score of the element at group-major position `pos`.
+    fn score_at(&self, pos: usize) -> f32 {
+        self.scores[pos]
+    }
+
+    fn group_range(&self, z: usize) -> (usize, usize) {
+        self.rgs.group_bounds(z)
+    }
+}
+
+/// A scored hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Document id.
+    pub doc: Elem,
+    /// Summed score across the query's lists.
+    pub score: f32,
+}
+
+/// Min-heap entry so the heap root is the current k-th best.
+#[derive(Debug, PartialEq)]
+struct HeapHit(Hit);
+
+impl Eq for HeapHit {}
+
+impl Ord for HeapHit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on score: BinaryHeap is a max-heap, we want the minimum on
+        // top. Tie-break on doc id for determinism.
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .expect("scores are finite")
+            .then_with(|| other.0.doc.cmp(&self.0.doc))
+    }
+}
+
+impl PartialOrd for HeapHit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Statistics from a top-k run (how much each pruning signal saved).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DaatStats {
+    /// Aligned group tuples visited.
+    pub tuples: u64,
+    /// Tuples skipped by the hash-image word filter.
+    pub skipped_by_words: u64,
+    /// Tuples skipped by the score upper bound.
+    pub skipped_by_score: u64,
+}
+
+/// Conjunctive top-k: the `k` highest-scoring documents present in *all*
+/// lists, descending by score (ties broken by ascending doc id).
+pub fn top_k(indexes: &[&ScoredIndex], k: usize) -> (Vec<Hit>, DaatStats) {
+    let mut stats = DaatStats::default();
+    let mut heap: BinaryHeap<HeapHit> = BinaryHeap::with_capacity(k.saturating_add(1).min(4096));
+    if k == 0 || indexes.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let kk = indexes.len();
+    let mut order: Vec<&ScoredIndex> = indexes.to_vec();
+    order.sort_by_key(|ix| ix.rgs.level());
+    let levels: Vec<u32> = order.iter().map(|ix| ix.rgs.level()).collect();
+    let tk = *levels.last().expect("non-empty");
+    let m = order.iter().map(|ix| ix.rgs.m()).min().expect("non-empty");
+
+    let mut cursors = vec![0usize; kk];
+    for zk in 0u64..(1u64 << tk) {
+        stats.tuples += 1;
+        // Word filter (Algorithm 5 line 3).
+        let mut pass = true;
+        'filter: for j in 0..m {
+            let mut and = u64::MAX;
+            for (ix, &ti) in order.iter().zip(&levels) {
+                and &= ix.rgs.group_words((zk >> (tk - ti)) as usize)[j];
+                if and == 0 {
+                    pass = false;
+                    break 'filter;
+                }
+            }
+        }
+        if !pass {
+            stats.skipped_by_words += 1;
+            continue;
+        }
+        // Score upper bound: Σ group maxima must beat the k-th best.
+        let ub: f32 = order
+            .iter()
+            .zip(&levels)
+            .map(|(ix, &ti)| ix.group_max[(zk >> (tk - ti)) as usize])
+            .sum();
+        if heap.len() == k {
+            let threshold = heap.peek().expect("full heap").0.score;
+            if ub <= threshold {
+                stats.skipped_by_score += 1;
+                continue;
+            }
+        }
+        // Merge the groups, accumulating scores.
+        let ranges: Vec<(usize, usize)> = order
+            .iter()
+            .zip(&levels)
+            .map(|(ix, &ti)| ix.group_range((zk >> (tk - ti)) as usize))
+            .collect();
+        for (c, r) in cursors.iter_mut().zip(&ranges) {
+            *c = r.0;
+        }
+        'candidates: loop {
+            if cursors[0] >= ranges[0].1 {
+                break;
+            }
+            let cand = order[0].rgs.elems()[cursors[0]];
+            let mut score = order[0].score_at(cursors[0]);
+            for i in 1..kk {
+                let elems = order[i].rgs.elems();
+                let c = &mut cursors[i];
+                while *c < ranges[i].1 && elems[*c] < cand {
+                    *c += 1;
+                }
+                if *c >= ranges[i].1 {
+                    break 'candidates;
+                }
+                if elems[*c] != cand {
+                    cursors[0] += 1;
+                    continue 'candidates;
+                }
+                score += order[i].score_at(*c);
+            }
+            heap.push(HeapHit(Hit { doc: cand, score }));
+            if heap.len() > k {
+                heap.pop();
+            }
+            cursors[0] += 1;
+        }
+    }
+    let mut hits: Vec<Hit> = heap.into_iter().map(|h| h.0).collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite")
+            .then_with(|| a.doc.cmp(&b.doc))
+    });
+    (hits, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Deterministic synthetic score.
+    fn score(x: Elem) -> f32 {
+        ((x.wrapping_mul(2_654_435_761)) >> 20) as f32 / 4096.0
+    }
+
+    fn brute_force_top_k(sets: &[&SortedSet], k: usize) -> Vec<Hit> {
+        let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+        let mut hits: Vec<Hit> = reference_intersection(&slices)
+            .into_iter()
+            .map(|doc| Hit {
+                doc,
+                score: score(doc) * sets.len() as f32,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite")
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    #[test]
+    fn top_k_matches_brute_force() {
+        let ctx = HashContext::new(909);
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..10 {
+            let n1 = rng.gen_range(100..800);
+            let n2 = rng.gen_range(100..800);
+            let u = 2000u32;
+            let a: SortedSet = (0..n1).map(|_| rng.gen_range(0..u)).collect();
+            let b: SortedSet = (0..n2).map(|_| rng.gen_range(0..u)).collect();
+            let sa = ScoredIndex::build(&ctx, &a, 2, score);
+            let sb = ScoredIndex::build(&ctx, &b, 2, score);
+            for k in [1usize, 5, 20, 10_000] {
+                let (hits, _) = top_k(&[&sa, &sb], k);
+                let want = brute_force_top_k(&[&a, &b], k);
+                assert_eq!(hits.len(), want.len(), "trial {trial} k={k}");
+                for (h, w) in hits.iter().zip(&want) {
+                    assert_eq!(h.doc, w.doc, "trial {trial} k={k}");
+                    assert!((h.score - w.score).abs() < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_list_top_k() {
+        let ctx = HashContext::new(910);
+        let sets: Vec<SortedSet> = vec![
+            (0..3000u32).filter(|x| x % 2 == 0).collect(),
+            (0..3000u32).filter(|x| x % 3 == 0).collect(),
+            (0..3000u32).filter(|x| x % 5 == 0).collect(),
+        ];
+        let idx: Vec<ScoredIndex> = sets
+            .iter()
+            .map(|s| ScoredIndex::build(&ctx, s, 2, score))
+            .collect();
+        let refs: Vec<&ScoredIndex> = idx.iter().collect();
+        let (hits, stats) = top_k(&refs, 10);
+        let set_refs: Vec<&SortedSet> = sets.iter().collect();
+        let want = brute_force_top_k(&set_refs, 10);
+        assert_eq!(
+            hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            want.iter().map(|h| h.doc).collect::<Vec<_>>()
+        );
+        // Both pruning signals must actually fire on this workload.
+        assert!(stats.skipped_by_words > 0, "{stats:?}");
+        assert!(stats.skipped_by_score > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn k_zero_and_empty_lists() {
+        let ctx = HashContext::new(911);
+        let a = ScoredIndex::build(&ctx, &(0..100).collect(), 2, score);
+        let e = ScoredIndex::build(&ctx, &SortedSet::new(), 2, score);
+        assert!(top_k(&[&a], 0).0.is_empty());
+        assert!(top_k(&[&a, &e], 5).0.is_empty());
+        assert!(top_k(&[], 5).0.is_empty());
+    }
+
+    #[test]
+    fn score_pruning_saves_work_without_losing_hits() {
+        // Compare stats at k = 1 (aggressive threshold) vs k = ∞.
+        let ctx = HashContext::new(912);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: SortedSet = (0..4000).map(|_| rng.gen_range(0..20_000u32)).collect();
+        let b: SortedSet = (0..4000).map(|_| rng.gen_range(0..20_000u32)).collect();
+        let sa = ScoredIndex::build(&ctx, &a, 2, score);
+        let sb = ScoredIndex::build(&ctx, &b, 2, score);
+        let (top1, stats1) = top_k(&[&sa, &sb], 1);
+        let (all, stats_all) = top_k(&[&sa, &sb], usize::MAX >> 1);
+        assert!(stats1.skipped_by_score >= stats_all.skipped_by_score);
+        if let Some(best) = all.first() {
+            assert_eq!(top1[0], *best);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-query physical-plan selection — the paper's closing pitch
+//! operationalized: its techniques "are robust in that — for inputs for
+//! which they are not the best-performing approach — they perform close to
+//! the best one", and Section 3.4 already proposes choosing the algorithm
+//! "online, based on n₁/n₂".
+//!
+//! A [`PlannedList`] keeps the two structures whose winning regions the
+//! evaluation maps out — RanGroupScan for balanced sizes and a hash table
+//! for skewed sizes (the sorted list for Merge-style scans lives inside the
+//! RanGroupScan groups, so large-r queries degrade gracefully too). At query
+//! time the [`Planner`] dispatches on the size ratio of the actual operands.
+//!
+//! The default threshold reflects *this repository's measured* crossover
+//! (sr ≈ 8 on a large-L3 machine — see EXPERIMENTS.md); the paper-era value
+//! was ≈ 100. It is a tunable because the right answer is hardware-bound.
+
+use crate::strategy::Strategy;
+use fsi_baselines::HashSetIndex;
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::hash::HashContext;
+use fsi_core::traits::{KIntersect, SetIndex};
+use fsi_core::RanGroupScanIndex;
+
+/// A posting list prepared for both winning regimes.
+#[derive(Debug, Clone)]
+pub struct PlannedList {
+    hash: HashSetIndex,
+    rgs: RanGroupScanIndex,
+}
+
+impl PlannedList {
+    /// Preprocesses `set` for both structures.
+    pub fn build(ctx: &HashContext, set: &SortedSet) -> Self {
+        Self {
+            hash: HashSetIndex::build(set),
+            rgs: RanGroupScanIndex::with_m(ctx, set, 2),
+        }
+    }
+
+    /// Number of elements.
+    pub fn n(&self) -> usize {
+        self.rgs.n()
+    }
+
+    /// Total footprint of both structures.
+    pub fn size_in_bytes(&self) -> usize {
+        self.hash.size_in_bytes() + self.rgs.size_in_bytes()
+    }
+}
+
+/// Which physical plan ran (exposed for tests/telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plan {
+    /// Balanced sizes: Algorithm 5 group filtering.
+    RanGroupScan,
+    /// Skewed sizes: probe the hash tables with the smallest list.
+    HashProbe,
+}
+
+impl Plan {
+    /// The equivalent standalone [`Strategy`].
+    pub fn as_strategy(self) -> Strategy {
+        match self {
+            Plan::RanGroupScan => Strategy::RanGroupScan { m: 2 },
+            Plan::HashProbe => Strategy::Hash,
+        }
+    }
+}
+
+/// The dispatcher.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    /// Size ratio `max nᵢ / min nᵢ` at or above which hash probing wins.
+    pub hash_ratio_threshold: usize,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Self {
+            // Measured crossover on this hardware (EXPERIMENTS.md, ratio
+            // experiment); the paper-era machine crossed near 100.
+            hash_ratio_threshold: 8,
+        }
+    }
+}
+
+impl Planner {
+    /// Decides the plan from operand sizes.
+    pub fn choose(&self, sizes: &[usize]) -> Plan {
+        let min = sizes.iter().copied().min().unwrap_or(0);
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        if min == 0 || max / min.max(1) >= self.hash_ratio_threshold {
+            Plan::HashProbe
+        } else {
+            Plan::RanGroupScan
+        }
+    }
+
+    /// Intersects under the chosen plan; returns which plan ran.
+    pub fn intersect(&self, lists: &[&PlannedList], out: &mut Vec<Elem>) -> Plan {
+        let sizes: Vec<usize> = lists.iter().map(|l| l.n()).collect();
+        let plan = self.choose(&sizes);
+        match plan {
+            Plan::RanGroupScan => {
+                let typed: Vec<&RanGroupScanIndex> = lists.iter().map(|l| &l.rgs).collect();
+                RanGroupScanIndex::intersect_k_into(&typed, out);
+            }
+            Plan::HashProbe => {
+                let typed: Vec<&HashSetIndex> = lists.iter().map(|l| &l.hash).collect();
+                HashSetIndex::intersect_k_into(&typed, out);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn chooses_by_ratio() {
+        let p = Planner::default();
+        assert_eq!(p.choose(&[1000, 1000]), Plan::RanGroupScan);
+        assert_eq!(p.choose(&[1000, 2000]), Plan::RanGroupScan);
+        assert_eq!(p.choose(&[1000, 8000]), Plan::HashProbe);
+        assert_eq!(p.choose(&[100, 500, 80_000]), Plan::HashProbe);
+        assert_eq!(p.choose(&[0, 10]), Plan::HashProbe);
+        assert_eq!(p.choose(&[]), Plan::HashProbe);
+    }
+
+    #[test]
+    fn both_plans_are_correct() {
+        let ctx = HashContext::new(42);
+        let mut rng = StdRng::seed_from_u64(5);
+        let planner = Planner::default();
+        // Balanced.
+        let a: SortedSet = (0..2000).map(|_| rng.gen_range(0..8000u32)).collect();
+        let b: SortedSet = (0..2000).map(|_| rng.gen_range(0..8000u32)).collect();
+        let pa = PlannedList::build(&ctx, &a);
+        let pb = PlannedList::build(&ctx, &b);
+        let mut out = Vec::new();
+        let plan = planner.intersect(&[&pa, &pb], &mut out);
+        assert_eq!(plan, Plan::RanGroupScan);
+        out.sort_unstable();
+        assert_eq!(out, reference_intersection(&[a.as_slice(), b.as_slice()]));
+        // Skewed.
+        let small: SortedSet = (0..50u32).map(|x| x * 160).collect();
+        let ps = PlannedList::build(&ctx, &small);
+        let mut out = Vec::new();
+        let plan = planner.intersect(&[&ps, &pb], &mut out);
+        assert_eq!(plan, Plan::HashProbe);
+        out.sort_unstable();
+        assert_eq!(
+            out,
+            reference_intersection(&[small.as_slice(), b.as_slice()])
+        );
+    }
+
+    #[test]
+    fn threshold_is_tunable() {
+        let p = Planner {
+            hash_ratio_threshold: 1_000_000,
+        };
+        assert_eq!(p.choose(&[10, 100_000]), Plan::RanGroupScan);
+        assert_eq!(Plan::HashProbe.as_strategy().name(), "Hash");
+    }
+
+    #[test]
+    fn k_way_under_both_plans() {
+        let ctx = HashContext::new(43);
+        let mut rng = StdRng::seed_from_u64(6);
+        let planner = Planner::default();
+        let sets: Vec<SortedSet> = (0..3)
+            .map(|_| (0..1500).map(|_| rng.gen_range(0..5000u32)).collect())
+            .collect();
+        let lists: Vec<PlannedList> = sets.iter().map(|s| PlannedList::build(&ctx, s)).collect();
+        let refs: Vec<&PlannedList> = lists.iter().collect();
+        let mut out = Vec::new();
+        planner.intersect(&refs, &mut out);
+        out.sort_unstable();
+        let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+        assert_eq!(out, reference_intersection(&slices));
+    }
+}

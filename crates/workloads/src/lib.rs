@@ -1,0 +1,20 @@
+//! # fsi-workloads — evaluation workload generators
+//!
+//! Reproduces the data side of the paper's Section 4:
+//!
+//! * [`synthetic`] — uniform random sets with exact `(n_i, r, ratio, k)`
+//!   control (Figures 4, 5, 6, 8 and the size-ratio experiment);
+//! * [`querylog`] — the Bing/Wikipedia "real data" workload model, matched to
+//!   all the statistics the paper reports (Figures 7, 9, 12 and the
+//!   introduction's Shopping statistic);
+//! * [`zipf`] — power-law sampling for the synthetic corpus.
+
+pub mod querylog;
+pub mod synthetic;
+pub mod zipf;
+
+pub use querylog::{generate as generate_query_log, measure as measure_workload,
+    plan as plan_query_log, Query, QueryLogConfig, QueryPlan, WorkloadProfile, WorkloadStats};
+pub use synthetic::{k_sets_uniform, k_sets_with_intersection, pair_with_intersection,
+    sample_distinct};
+pub use zipf::Zipf;

@@ -1,0 +1,186 @@
+//! Synthetic set generators reproducing the evaluation setup of Section 4:
+//! uniform random sets with exact control over sizes, intersection size and
+//! size ratios.
+
+use fsi_core::elem::{Elem, SortedSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples `n` **distinct** values uniformly from `[0, universe)`, sorted.
+///
+/// Dense requests (`n` close to `universe`) use selection sampling (Knuth's
+/// Algorithm S, one pass over the universe); sparse requests draw with
+/// rejection via sort+dedup rounds.
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, n: usize, universe: u64) -> Vec<Elem> {
+    assert!(universe <= (u32::MAX as u64) + 1, "universe exceeds u32");
+    assert!((n as u64) <= universe, "cannot draw {n} distinct from {universe}");
+    if n == 0 {
+        return Vec::new();
+    }
+    if (n as u64) * 3 >= universe {
+        // Dense: selection sampling.
+        let mut out = Vec::with_capacity(n);
+        let mut remaining = n as u64;
+        for v in 0..universe {
+            let left = universe - v;
+            if rng.gen_range(0..left) < remaining {
+                out.push(v as Elem);
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+        }
+        out
+    } else {
+        // Sparse: oversample, dedup, top up.
+        let mut out: Vec<Elem> = Vec::with_capacity(n + n / 8 + 16);
+        loop {
+            let need = n - out.len();
+            out.extend((0..need + need / 8 + 8).map(|_| rng.gen_range(0..universe) as Elem));
+            out.sort_unstable();
+            out.dedup();
+            if out.len() >= n {
+                // Too many: drop a random subset to avoid biasing high values.
+                while out.len() > n {
+                    let i = rng.gen_range(0..out.len());
+                    out.swap_remove(i);
+                }
+                out.sort_unstable();
+                return out;
+            }
+        }
+    }
+}
+
+/// Two sets with `|A| = n1`, `|B| = n2` and `|A ∩ B| = r` exactly, drawn from
+/// `[0, universe)` (the generator behind Figures 4, 5 and 8 and the
+/// ratio experiment).
+pub fn pair_with_intersection<R: Rng + ?Sized>(
+    rng: &mut R,
+    n1: usize,
+    n2: usize,
+    r: usize,
+    universe: u64,
+) -> (SortedSet, SortedSet) {
+    let mut sets = k_sets_with_intersection(rng, &[n1, n2], r, universe);
+    let b = sets.pop().expect("two sets");
+    let a = sets.pop().expect("two sets");
+    (a, b)
+}
+
+/// `k` sets with prescribed sizes and `|⋂ L_i| = r` exactly: `r` shared
+/// values plus pairwise-disjoint private remainders.
+pub fn k_sets_with_intersection<R: Rng + ?Sized>(
+    rng: &mut R,
+    sizes: &[usize],
+    r: usize,
+    universe: u64,
+) -> Vec<SortedSet> {
+    assert!(
+        sizes.iter().all(|&n| n >= r),
+        "every set must be at least as large as the intersection"
+    );
+    let total: usize = sizes.iter().map(|&n| n - r).sum::<usize>() + r;
+    let mut pool = sample_distinct(rng, total, universe);
+    pool.shuffle(rng);
+    let (shared, mut rest) = pool.split_at(r);
+    let mut out = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let (private, tail) = rest.split_at(n - r);
+        rest = tail;
+        let mut v = Vec::with_capacity(n);
+        v.extend_from_slice(shared);
+        v.extend_from_slice(private);
+        out.push(SortedSet::from_unsorted(v));
+    }
+    out
+}
+
+/// `k` independent uniform sets of size `n` (the Figure 6 setup: IDs uniform
+/// over `[0, 2·10^8]`, intersection left to chance).
+pub fn k_sets_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    k: usize,
+    n: usize,
+    universe: u64,
+) -> Vec<SortedSet> {
+    (0..k)
+        .map(|_| SortedSet::from_sorted_unchecked(sample_distinct(rng, n, universe)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (n, u) in [(0usize, 10u64), (10, 10), (100, 120), (1000, 1u64 << 32), (5000, 10_000)] {
+            let v = sample_distinct(&mut rng, n, u);
+            assert_eq!(v.len(), n, "n={n} u={u}");
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+            assert!(v.iter().all(|&x| (x as u64) < u), "in range");
+        }
+    }
+
+    #[test]
+    fn sample_distinct_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = sample_distinct(&mut rng, 50_000, 1 << 20);
+        // Mean should be near the middle of the range.
+        let mean = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        let mid = (1u64 << 19) as f64;
+        assert!((mean - mid).abs() < mid * 0.05, "mean {mean} vs {mid}");
+    }
+
+    #[test]
+    fn pair_has_exact_intersection() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (n1, n2, r) in [(100, 100, 0), (100, 100, 1), (500, 2000, 73), (64, 64, 64)] {
+            let (a, b) = pair_with_intersection(&mut rng, n1, n2, r, 1 << 24);
+            assert_eq!(a.len(), n1);
+            assert_eq!(b.len(), n2);
+            assert_eq!(
+                reference_intersection(&[a.as_slice(), b.as_slice()]).len(),
+                r
+            );
+        }
+    }
+
+    #[test]
+    fn k_sets_have_exact_intersection() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sizes = [300usize, 500, 800, 1000];
+        let sets = k_sets_with_intersection(&mut rng, &sizes, 42, 1 << 26);
+        let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+        assert_eq!(reference_intersection(&slices).len(), 42);
+        for (s, &n) in sets.iter().zip(&sizes) {
+            assert_eq!(s.len(), n);
+        }
+    }
+
+    #[test]
+    fn uniform_k_sets_expected_overlap() {
+        // Two uniform 10k sets from a 1M universe: E[r] = n²/U = 100.
+        let mut rng = StdRng::seed_from_u64(5);
+        let sets = k_sets_uniform(&mut rng, 2, 10_000, 1 << 20);
+        let r = reference_intersection(&[sets[0].as_slice(), sets[1].as_slice()]).len();
+        let expect = 10_000f64 * 10_000f64 / (1u64 << 20) as f64;
+        assert!(
+            (r as f64) > expect * 0.5 && (r as f64) < expect * 1.7,
+            "r={r}, expected ≈{expect}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as large")]
+    fn rejects_r_larger_than_sets() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = k_sets_with_intersection(&mut rng, &[10, 5], 7, 1000);
+    }
+}

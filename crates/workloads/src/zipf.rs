@@ -1,0 +1,103 @@
+//! A Zipf (power-law) sampler for term-frequency modelling — the document
+//! frequency distribution real posting lists follow, used by the synthetic
+//! corpus that stands in for the paper's 8M-page Wikipedia collection.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank) ∝ 1/(rank+1)^s`. Sampling is by binary search over the
+/// precomputed CDF (`O(log n)` per draw).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precomputes the CDF for `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s > 0.0, "exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` iff there are no ranks (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let z = Zipf::new(1000, 1.0);
+        assert!(z.cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(10_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut top10 = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            if z.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // Σ_{r<10} 1/(r+1) / H_10000 ≈ 2.93/9.79 ≈ 0.30.
+        let frac = top10 as f64 / trials as f64;
+        assert!(frac > 0.2 && frac < 0.4, "frac={frac}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(500, 1.2);
+        let sum: f64 = (0..500).map(|r| z.pmf(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_cover_valid_range() {
+        let z = Zipf::new(7, 0.8);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+}

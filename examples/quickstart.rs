@@ -1,0 +1,38 @@
+//! Quickstart: preprocess two sets and intersect them with the paper's
+//! flagship algorithm (RanGroupScan, Section 3.3).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fast_set_intersection::{
+    HashContext, KIntersect, PairIntersect, RanGroupScanIndex, SortedSet,
+};
+
+fn main() {
+    // All sets that will ever be intersected together must share one
+    // HashContext (the permutation g and the hash family h_1..h_m).
+    let ctx = HashContext::new(42);
+
+    // The paper's running example (Example 3.1).
+    let l1 = SortedSet::from_unsorted(vec![1001, 1002, 1004, 1009, 1016, 1027, 1043]);
+    let l2 = SortedSet::from_unsorted(vec![
+        1001, 1003, 1005, 1009, 1011, 1016, 1022, 1032, 1034, 1049,
+    ]);
+
+    // Preprocessing: O(n log n), linear space (Theorem 3.10).
+    let a = RanGroupScanIndex::build(&ctx, &l1);
+    let b = RanGroupScanIndex::build(&ctx, &l2);
+
+    // Online: word-filtered group merge (Algorithm 5).
+    let result = a.intersect_pair_sorted(&b);
+    println!("L1 ∩ L2 = {result:?}"); // Example 3.2: {1001, 1009, 1016}
+    assert_eq!(result, vec![1001, 1009, 1016]);
+
+    // k-set intersection works the same way.
+    let l3 = SortedSet::from_unsorted(vec![1001, 1009, 1040, 1049]);
+    let c = RanGroupScanIndex::build(&ctx, &l3);
+    let result = RanGroupScanIndex::intersect_k_sorted(&[&a, &b, &c]);
+    println!("L1 ∩ L2 ∩ L3 = {result:?}");
+    assert_eq!(result, vec![1001, 1009]);
+
+    println!("quickstart OK");
+}

@@ -1,0 +1,68 @@
+//! A small in-memory search engine over a synthetic Zipf corpus — the
+//! paper's motivating application (Section 1: "key operations in enterprise
+//! and web search").
+//!
+//! Builds an inverted index, then answers the same conjunctive queries under
+//! several intersection strategies and reports their latencies.
+//!
+//! Run with: `cargo run --release --example search_engine`
+
+use fast_set_intersection::index::{Corpus, CorpusConfig, SearchEngine, Strategy};
+use fast_set_intersection::HashContext;
+use std::time::Instant;
+
+fn main() {
+    // ~260k documents, 2k terms, Zipf-distributed document frequencies.
+    let corpus = Corpus::generate(CorpusConfig {
+        num_docs: 1 << 18,
+        num_terms: 2_000,
+        ..CorpusConfig::default()
+    });
+    println!(
+        "corpus: {} docs, {} terms, head posting list {} docs",
+        corpus.num_docs(),
+        corpus.num_terms(),
+        corpus.posting(0).len()
+    );
+
+    let engine = SearchEngine::from_corpus(HashContext::new(7), corpus);
+
+    // Conjunctive queries mixing frequent and rare terms (term 0 is the most
+    // frequent; high ranks are rare).
+    let queries: Vec<Vec<usize>> = vec![
+        vec![0, 1],          // two stop-word-like terms: large, balanced lists
+        vec![0, 500],        // frequent ∧ mid-frequency
+        vec![1, 3, 10],      // three frequent terms
+        vec![0, 1500, 1999], // frequent ∧ two rare terms (skewed ratios)
+    ];
+
+    for strategy in [
+        Strategy::Merge,
+        Strategy::Hash,
+        Strategy::Lookup,
+        Strategy::RanGroup,
+        Strategy::RanGroupScan { m: 2 },
+        Strategy::HashBin,
+        Strategy::Auto,
+    ] {
+        let exec = engine.executor(strategy);
+        print!("{:<22}", strategy.name());
+        for q in &queries {
+            let start = Instant::now();
+            let hits = exec.query_unsorted(q);
+            let us = start.elapsed().as_micros();
+            print!("  q{:?}: {:>6} hits {:>6}us", q.len(), hits.len(), us);
+        }
+        println!("  [index: {:.1} MB]", exec.size_in_bytes() as f64 / 1e6);
+    }
+
+    // All strategies must agree.
+    let reference = engine.executor(Strategy::Merge);
+    for q in &queries {
+        let want = reference.query(q);
+        for strategy in [Strategy::RanGroupScan { m: 2 }, Strategy::Auto] {
+            assert_eq!(engine.executor(strategy).query(q), want);
+        }
+    }
+    println!("all strategies agree — search_engine OK");
+}

@@ -1,0 +1,49 @@
+//! # fast-set-intersection
+//!
+//! A from-scratch Rust reproduction of **“Fast Set Intersection in Memory”**
+//! (Bolin Ding, Arnd Christian König, PVLDB 4(4), 2011): worst-case-efficient
+//! in-memory set intersection via small hashed groups represented as machine
+//! words.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! * [`core`] — the paper's algorithms: IntGroup (§3.1), RanGroup
+//!   (§3.2), RanGroupScan (§3.3), HashBin (§3.4), the multi-resolution
+//!   structure (§3.2.1) and the online algorithm selector (§3.4).
+//! * [`baselines`] — the nine competitors of §4 (Merge, SkipList, Hash, BPP,
+//!   Lookup, SvS, Adaptive, BaezaYates, SmallAdaptive).
+//! * [`compress`] — γ/δ posting-list compression and the Lowbits codec
+//!   (§4.1, Appendix B).
+//! * [`index`] — an inverted-index/search substrate with pluggable
+//!   intersection strategies, plus the bag-semantics extension.
+//! * [`workloads`] — the evaluation's synthetic and query-log workload
+//!   generators.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fast_set_intersection::{HashContext, PairIntersect, RanGroupScanIndex, SortedSet};
+//!
+//! let ctx = HashContext::new(42);
+//! let a = RanGroupScanIndex::build(&ctx, &SortedSet::from_unsorted(vec![1, 5, 7, 9]));
+//! let b = RanGroupScanIndex::build(&ctx, &SortedSet::from_unsorted(vec![2, 5, 9, 11]));
+//! assert_eq!(a.intersect_pair_sorted(&b), vec![5, 9]);
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured comparison. The
+//! benchmark harness lives in the `fsi-bench` crate
+//! (`cargo run --release -p fsi-bench --bin paper -- all`).
+
+pub use fsi_baselines as baselines;
+pub use fsi_compress as compress;
+pub use fsi_core as core;
+pub use fsi_index as index;
+pub use fsi_workloads as workloads;
+
+pub use fsi_core::{
+    choose, filtering_stats, intersect_auto, partition_level, reference_intersection, AutoChoice,
+    Elem, FilterStats, HashBinIndex, HashContext, IntGroupIndex, KIntersect, MultiResIndex,
+    PairIntersect, Permutation, RanGroupIndex, RanGroupScanIndex, SetIndex, SortedSet,
+    UniversalHash, SQRT_WORD_BITS, WORD_BITS,
+};

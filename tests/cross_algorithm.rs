@@ -1,0 +1,138 @@
+//! Integration: every algorithm variant in the repository must compute the
+//! same intersections — the paper's algorithms, the nine baselines, and the
+//! compressed structures, across k = 1..5 and all size regimes.
+
+use fast_set_intersection::index::{intersect_sorted, PreparedList, Strategy};
+use fast_set_intersection::workloads::{k_sets_with_intersection, pair_with_intersection};
+use fast_set_intersection::{reference_intersection, HashContext, SortedSet};
+use fsi_compress::{EliasCode, GroupCoding};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn every_strategy() -> Vec<Strategy> {
+    let mut v = Strategy::uncompressed_lineup();
+    v.push(Strategy::Auto);
+    v.push(Strategy::IntGroupOpt);
+    v.push(Strategy::Treap);
+    v.push(Strategy::RanGroupScan { m: 1 });
+    v.push(Strategy::RanGroupScan { m: 8 });
+    v.extend(Strategy::compressed_lineup());
+    v.push(Strategy::MergeCompressed(EliasCode::Gamma));
+    v.push(Strategy::LookupCompressed(EliasCode::Gamma));
+    v.push(Strategy::RgsCompressed(GroupCoding::Elias(EliasCode::Gamma)));
+    v
+}
+
+fn check_all(ctx: &HashContext, sets: &[SortedSet], label: &str) {
+    let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+    let expect = reference_intersection(&slices);
+    for strat in every_strategy() {
+        let prepared: Vec<PreparedList> = sets.iter().map(|s| strat.prepare(ctx, s)).collect();
+        let refs: Vec<&PreparedList> = prepared.iter().collect();
+        assert_eq!(
+            intersect_sorted(&refs),
+            expect,
+            "{} disagrees on {label}",
+            strat.name()
+        );
+    }
+}
+
+#[test]
+fn random_pairs_all_strategies() {
+    let ctx = HashContext::with_family_size(11, 8);
+    let mut rng = StdRng::seed_from_u64(1);
+    for trial in 0..6 {
+        let n1 = rng.gen_range(0..1200);
+        let n2 = rng.gen_range(0..1200);
+        let u = rng.gen_range(1..5000u32);
+        let a: SortedSet = (0..n1).map(|_| rng.gen_range(0..u)).collect();
+        let b: SortedSet = (0..n2).map(|_| rng.gen_range(0..u)).collect();
+        check_all(&ctx, &[a, b], &format!("random pair #{trial}"));
+    }
+}
+
+#[test]
+fn skewed_pairs_all_strategies() {
+    let ctx = HashContext::with_family_size(12, 8);
+    let mut rng = StdRng::seed_from_u64(2);
+    let (a, b) = pair_with_intersection(&mut rng, 25, 5000, 7, 1 << 24);
+    check_all(&ctx, &[a, b], "skew 1:200");
+    let (a, b) = pair_with_intersection(&mut rng, 1, 3000, 1, 1 << 24);
+    check_all(&ctx, &[a, b], "singleton vs large");
+}
+
+#[test]
+fn k_way_all_strategies() {
+    let ctx = HashContext::with_family_size(13, 8);
+    let mut rng = StdRng::seed_from_u64(3);
+    for k in 3..=5usize {
+        let sizes: Vec<usize> = (0..k).map(|i| 200 * (i + 1)).collect();
+        let sets = k_sets_with_intersection(&mut rng, &sizes, 31, 1 << 24);
+        check_all(&ctx, &sets, &format!("k={k} exact-r"));
+    }
+}
+
+#[test]
+fn boundary_sets_all_strategies() {
+    let ctx = HashContext::with_family_size(14, 8);
+    let cases: Vec<(&str, Vec<SortedSet>)> = vec![
+        ("both empty", vec![SortedSet::new(), SortedSet::new()]),
+        (
+            "one empty",
+            vec![SortedSet::new(), (0..100u32).collect()],
+        ),
+        (
+            "identical",
+            vec![(0..500u32).collect(), (0..500u32).collect()],
+        ),
+        (
+            "disjoint ranges",
+            vec![(0..300u32).collect(), (1000..1300u32).collect()],
+        ),
+        (
+            "universe extremes",
+            vec![
+                SortedSet::from_unsorted(vec![0, 1, u32::MAX - 1, u32::MAX]),
+                SortedSet::from_unsorted(vec![0, u32::MAX]),
+            ],
+        ),
+        (
+            "adjacent interleave",
+            vec![
+                (0..1000u32).filter(|x| x % 2 == 0).collect(),
+                (0..1000u32).filter(|x| x % 2 == 1).collect(),
+            ],
+        ),
+    ];
+    for (label, sets) in cases {
+        check_all(&ctx, &sets, label);
+    }
+}
+
+#[test]
+fn different_contexts_give_same_results() {
+    // The result must not depend on the hash seed — only the speed may.
+    let mut rng = StdRng::seed_from_u64(4);
+    let (a, b) = pair_with_intersection(&mut rng, 800, 900, 120, 1 << 22);
+    let expect = reference_intersection(&[a.as_slice(), b.as_slice()]);
+    for seed in [0u64, 1, 0xffff_ffff, u64::MAX] {
+        let ctx = HashContext::with_family_size(seed, 8);
+        for strat in [
+            Strategy::RanGroup,
+            Strategy::RanGroupScan { m: 2 },
+            Strategy::HashBin,
+            Strategy::Auto,
+            Strategy::RgsCompressed(GroupCoding::Lowbits),
+        ] {
+            let pa = strat.prepare(&ctx, &a);
+            let pb = strat.prepare(&ctx, &b);
+            assert_eq!(
+                intersect_sorted(&[&pa, &pb]),
+                expect,
+                "{} seed {seed}",
+                strat.name()
+            );
+        }
+    }
+}

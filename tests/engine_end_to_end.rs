@@ -1,0 +1,92 @@
+//! Integration: the search-engine substrate end to end — corpus generation,
+//! index build, conjunctive queries under every strategy, bag semantics.
+
+use fast_set_intersection::index::{BagIndex, Corpus, CorpusConfig, SearchEngine, Strategy};
+use fast_set_intersection::{reference_intersection, HashContext};
+
+fn engine() -> SearchEngine {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_docs: 30_000,
+        num_terms: 100,
+        seed: 99,
+        ..CorpusConfig::default()
+    });
+    SearchEngine::from_corpus(HashContext::new(77), corpus)
+}
+
+#[test]
+fn conjunctive_queries_agree_across_strategies() {
+    let engine = engine();
+    let queries: Vec<Vec<usize>> = vec![
+        vec![0, 1],
+        vec![0, 50, 99],
+        vec![10, 20, 30, 40],
+        vec![99, 98],
+        vec![7],
+    ];
+    let reference = engine.executor(Strategy::Merge);
+    for strategy in [
+        Strategy::SkipList,
+        Strategy::Hash,
+        Strategy::Bpp,
+        Strategy::Lookup,
+        Strategy::Svs,
+        Strategy::Adaptive,
+        Strategy::BaezaYates,
+        Strategy::SmallAdaptive,
+        Strategy::IntGroup,
+        Strategy::RanGroup,
+        Strategy::RanGroupScan { m: 2 },
+        Strategy::HashBin,
+        Strategy::Auto,
+    ] {
+        let exec = engine.executor(strategy);
+        for q in &queries {
+            assert_eq!(exec.query(q), reference.query(q), "{} {q:?}", strategy.name());
+        }
+    }
+}
+
+#[test]
+fn engine_queries_match_raw_posting_intersection() {
+    let engine = engine();
+    let exec = engine.executor(Strategy::RanGroupScan { m: 4 });
+    for terms in [vec![0usize, 3], vec![5, 6, 7], vec![0, 99]] {
+        let slices: Vec<&[u32]> = terms.iter().map(|&t| engine.posting(t).as_slice()).collect();
+        assert_eq!(exec.query(&terms), reference_intersection(&slices));
+    }
+}
+
+#[test]
+fn empty_and_unit_queries() {
+    let engine = engine();
+    let exec = engine.executor(Strategy::Auto);
+    assert!(exec.query(&[]).is_empty());
+    assert_eq!(exec.query(&[42]), engine.posting(42).as_slice());
+}
+
+#[test]
+fn zipf_head_terms_have_longer_postings() {
+    let engine = engine();
+    assert!(engine.posting(0).len() > engine.posting(50).len());
+    assert!(engine.posting(0).len() > engine.posting(99).len());
+}
+
+#[test]
+fn bag_semantics_over_engine_context() {
+    let ctx = HashContext::new(5);
+    let a = BagIndex::from_items(&ctx, &[1, 1, 2, 3, 3, 3]);
+    let b = BagIndex::from_items(&ctx, &[1, 3, 3, 4]);
+    assert_eq!(a.intersect_bag(&b), vec![(1, 1), (3, 2)]);
+}
+
+#[test]
+fn executor_sizes_rank_as_documented() {
+    let engine = engine();
+    let merge = engine.executor(Strategy::Merge).size_in_bytes();
+    let rgs2 = engine.executor(Strategy::RanGroupScan { m: 2 }).size_in_bytes();
+    let rgs4 = engine.executor(Strategy::RanGroupScan { m: 4 }).size_in_bytes();
+    // The space/speed trade-off of Section 4: more hash images, more space.
+    assert!(merge < rgs2);
+    assert!(rgs2 < rgs4);
+}

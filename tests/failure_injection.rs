@@ -1,0 +1,125 @@
+//! Failure injection: adversarial and degenerate inputs must stay *correct*
+//! (slow is acceptable). The paper's guarantees are expectations over the
+//! hash draw; these tests pin the worst cases the structures can encounter.
+
+use fast_set_intersection::{
+    reference_intersection, HashContext, KIntersect, PairIntersect, RanGroupIndex,
+    RanGroupScanIndex, SortedSet,
+};
+
+/// Everything lands in one group: partition level forced to 0.
+#[test]
+fn single_group_degenerate_partition() {
+    let ctx = HashContext::new(1);
+    let a: SortedSet = (0..5000u32).map(|x| x * 2).collect();
+    let b: SortedSet = (0..5000u32).map(|x| x * 3).collect();
+    let expect = reference_intersection(&[a.as_slice(), b.as_slice()]);
+
+    let ra = RanGroupIndex::with_level(&ctx, &a, 0);
+    let rb = RanGroupIndex::with_level(&ctx, &b, 0);
+    assert_eq!(ra.intersect_pair_sorted(&rb), expect);
+
+    let sa = RanGroupScanIndex::with_m_and_level(&ctx, &a, 2, 0);
+    let sb = RanGroupScanIndex::with_m_and_level(&ctx, &b, 2, 0);
+    assert_eq!(sa.intersect_pair_sorted(&sb), expect);
+}
+
+/// Maximal fragmentation: more groups than elements.
+#[test]
+fn over_partitioned_sets() {
+    let ctx = HashContext::new(2);
+    let a: SortedSet = (0..300u32).collect();
+    let b: SortedSet = (150..450u32).collect();
+    let expect = reference_intersection(&[a.as_slice(), b.as_slice()]);
+    for t in [12u32, 16] {
+        let ra = RanGroupIndex::with_level(&ctx, &a, t);
+        let rb = RanGroupIndex::with_level(&ctx, &b, t);
+        assert_eq!(ra.intersect_pair_sorted(&rb), expect, "t={t}");
+        let sa = RanGroupScanIndex::with_m_and_level(&ctx, &a, 1, t);
+        let sb = RanGroupScanIndex::with_m_and_level(&ctx, &b, 1, t);
+        assert_eq!(sa.intersect_pair_sorted(&sb), expect, "t={t}");
+    }
+}
+
+/// Mixed extreme levels across the k sets.
+#[test]
+fn mixed_partition_levels_k_way() {
+    let ctx = HashContext::new(3);
+    let sets: Vec<SortedSet> = vec![
+        (0..400u32).filter(|x| x % 2 == 0).collect(),
+        (0..400u32).filter(|x| x % 3 == 0).collect(),
+        (0..400u32).filter(|x| x % 5 == 0).collect(),
+    ];
+    let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+    let expect = reference_intersection(&slices);
+    let levels = [0u32, 7, 14];
+    let idx: Vec<RanGroupIndex> = sets
+        .iter()
+        .zip(levels)
+        .map(|(s, t)| RanGroupIndex::with_level(&ctx, s, t))
+        .collect();
+    let refs: Vec<&RanGroupIndex> = idx.iter().collect();
+    assert_eq!(RanGroupIndex::intersect_k_sorted(&refs), expect);
+
+    let idx: Vec<RanGroupScanIndex> = sets
+        .iter()
+        .zip(levels)
+        .map(|(s, t)| RanGroupScanIndex::with_m_and_level(&ctx, s, 3, t))
+        .collect();
+    let refs: Vec<&RanGroupScanIndex> = idx.iter().collect();
+    assert_eq!(RanGroupScanIndex::intersect_k_sorted(&refs), expect);
+}
+
+/// Clustered values (consecutive runs) stress the permutation's mixing.
+#[test]
+fn clustered_and_periodic_values() {
+    for seed in [0u64, 1, 2, 3] {
+        let ctx = HashContext::new(seed);
+        let cases: Vec<(SortedSet, SortedSet)> = vec![
+            // Dense runs.
+            ((0..3000u32).collect(), (1500..4500u32).collect()),
+            // Strided patterns aligned with powers of two (worst case for a
+            // weak multiplicative hash).
+            (
+                (0..2000u32).map(|x| x << 8).collect(),
+                (0..2000u32).map(|x| (x << 8) | 1).collect(),
+            ),
+            // High-bit-only differences.
+            (
+                (0..64u32).map(|x| x << 26).collect(),
+                (0..64u32).map(|x| x << 26).collect(),
+            ),
+        ];
+        for (a, b) in cases {
+            let expect = reference_intersection(&[a.as_slice(), b.as_slice()]);
+            let sa = RanGroupScanIndex::build(&ctx, &a);
+            let sb = RanGroupScanIndex::build(&ctx, &b);
+            assert_eq!(sa.intersect_pair_sorted(&sb), expect, "seed {seed}");
+        }
+    }
+}
+
+/// Many sets, some empty, some tiny.
+#[test]
+fn ragged_k_way() {
+    let ctx = HashContext::new(4);
+    let sets: Vec<SortedSet> = vec![
+        (0..100u32).collect(),
+        SortedSet::from_unsorted(vec![50]),
+        (0..100u32).collect(),
+        SortedSet::new(),
+        (40..60u32).collect(),
+    ];
+    let idx: Vec<RanGroupScanIndex> = sets
+        .iter()
+        .map(|s| RanGroupScanIndex::build(&ctx, s))
+        .collect();
+    let refs: Vec<&RanGroupScanIndex> = idx.iter().collect();
+    assert_eq!(
+        RanGroupScanIndex::intersect_k_sorted(&refs),
+        Vec::<u32>::new()
+    );
+    // Drop the empty set: the singleton 50 must survive.
+    let refs: Vec<&RanGroupScanIndex> = idx[..3].iter().collect();
+    assert_eq!(RanGroupScanIndex::intersect_k_sorted(&refs), vec![50]);
+}

@@ -1,0 +1,153 @@
+//! Property-based tests over the core invariants:
+//! * every algorithm equals the reference intersection on arbitrary inputs;
+//! * the permutation `g` is a bijection;
+//! * codecs round-trip;
+//! * k-set intersection equals folded 2-set intersection.
+
+use fast_set_intersection::{
+    reference_intersection, HashBinIndex, HashContext, IntGroupIndex, KIntersect, MultiResIndex,
+    PairIntersect, Permutation, RanGroupIndex, RanGroupScanIndex, SortedSet,
+};
+use fsi_compress::{
+    BitWriter, CompressedLookup, CompressedPostings, CompressedRgsIndex, EliasCode, GroupCoding,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn sorted_set(max_len: usize) -> impl Strategy<Value = SortedSet> {
+    vec(any::<u32>(), 0..max_len).prop_map(SortedSet::from_unsorted)
+}
+
+/// Values confined to a small universe so intersections are non-trivial.
+fn dense_set(max_len: usize) -> impl Strategy<Value = SortedSet> {
+    vec(0u32..2000, 0..max_len).prop_map(SortedSet::from_unsorted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn permutation_is_bijective(seed in any::<u64>(), xs in vec(any::<u32>(), 0..200)) {
+        let ctx = HashContext::new(seed);
+        let g: &Permutation = ctx.g();
+        for &x in &xs {
+            prop_assert_eq!(g.invert(g.apply(x)), x);
+        }
+    }
+
+    #[test]
+    fn pair_algorithms_match_reference(a in dense_set(400), b in dense_set(400), seed in any::<u64>()) {
+        let ctx = HashContext::with_family_size(seed, 4);
+        let expect = reference_intersection(&[a.as_slice(), b.as_slice()]);
+
+        let ia = IntGroupIndex::build(&ctx, &a);
+        let ib = IntGroupIndex::build(&ctx, &b);
+        prop_assert_eq!(ia.intersect_pair_sorted(&ib), expect.clone());
+
+        let ra = RanGroupIndex::build(&ctx, &a);
+        let rb = RanGroupIndex::build(&ctx, &b);
+        prop_assert_eq!(ra.intersect_pair_sorted(&rb), expect.clone());
+
+        let sa = RanGroupScanIndex::with_m(&ctx, &a, 2);
+        let sb = RanGroupScanIndex::with_m(&ctx, &b, 2);
+        prop_assert_eq!(sa.intersect_pair_sorted(&sb), expect.clone());
+
+        let ha = HashBinIndex::build(&ctx, &a);
+        let hb = HashBinIndex::build(&ctx, &b);
+        prop_assert_eq!(ha.intersect_pair_sorted(&hb), expect.clone());
+
+        let ma = MultiResIndex::build(&ctx, &a);
+        let mb = MultiResIndex::build(&ctx, &b);
+        let mut out = Vec::new();
+        fsi_core::multires::intersect_pair_opt(&ma, &mb, &mut out);
+        out.sort_unstable();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn sparse_universe_pairs_match(a in sorted_set(200), b in sorted_set(200), seed in any::<u64>()) {
+        let ctx = HashContext::with_family_size(seed, 4);
+        let expect = reference_intersection(&[a.as_slice(), b.as_slice()]);
+        let sa = RanGroupScanIndex::build(&ctx, &a);
+        let sb = RanGroupScanIndex::build(&ctx, &b);
+        prop_assert_eq!(sa.intersect_pair_sorted(&sb), expect.clone());
+        let ra = RanGroupIndex::build(&ctx, &a);
+        let rb = RanGroupIndex::build(&ctx, &b);
+        prop_assert_eq!(ra.intersect_pair_sorted(&rb), expect);
+    }
+
+    #[test]
+    fn k_way_equals_pairwise_fold(sets in vec(dense_set(250), 1..5), seed in any::<u64>()) {
+        let ctx = HashContext::with_family_size(seed, 4);
+        let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+        let expect = reference_intersection(&slices);
+        let idx: Vec<RanGroupScanIndex> =
+            sets.iter().map(|s| RanGroupScanIndex::build(&ctx, s)).collect();
+        let refs: Vec<&RanGroupScanIndex> = idx.iter().collect();
+        prop_assert_eq!(RanGroupScanIndex::intersect_k_sorted(&refs), expect.clone());
+        let idx: Vec<RanGroupIndex> =
+            sets.iter().map(|s| RanGroupIndex::build(&ctx, s)).collect();
+        let refs: Vec<&RanGroupIndex> = idx.iter().collect();
+        prop_assert_eq!(RanGroupIndex::intersect_k_sorted(&refs), expect);
+    }
+
+    #[test]
+    fn elias_codes_round_trip(values in vec(1u64..=u32::MAX as u64, 0..300)) {
+        for code in [EliasCode::Gamma, EliasCode::Delta] {
+            let mut w = BitWriter::new();
+            for &v in &values {
+                code.encode(&mut w, v);
+            }
+            let buf = w.finish();
+            let mut r = buf.reader();
+            for &v in &values {
+                prop_assert_eq!(code.decode(&mut r), v);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_postings_round_trip(s in sorted_set(400)) {
+        for code in [EliasCode::Gamma, EliasCode::Delta] {
+            let c = CompressedPostings::build(code, &s);
+            prop_assert_eq!(c.decode_all(), s.as_slice());
+        }
+    }
+
+    #[test]
+    fn compressed_structures_match_reference(a in dense_set(300), b in dense_set(300), seed in any::<u64>()) {
+        let ctx = HashContext::with_family_size(seed, 4);
+        let expect = reference_intersection(&[a.as_slice(), b.as_slice()]);
+        for code in [EliasCode::Gamma, EliasCode::Delta] {
+            let ca = CompressedPostings::build(code, &a);
+            let cb = CompressedPostings::build(code, &b);
+            prop_assert_eq!(ca.intersect_pair_sorted(&cb), expect.clone());
+            let la = CompressedLookup::build(code, &a);
+            let lb = CompressedLookup::build(code, &b);
+            prop_assert_eq!(la.intersect_pair_sorted(&lb), expect.clone());
+        }
+        for coding in [
+            GroupCoding::Lowbits,
+            GroupCoding::Elias(EliasCode::Gamma),
+            GroupCoding::Elias(EliasCode::Delta),
+        ] {
+            let ca = CompressedRgsIndex::build(&ctx, &a, coding);
+            let cb = CompressedRgsIndex::build(&ctx, &b, coding);
+            prop_assert_eq!(ca.intersect_pair_sorted(&cb), expect.clone());
+        }
+    }
+
+    #[test]
+    fn membership_probes_agree(s in dense_set(400), probes in vec(0u32..2500, 0..100), seed in any::<u64>()) {
+        let ctx = HashContext::with_family_size(seed, 4);
+        let ig = IntGroupIndex::build(&ctx, &s);
+        let rg = RanGroupIndex::build(&ctx, &s);
+        let rs = RanGroupScanIndex::build(&ctx, &s);
+        for &x in &probes {
+            let want = s.contains(x);
+            prop_assert_eq!(ig.contains(x), want);
+            prop_assert_eq!(rg.contains(x), want);
+            prop_assert_eq!(rs.contains(x), want);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Statistical validation of the paper's probabilistic claims (Appendix A):
+//! group-size concentration (Proposition A.2) and filtering probability
+//! (Lemmas A.1/A.3). These are claims about distributions, so the tests
+//! check empirical frequencies against the stated bounds with slack.
+
+use fast_set_intersection::{
+    filtering_stats, HashContext, RanGroupScanIndex, SortedSet, SQRT_WORD_BITS,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// δ(w) for w = 64 (Proposition A.2 (iii)): 1 + sqrt(6·ln(4√w)/√w) ≈ 2.61.
+fn delta_w() -> f64 {
+    let sw = (64f64).sqrt();
+    1.0 + (6.0 * (4.0 * sw).ln() / sw).sqrt()
+}
+
+fn group_sizes(idx: &RanGroupScanIndex) -> Vec<usize> {
+    (0..idx.num_groups())
+        .map(|z| idx.group_elems(z).len())
+        .collect()
+}
+
+#[test]
+fn proposition_a2_mean_group_size() {
+    // (i): √w/2 ≤ E[|L^z|] ≤ √w.
+    let mut rng = StdRng::seed_from_u64(1);
+    for trial in 0..5 {
+        let n = rng.gen_range(50_000..200_000usize);
+        let set: SortedSet = (0..n).map(|_| rng.gen::<u32>()).collect();
+        let ctx = HashContext::new(trial);
+        let idx = RanGroupScanIndex::build(&ctx, &set);
+        let sizes = group_sizes(&idx);
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(
+            mean >= SQRT_WORD_BITS as f64 / 2.0 - 0.01 && mean <= SQRT_WORD_BITS as f64 + 0.01,
+            "trial {trial}: mean group size {mean} outside [√w/2, √w]"
+        );
+    }
+}
+
+#[test]
+fn proposition_a2_tail_bound() {
+    // (iii): Pr[|L^z| > δ(w)·√w] ≤ 1/(4√w) = 1/32. Check the empirical
+    // frequency with 2x slack (it is typically far below the bound).
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 400_000usize;
+    let set: SortedSet = (0..n).map(|_| rng.gen::<u32>()).collect();
+    let ctx = HashContext::new(7);
+    let idx = RanGroupScanIndex::build(&ctx, &set);
+    let threshold = delta_w() * SQRT_WORD_BITS as f64;
+    let sizes = group_sizes(&idx);
+    let over = sizes.iter().filter(|&&s| s as f64 > threshold).count();
+    let frac = over as f64 / sizes.len() as f64;
+    assert!(
+        frac <= 2.0 / 32.0,
+        "tail fraction {frac} exceeds twice the Proposition A.2 bound"
+    );
+}
+
+#[test]
+fn lemma_a1_filtering_lower_bound() {
+    // Pr[h(L1^z) ∩ h(L2^z) = ∅ | true intersection empty] ≥ (1−1/√w)^√w
+    // ≈ 0.3436 for w = 64 (groups near √w). Measured, with 15% slack for
+    // group-size variation.
+    let bound = (1.0 - 1.0 / 8.0f64).powi(8);
+    for trial in 0..3 {
+        let ctx = HashContext::with_family_size(100 + trial, 1);
+        let n = 120_000usize;
+        // Disjoint sets: every non-trivial tuple is empty.
+        let a: SortedSet = (0..n as u32).map(|x| 2 * x).collect();
+        let b: SortedSet = (0..n as u32).map(|x| 2 * x + 1).collect();
+        let ia = RanGroupScanIndex::with_m(&ctx, &a, 1);
+        let ib = RanGroupScanIndex::with_m(&ctx, &b, 1);
+        let stats = filtering_stats(&[&ia, &ib], 1);
+        let p = stats.probability(1);
+        assert!(
+            p >= bound * 0.85,
+            "trial {trial}: measured {p} below Lemma A.1 bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn lemma_a3_k_way_filtering_is_constant() {
+    // The k-set filtering probability must stay bounded away from zero as k
+    // grows (Lemma A.3's β(w) is independent of k and the set sizes).
+    let ctx = HashContext::with_family_size(11, 1);
+    for k in 2..=5usize {
+        let sets: Vec<SortedSet> = (0..k)
+            .map(|i| {
+                (0..40_000u32)
+                    .map(|x| x * k as u32 + i as u32) // pairwise disjoint
+                    .collect()
+            })
+            .collect();
+        let idx: Vec<RanGroupScanIndex> = sets
+            .iter()
+            .map(|s| RanGroupScanIndex::with_m(&ctx, s, 1))
+            .collect();
+        let refs: Vec<&RanGroupScanIndex> = idx.iter().collect();
+        let stats = filtering_stats(&refs, 1);
+        let p = stats.probability(1);
+        assert!(p > 0.25, "k={k}: filtering probability {p} collapsed");
+    }
+}
+
+#[test]
+fn more_images_filter_monotonically() {
+    // 1 − (1−β)^m grows in m; the measured curve must be monotone too
+    // (Appendix A.5.2 / Figure 9).
+    let ctx = HashContext::with_family_size(12, 8);
+    let a: SortedSet = (0..60_000u32).map(|x| 3 * x).collect();
+    let b: SortedSet = (0..60_000u32).map(|x| 3 * x + 1).collect();
+    let ia = RanGroupScanIndex::with_m(&ctx, &a, 8);
+    let ib = RanGroupScanIndex::with_m(&ctx, &b, 8);
+    let stats = filtering_stats(&[&ia, &ib], 8);
+    for m in 1..8 {
+        assert!(stats.probability(m + 1) >= stats.probability(m), "m={m}");
+    }
+    assert!(stats.probability(8) > 0.9, "m=8 should filter almost all");
+}

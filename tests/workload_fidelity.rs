@@ -1,0 +1,74 @@
+//! Integration: the workload generators drive the actual algorithms and hit
+//! the statistics the paper reports (cross-crate check: workloads → core).
+
+use fast_set_intersection::index::{intersect_sorted, Strategy};
+use fast_set_intersection::workloads::{
+    generate_query_log, measure_workload, plan_query_log, QueryLogConfig, WorkloadProfile,
+};
+use fast_set_intersection::{reference_intersection, HashContext};
+
+fn cfg(profile: WorkloadProfile, n: usize) -> QueryLogConfig {
+    QueryLogConfig {
+        num_queries: n,
+        scale: 512,
+        universe: 1 << 26,
+        seed: 2024,
+        profile,
+    }
+}
+
+#[test]
+fn query_log_queries_run_through_algorithms() {
+    let ctx = HashContext::new(1);
+    let log = generate_query_log(&cfg(WorkloadProfile::WebSearch, 12));
+    for (qi, q) in log.iter().enumerate() {
+        let slices: Vec<&[u32]> = q.sets.iter().map(|s| s.as_slice()).collect();
+        let expect = reference_intersection(&slices);
+        assert_eq!(expect.len(), q.r, "planned r holds for query {qi}");
+        for strategy in [
+            Strategy::RanGroupScan { m: 4 },
+            Strategy::RanGroup,
+            Strategy::HashBin,
+            Strategy::Merge,
+        ] {
+            let prepared: Vec<_> = q.sets.iter().map(|s| strategy.prepare(&ctx, s)).collect();
+            let refs: Vec<_> = prepared.iter().collect();
+            assert_eq!(
+                intersect_sorted(&refs),
+                expect,
+                "{} on query {qi}",
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn websearch_profile_statistics() {
+    let plans = plan_query_log(&cfg(WorkloadProfile::WebSearch, 5000));
+    let stats = measure_workload(&plans);
+    // Keyword mixture 68/23/6 (±4pp) and r/n1 ≈ 0.19 (±0.05).
+    let frac2 = *stats.by_k.get(&2).unwrap_or(&0) as f64 / plans.len() as f64;
+    assert!((frac2 - 0.68).abs() < 0.04, "k=2 fraction {frac2}");
+    assert!((stats.mean_r_over_n1 - 0.19).abs() < 0.05);
+}
+
+#[test]
+fn shopping_profile_statistics() {
+    let plans = plan_query_log(&cfg(WorkloadProfile::Shopping, 5000));
+    let stats = measure_workload(&plans);
+    assert!((stats.frac_r_le_tenth - 0.94).abs() < 0.04);
+    assert!((stats.frac_r_le_hundredth - 0.76).abs() < 0.05);
+}
+
+#[test]
+fn sets_in_queries_are_size_ordered_and_valid() {
+    let log = generate_query_log(&cfg(WorkloadProfile::WebSearch, 8));
+    for q in &log {
+        assert!(q.sets.windows(2).all(|w| w[0].len() <= w[1].len()));
+        for s in &q.sets {
+            assert!(s.as_slice().windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(q.r <= q.n1());
+    }
+}
