@@ -141,10 +141,7 @@ mod tests {
         let b: SortedSet = (500..1500u32).chain(1_000_500..1_001_500).collect();
         let mut out = Vec::new();
         intersect_adaptive(&[a.as_slice(), b.as_slice()], &mut out);
-        assert_eq!(
-            out,
-            reference_intersection(&[a.as_slice(), b.as_slice()])
-        );
+        assert_eq!(out, reference_intersection(&[a.as_slice(), b.as_slice()]));
     }
 
     #[test]

@@ -46,10 +46,7 @@ impl BppIndex {
         let g = ctx.g();
         let a = ((g.apply(0x5151_5151) as u64) << 32 | g.apply(0xabab_abab) as u64) | 1;
         let b = (g.apply(0x1234_5678) as u64) << 32 | g.apply(0x9abc_def0) as u64;
-        let mut pairs: Vec<(u32, Elem)> = set
-            .iter()
-            .map(|x| (sig(a, b, x), x))
-            .collect();
+        let mut pairs: Vec<(u32, Elem)> = set.iter().map(|x| (sig(a, b, x), x)).collect();
         pairs.sort_unstable();
         let (sigs, keys) = pairs.into_iter().unzip();
         Self { sigs, keys, a, b }

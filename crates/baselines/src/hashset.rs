@@ -140,7 +140,9 @@ mod tests {
 
     #[test]
     fn probes_match_membership() {
-        let set: SortedSet = (0..4096u32).map(|x| x.wrapping_mul(2_654_435_761)).collect();
+        let set: SortedSet = (0..4096u32)
+            .map(|x| x.wrapping_mul(2_654_435_761))
+            .collect();
         let idx = HashSetIndex::build(&set);
         for &x in set.as_slice() {
             assert!(idx.contains(x));

@@ -81,7 +81,7 @@ impl LookupIndex {
     /// Elements of bucket `b` (empty slice if outside the directory).
     #[inline]
     pub fn bucket(&self, b: u32) -> &[Elem] {
-        debug_assert!(self.dir.len() >= 1);
+        debug_assert!(!self.dir.is_empty());
         let Some(rel) = b.checked_sub(self.first_bucket) else {
             return &[];
         };

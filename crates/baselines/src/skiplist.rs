@@ -165,7 +165,8 @@ mod tests {
         for _ in 0..2000 {
             let target = rng.gen_range(0..16_000u32);
             let finger = rng.gen_range(0..=v.len());
-            let expect = lower_bound(v, finger.min(v.len()), v.len(), target).max(finger.min(v.len()));
+            let expect =
+                lower_bound(v, finger.min(v.len()), v.len(), target).max(finger.min(v.len()));
             assert_eq!(sl.seek(target, finger), expect, "t={target} f={finger}");
         }
     }

@@ -116,7 +116,11 @@ impl SetIndex for TreapIndex {
     }
 
     fn size_in_bytes(&self) -> usize {
-        self.values.len() * 4 + self.priority.len() * 4 + self.left.len() * 4 + self.right.len() * 4 + 4
+        self.values.len() * 4
+            + self.priority.len() * 4
+            + self.left.len() * 4
+            + self.right.len() * 4
+            + 4
     }
 }
 
@@ -193,7 +197,14 @@ impl TreapIndex {
                 }
             }
         }
-        self.intersect_bounded(other, self.left[a as usize], left_sub, lo, va.saturating_sub(1), out);
+        self.intersect_bounded(
+            other,
+            self.left[a as usize],
+            left_sub,
+            lo,
+            va.saturating_sub(1),
+            out,
+        );
         if found {
             out.push(va);
         }
@@ -308,10 +319,7 @@ mod tests {
         assert_eq!(e.intersect_pair_sorted(&one), Vec::<u32>::new());
         assert_eq!(one.intersect_pair_sorted(&one), vec![5]);
         let extremes = TreapIndex::build(&SortedSet::from_unsorted(vec![0, u32::MAX]));
-        assert_eq!(
-            extremes.intersect_pair_sorted(&extremes),
-            vec![0, u32::MAX]
-        );
+        assert_eq!(extremes.intersect_pair_sorted(&extremes), vec![0, u32::MAX]);
     }
 
     #[test]

@@ -52,13 +52,16 @@ fn ablation_partition_level(c: &mut Criterion) {
         let ia = RanGroupScanIndex::with_m_and_level(&ctx, &a, 2, t);
         let ib = RanGroupScanIndex::with_m_and_level(&ctx, &b, 2, t);
         let mut out = Vec::new();
-        g.bench_function(BenchmarkId::from_parameter(format!("{offset:+}")), |bench| {
-            bench.iter(|| {
-                out.clear();
-                ia.intersect_pair_into(&ib, &mut out);
-                out.len()
-            })
-        });
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("{offset:+}")),
+            |bench| {
+                bench.iter(|| {
+                    out.clear();
+                    ia.intersect_pair_into(&ib, &mut out);
+                    out.len()
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -87,5 +90,10 @@ fn ablation_m(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(ablations, ablation_group_size, ablation_partition_level, ablation_m);
+criterion_group!(
+    ablations,
+    ablation_group_size,
+    ablation_partition_level,
+    ablation_m
+);
 criterion_main!(ablations);

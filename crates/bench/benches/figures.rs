@@ -27,7 +27,13 @@ fn prepare_pair(
     (strategy.prepare(ctx, a), strategy.prepare(ctx, b))
 }
 
-fn bench_pair(c: &mut Criterion, group: &str, strategies: &[Strategy], a: &SortedSet, b: &SortedSet) {
+fn bench_pair(
+    c: &mut Criterion,
+    group: &str,
+    strategies: &[Strategy],
+    a: &SortedSet,
+    b: &SortedSet,
+) {
     let ctx = HashContext::with_family_size(7, 8);
     let mut g = c.benchmark_group(group);
     g.sample_size(10)

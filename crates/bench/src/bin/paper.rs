@@ -34,9 +34,7 @@ use fsi_compress::{CompressedPostings, CompressedRgsIndex, EliasCode, GroupCodin
 use fsi_core::elem::SortedSet;
 use fsi_core::hash::HashContext;
 use fsi_core::traits::SetIndex;
-use fsi_core::{
-    filtering_stats, HashBinIndex, IntGroupIndex, RanGroupIndex, RanGroupScanIndex,
-};
+use fsi_core::{filtering_stats, HashBinIndex, IntGroupIndex, RanGroupIndex, RanGroupScanIndex};
 use fsi_index::strategy::{intersect_into, PreparedList, Strategy};
 use fsi_workloads::querylog::{self, QueryLogConfig, WorkloadProfile};
 use fsi_workloads::synthetic::{k_sets_uniform, pair_with_intersection};
@@ -179,7 +177,10 @@ fn lineup_row(
 // ---------------------------------------------------------------- fig4
 
 fn fig4(opts: &Opts) {
-    header("Figure 4: varying the set size (2 sets, equal size, r = 1%)", opts);
+    header(
+        "Figure 4: varying the set size (2 sets, equal size, r = 1%)",
+        opts,
+    );
     let ctx = ctx(opts);
     let lineup = [
         Strategy::Merge,
@@ -216,7 +217,10 @@ fn universe_for(total: usize) -> u64 {
 // ---------------------------------------------------------------- fig5
 
 fn fig5(opts: &Opts) {
-    header("Figure 5: varying the intersection size (2 sets of 10M)", opts);
+    header(
+        "Figure 5: varying the intersection size (2 sets of 10M)",
+        opts,
+    );
     let ctx = ctx(opts);
     let n = 10_000_000 / opts.scale;
     let lineup = [
@@ -239,7 +243,14 @@ fn fig5(opts: &Opts) {
     for r_frac in [0.00005, 0.01, 0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
         let r = ((n as f64) * r_frac) as usize;
         let (a, b) = pair_with_intersection(&mut rng, n, n, r, universe_for(2 * n));
-        lineup_row(&mut t, format!("{r_frac:.2}"), &lineup, &ctx, &[&a, &b], opts.reps);
+        lineup_row(
+            &mut t,
+            format!("{r_frac:.2}"),
+            &lineup,
+            &ctx,
+            &[&a, &b],
+            opts.reps,
+        );
     }
     t.print();
     println!("(paper: RanGroupScan/IntGroup best for r < 0.7n; Merge best beyond, RanGroupScan 2nd and close)");
@@ -295,7 +306,10 @@ fn ratio(opts: &Opts) {
 // ---------------------------------------------------------------- fig6
 
 fn fig6(opts: &Opts) {
-    header("Figure 6: varying the number of keywords (|Li| = 10M, uniform IDs)", opts);
+    header(
+        "Figure 6: varying the number of keywords (|Li| = 10M, uniform IDs)",
+        opts,
+    );
     let ctx = ctx(opts);
     let n = 10_000_000 / opts.scale;
     let universe = (200_000_000 / opts.scale) as u64;
@@ -329,13 +343,21 @@ fn fig6(opts: &Opts) {
 // ---------------------------------------------------------------- space
 
 fn space(opts: &Opts) {
-    header("Structure sizes (Section 4 'Size of the Data Structure')", opts);
+    header(
+        "Structure sizes (Section 4 'Size of the Data Structure')",
+        opts,
+    );
     let ctx = ctx(opts);
     let n = 4_000_000 / opts.scale;
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let (a, _) = pair_with_intersection(&mut rng, n, n, n / 100, universe_for(2 * n));
     let base = n * 4; // uncompressed posting list, 4 bytes per ID
-    let mut t = Table::new(vec!["structure", "bytes", "overhead vs posting list", "paper"]);
+    let mut t = Table::new(vec![
+        "structure",
+        "bytes",
+        "overhead vs posting list",
+        "paper",
+    ]);
     let entries: Vec<(String, usize, &str)> = vec![
         ("posting list (Merge)".into(), base, "—"),
         (
@@ -473,7 +495,10 @@ fn fig7(opts: &Opts) {
 }
 
 fn fig12(opts: &Opts) {
-    header("Figure 12: real workload broken down by keyword count", opts);
+    header(
+        "Figure 12: real workload broken down by keyword count",
+        opts,
+    );
     let run = run_workload(opts, workload_lineup());
     for k in 2..=4usize {
         println!("-- {k}-keyword queries --");
@@ -531,7 +556,10 @@ fn fig8(opts: &Opts) {
 // ---------------------------------------------------------------- compressed_real
 
 fn compressed_real(opts: &Opts) {
-    header("Compressed variants on the real workload (Section 4.1)", opts);
+    header(
+        "Compressed variants on the real workload (Section 4.1)",
+        opts,
+    );
     let lineup = vec![
         Strategy::MergeCompressed(EliasCode::Delta),
         Strategy::MergeCompressed(EliasCode::Gamma),
@@ -545,8 +573,8 @@ fn compressed_real(opts: &Opts) {
         .iter()
         .position(|s| *s == Strategy::RgsCompressed(GroupCoding::Lowbits))
         .expect("lowbits in lineup");
-    let mean_low: f64 = run.times.iter().map(|(_, row)| row[low_col]).sum::<f64>()
-        / run.times.len() as f64;
+    let mean_low: f64 =
+        run.times.iter().map(|(_, row)| row[low_col]).sum::<f64>() / run.times.len() as f64;
     let worst_low = run
         .times
         .iter()
@@ -575,7 +603,9 @@ fn compressed_real(opts: &Opts) {
         ]);
     }
     t.print();
-    println!("(paper also reports worst-case latency 4.4-5.6x higher for the compressed baselines)");
+    println!(
+        "(paper also reports worst-case latency 4.4-5.6x higher for the compressed baselines)"
+    );
 }
 
 // ---------------------------------------------------------------- fig9
@@ -660,7 +690,10 @@ fn time_build<T>(reps: usize, f: impl Fn() -> T) -> Duration {
 }
 
 fn fig10(opts: &Opts) {
-    header("Figure 10: preprocessing overhead (uncompressed structures)", opts);
+    header(
+        "Figure 10: preprocessing overhead (uncompressed structures)",
+        opts,
+    );
     let ctx = ctx(opts);
     let mut t = Table::new(vec![
         "set size",
@@ -695,7 +728,10 @@ fn fig10(opts: &Opts) {
 }
 
 fn fig11(opts: &Opts) {
-    header("Figure 11: preprocessing overhead (compressed structures)", opts);
+    header(
+        "Figure 11: preprocessing overhead (compressed structures)",
+        opts,
+    );
     let ctx = ctx(opts);
     let mut t = Table::new(vec![
         "set size",
@@ -722,10 +758,12 @@ fn fig11(opts: &Opts) {
         let rgs_delta = time_build(opts.reps, || {
             CompressedRgsIndex::build(&ctx, &sorted, GroupCoding::Elias(EliasCode::Delta))
         });
-        let merge_gamma =
-            time_build(opts.reps, || CompressedPostings::build(EliasCode::Gamma, &sorted));
-        let merge_delta =
-            time_build(opts.reps, || CompressedPostings::build(EliasCode::Delta, &sorted));
+        let merge_gamma = time_build(opts.reps, || {
+            CompressedPostings::build(EliasCode::Gamma, &sorted)
+        });
+        let merge_delta = time_build(opts.reps, || {
+            CompressedPostings::build(EliasCode::Delta, &sorted)
+        });
         t.row(vec![
             format!("{n}"),
             fmt_ms(ms(sort_d)),
@@ -794,7 +832,8 @@ fn ablation_group_size(opts: &Opts) {
     let mut t = Table::new(vec!["sr", "IntGroup (s=8)", "IntGroupOpt (Thm 3.4)"]);
     for sr in [1usize, 8, 64, 512] {
         let n1 = (n / sr).max(16);
-        let (a, b) = pair_with_intersection(&mut rng, n1, n, (n1 / 100).max(1), universe_for(n1 + n));
+        let (a, b) =
+            pair_with_intersection(&mut rng, n1, n, (n1 / 100).max(1), universe_for(n1 + n));
         let ia = IntGroupIndex::build(&ctx, &a);
         let ib = IntGroupIndex::build(&ctx, &b);
         let oa = fsi_core::IntGroupOptIndex::build(&ctx, &a);
@@ -810,7 +849,11 @@ fn ablation_group_size(opts: &Opts) {
             fsi_core::traits::PairIntersect::intersect_pair_into(&oa, &ob, &mut out);
             out.len()
         });
-        t.row(vec![format!("{sr}"), fmt_ms(ms(d_fixed)), fmt_ms(ms(d_opt))]);
+        t.row(vec![
+            format!("{sr}"),
+            fmt_ms(ms(d_fixed)),
+            fmt_ms(ms(d_opt)),
+        ]);
     }
     t.print();
     println!("(Appendix A.1.1: optimal widths s* = sqrt(w*n1/n2) pay off as the size ratio grows)");
@@ -843,7 +886,12 @@ fn ablation_m(opts: &Opts) {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let (a, b) = pair_with_intersection(&mut rng, n, n, n / 1000, universe_for(2 * n));
     let four: Vec<SortedSet> = k_sets_uniform(&mut rng, 4, n, universe_for(4 * n));
-    let mut t = Table::new(vec!["m", "2-set time (ms)", "4-set time (ms)", "bytes/elem"]);
+    let mut t = Table::new(vec![
+        "m",
+        "2-set time (ms)",
+        "4-set time (ms)",
+        "bytes/elem",
+    ]);
     for m in [1usize, 2, 4, 6, 8] {
         let ia = RanGroupScanIndex::with_m(&ctx, &a, m);
         let ib = RanGroupScanIndex::with_m(&ctx, &b, m);
@@ -875,12 +923,20 @@ fn ablation_m(opts: &Opts) {
 }
 
 fn ablation_bucket_width(opts: &Opts) {
-    header("Ablation: Lookup bucket width B (Section 4: 'B = 32 ... best value')", opts);
+    header(
+        "Ablation: Lookup bucket width B (Section 4: 'B = 32 ... best value')",
+        opts,
+    );
     let n = 2_000_000 / opts.scale;
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let (a, b) = pair_with_intersection(&mut rng, n, n, n / 100, universe_for(2 * n));
     let (s1, s2) = pair_with_intersection(&mut rng, n / 100, n, n / 10_000, universe_for(n));
-    let mut t = Table::new(vec!["B", "balanced (ms)", "skewed 1:100 (ms)", "dir bytes/elem"]);
+    let mut t = Table::new(vec![
+        "B",
+        "balanced (ms)",
+        "skewed 1:100 (ms)",
+        "dir bytes/elem",
+    ]);
     for log2b in [2u32, 3, 4, 5, 6, 7, 8] {
         let ia = fsi_baselines::LookupIndex::with_bucket_log2(&a, log2b);
         let ib = fsi_baselines::LookupIndex::with_bucket_log2(&b, log2b);
@@ -897,8 +953,7 @@ fn ablation_bucket_width(opts: &Opts) {
             fsi_core::traits::PairIntersect::intersect_pair_into(&ja, &jb, &mut out);
             out.len()
         });
-        let dir_per_elem =
-            (ia.size_in_bytes() as f64 - (ia.n() * 4) as f64) / ia.n() as f64;
+        let dir_per_elem = (ia.size_in_bytes() as f64 - (ia.n() * 4) as f64) / ia.n() as f64;
         t.row(vec![
             format!("{}", 1u32 << log2b),
             fmt_ms(ms(d_bal)),
@@ -911,7 +966,10 @@ fn ablation_bucket_width(opts: &Opts) {
 }
 
 fn planner_eval(opts: &Opts) {
-    header("Planner: per-query physical-plan choice vs fixed strategies", opts);
+    header(
+        "Planner: per-query physical-plan choice vs fixed strategies",
+        opts,
+    );
     let ctx = ctx(opts);
     let cfg = QueryLogConfig {
         num_queries: opts.queries,
@@ -954,9 +1012,21 @@ fn planner_eval(opts: &Opts) {
         fmt_ms(t_planner / nq),
         format!("{} RanGroupScan / {} HashProbe", plans[0], plans[1]),
     ]);
-    t.row(vec!["RanGroupScan(m=2) always".to_string(), fmt_ms(t_rgs / nq), String::new()]);
-    t.row(vec!["Hash always".to_string(), fmt_ms(t_hash / nq), String::new()]);
-    t.row(vec!["Merge always".to_string(), fmt_ms(t_merge / nq), String::new()]);
+    t.row(vec![
+        "RanGroupScan(m=2) always".to_string(),
+        fmt_ms(t_rgs / nq),
+        String::new(),
+    ]);
+    t.row(vec![
+        "Hash always".to_string(),
+        fmt_ms(t_hash / nq),
+        String::new(),
+    ]);
+    t.row(vec![
+        "Merge always".to_string(),
+        fmt_ms(t_merge / nq),
+        String::new(),
+    ]);
     t.print();
     println!("(the conclusion's robustness claim: the per-query choice should track the best fixed strategy)");
 }
@@ -984,8 +1054,7 @@ fn verify(opts: &Opts) {
         let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
         let expect = fsi_core::reference_intersection(&slices);
         for &strat in &strategies {
-            let prepared: Vec<PreparedList> =
-                sets.iter().map(|s| strat.prepare(&ctx, s)).collect();
+            let prepared: Vec<PreparedList> = sets.iter().map(|s| strat.prepare(&ctx, s)).collect();
             let refs: Vec<&PreparedList> = prepared.iter().collect();
             let got = fsi_index::strategy::intersect_sorted(&refs);
             assert_eq!(got, expect, "{} diverged on trial {trial}", strat.name());
@@ -994,7 +1063,10 @@ fn verify(opts: &Opts) {
             println!("  {} / {trials} trials verified", trial + 1);
         }
     }
-    println!("all {} strategies agree with the reference on {trials} random k-way inputs", strategies.len());
+    println!(
+        "all {} strategies agree with the reference on {trials} random k-way inputs",
+        strategies.len()
+    );
 }
 
 // ---------------------------------------------------------------- shared helpers

@@ -1,0 +1,133 @@
+//! Serving-layer throughput benchmark.
+//!
+//! Builds a Zipf corpus, shards it, replays a Zipf-skewed query stream
+//! through the worker pool at 1/2/4 workers, and records the scaling
+//! baseline plus cache behaviour into `BENCH_serve.json` (hand-rolled
+//! JSON: this environment has no registry access, so no serde).
+//!
+//! Usage: `cargo run --release -p fsi-bench --bin serve -- [out.json]`
+
+use fsi_bench::{ms, Table};
+use fsi_core::HashContext;
+use fsi_index::{Corpus, CorpusConfig, SearchEngine, Strategy};
+use fsi_serve::{ExecMode, QueryCache, QueryPool, ShardedEngine};
+use fsi_workloads::stream::{generate_stream, repeat_rate, QueryStreamConfig};
+
+const NUM_DOCS: u32 = 400_000;
+const NUM_TERMS: usize = 1 << 11;
+const NUM_QUERIES: usize = 4_000;
+const NUM_SHARDS: usize = 4;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct ScalingRow {
+    workers: usize,
+    qps: f64,
+    wall_ms: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    println!(
+        "corpus: {NUM_DOCS} docs x {NUM_TERMS} terms, {NUM_SHARDS} shards; \
+         stream: {NUM_QUERIES} Zipf queries"
+    );
+    let corpus = Corpus::generate(CorpusConfig {
+        num_docs: NUM_DOCS,
+        num_terms: NUM_TERMS,
+        ..CorpusConfig::default()
+    });
+    let ctx = HashContext::new(fsi_bench::HARNESS_SEED);
+    let stream = generate_stream(&QueryStreamConfig {
+        num_queries: NUM_QUERIES,
+        num_terms: NUM_TERMS,
+        ..QueryStreamConfig::default()
+    });
+    let stream_repeat_rate = repeat_rate(&stream);
+    println!("stream repeat rate: {stream_repeat_rate:.3}\n");
+
+    let strategy = Strategy::RanGroupScan { m: 2 };
+    // One prepared sharded engine shared by every run: only the pool width
+    // and cache vary, so the expensive preprocessing happens once and all
+    // compared runs measure the identical index.
+    let engine = SearchEngine::from_corpus(ctx, corpus);
+    let sharded = ShardedEngine::build(&engine, NUM_SHARDS, ExecMode::Fixed(strategy));
+
+    // Scaling baseline: cache disabled so every query exercises the shards.
+    let mut scaling = Vec::new();
+    let mut table = Table::new(vec!["workers", "qps", "batch ms", "p50 us", "p99 us"]);
+    for &workers in &WORKER_COUNTS {
+        let pool = QueryPool::new(workers);
+        // Warm-up pass, then the measured pass.
+        let _ = pool.run_batch(&sharded, None, &stream[..stream.len() / 4]);
+        let outcome = pool.run_batch(&sharded, None, &stream);
+        table.row(vec![
+            workers.to_string(),
+            format!("{:.0}", outcome.throughput_qps),
+            format!("{:.1}", ms(outcome.wall)),
+            format!("{:.1}", outcome.latency.p50_us),
+            format!("{:.1}", outcome.latency.p99_us),
+        ]);
+        scaling.push(ScalingRow {
+            workers,
+            qps: outcome.throughput_qps,
+            wall_ms: ms(outcome.wall),
+            p50_us: outcome.latency.p50_us,
+            p99_us: outcome.latency.p99_us,
+        });
+    }
+    table.print();
+
+    // Cache-fronted run at the widest worker count, same engine.
+    let workers = *WORKER_COUNTS.last().expect("non-empty");
+    let cache = QueryCache::new(8192, 8);
+    let pool = QueryPool::new(workers);
+    let cold = pool.run_batch(&sharded, Some(&cache), &stream);
+    let warm = pool.run_batch(&sharded, Some(&cache), &stream);
+    let cache_stats = cache.stats();
+    println!(
+        "\ncache: cold {:.0} q/s (hits {}), warm {:.0} q/s (hits {}), hit rate {:.3}",
+        cold.throughput_qps,
+        cold.cache_hits,
+        warm.throughput_qps,
+        warm.cache_hits,
+        cache_stats.hit_rate()
+    );
+
+    let scaling_json: Vec<String> = scaling
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workers\": {}, \"qps\": {:.1}, \"batch_ms\": {:.2}, \
+                 \"p50_us\": {:.2}, \"p99_us\": {:.2}}}",
+                r.workers, r.qps, r.wall_ms, r.p50_us, r.p99_us
+            )
+        })
+        .collect();
+    // Scaling numbers are only meaningful relative to the cores actually
+    // available (CI containers are often single-core).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"config\": {{\n    \"num_docs\": {NUM_DOCS},\n    \
+         \"num_terms\": {NUM_TERMS},\n    \"num_queries\": {NUM_QUERIES},\n    \
+         \"num_shards\": {NUM_SHARDS},\n    \"available_cores\": {cores},\n    \
+         \"strategy\": \"{}\",\n    \
+         \"stream_repeat_rate\": {stream_repeat_rate:.4}\n  }},\n  \"scaling\": [\n{}\n  ],\n  \
+         \"cache\": {{\n    \"capacity\": 8192,\n    \"workers\": {workers},\n    \
+         \"cold_qps\": {:.1},\n    \"warm_qps\": {:.1},\n    \"warm_hits\": {},\n    \
+         \"hit_rate\": {:.4},\n    \"evictions\": {}\n  }}\n}}\n",
+        strategy.name(),
+        scaling_json.join(",\n"),
+        cold.throughput_qps,
+        warm.throughput_qps,
+        warm.cache_hits,
+        cache_stats.hit_rate(),
+        cache_stats.evictions,
+    );
+    std::fs::write(&out_path, json).expect("write benchmark output");
+    println!("\nwrote {out_path}");
+}

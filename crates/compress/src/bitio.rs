@@ -212,7 +212,12 @@ mod tests {
             let items: Vec<(u64, u32)> = (0..200)
                 .map(|_| {
                     let nbits = rng.gen_range(1..=64);
-                    let v = rng.gen::<u64>() & if nbits == 64 { u64::MAX } else { (1 << nbits) - 1 };
+                    let v = rng.gen::<u64>()
+                        & if nbits == 64 {
+                            u64::MAX
+                        } else {
+                            (1 << nbits) - 1
+                        };
                     (v, nbits)
                 })
                 .collect();

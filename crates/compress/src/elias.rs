@@ -9,7 +9,7 @@
 use crate::bitio::{BitReader, BitWriter};
 
 /// Which Elias code a structure uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EliasCode {
     /// Elias γ.
     Gamma,
@@ -57,7 +57,7 @@ pub fn encode_gamma(w: &mut BitWriter, x: u64) {
 /// Reads γ⁻¹.
 pub fn decode_gamma(r: &mut BitReader<'_>) -> u64 {
     let n = r.read_unary() as u32; // zeros consumed, terminating 1 consumed
-    // The terminating 1 is the value's leading bit.
+                                   // The terminating 1 is the value's leading bit.
     (1u64 << n) | r.read_bits(n)
 }
 
@@ -147,7 +147,9 @@ mod tests {
     fn random_round_trips() {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..20 {
-            let vals: Vec<u64> = (0..500).map(|_| rng.gen_range(1..=u32::MAX as u64)).collect();
+            let vals: Vec<u64> = (0..500)
+                .map(|_| rng.gen_range(1..=u32::MAX as u64))
+                .collect();
             round_trip(EliasCode::Gamma, &vals);
             round_trip(EliasCode::Delta, &vals);
         }

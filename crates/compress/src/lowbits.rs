@@ -28,7 +28,7 @@ use fsi_core::hash::{
 use fsi_core::traits::{KIntersect, PairIntersect, SetIndex};
 
 /// Element coding inside a group.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GroupCoding {
     /// Appendix B: fixed-width low bits of `g(x)`.
     Lowbits,
@@ -109,10 +109,7 @@ impl CompressedRgsIndex {
             match coding {
                 GroupCoding::Lowbits => {
                     for &gv in group {
-                        w.write_bits(
-                            (gv & low_mask(elem_width)) as u64,
-                            elem_width,
-                        );
+                        w.write_bits((gv & low_mask(elem_width)) as u64, elem_width);
                     }
                 }
                 GroupCoding::Elias(code) => {
@@ -173,7 +170,10 @@ impl CompressedRgsIndex {
     fn assert_compatible(indexes: &[&Self]) {
         if let Some((first, rest)) = indexes.split_first() {
             for ix in rest {
-                assert_eq!(first.g, ix.g, "indexes built under different permutations g");
+                assert_eq!(
+                    first.g, ix.g,
+                    "indexes built under different permutations g"
+                );
                 let m = first.m.min(ix.m);
                 assert!(
                     first.hs[..m] == ix.hs[..m],
@@ -347,9 +347,7 @@ impl KIntersect for CompressedRgsIndex {
                     for c in cursors.iter_mut() {
                         c.ensure_decoded();
                     }
-                    merge_k_cursors(&cursors, &mut merge_cursors, |gv| {
-                        out.push(g.invert(gv))
-                    });
+                    merge_k_cursors(&cursors, &mut merge_cursors, |gv| out.push(g.invert(gv)));
                 }
             }
         }

@@ -429,8 +429,7 @@ mod tests {
     fn merge_compressed_k_way() {
         let mut rng = StdRng::seed_from_u64(72);
         for k in 2..=5usize {
-            let sets: Vec<SortedSet> =
-                (0..k).map(|_| random_set(&mut rng, 600, 1500)).collect();
+            let sets: Vec<SortedSet> = (0..k).map(|_| random_set(&mut rng, 600, 1500)).collect();
             let cs: Vec<CompressedPostings> = sets
                 .iter()
                 .map(|s| CompressedPostings::build(EliasCode::Delta, s))
@@ -467,8 +466,7 @@ mod tests {
     fn lookup_compressed_k_way() {
         let mut rng = StdRng::seed_from_u64(74);
         for k in 2..=4usize {
-            let sets: Vec<SortedSet> =
-                (0..k).map(|_| random_set(&mut rng, 700, 4000)).collect();
+            let sets: Vec<SortedSet> = (0..k).map(|_| random_set(&mut rng, 700, 4000)).collect();
             let cs: Vec<CompressedLookup> = sets
                 .iter()
                 .map(|s| CompressedLookup::build(EliasCode::Gamma, s))

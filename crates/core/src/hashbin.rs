@@ -64,7 +64,10 @@ impl SetIndex for HashBinIndex {
 
 impl PairIntersect for HashBinIndex {
     fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
-        assert_eq!(self.g, other.g, "indexes built under different permutations g");
+        assert_eq!(
+            self.g, other.g,
+            "indexes built under different permutations g"
+        );
         intersect_gvalues(&self.g, &[&self.gvalues, &other.gvalues], out);
     }
 }
@@ -242,10 +245,7 @@ mod tests {
         let mut out = Vec::new();
         intersect_multires(&a, &b, &mut out);
         out.sort_unstable();
-        assert_eq!(
-            out,
-            reference_intersection(&[l1.as_slice(), l2.as_slice()])
-        );
+        assert_eq!(out, reference_intersection(&[l1.as_slice(), l2.as_slice()]));
     }
 
     #[test]

@@ -123,8 +123,8 @@ impl IntGroupOptIndex {
     /// `h⁻¹(y, group)` for the group at positions `[lo, hi)`: ascending
     /// positions, as a slice of `y`'s bucket.
     fn run(&self, y: u32, lo: u32, hi: u32) -> &[u32] {
-        let bucket = &self.bucket_positions
-            [self.bucket_offsets[y as usize] as usize..self.bucket_offsets[y as usize + 1] as usize];
+        let bucket = &self.bucket_positions[self.bucket_offsets[y as usize] as usize
+            ..self.bucket_offsets[y as usize + 1] as usize];
         let a = bucket.partition_point(|&p| p < lo);
         let b = bucket.partition_point(|&p| p < hi);
         &bucket[a..b]
@@ -149,7 +149,10 @@ impl PairIntersect for IntGroupOptIndex {
     /// Algorithm 1 at the Appendix A.1.1 optimal widths:
     /// expected `O(√(n₁·n₂/w) + r)` time.
     fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
-        assert_eq!(self.h, other.h, "indexes built under different HashContexts");
+        assert_eq!(
+            self.h, other.h,
+            "indexes built under different HashContexts"
+        );
         if self.n == 0 || other.n == 0 {
             return;
         }

@@ -62,8 +62,8 @@ pub mod word;
 pub use auto::{choose, intersect_auto, AutoChoice};
 pub use elem::{reference_intersection, Elem, SortedSet};
 pub use hash::{
-    ceil_log2, partition_level, HashContext, HashFamily, Permutation, UniversalHash,
-    LOG_WORD_BITS, SQRT_WORD_BITS, WORD_BITS,
+    ceil_log2, partition_level, HashContext, HashFamily, Permutation, UniversalHash, LOG_WORD_BITS,
+    SQRT_WORD_BITS, WORD_BITS,
 };
 pub use hashbin::HashBinIndex;
 pub use intgroup::IntGroupIndex;

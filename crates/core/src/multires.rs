@@ -142,8 +142,8 @@ impl MultiResIndex {
     /// The inverted mapping `h⁻¹(y, L^z)` for the group at positions
     /// `range`: ascending positions into `gvalues`.
     pub fn run(&self, y: u32, range: &std::ops::Range<usize>) -> &[u32] {
-        let bucket = &self.bucket_positions
-            [self.bucket_offsets[y as usize] as usize..self.bucket_offsets[y as usize + 1] as usize];
+        let bucket = &self.bucket_positions[self.bucket_offsets[y as usize] as usize
+            ..self.bucket_offsets[y as usize + 1] as usize];
         let lo = bucket.partition_point(|&p| (p as usize) < range.start);
         let hi = bucket.partition_point(|&p| (p as usize) < range.end);
         &bucket[lo..hi]
@@ -199,10 +199,7 @@ pub fn intersect_pair_opt(a: &MultiResIndex, b: &MultiResIndex, out: &mut Vec<El
             // Linear merge of the two runs in g-order.
             let (mut i, mut j) = (0usize, 0usize);
             while i < run_a.len() && j < run_b.len() {
-                let (ga_v, gb_v) = (
-                    a.gvalues[run_a[i] as usize],
-                    b.gvalues[run_b[j] as usize],
-                );
+                let (ga_v, gb_v) = (a.gvalues[run_a[i] as usize], b.gvalues[run_b[j] as usize]);
                 match ga_v.cmp(&gb_v) {
                     std::cmp::Ordering::Less => i += 1,
                     std::cmp::Ordering::Greater => j += 1,
@@ -260,7 +257,9 @@ mod tests {
     #[test]
     fn words_match_recomputation() {
         let ctx = ctx();
-        let set: SortedSet = (0..2048u32).map(|x| x.wrapping_mul(2_654_435_761)).collect();
+        let set: SortedSet = (0..2048u32)
+            .map(|x| x.wrapping_mul(2_654_435_761))
+            .collect();
         let idx = MultiResIndex::build(&ctx, &set);
         let h = ctx.h();
         for t in 0..=idx.max_word_level() {

@@ -24,8 +24,9 @@
 //! Theorem 3.7: expected time `O(n/√w + k·r)`.
 
 use crate::elem::{Elem, SortedSet};
-use crate::hash::{partition_level_for_group_size, HashContext, Permutation,
-    UniversalHash, SQRT_WORD_BITS};
+use crate::hash::{
+    partition_level_for_group_size, HashContext, Permutation, UniversalHash, SQRT_WORD_BITS,
+};
 use crate::smallgroup::{build_group, intersect_small_k, intersect_small_pair, GroupRef};
 use crate::traits::{KIntersect, PairIntersect, SetIndex};
 
@@ -114,12 +115,7 @@ impl RanGroupIndex {
         for z in 0..num_groups {
             let lo = offsets[z] as usize;
             let hi = offsets[z + 1] as usize;
-            words[z * m] = build_group(
-                |k| h.hash(k),
-                &mut keys[lo..hi],
-                &mut hashes,
-                &mut scratch,
-            );
+            words[z * m] = build_group(|k| h.hash(k), &mut keys[lo..hi], &mut hashes, &mut scratch);
             for (j, hj) in hs.iter().enumerate().skip(1) {
                 for &k in &keys[lo..hi] {
                     words[z * m + j] |= hj.bit(k);
@@ -172,7 +168,10 @@ impl RanGroupIndex {
     fn assert_compatible(indexes: &[&Self]) {
         if let Some((first, rest)) = indexes.split_first() {
             for ix in rest {
-                assert_eq!(first.g, ix.g, "indexes built under different permutations g");
+                assert_eq!(
+                    first.g, ix.g,
+                    "indexes built under different permutations g"
+                );
                 assert_eq!(first.h, ix.h, "indexes built under different hashes h");
             }
         }
@@ -201,7 +200,6 @@ impl SetIndex for RanGroupIndex {
     fn size_in_bytes(&self) -> usize {
         self.offsets.len() * 4 + self.keys.len() * 4 + self.hashes.len() + self.words.len() * 8
     }
-
 }
 
 impl PairIntersect for RanGroupIndex {
@@ -262,7 +260,12 @@ fn intersect_k_aligned(indexes: &[&RanGroupIndex], out: &mut Vec<Elem>) {
             let zi = (zk >> (tk - levels[i])) as usize;
             let w = order[i].group_words(zi);
             for j in 0..m {
-                let pw = w[j] & if i == 0 { u64::MAX } else { partial[(i - 1) * m + j] };
+                let pw = w[j]
+                    & if i == 0 {
+                        u64::MAX
+                    } else {
+                        partial[(i - 1) * m + j]
+                    };
                 partial[i * m + j] = pw;
                 if pw == 0 {
                     // Every z_k sharing this z_i prefix is dead: jump past it.
@@ -287,7 +290,10 @@ pub fn intersect_pair(a: &RanGroupIndex, b: &RanGroupIndex, out: &mut Vec<Elem>)
         return;
     }
     let (fine, coarse) = if a.t >= b.t { (a, b) } else { (b, a) };
-    assert_eq!(fine.g, coarse.g, "indexes built under different permutations g");
+    assert_eq!(
+        fine.g, coarse.g,
+        "indexes built under different permutations g"
+    );
     let m = fine.m.min(coarse.m);
     let shift = fine.t - coarse.t;
     'groups: for z2 in 0..fine.num_groups() {
@@ -412,8 +418,14 @@ mod tests {
         let ctx = ctx();
         let a = RanGroupIndex::build(&ctx, &(0..100).collect());
         let e = RanGroupIndex::build(&ctx, &SortedSet::new());
-        assert_eq!(RanGroupIndex::intersect_k_sorted(&[&a, &e]), Vec::<u32>::new());
-        assert_eq!(RanGroupIndex::intersect_k_sorted(&[&e, &a, &a]), Vec::<u32>::new());
+        assert_eq!(
+            RanGroupIndex::intersect_k_sorted(&[&a, &e]),
+            Vec::<u32>::new()
+        );
+        assert_eq!(
+            RanGroupIndex::intersect_k_sorted(&[&e, &a, &a]),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]
@@ -458,7 +470,10 @@ mod tests {
             let mut out = Vec::new();
             RanGroupIndex::intersect_k_into(&[&a, &b], &mut out);
         });
-        assert!(result.is_err(), "cross-context intersection must be rejected");
+        assert!(
+            result.is_err(),
+            "cross-context intersection must be rejected"
+        );
     }
 
     #[test]
@@ -466,7 +481,9 @@ mod tests {
         // Paper: RanGroup ≈ +87% over an uncompressed posting list. Our
         // layout: 4B g-keys + 1B hash + (8B word + 4B offset) / ~8 elements.
         let ctx = ctx();
-        let set: SortedSet = (0..200_000u32).map(|x| x.wrapping_mul(2_654_435_761)).collect();
+        let set: SortedSet = (0..200_000u32)
+            .map(|x| x.wrapping_mul(2_654_435_761))
+            .collect();
         let idx = RanGroupIndex::build(&ctx, &set);
         let base = idx.n() * 4;
         let overhead = idx.size_in_bytes() as f64 / base as f64 - 1.0;

@@ -17,8 +17,9 @@
 //! Theorem 3.10: `O(n·(1 + m/√w))` words of space.
 
 use crate::elem::{Elem, SortedSet};
-use crate::hash::{partition_level_for_group_size, HashContext, Permutation,
-    UniversalHash, SQRT_WORD_BITS};
+use crate::hash::{
+    partition_level_for_group_size, HashContext, Permutation, UniversalHash, SQRT_WORD_BITS,
+};
 use crate::traits::{KIntersect, PairIntersect, SetIndex};
 
 /// Default number of hash images (`m`); the paper uses 4 for the main
@@ -154,7 +155,10 @@ impl RanGroupScanIndex {
     fn assert_compatible(indexes: &[&Self]) {
         if let Some((first, rest)) = indexes.split_first() {
             for ix in rest {
-                assert_eq!(first.g, ix.g, "indexes built under different permutations g");
+                assert_eq!(
+                    first.g, ix.g,
+                    "indexes built under different permutations g"
+                );
                 assert!(
                     first.hs[..first.m.min(ix.m)] == ix.hs[..first.m.min(ix.m)],
                     "indexes built under different hash families"
@@ -301,7 +305,12 @@ fn intersect_k_aligned(indexes: &[&RanGroupScanIndex], out: &mut Vec<Elem>) {
             let w = order[i].group_words(zi);
             let mut alive = false;
             for j in 0..m {
-                let pw = w[j] & if i == 0 { u64::MAX } else { partial[(i - 1) * m + j] };
+                let pw = w[j]
+                    & if i == 0 {
+                        u64::MAX
+                    } else {
+                        partial[(i - 1) * m + j]
+                    };
                 partial[i * m + j] = pw;
                 alive |= pw != 0;
                 if pw == 0 {
@@ -433,7 +442,9 @@ mod tests {
             }
         }
         assert_eq!(
-            (0..idx.num_groups()).map(|z| idx.group_elems(z).len()).sum::<usize>(),
+            (0..idx.num_groups())
+                .map(|z| idx.group_elems(z).len())
+                .sum::<usize>(),
             set.len()
         );
         let mut all: Vec<u32> = idx.elems().to_vec();
@@ -523,8 +534,14 @@ mod tests {
         assert_eq!(sorted2(&e, &a), Vec::<u32>::new());
         assert_eq!(sorted2(&a, &e), Vec::<u32>::new());
         assert_eq!(sorted2(&e, &e), Vec::<u32>::new());
-        assert_eq!(RanGroupScanIndex::intersect_k_sorted(&[]), Vec::<u32>::new());
-        assert_eq!(RanGroupScanIndex::intersect_k_sorted(&[&a]), (0..100).collect::<Vec<_>>());
+        assert_eq!(
+            RanGroupScanIndex::intersect_k_sorted(&[]),
+            Vec::<u32>::new()
+        );
+        assert_eq!(
+            RanGroupScanIndex::intersect_k_sorted(&[&a]),
+            (0..100).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -74,7 +74,11 @@ mod tests {
         for from in [0usize, 1, 10, 500, 999, 1000] {
             for target in [0u32, 1, 3, 299, 1500, 2997, 3000] {
                 let expect = lower_bound(&v, from.min(v.len()), v.len(), target).max(from);
-                assert_eq!(gallop(&v, from, target), expect, "from={from} target={target}");
+                assert_eq!(
+                    gallop(&v, from, target),
+                    expect,
+                    "from={from} target={target}"
+                );
             }
         }
     }

@@ -154,8 +154,7 @@ pub fn intersect_small_k(
             }
         }
         // k-way merge: propose candidates from group 0, confirm in the rest.
-        'candidates: while cursors[0] < groups[0].hashes.len()
-            && groups[0].hashes[cursors[0]] == y
+        'candidates: while cursors[0] < groups[0].hashes.len() && groups[0].hashes[cursors[0]] == y
         {
             let cand = groups[0].keys[cursors[0]];
             for i in 1..k {
@@ -168,9 +167,7 @@ pub fn intersect_small_k(
                     // Run exhausted in group i: no further candidate for this
                     // y can match; move to the next y.
                     // Skip group 0 past its run so the outer loop ends.
-                    while cursors[0] < groups[0].hashes.len()
-                        && groups[0].hashes[cursors[0]] == y
-                    {
+                    while cursors[0] < groups[0].hashes.len() && groups[0].hashes[cursors[0]] == y {
                         cursors[0] += 1;
                     }
                     continue 'candidates;
@@ -246,7 +243,10 @@ mod tests {
     #[test]
     fn pair_disjoint_and_empty() {
         let h = UniversalHash::from_params(3, 0);
-        assert_eq!(intersect_pair_vec(h, vec![1, 2], vec![3, 4]), Vec::<u32>::new());
+        assert_eq!(
+            intersect_pair_vec(h, vec![1, 2], vec![3, 4]),
+            Vec::<u32>::new()
+        );
         assert_eq!(intersect_pair_vec(h, vec![], vec![3, 4]), Vec::<u32>::new());
         assert_eq!(intersect_pair_vec(h, vec![], vec![]), Vec::<u32>::new());
     }

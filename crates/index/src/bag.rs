@@ -38,10 +38,8 @@ impl BagIndex {
                 counts.push(1);
             }
         }
-        let support = RanGroupScanIndex::build(
-            ctx,
-            &SortedSet::from_sorted_unchecked(elems.clone()),
-        );
+        let support =
+            RanGroupScanIndex::build(ctx, &SortedSet::from_sorted_unchecked(elems.clone()));
         Self {
             support,
             elems,
@@ -71,7 +69,8 @@ impl BagIndex {
     /// ascending by element.
     pub fn intersect_bag(&self, other: &Self) -> Vec<(Elem, u32)> {
         let mut common = Vec::new();
-        self.support.intersect_pair_into(&other.support, &mut common);
+        self.support
+            .intersect_pair_into(&other.support, &mut common);
         common.sort_unstable();
         common
             .into_iter()

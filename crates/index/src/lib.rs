@@ -21,8 +21,8 @@ pub mod planner;
 pub mod strategy;
 
 pub use bag::BagIndex;
-pub use daat::{top_k, DaatStats, Hit, ScoredIndex};
 pub use corpus::{Corpus, CorpusConfig};
-pub use engine::{Executor, SearchEngine};
+pub use daat::{top_k, DaatStats, Hit, ScoredIndex};
+pub use engine::{Executor, OwnedExecutor, SearchEngine};
 pub use planner::{Plan, PlannedList, Planner};
 pub use strategy::{intersect_into, intersect_sorted, PreparedList, Strategy};

@@ -4,8 +4,8 @@
 //! the choice between algorithms online").
 
 use fsi_baselines::{
-    AdaptiveIndex, BaezaYatesIndex, BppIndex, HashSetIndex, LookupIndex, MergeIndex,
-    SkipListIndex, SmallAdaptiveIndex, SvsIndex, TreapIndex,
+    AdaptiveIndex, BaezaYatesIndex, BppIndex, HashSetIndex, LookupIndex, MergeIndex, SkipListIndex,
+    SmallAdaptiveIndex, SvsIndex, TreapIndex,
 };
 use fsi_compress::{
     CompressedLookup, CompressedPostings, CompressedRgsIndex, EliasCode, GroupCoding,
@@ -13,12 +13,17 @@ use fsi_compress::{
 use fsi_core::elem::{Elem, SortedSet};
 use fsi_core::hash::HashContext;
 use fsi_core::traits::{KIntersect, PairIntersect, SetIndex};
-use fsi_core::{hashbin, HashBinIndex, IntGroupIndex, IntGroupOptIndex, MultiResIndex,
-    RanGroupIndex, RanGroupScanIndex};
+use fsi_core::{
+    hashbin, HashBinIndex, IntGroupIndex, IntGroupOptIndex, MultiResIndex, RanGroupIndex,
+    RanGroupScanIndex,
+};
 
 /// Every algorithm the harness can run, identified the way the paper's
 /// figures label them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` lets strategies key caches and maps (the serving layer's result
+/// cache is keyed by `(terms, strategy)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Linear merge of inverted lists.
     Merge,
@@ -119,6 +124,25 @@ impl Strategy {
         ]
     }
 
+    /// Every strategy variant the repository implements — the union of the
+    /// paper lineups plus the extras outside any figure. This is the single
+    /// list "every strategy" test suites iterate, so a new variant added
+    /// here is picked up by all of them at once.
+    pub fn full_lineup() -> Vec<Strategy> {
+        let mut v = Self::uncompressed_lineup();
+        v.push(Strategy::RanGroupScan { m: 1 });
+        v.push(Strategy::Auto);
+        v.push(Strategy::IntGroupOpt);
+        v.push(Strategy::Treap);
+        v.extend(Self::compressed_lineup());
+        v.push(Strategy::MergeCompressed(EliasCode::Gamma));
+        v.push(Strategy::LookupCompressed(EliasCode::Gamma));
+        v.push(Strategy::RgsCompressed(GroupCoding::Elias(
+            EliasCode::Gamma,
+        )));
+        v
+    }
+
     /// Preprocesses one set for this strategy.
     pub fn prepare(&self, ctx: &HashContext, set: &SortedSet) -> PreparedList {
         match *self {
@@ -130,14 +154,10 @@ impl Strategy {
             Strategy::Svs => PreparedList::Svs(SvsIndex::build(set)),
             Strategy::Adaptive => PreparedList::Adaptive(AdaptiveIndex::build(set)),
             Strategy::BaezaYates => PreparedList::BaezaYates(BaezaYatesIndex::build(set)),
-            Strategy::SmallAdaptive => {
-                PreparedList::SmallAdaptive(SmallAdaptiveIndex::build(set))
-            }
+            Strategy::SmallAdaptive => PreparedList::SmallAdaptive(SmallAdaptiveIndex::build(set)),
             Strategy::Treap => PreparedList::Treap(TreapIndex::build(set)),
             Strategy::IntGroup => PreparedList::IntGroup(IntGroupIndex::build(ctx, set)),
-            Strategy::IntGroupOpt => {
-                PreparedList::IntGroupOpt(IntGroupOptIndex::build(ctx, set))
-            }
+            Strategy::IntGroupOpt => PreparedList::IntGroupOpt(IntGroupOptIndex::build(ctx, set)),
             Strategy::RanGroup => PreparedList::RanGroup(RanGroupIndex::build(ctx, set)),
             Strategy::RanGroupScan { m } => {
                 PreparedList::RanGroupScan(RanGroupScanIndex::with_m(ctx, set, m))
@@ -347,16 +367,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn all_strategies() -> Vec<Strategy> {
-        let mut v = Strategy::uncompressed_lineup();
-        v.push(Strategy::RanGroupScan { m: 1 });
-        v.push(Strategy::Auto);
-        v.push(Strategy::IntGroupOpt);
-        v.push(Strategy::Treap);
-        v.extend(Strategy::compressed_lineup());
-        v.push(Strategy::MergeCompressed(EliasCode::Gamma));
-        v.push(Strategy::LookupCompressed(EliasCode::Gamma));
-        v.push(Strategy::RgsCompressed(GroupCoding::Elias(EliasCode::Gamma)));
-        v
+        Strategy::full_lineup()
     }
 
     #[test]

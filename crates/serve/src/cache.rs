@@ -1,0 +1,450 @@
+//! A sharded LRU cache for intersection results.
+//!
+//! Ding & König motivate set intersection as the inner loop of query
+//! serving; real query streams are heavily skewed (Zipfian term
+//! popularity), so a small result cache absorbs a large fraction of
+//! traffic. Keys are `(normalized term set, execution mode)`; values are
+//! `Arc`-shared result vectors so hits never copy documents.
+//!
+//! The cache is split into independently locked segments (selected by key
+//! hash) so concurrent workers rarely contend; each segment runs an exact
+//! LRU over an intrusive free-list slab.
+
+use crate::config::ExecMode;
+use fsi_core::Elem;
+use fsi_index::Strategy;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The execution-mode component of a cache key. Planned mode is a single
+/// key space: the planner picks the physical algorithm per query, but the
+/// *result* is the same whichever plan runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModeKey {
+    /// Results computed under one fixed strategy.
+    Fixed(Strategy),
+    /// Results computed under planner dispatch.
+    Planned,
+}
+
+impl From<&ExecMode> for ModeKey {
+    fn from(mode: &ExecMode) -> Self {
+        match mode {
+            ExecMode::Fixed(s) => ModeKey::Fixed(*s),
+            ExecMode::Planned(_) => ModeKey::Planned,
+        }
+    }
+}
+
+/// A cache key: the query's term set (sorted, deduplicated) plus the
+/// execution mode the result was computed under.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    terms: Box<[usize]>,
+    mode: ModeKey,
+}
+
+impl CacheKey {
+    /// Normalizes `terms` (sort + dedup: conjunctive queries are
+    /// order-insensitive and idempotent) and attaches the mode.
+    pub fn new(terms: &[usize], mode: ModeKey) -> Self {
+        let mut terms: Vec<usize> = terms.to_vec();
+        terms.sort_unstable();
+        terms.dedup();
+        Self {
+            terms: terms.into_boxed_slice(),
+            mode,
+        }
+    }
+
+    /// The normalized term set.
+    pub fn terms(&self) -> &[usize] {
+        &self.terms
+    }
+
+    fn segment(&self, num_segments: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % num_segments
+    }
+}
+
+/// Monotonic cache counters (a point-in-time copy).
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Lookups that returned a cached result.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Current number of cached entries.
+    pub len: usize,
+    /// Total capacity in entries (0 = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups so far (0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: CacheKey,
+    value: Arc<Vec<Elem>>,
+    prev: usize,
+    next: usize,
+}
+
+/// One locked segment: an exact LRU over a slab of entries.
+struct Segment {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl Segment {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.slab[h].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<Elem>>> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(Arc::clone(&self.slab[idx].value))
+    }
+
+    /// Inserts; returns `true` if an entry was evicted.
+    fn insert(&mut self, key: CacheKey, value: Arc<Vec<Elem>>) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            // Refresh an existing entry.
+            self.slab[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+            evicted = true;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slab.push(Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+}
+
+/// The sharded, counter-instrumented result cache.
+pub struct QueryCache {
+    segments: Vec<Mutex<Segment>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryCache")
+            .field("capacity", &self.capacity)
+            .field("segments", &self.segments.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl QueryCache {
+    /// A cache of `capacity` total entries split over `segments` locks.
+    /// `capacity = 0` builds a disabled cache (every lookup misses, inserts
+    /// are dropped).
+    ///
+    /// Capacity divides evenly across segments, rounding *up* per segment;
+    /// the effective total (what [`QueryCache::stats`] reports as
+    /// `capacity`) is therefore the configured value rounded up to a
+    /// multiple of the segment count. Eviction is per segment: a segment
+    /// at its share evicts even if others are underfull.
+    pub fn new(capacity: usize, segments: usize) -> Self {
+        let segments = segments.max(1).min(capacity.max(1));
+        let per_segment = capacity.div_ceil(segments);
+        Self {
+            segments: (0..segments)
+                .map(|_| Mutex::new(Segment::new(per_segment)))
+                .collect(),
+            capacity: if capacity == 0 {
+                0
+            } else {
+                per_segment * segments
+            },
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether caching is enabled at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<Elem>>> {
+        if !self.is_enabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let seg = key.segment(self.segments.len());
+        let result = self.segments[seg].lock().expect("cache lock").get(key);
+        match &result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Inserts a computed result, possibly evicting the segment's LRU entry.
+    pub fn insert(&self, key: CacheKey, value: Arc<Vec<Elem>>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let seg = key.segment(self.segments.len());
+        let evicted = self.segments[seg]
+            .lock()
+            .expect("cache lock")
+            .insert(key, value);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Effective total capacity in entries (the configured capacity rounded
+    /// up to a multiple of the segment count; 0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.lock().expect("cache lock").map.len())
+            .sum()
+    }
+
+    /// `true` iff no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(terms: &[usize]) -> CacheKey {
+        CacheKey::new(terms, ModeKey::Fixed(Strategy::Merge))
+    }
+
+    fn val(xs: &[Elem]) -> Arc<Vec<Elem>> {
+        Arc::new(xs.to_vec())
+    }
+
+    #[test]
+    fn keys_normalize_term_order_and_duplicates() {
+        assert_eq!(key(&[3, 1, 2]), key(&[1, 2, 3]));
+        assert_eq!(key(&[5, 5, 1]), key(&[1, 5]));
+        assert_ne!(key(&[1, 2]), key(&[1, 3]));
+        assert_ne!(
+            CacheKey::new(&[1, 2], ModeKey::Fixed(Strategy::Merge)),
+            CacheKey::new(&[1, 2], ModeKey::Fixed(Strategy::Hash)),
+        );
+        assert_ne!(
+            CacheKey::new(&[1, 2], ModeKey::Fixed(Strategy::Merge)),
+            CacheKey::new(&[1, 2], ModeKey::Planned),
+        );
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = QueryCache::new(8, 2);
+        assert!(cache.get(&key(&[1, 2])).is_none());
+        cache.insert(key(&[1, 2]), val(&[7, 9]));
+        assert_eq!(cache.get(&key(&[2, 1])).expect("hit").as_slice(), &[7, 9]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        // One segment of capacity 3 so eviction order is fully observable.
+        let cache = QueryCache::new(3, 1);
+        cache.insert(key(&[1]), val(&[1]));
+        cache.insert(key(&[2]), val(&[2]));
+        cache.insert(key(&[3]), val(&[3]));
+        // Touch [1] so [2] becomes the LRU.
+        assert!(cache.get(&key(&[1])).is_some());
+        cache.insert(key(&[4]), val(&[4]));
+        assert!(cache.get(&key(&[2])).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(&[1])).is_some());
+        assert!(cache.get(&key(&[3])).is_some());
+        assert!(cache.get(&key(&[4])).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_without_eviction() {
+        let cache = QueryCache::new(2, 1);
+        cache.insert(key(&[1]), val(&[1]));
+        cache.insert(key(&[1]), val(&[10, 11]));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key(&[1])).expect("hit").as_slice(), &[10, 11]);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn effective_capacity_is_reported_and_never_exceeded() {
+        // 8 entries over 3 segments: 3 per segment, effective total 9.
+        let cache = QueryCache::new(8, 3);
+        assert_eq!(cache.capacity(), 9);
+        for i in 0..100usize {
+            cache.insert(key(&[i]), val(&[i as Elem]));
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert_eq!(cache.stats().capacity, 9);
+        // Even division reports exactly the configured value.
+        assert_eq!(QueryCache::new(8, 2).capacity(), 8);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = QueryCache::new(0, 4);
+        assert!(!cache.is_enabled());
+        cache.insert(key(&[1]), val(&[1]));
+        assert!(cache.get(&key(&[1])).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn eviction_slots_are_reused() {
+        let cache = QueryCache::new(2, 1);
+        for i in 0..100usize {
+            cache.insert(key(&[i]), val(&[i as Elem]));
+        }
+        assert_eq!(cache.len(), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 100);
+        assert_eq!(stats.evictions, 98);
+        // The slab never grows past capacity.
+        for seg in &cache.segments {
+            assert!(seg.lock().unwrap().slab.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = Arc::new(QueryCache::new(64, 8));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..500usize {
+                        let k = key(&[t, i % 32]);
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, val(&[(t * 1000 + i % 32) as Elem]));
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert!(stats.hits + stats.misses == 2000);
+        assert!(cache.len() <= 64);
+    }
+}

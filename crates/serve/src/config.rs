@@ -1,0 +1,97 @@
+//! Serving configuration: how many shards and workers, how large a result
+//! cache, and which physical execution mode queries run under.
+
+use fsi_index::{Planner, Strategy};
+
+/// How a shard answers a conjunctive query.
+#[derive(Debug, Clone)]
+pub enum ExecMode {
+    /// Every posting list preprocessed under one fixed [`Strategy`].
+    Fixed(Strategy),
+    /// Per-query plan choice between RanGroupScan and hash probing (the
+    /// paper's "choose online by size ratio" pitch, see
+    /// [`fsi_index::planner`]).
+    Planned(Planner),
+}
+
+impl ExecMode {
+    /// A short label for telemetry and cache keys.
+    pub fn label(&self) -> String {
+        match self {
+            ExecMode::Fixed(s) => s.name(),
+            ExecMode::Planned(p) => format!("Planned(ratio≥{})", p.hash_ratio_threshold),
+        }
+    }
+}
+
+/// Configuration of a serving engine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of document shards (≥ 1). Posting lists are partitioned into
+    /// contiguous document-ID ranges, one per shard.
+    pub num_shards: usize,
+    /// Worker threads draining query batches (≥ 1).
+    pub num_workers: usize,
+    /// Total result-cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Number of independently locked cache segments (≥ 1); higher values
+    /// reduce lock contention under concurrent batches.
+    pub cache_segments: usize,
+    /// Physical execution mode.
+    pub mode: ExecMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 4,
+            num_workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            cache_capacity: 4096,
+            cache_segments: 8,
+            mode: ExecMode::Fixed(Strategy::RanGroupScan { m: 2 }),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration, normalizing zero counts up to one.
+    pub fn normalized(mut self) -> Self {
+        self.num_shards = self.num_shards.max(1);
+        self.num_workers = self.num_workers.max(1);
+        self.cache_segments = self.cache_segments.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = ServeConfig::default();
+        assert!(c.num_shards >= 1);
+        assert!(c.num_workers >= 1);
+        assert!(c.cache_segments >= 1);
+    }
+
+    #[test]
+    fn normalized_lifts_zeros() {
+        let c = ServeConfig {
+            num_shards: 0,
+            num_workers: 0,
+            cache_segments: 0,
+            ..ServeConfig::default()
+        }
+        .normalized();
+        assert_eq!((c.num_shards, c.num_workers, c.cache_segments), (1, 1, 1));
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(ExecMode::Fixed(Strategy::Merge).label(), "Merge");
+        assert!(ExecMode::Planned(Planner::default())
+            .label()
+            .starts_with("Planned"));
+    }
+}

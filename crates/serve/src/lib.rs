@@ -1,0 +1,64 @@
+//! # fsi-serve — sharded, batched, cache-fronted query serving
+//!
+//! Ding & König frame fast set intersection as the hot inner loop of
+//! query serving at scale, and treat multi-core parallelism as orthogonal
+//! to the algorithms (Section 2). Every index structure in this repository
+//! is immutable and `Send + Sync` after preprocessing — this crate cashes
+//! that orthogonality in as a concurrent serving layer over
+//! [`fsi_index`]:
+//!
+//! * [`shard`] — [`ShardedEngine`]: posting lists partitioned into
+//!   contiguous document-ID ranges, one prepared index per shard; results
+//!   merge by concatenation, so sorted output is free;
+//! * [`pool`] — [`QueryPool`]: scoped-thread batch execution with
+//!   round-robin dealing and work stealing, reporting per-query latency
+//!   order statistics and batch throughput;
+//! * [`cache`] — [`QueryCache`]: a segmented LRU over intersection
+//!   results keyed by `(term set, execution mode)` with hit/miss/eviction
+//!   counters — Zipf-skewed query streams (the realistic case) hit it
+//!   hard;
+//! * [`config`] / [`stats`] — [`ServeConfig`] admission knobs (shards,
+//!   workers, cache capacity, fixed-[`fsi_index::Strategy`] vs
+//!   planner-dispatched execution) and [`ServeStats`] snapshots;
+//! * [`server`] — [`Server`]: the assembled stack.
+//!
+//! ## Correctness contract
+//!
+//! For every strategy and shard count, `Server::query` returns exactly the
+//! bytes `fsi_index::Executor::query` returns on the unsharded engine —
+//! asserted by the differential test suite (`tests/serve_differential.rs`
+//! at the workspace root).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fsi_core::HashContext;
+//! use fsi_index::{Corpus, CorpusConfig};
+//! use fsi_serve::{ServeConfig, Server};
+//!
+//! let corpus = Corpus::generate(CorpusConfig {
+//!     num_docs: 10_000,
+//!     num_terms: 32,
+//!     ..CorpusConfig::default()
+//! });
+//! let server = Server::from_corpus(HashContext::new(42), corpus, ServeConfig::default());
+//! let batch: Vec<Vec<usize>> = (0..64).map(|i| vec![i % 4, 8 + i % 8]).collect();
+//! let outcome = server.run_batch(&batch);
+//! assert_eq!(outcome.results.len(), 64);
+//! println!("{:.0} q/s, p99 {:.0}us, cache hits {}",
+//!     outcome.throughput_qps, outcome.latency.p99_us, outcome.cache_hits);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod pool;
+pub mod server;
+pub mod shard;
+pub mod stats;
+
+pub use cache::{CacheKey, CacheStats, ModeKey, QueryCache};
+pub use config::{ExecMode, ServeConfig};
+pub use pool::{BatchOutcome, QueryPool};
+pub use server::Server;
+pub use shard::ShardedEngine;
+pub use stats::{LatencySummary, ServeStats};

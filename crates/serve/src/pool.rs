@@ -1,0 +1,315 @@
+//! Batched parallel query execution: a worker pool that drains a batch of
+//! conjunctive queries over a [`ShardedEngine`] with work stealing.
+//!
+//! Queries are dealt round-robin onto per-worker deques; a worker pops its
+//! own queue from the front and, when empty, steals from the back of its
+//! siblings' queues — cheap load balancing for skewed batches where a few
+//! giant queries would otherwise idle most workers. All threads are scoped
+//! (`std::thread::scope`, no `unsafe`, nothing outlives the batch).
+//!
+//! The pool is cache-aware: when handed a [`QueryCache`] it consults it
+//! before dispatching to shards and fills it on miss. Two workers racing on
+//! the same (rare) duplicate query may both compute it — a benign stampede
+//! that keeps the hot path lock-free between cache segments.
+
+use crate::cache::{CacheKey, ModeKey, QueryCache};
+use crate::shard::ShardedEngine;
+use crate::stats::LatencySummary;
+use fsi_core::Elem;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The result of draining one batch.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-query results, parallel to the input batch, ascending document
+    /// order. `Arc`-shared with the cache: hits cost no copy.
+    pub results: Vec<Arc<Vec<Elem>>>,
+    /// Per-query wall-clock latency, parallel to the input batch.
+    pub latencies: Vec<Duration>,
+    /// Order statistics over `latencies`.
+    pub latency: LatencySummary,
+    /// Wall-clock duration of the whole batch.
+    pub wall: Duration,
+    /// Queries per second over the batch.
+    pub throughput_qps: f64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries computed by the shards.
+    pub cache_misses: u64,
+}
+
+/// A fixed-width worker pool for batch execution.
+#[derive(Debug, Clone)]
+pub struct QueryPool {
+    workers: usize,
+}
+
+/// What one worker records per completed query.
+struct Completed {
+    query_idx: usize,
+    result: Arc<Vec<Elem>>,
+    latency: Duration,
+    cache_hit: bool,
+}
+
+impl QueryPool {
+    /// A pool of `workers` threads (normalized up to 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of worker threads per batch.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Answers one query, consulting/filling `cache` when given — the one
+    /// cache-fronting path, shared by batch workers and `Server::query`.
+    pub(crate) fn answer(
+        engine: &ShardedEngine,
+        cache: Option<&QueryCache>,
+        terms: &[usize],
+    ) -> (Arc<Vec<Elem>>, bool) {
+        let key = cache.map(|_| CacheKey::new(terms, ModeKey::from(engine.mode())));
+        if let (Some(cache), Some(key)) = (cache, &key) {
+            if let Some(hit) = cache.get(key) {
+                return (hit, true);
+            }
+        }
+        let result = Arc::new(engine.query(terms));
+        if let (Some(cache), Some(key)) = (cache, key) {
+            cache.insert(key, Arc::clone(&result));
+        }
+        (result, false)
+    }
+
+    /// Drains `queries` across the pool and returns per-query results plus
+    /// batch statistics. Results are positionally parallel to the input.
+    pub fn run_batch(
+        &self,
+        engine: &ShardedEngine,
+        cache: Option<&QueryCache>,
+        queries: &[Vec<usize>],
+    ) -> BatchOutcome {
+        let batch_start = Instant::now();
+        let completed = if self.workers == 1 || queries.len() <= 1 {
+            self.run_serial(engine, cache, queries)
+        } else {
+            self.run_stealing(engine, cache, queries)
+        };
+        let wall = batch_start.elapsed();
+
+        let empty = Arc::new(Vec::new());
+        let mut results = vec![Arc::clone(&empty); queries.len()];
+        let mut latencies = vec![Duration::ZERO; queries.len()];
+        let mut cache_hits = 0u64;
+        for c in completed {
+            results[c.query_idx] = c.result;
+            latencies[c.query_idx] = c.latency;
+            cache_hits += c.cache_hit as u64;
+        }
+        let latency = LatencySummary::from_durations(&latencies);
+        let throughput_qps = if wall.as_secs_f64() > 0.0 {
+            queries.len() as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        BatchOutcome {
+            results,
+            latencies,
+            latency,
+            wall,
+            throughput_qps,
+            cache_hits,
+            cache_misses: queries.len() as u64 - cache_hits,
+        }
+    }
+
+    fn run_serial(
+        &self,
+        engine: &ShardedEngine,
+        cache: Option<&QueryCache>,
+        queries: &[Vec<usize>],
+    ) -> Vec<Completed> {
+        queries
+            .iter()
+            .enumerate()
+            .map(|(query_idx, terms)| {
+                let start = Instant::now();
+                let (result, cache_hit) = Self::answer(engine, cache, terms);
+                Completed {
+                    query_idx,
+                    result,
+                    latency: start.elapsed(),
+                    cache_hit,
+                }
+            })
+            .collect()
+    }
+
+    fn run_stealing(
+        &self,
+        engine: &ShardedEngine,
+        cache: Option<&QueryCache>,
+        queries: &[Vec<usize>],
+    ) -> Vec<Completed> {
+        let workers = self.workers.min(queries.len()).max(1);
+        // Deal queries round-robin onto per-worker deques.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..queries.len()).step_by(workers).collect()))
+            .collect();
+        let queues = &queues;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            // Own queue first (front), then steal (back).
+                            // The own-queue guard must drop before any
+                            // steal attempt locks a sibling queue:
+                            // holding it across the steal is an AB-BA
+                            // deadlock when two drained workers steal
+                            // from each other.
+                            let own = queues[w].lock().expect("queue lock").pop_front();
+                            let next = own.or_else(|| {
+                                (1..workers).find_map(|offset| {
+                                    queues[(w + offset) % workers]
+                                        .lock()
+                                        .expect("queue lock")
+                                        .pop_back()
+                                })
+                            });
+                            let Some(query_idx) = next else { break };
+                            let start = Instant::now();
+                            let (result, cache_hit) =
+                                Self::answer(engine, cache, &queries[query_idx]);
+                            done.push(Completed {
+                                query_idx,
+                                result,
+                                latency: start.elapsed(),
+                                cache_hit,
+                            });
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecMode;
+    use fsi_core::HashContext;
+    use fsi_index::{Corpus, CorpusConfig, SearchEngine, Strategy};
+
+    fn sharded(shards: usize) -> ShardedEngine {
+        let corpus = Corpus::generate(CorpusConfig {
+            num_docs: 20_000,
+            num_terms: 32,
+            ..CorpusConfig::default()
+        });
+        let engine = SearchEngine::from_corpus(HashContext::new(5), corpus);
+        ShardedEngine::build(
+            &engine,
+            shards,
+            ExecMode::Fixed(Strategy::RanGroupScan { m: 2 }),
+        )
+    }
+
+    fn batch() -> Vec<Vec<usize>> {
+        (0..40)
+            .map(|i| vec![i % 8, (i + 3) % 16, (i * 5 + 1) % 32])
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_match_direct_queries() {
+        let engine = sharded(3);
+        let queries = batch();
+        for workers in [1usize, 2, 4] {
+            let outcome = QueryPool::new(workers).run_batch(&engine, None, &queries);
+            assert_eq!(outcome.results.len(), queries.len());
+            for (q, r) in queries.iter().zip(&outcome.results) {
+                assert_eq!(r.as_slice(), engine.query(q), "workers={workers} q={q:?}");
+            }
+            assert_eq!(outcome.cache_hits, 0);
+            assert_eq!(outcome.cache_misses, queries.len() as u64);
+            assert_eq!(outcome.latency.count, queries.len());
+            assert!(outcome.throughput_qps > 0.0);
+        }
+    }
+
+    #[test]
+    fn cache_front_serves_repeats() {
+        let engine = sharded(2);
+        let cache = QueryCache::new(128, 4);
+        let queries: Vec<Vec<usize>> = (0..30).map(|i| vec![i % 3, 10 + i % 2]).collect();
+        let pool = QueryPool::new(4);
+        let first = pool.run_batch(&engine, Some(&cache), &queries);
+        // 6 distinct term sets; every later repeat in the second pass hits.
+        let second = pool.run_batch(&engine, Some(&cache), &queries);
+        assert_eq!(second.cache_hits, queries.len() as u64);
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(a, b);
+        }
+        assert!(cache.stats().hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn cached_results_equal_uncached() {
+        let engine = sharded(3);
+        let cache = QueryCache::new(64, 2);
+        let queries = batch();
+        let pool = QueryPool::new(3);
+        let warm = pool.run_batch(&engine, Some(&cache), &queries);
+        let hot = pool.run_batch(&engine, Some(&cache), &queries);
+        let cold = pool.run_batch(&engine, None, &queries);
+        for ((w, h), c) in warm.results.iter().zip(&hot.results).zip(&cold.results) {
+            assert_eq!(w, h);
+            assert_eq!(w, c);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = sharded(2);
+        let outcome = QueryPool::new(4).run_batch(&engine, None, &[]);
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.latency.count, 0);
+    }
+
+    #[test]
+    fn rapid_tiny_batches_never_wedge() {
+        // Regression: the steal path used to hold the worker's own queue
+        // lock while locking siblings, deadlocking two simultaneously
+        // drained workers. Many tiny batches maximize simultaneous drains.
+        let engine = sharded(2);
+        let pool = QueryPool::new(2);
+        let queries = vec![vec![0usize, 1], vec![2, 3], vec![4, 5], vec![6, 7]];
+        for _ in 0..200 {
+            let outcome = pool.run_batch(&engine, None, &queries);
+            assert_eq!(outcome.results.len(), 4);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_queries_is_fine() {
+        let engine = sharded(2);
+        let queries = vec![vec![0usize, 1], vec![2, 3]];
+        let outcome = QueryPool::new(16).run_batch(&engine, None, &queries);
+        assert_eq!(outcome.results.len(), 2);
+        assert_eq!(outcome.results[0].as_slice(), engine.query(&[0, 1]));
+    }
+}

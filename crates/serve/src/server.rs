@@ -1,0 +1,176 @@
+//! The top-level serving facade: a [`ShardedEngine`], a [`QueryCache`] and
+//! a [`QueryPool`] assembled from one [`ServeConfig`].
+
+use crate::cache::QueryCache;
+use crate::config::ServeConfig;
+use crate::pool::{BatchOutcome, QueryPool};
+use crate::shard::ShardedEngine;
+use crate::stats::ServeStats;
+use fsi_core::{Elem, HashContext};
+use fsi_index::{Corpus, SearchEngine};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A self-contained query-serving engine.
+///
+/// ```
+/// use fsi_serve::{ServeConfig, Server};
+/// use fsi_core::{HashContext, SortedSet};
+/// use fsi_index::SearchEngine;
+///
+/// let engine = SearchEngine::from_postings(
+///     HashContext::new(1),
+///     vec![
+///         SortedSet::from_unsorted(vec![1, 5, 9, 12]),
+///         SortedSet::from_unsorted(vec![5, 9, 30]),
+///     ],
+/// );
+/// let server = Server::new(&engine, ServeConfig::default());
+/// assert_eq!(server.query(&[0, 1]).as_slice(), &[5, 9]);
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    config: ServeConfig,
+    engine: ShardedEngine,
+    cache: QueryCache,
+    pool: QueryPool,
+    queries_served: AtomicU64,
+}
+
+impl Server {
+    /// Builds the serving stack over an existing engine.
+    pub fn new(engine: &SearchEngine, config: ServeConfig) -> Self {
+        let config = config.normalized();
+        Self {
+            engine: ShardedEngine::build(engine, config.num_shards, config.mode.clone()),
+            cache: QueryCache::new(config.cache_capacity, config.cache_segments),
+            pool: QueryPool::new(config.num_workers),
+            queries_served: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// Builds the serving stack directly over a synthetic corpus.
+    pub fn from_corpus(ctx: HashContext, corpus: Corpus, config: ServeConfig) -> Self {
+        Self::new(&SearchEngine::from_corpus(ctx, corpus), config)
+    }
+
+    /// Answers one conjunctive query (cache-fronted), ascending document
+    /// order.
+    pub fn query(&self, terms: &[usize]) -> Arc<Vec<Elem>> {
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        let cache = self.cache.is_enabled().then_some(&self.cache);
+        QueryPool::answer(&self.engine, cache, terms).0
+    }
+
+    /// Drains a batch of queries across the worker pool, consulting and
+    /// filling the result cache.
+    pub fn run_batch(&self, queries: &[Vec<usize>]) -> BatchOutcome {
+        self.queries_served
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let cache = self.cache.is_enabled().then_some(&self.cache);
+        self.pool.run_batch(&self.engine, cache, queries)
+    }
+
+    /// The sharded engine.
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
+    }
+
+    /// The result cache.
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// The active configuration (post-normalization).
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+            num_shards: self.engine.num_shards(),
+            num_workers: self.pool.workers(),
+            index_bytes: self.engine.size_in_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecMode;
+    use fsi_index::{CorpusConfig, Planner, Strategy};
+
+    fn server(config: ServeConfig) -> Server {
+        let corpus = Corpus::generate(CorpusConfig {
+            num_docs: 15_000,
+            num_terms: 24,
+            ..CorpusConfig::default()
+        });
+        Server::from_corpus(HashContext::new(77), corpus, config)
+    }
+
+    #[test]
+    fn single_queries_are_cached() {
+        let s = server(ServeConfig {
+            num_shards: 3,
+            cache_capacity: 16,
+            ..ServeConfig::default()
+        });
+        let a = s.query(&[0, 1, 5]);
+        let b = s.query(&[5, 1, 0]); // order-insensitive key
+        assert_eq!(a, b);
+        let stats = s.stats();
+        assert_eq!(stats.queries_served, 2);
+        assert_eq!(stats.cache.hits, 1);
+        assert!(stats.index_bytes > 0);
+    }
+
+    #[test]
+    fn batch_counts_feed_stats() {
+        let s = server(ServeConfig {
+            num_shards: 2,
+            num_workers: 2,
+            ..ServeConfig::default()
+        });
+        let queries: Vec<Vec<usize>> = (0..10).map(|i| vec![i % 4, 8 + i % 2]).collect();
+        let outcome = s.run_batch(&queries);
+        assert_eq!(outcome.results.len(), 10);
+        assert_eq!(s.stats().queries_served, 10);
+    }
+
+    #[test]
+    fn disabled_cache_still_serves() {
+        let s = server(ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        });
+        let a = s.query(&[0, 1]);
+        let b = s.query(&[0, 1]);
+        assert_eq!(a, b);
+        let stats = s.stats();
+        assert_eq!(stats.cache.hits, 0);
+        assert_eq!(stats.cache.misses, 0, "disabled cache records nothing");
+    }
+
+    #[test]
+    fn planned_mode_end_to_end() {
+        let s = server(ServeConfig {
+            mode: ExecMode::Planned(Planner::default()),
+            num_shards: 3,
+            ..ServeConfig::default()
+        });
+        let fixed = server(ServeConfig {
+            mode: ExecMode::Fixed(Strategy::Merge),
+            num_shards: 1,
+            ..ServeConfig::default()
+        });
+        for q in [vec![0usize, 1], vec![2, 3, 10], vec![20]] {
+            assert_eq!(s.query(&q), fixed.query(&q), "{q:?}");
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Document-partitioned sharding over [`fsi_index::SearchEngine`].
+//!
+//! Posting lists are split into `N` contiguous document-ID ranges; each
+//! shard preprocesses its slice of every posting list under the configured
+//! execution mode. A conjunctive query runs independently per shard, and
+//! because the ranges are disjoint and ascending, the global result is the
+//! plain concatenation of per-shard results — sorted output is preserved
+//! with zero merge cost.
+//!
+//! Every prepared structure is immutable and `Send + Sync` (the paper
+//! treats multi-core parallelism as orthogonal to the algorithms; sharding
+//! is where this repository cashes that in), so shards can be queried from
+//! any number of threads concurrently.
+
+use crate::config::ExecMode;
+use fsi_core::Elem;
+use fsi_index::{OwnedExecutor, PlannedList, Planner, SearchEngine};
+use std::ops::Range;
+
+/// Per-shard prepared state under one execution mode.
+#[derive(Debug)]
+enum ShardIndex {
+    /// All terms preprocessed under one fixed strategy.
+    Fixed(OwnedExecutor),
+    /// All terms preprocessed for both planner regimes.
+    Planned {
+        planner: Planner,
+        lists: Vec<PlannedList>,
+    },
+}
+
+/// One document shard: prepared state plus the ID range it covers.
+///
+/// Ranges are `u64` so the exclusive end can express "past `u32::MAX`"
+/// (document ID `u32::MAX` is a legal [`Elem`]).
+#[derive(Debug)]
+struct Shard {
+    index: ShardIndex,
+    docs: Range<u64>,
+}
+
+impl Shard {
+    /// Sorted intersection of `terms` within this shard's document range.
+    fn query(&self, terms: &[usize]) -> Vec<Elem> {
+        let mut out = Vec::new();
+        self.query_into(terms, &mut out);
+        out
+    }
+
+    /// Appends the shard's sorted result to `out` — shards share one
+    /// output buffer on the sequential path instead of allocating each.
+    fn query_into(&self, terms: &[usize], out: &mut Vec<Elem>) {
+        match &self.index {
+            ShardIndex::Fixed(exec) => exec.query_into(terms, out),
+            ShardIndex::Planned { planner, lists } => {
+                let refs: Vec<&PlannedList> = terms.iter().map(|&t| &lists[t]).collect();
+                let start = out.len();
+                planner.intersect(&refs, out);
+                out[start..].sort_unstable();
+            }
+        }
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        match &self.index {
+            ShardIndex::Fixed(exec) => exec.size_in_bytes(),
+            ShardIndex::Planned { lists, .. } => lists.iter().map(|l| l.size_in_bytes()).sum(),
+        }
+    }
+}
+
+/// A search engine partitioned into document shards.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<Shard>,
+    num_terms: usize,
+    mode: ExecMode,
+}
+
+impl ShardedEngine {
+    /// Partitions `engine` into `num_shards` equal document-ID ranges and
+    /// preprocesses each under `mode`.
+    pub fn build(engine: &SearchEngine, num_shards: usize, mode: ExecMode) -> Self {
+        let num_shards = num_shards.max(1);
+        // u64 throughout: `max_doc` can be `u32::MAX`, whose successor (the
+        // exclusive end of the document space) does not fit an Elem.
+        let end = engine.max_doc().map_or(0u64, |m| m as u64 + 1);
+        let span = end.div_ceil(num_shards as u64).max(1);
+        let shards = (0..num_shards as u64)
+            .map(|i| {
+                let docs = (i * span).min(end)..((i + 1) * span).min(end);
+                let sub = engine.restricted(docs.clone());
+                let index = match &mode {
+                    ExecMode::Fixed(strategy) => ShardIndex::Fixed(sub.into_executor(*strategy)),
+                    ExecMode::Planned(planner) => {
+                        let lists = sub
+                            .postings()
+                            .iter()
+                            .map(|p| PlannedList::build(sub.ctx(), p))
+                            .collect();
+                        ShardIndex::Planned {
+                            planner: planner.clone(),
+                            lists,
+                        }
+                    }
+                };
+                Shard { index, docs }
+            })
+            .collect();
+        Self {
+            shards,
+            num_terms: engine.num_terms(),
+            mode,
+        }
+    }
+
+    /// Number of document shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of terms in the underlying index.
+    pub fn num_terms(&self) -> usize {
+        self.num_terms
+    }
+
+    /// The execution mode shards were prepared under.
+    pub fn mode(&self) -> &ExecMode {
+        &self.mode
+    }
+
+    /// The document-ID range shard `i` covers (`u64` because the exclusive
+    /// end of the last shard can be `u32::MAX as u64 + 1`).
+    pub fn shard_range(&self, i: usize) -> Range<u64> {
+        self.shards[i].docs.clone()
+    }
+
+    /// Total heap footprint of all prepared shard indexes.
+    pub fn size_in_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.size_in_bytes()).sum()
+    }
+
+    /// Answers the conjunctive query `terms` in ascending document order,
+    /// running shards sequentially on the calling thread.
+    ///
+    /// The result is identical to `SearchEngine::executor(strategy).query`
+    /// on the unsharded engine (the differential tests assert byte
+    /// equality).
+    pub fn query(&self, terms: &[usize]) -> Vec<Elem> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            // Disjoint ascending ranges: appending preserves order.
+            shard.query_into(terms, &mut out);
+        }
+        out
+    }
+
+    /// Like [`ShardedEngine::query`], but fans the shards out over scoped
+    /// threads (one per shard) — intra-query parallelism for latency-bound
+    /// callers; [`crate::pool::QueryPool`] provides inter-query parallelism
+    /// for throughput-bound batches.
+    pub fn query_parallel(&self, terms: &[usize]) -> Vec<Elem> {
+        if self.shards.len() == 1 {
+            return self.query(terms);
+        }
+        let partials: Vec<Vec<Elem>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| scope.spawn(move || shard.query(terms)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard query panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(partials.iter().map(Vec::len).sum());
+        for p in partials {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::HashContext;
+    use fsi_index::{Corpus, CorpusConfig, Strategy};
+
+    fn engine() -> SearchEngine {
+        let corpus = Corpus::generate(CorpusConfig {
+            num_docs: 30_000,
+            num_terms: 48,
+            ..CorpusConfig::default()
+        });
+        SearchEngine::from_corpus(HashContext::new(3), corpus)
+    }
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn sharded_engine_is_send_sync() {
+        assert_send_sync::<ShardedEngine>();
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_document_space() {
+        let engine = engine();
+        let sharded = ShardedEngine::build(&engine, 5, ExecMode::Fixed(Strategy::Merge));
+        let end = engine.max_doc().unwrap() as u64 + 1;
+        let mut expect_start = 0u64;
+        for i in 0..sharded.num_shards() {
+            let r = sharded.shard_range(i);
+            assert_eq!(r.start, expect_start);
+            expect_start = r.end;
+        }
+        assert_eq!(expect_start, end);
+    }
+
+    #[test]
+    fn max_document_id_is_served() {
+        // Regression: boundary arithmetic used to run in u32, so a corpus
+        // containing document u32::MAX overflowed (end = max_doc + 1) and
+        // every shard came out empty.
+        let ctx = HashContext::new(8);
+        let postings = vec![
+            fsi_core::SortedSet::from_unsorted(vec![0, 7, u32::MAX - 1, u32::MAX]),
+            fsi_core::SortedSet::from_unsorted(vec![7, u32::MAX]),
+        ];
+        let engine = SearchEngine::from_postings(ctx, postings);
+        let reference = engine.executor(Strategy::Merge);
+        for shards in [1usize, 2, 5] {
+            let sharded = ShardedEngine::build(&engine, shards, ExecMode::Fixed(Strategy::Merge));
+            assert_eq!(sharded.query(&[0, 1]), reference.query(&[0, 1]));
+            assert_eq!(sharded.query(&[0, 1]), vec![7, u32::MAX]);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_executor() {
+        let engine = engine();
+        let reference = engine.executor(Strategy::Merge);
+        let queries = [vec![0usize, 1], vec![2, 9, 30], vec![7], vec![]];
+        for shards in [1usize, 2, 3, 7] {
+            let sharded = ShardedEngine::build(&engine, shards, ExecMode::Fixed(Strategy::Merge));
+            for q in &queries {
+                assert_eq!(
+                    sharded.query(q),
+                    reference.query(q),
+                    "shards={shards} q={q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planned_mode_matches_fixed_results() {
+        let engine = engine();
+        let fixed = ShardedEngine::build(&engine, 3, ExecMode::Fixed(Strategy::Merge));
+        let planned = ShardedEngine::build(&engine, 3, ExecMode::Planned(Planner::default()));
+        for q in [vec![0usize, 1], vec![2, 9, 30], vec![40, 41], vec![6]] {
+            assert_eq!(planned.query(&q), fixed.query(&q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_query_equals_sequential() {
+        let engine = engine();
+        let sharded =
+            ShardedEngine::build(&engine, 4, ExecMode::Fixed(Strategy::RanGroupScan { m: 2 }));
+        for q in [vec![0usize, 1], vec![2, 9, 30], vec![]] {
+            assert_eq!(sharded.query_parallel(&q), sharded.query(&q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_documents_is_fine() {
+        let ctx = HashContext::new(9);
+        let postings = vec![
+            fsi_core::SortedSet::from_unsorted(vec![0, 1, 2]),
+            fsi_core::SortedSet::from_unsorted(vec![1, 2]),
+        ];
+        let engine = SearchEngine::from_postings(ctx, postings);
+        let sharded = ShardedEngine::build(&engine, 64, ExecMode::Fixed(Strategy::Merge));
+        assert_eq!(sharded.query(&[0, 1]), vec![1, 2]);
+    }
+
+    #[test]
+    fn size_accounting_sums_shards() {
+        let engine = engine();
+        let sharded = ShardedEngine::build(&engine, 4, ExecMode::Fixed(Strategy::Lookup));
+        assert!(sharded.size_in_bytes() > 0);
+        assert_eq!(sharded.num_terms(), engine.num_terms());
+    }
+}

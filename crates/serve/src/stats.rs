@@ -1,0 +1,98 @@
+//! Serving telemetry: latency summaries and whole-server snapshots.
+
+use crate::cache::CacheStats;
+use std::time::Duration;
+
+/// Order statistics over a set of per-query latencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of measured queries.
+    pub count: usize,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Median latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+    /// Worst observed latency in microseconds.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a batch of latencies (empty input yields all zeros).
+    pub fn from_durations(durations: &[Duration]) -> Self {
+        if durations.is_empty() {
+            return Self {
+                count: 0,
+                mean_us: 0.0,
+                p50_us: 0.0,
+                p95_us: 0.0,
+                p99_us: 0.0,
+                max_us: 0.0,
+            };
+        }
+        let mut us: Vec<f64> = durations.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+        us.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pct = |p: f64| {
+            let idx = ((us.len() as f64 - 1.0) * p).round() as usize;
+            us[idx]
+        };
+        Self {
+            count: us.len(),
+            mean_us: us.iter().sum::<f64>() / us.len() as f64,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: *us.last().expect("non-empty"),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one serving engine.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Queries answered since the server was built (cache hits included).
+    pub queries_served: u64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Number of document shards.
+    pub num_shards: usize,
+    /// Worker threads used for batch execution.
+    pub num_workers: usize,
+    /// Total heap footprint of the prepared shard indexes.
+    pub index_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = LatencySummary::from_durations(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_us, 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let durations: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let s = LatencySummary::from_durations(&durations);
+        assert_eq!(s.count, 100);
+        assert!(s.p50_us <= s.p95_us);
+        assert!(s.p95_us <= s.p99_us);
+        assert!(s.p99_us <= s.max_us);
+        assert!((s.max_us - 100.0).abs() < 1e-9);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = LatencySummary::from_durations(&[Duration::from_micros(7)]);
+        assert_eq!(s.count, 1);
+        assert!((s.p50_us - 7.0).abs() < 1e-9);
+        assert!((s.p99_us - 7.0).abs() < 1e-9);
+    }
+}

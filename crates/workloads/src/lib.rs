@@ -7,14 +7,22 @@
 //! * [`querylog`] — the Bing/Wikipedia "real data" workload model, matched to
 //!   all the statistics the paper reports (Figures 7, 9, 12 and the
 //!   introduction's Shopping statistic);
-//! * [`zipf`] — power-law sampling for the synthetic corpus.
+//! * [`zipf`] — power-law sampling for the synthetic corpus;
+//! * [`stream`] — Zipf-skewed query *streams* (term-rank sequences) for
+//!   the serving layer, where whole-query repetition is what a result
+//!   cache feeds on.
 
 pub mod querylog;
+pub mod stream;
 pub mod synthetic;
 pub mod zipf;
 
-pub use querylog::{generate as generate_query_log, measure as measure_workload,
-    plan as plan_query_log, Query, QueryLogConfig, QueryPlan, WorkloadProfile, WorkloadStats};
-pub use synthetic::{k_sets_uniform, k_sets_with_intersection, pair_with_intersection,
-    sample_distinct};
+pub use querylog::{
+    generate as generate_query_log, measure as measure_workload, plan as plan_query_log, Query,
+    QueryLogConfig, QueryPlan, WorkloadProfile, WorkloadStats,
+};
+pub use stream::{generate_stream, repeat_rate, QueryStreamConfig};
+pub use synthetic::{
+    k_sets_uniform, k_sets_with_intersection, pair_with_intersection, sample_distinct,
+};
 pub use zipf::Zipf;

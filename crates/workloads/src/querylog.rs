@@ -92,10 +92,7 @@ impl QueryPlan {
     pub fn materialize(&self, universe: u64) -> Query {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let sets = k_sets_with_intersection(&mut rng, &self.sizes, self.r, universe);
-        Query {
-            sets,
-            r: self.r,
-        }
+        Query { sets, r: self.r }
     }
 }
 
@@ -153,7 +150,7 @@ fn draw_ratios<R: Rng + ?Sized>(rng: &mut R, k: usize) -> Vec<f64> {
         _ => {
             let q2 = log_uniform(rng, 0.08, 1.0); // mean ≈ 0.36
             let qk = q2 * log_uniform(rng, 0.008, 1.0); // mean ≈ 0.36·0.21 ≈ 0.07
-            // Geometric interpolation for the middle sets.
+                                                        // Geometric interpolation for the middle sets.
             let steps = k - 2;
             let mut qs = Vec::with_capacity(k - 1);
             qs.push(q2);
@@ -311,13 +308,37 @@ mod tests {
         let plans = plan(&small_cfg(WorkloadProfile::WebSearch, 6000));
         let stats = measure(&plans);
         // Paper: 0.21 (k=2), 0.31 / 0.09 (k=3), 0.36 / 0.06 (k=4).
-        assert!((stats.mean_ratio_12[&2] - 0.21).abs() < 0.06, "{:?}", stats.mean_ratio_12);
-        assert!((stats.mean_ratio_12[&3] - 0.31).abs() < 0.08, "{:?}", stats.mean_ratio_12);
-        assert!((stats.mean_ratio_1k[&3] - 0.09).abs() < 0.05, "{:?}", stats.mean_ratio_1k);
-        assert!((stats.mean_ratio_12[&4] - 0.36).abs() < 0.10, "{:?}", stats.mean_ratio_12);
-        assert!((stats.mean_ratio_1k[&4] - 0.06).abs() < 0.05, "{:?}", stats.mean_ratio_1k);
+        assert!(
+            (stats.mean_ratio_12[&2] - 0.21).abs() < 0.06,
+            "{:?}",
+            stats.mean_ratio_12
+        );
+        assert!(
+            (stats.mean_ratio_12[&3] - 0.31).abs() < 0.08,
+            "{:?}",
+            stats.mean_ratio_12
+        );
+        assert!(
+            (stats.mean_ratio_1k[&3] - 0.09).abs() < 0.05,
+            "{:?}",
+            stats.mean_ratio_1k
+        );
+        assert!(
+            (stats.mean_ratio_12[&4] - 0.36).abs() < 0.10,
+            "{:?}",
+            stats.mean_ratio_12
+        );
+        assert!(
+            (stats.mean_ratio_1k[&4] - 0.06).abs() < 0.05,
+            "{:?}",
+            stats.mean_ratio_1k
+        );
         // Mean r/|L1| ≈ 0.19.
-        assert!((stats.mean_r_over_n1 - 0.19).abs() < 0.05, "{}", stats.mean_r_over_n1);
+        assert!(
+            (stats.mean_r_over_n1 - 0.19).abs() < 0.05,
+            "{}",
+            stats.mean_r_over_n1
+        );
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Query-*stream* generation for the serving layer: sequences of
+//! term-rank queries with Zipf-skewed term popularity.
+//!
+//! The synthetic/querylog modules generate *sets* with controlled shapes;
+//! a serving benchmark instead needs a realistic *arrival stream* over a
+//! fixed index. Real query logs are doubly skewed: term popularity follows
+//! a power law, and whole queries repeat (which is what makes result
+//! caching pay). Drawing each query's terms from a Zipf distribution over
+//! term ranks produces both effects at once — popular terms co-occur
+//! often, so popular term-sets recur.
+//!
+//! Keyword counts follow the paper's reported mixture (68% two-word, 23%
+//! three-word, 6% four-word, 3% five-word).
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a query stream.
+#[derive(Debug, Clone)]
+pub struct QueryStreamConfig {
+    /// Number of queries to generate.
+    pub num_queries: usize,
+    /// Vocabulary size; queries draw term ranks in `0..num_terms`.
+    pub num_terms: usize,
+    /// Zipf exponent of term popularity (≈1 for natural language; higher
+    /// values skew harder and raise the repeat rate).
+    pub zipf_exponent: f64,
+    /// RNG seed (the stream is deterministic in it).
+    pub seed: u64,
+}
+
+impl Default for QueryStreamConfig {
+    fn default() -> Self {
+        Self {
+            num_queries: 10_000,
+            num_terms: 1 << 12,
+            zipf_exponent: 1.0,
+            seed: 0x57_4e_a4,
+        }
+    }
+}
+
+/// Draws the keyword count from the paper's reported mixture.
+fn draw_k<R: Rng + ?Sized>(rng: &mut R) -> usize {
+    let u: f64 = rng.gen();
+    if u < 0.68 {
+        2
+    } else if u < 0.91 {
+        3
+    } else if u < 0.97 {
+        4
+    } else {
+        5
+    }
+}
+
+/// Generates the stream: each query is a set of distinct term ranks,
+/// Zipf-popular terms appearing most often.
+pub fn generate_stream(cfg: &QueryStreamConfig) -> Vec<Vec<usize>> {
+    assert!(cfg.num_terms > 0, "need a vocabulary");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zipf = Zipf::new(cfg.num_terms, cfg.zipf_exponent);
+    (0..cfg.num_queries)
+        .map(|_| {
+            let k = draw_k(&mut rng).min(cfg.num_terms);
+            let mut terms: Vec<usize> = Vec::with_capacity(k);
+            while terms.len() < k {
+                let t = zipf.sample(&mut rng);
+                if !terms.contains(&t) {
+                    terms.push(t);
+                }
+            }
+            terms
+        })
+        .collect()
+}
+
+/// Fraction of queries in `stream` whose (order-insensitive) term set
+/// already appeared earlier — an upper bound on the hit rate an unbounded
+/// result cache could reach on this stream.
+pub fn repeat_rate(stream: &[Vec<usize>]) -> f64 {
+    if stream.is_empty() {
+        return 0.0;
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut repeats = 0usize;
+    for q in stream {
+        let mut key = q.clone();
+        key.sort_unstable();
+        if !seen.insert(key) {
+            repeats += 1;
+        }
+    }
+    repeats as f64 / stream.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize) -> QueryStreamConfig {
+        QueryStreamConfig {
+            num_queries: n,
+            num_terms: 256,
+            zipf_exponent: 1.0,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn queries_are_valid_term_sets() {
+        let stream = generate_stream(&cfg(2000));
+        assert_eq!(stream.len(), 2000);
+        for q in &stream {
+            assert!((2..=5).contains(&q.len()));
+            assert!(q.iter().all(|&t| t < 256));
+            let mut sorted = q.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), q.len(), "distinct terms within a query");
+        }
+    }
+
+    #[test]
+    fn keyword_mixture_matches_paper() {
+        let stream = generate_stream(&cfg(8000));
+        let frac =
+            |k: usize| stream.iter().filter(|q| q.len() == k).count() as f64 / stream.len() as f64;
+        assert!((frac(2) - 0.68).abs() < 0.04, "k=2: {}", frac(2));
+        assert!((frac(3) - 0.23).abs() < 0.04, "k=3: {}", frac(3));
+    }
+
+    #[test]
+    fn popular_terms_dominate() {
+        let stream = generate_stream(&cfg(4000));
+        let with_top10 = stream.iter().filter(|q| q.iter().any(|&t| t < 10)).count();
+        // Zipf(s=1, n=256): the top-10 ranks carry ≈48% of the mass, so the
+        // overwhelming majority of 2..5-term queries touch one.
+        let frac = with_top10 as f64 / stream.len() as f64;
+        assert!(frac > 0.6, "top-10 term coverage {frac}");
+    }
+
+    #[test]
+    fn streams_repeat_enough_to_cache() {
+        let stream = generate_stream(&cfg(4000));
+        let rate = repeat_rate(&stream);
+        assert!(rate > 0.05, "repeat rate {rate} too low for cache tests");
+        assert!(rate < 0.9, "repeat rate {rate} suspiciously high");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(generate_stream(&cfg(50)), generate_stream(&cfg(50)));
+        let other = QueryStreamConfig {
+            seed: 12,
+            ..cfg(50)
+        };
+        assert_ne!(generate_stream(&cfg(50)), generate_stream(&other));
+    }
+
+    #[test]
+    fn tiny_vocabulary_caps_k() {
+        let stream = generate_stream(&QueryStreamConfig {
+            num_queries: 100,
+            num_terms: 2,
+            zipf_exponent: 1.0,
+            seed: 1,
+        });
+        assert!(stream.iter().all(|q| q.len() <= 2));
+    }
+}

@@ -13,7 +13,10 @@ use rand::Rng;
 /// rejection via sort+dedup rounds.
 pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, n: usize, universe: u64) -> Vec<Elem> {
     assert!(universe <= (u32::MAX as u64) + 1, "universe exceeds u32");
-    assert!((n as u64) <= universe, "cannot draw {n} distinct from {universe}");
+    assert!(
+        (n as u64) <= universe,
+        "cannot draw {n} distinct from {universe}"
+    );
     if n == 0 {
         return Vec::new();
     }
@@ -120,7 +123,13 @@ mod tests {
     #[test]
     fn sample_distinct_properties() {
         let mut rng = StdRng::seed_from_u64(1);
-        for (n, u) in [(0usize, 10u64), (10, 10), (100, 120), (1000, 1u64 << 32), (5000, 10_000)] {
+        for (n, u) in [
+            (0usize, 10u64),
+            (10, 10),
+            (100, 120),
+            (1000, 1u64 << 32),
+            (5000, 10_000),
+        ] {
             let v = sample_distinct(&mut rng, n, u);
             assert_eq!(v.len(), n, "n={n} u={u}");
             assert!(v.windows(2).all(|w| w[0] < w[1]), "sorted distinct");

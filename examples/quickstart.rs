@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use fast_set_intersection::{
-    HashContext, KIntersect, PairIntersect, RanGroupScanIndex, SortedSet,
-};
+use fast_set_intersection::{HashContext, KIntersect, PairIntersect, RanGroupScanIndex, SortedSet};
 
 fn main() {
     // All sets that will ever be intersected together must share one

@@ -17,7 +17,13 @@
 //! * [`index`] — an inverted-index/search substrate with pluggable
 //!   intersection strategies, plus the bag-semantics extension.
 //! * [`workloads`] — the evaluation's synthetic and query-log workload
-//!   generators.
+//!   generators, plus Zipf-skewed query streams for the serving layer.
+//! * [`serve`] — the concurrent query-serving subsystem: document-range
+//!   sharding ([`serve::ShardedEngine`]), batched work-stealing execution
+//!   ([`serve::QueryPool`]), a segmented LRU result cache
+//!   ([`serve::QueryCache`]), and the assembled [`serve::Server`] — the
+//!   paper's "intersection is the serving bottleneck" framing taken to a
+//!   multi-core serving stack.
 //!
 //! ## Quick start
 //!
@@ -39,6 +45,7 @@ pub use fsi_baselines as baselines;
 pub use fsi_compress as compress;
 pub use fsi_core as core;
 pub use fsi_index as index;
+pub use fsi_serve as serve;
 pub use fsi_workloads as workloads;
 
 pub use fsi_core::{

@@ -5,21 +5,13 @@
 use fast_set_intersection::index::{intersect_sorted, PreparedList, Strategy};
 use fast_set_intersection::workloads::{k_sets_with_intersection, pair_with_intersection};
 use fast_set_intersection::{reference_intersection, HashContext, SortedSet};
-use fsi_compress::{EliasCode, GroupCoding};
+use fsi_compress::GroupCoding;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn every_strategy() -> Vec<Strategy> {
-    let mut v = Strategy::uncompressed_lineup();
-    v.push(Strategy::Auto);
-    v.push(Strategy::IntGroupOpt);
-    v.push(Strategy::Treap);
-    v.push(Strategy::RanGroupScan { m: 1 });
+    let mut v = Strategy::full_lineup();
     v.push(Strategy::RanGroupScan { m: 8 });
-    v.extend(Strategy::compressed_lineup());
-    v.push(Strategy::MergeCompressed(EliasCode::Gamma));
-    v.push(Strategy::LookupCompressed(EliasCode::Gamma));
-    v.push(Strategy::RgsCompressed(GroupCoding::Elias(EliasCode::Gamma)));
     v
 }
 
@@ -78,10 +70,7 @@ fn boundary_sets_all_strategies() {
     let ctx = HashContext::with_family_size(14, 8);
     let cases: Vec<(&str, Vec<SortedSet>)> = vec![
         ("both empty", vec![SortedSet::new(), SortedSet::new()]),
-        (
-            "one empty",
-            vec![SortedSet::new(), (0..100u32).collect()],
-        ),
+        ("one empty", vec![SortedSet::new(), (0..100u32).collect()]),
         (
             "identical",
             vec![(0..500u32).collect(), (0..500u32).collect()],

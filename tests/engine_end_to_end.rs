@@ -42,7 +42,12 @@ fn conjunctive_queries_agree_across_strategies() {
     ] {
         let exec = engine.executor(strategy);
         for q in &queries {
-            assert_eq!(exec.query(q), reference.query(q), "{} {q:?}", strategy.name());
+            assert_eq!(
+                exec.query(q),
+                reference.query(q),
+                "{} {q:?}",
+                strategy.name()
+            );
         }
     }
 }
@@ -52,7 +57,10 @@ fn engine_queries_match_raw_posting_intersection() {
     let engine = engine();
     let exec = engine.executor(Strategy::RanGroupScan { m: 4 });
     for terms in [vec![0usize, 3], vec![5, 6, 7], vec![0, 99]] {
-        let slices: Vec<&[u32]> = terms.iter().map(|&t| engine.posting(t).as_slice()).collect();
+        let slices: Vec<&[u32]> = terms
+            .iter()
+            .map(|&t| engine.posting(t).as_slice())
+            .collect();
         assert_eq!(exec.query(&terms), reference_intersection(&slices));
     }
 }
@@ -84,8 +92,12 @@ fn bag_semantics_over_engine_context() {
 fn executor_sizes_rank_as_documented() {
     let engine = engine();
     let merge = engine.executor(Strategy::Merge).size_in_bytes();
-    let rgs2 = engine.executor(Strategy::RanGroupScan { m: 2 }).size_in_bytes();
-    let rgs4 = engine.executor(Strategy::RanGroupScan { m: 4 }).size_in_bytes();
+    let rgs2 = engine
+        .executor(Strategy::RanGroupScan { m: 2 })
+        .size_in_bytes();
+    let rgs4 = engine
+        .executor(Strategy::RanGroupScan { m: 4 })
+        .size_in_bytes();
     // The space/speed trade-off of Section 4: more hash images, more space.
     assert!(merge < rgs2);
     assert!(rgs2 < rgs4);

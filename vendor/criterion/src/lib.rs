@@ -1,0 +1,244 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! This build environment has no registry access, so the workspace ships
+//! the slice of `criterion` its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`/`warm_up_time`/`measurement_time`/
+//! `bench_function`/`finish`), [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — a warm-up pass, then timed batches
+//! for roughly the configured measurement time, reporting the median
+//! per-iteration latency to stdout. It is good enough for relative
+//! comparisons; upstream's statistical analysis and HTML reports are not
+//! reproduced.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    default_warm_up: Duration,
+    default_measurement: Duration,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_warm_up: Duration::from_millis(300),
+            default_measurement: Duration::from_millis(1000),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        let warm_up = self.default_warm_up;
+        let measurement = self.default_measurement;
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            warm_up,
+            measurement,
+            sample_size,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let warm_up = self.default_warm_up;
+        let measurement = self.default_measurement;
+        let sample_size = self.default_sample_size;
+        run_one(&id.into().0, warm_up, measurement, sample_size, f);
+        self
+    }
+}
+
+/// A set of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total sampling duration budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.warm_up, self.measurement, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mut f: F,
+) {
+    // Warm-up: run the routine until the warm-up budget elapses, learning
+    // roughly how long one iteration takes.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < warm_up {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        per_iter = (bencher.elapsed / bencher.iters as u32).max(Duration::from_nanos(1));
+    }
+    // Sampling: size each sample so the whole run fits the measurement
+    // budget, then report the median.
+    let budget_per_sample = measurement / sample_size as u32;
+    let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, u32::MAX as u128) as u64;
+    let mut samples: Vec<Duration> = (0..sample_size)
+        .map(|_| {
+            bencher.iters = iters;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            bencher.elapsed / iters as u32
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!("  {label:<48} {:>12.3} ns/iter", median.as_nanos() as f64);
+}
+
+/// Times the closure handed to [`BenchmarkGroup::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the sampling plan asks.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    /// Identifier rendered from a single parameter value.
+    pub fn from_parameter(p: impl Display) -> Self {
+        Self(p.to_string())
+    }
+
+    /// Identifier from a function name and a parameter.
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        Self(format!("{name}/{p}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Bundles benchmark functions into a group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut c = Criterion {
+            default_warm_up: Duration::from_millis(1),
+            default_measurement: Duration::from_millis(5),
+            default_sample_size: 3,
+        };
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        g.bench_function(BenchmarkId::from_parameter("sum"), |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran += 1;
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}
