@@ -98,13 +98,27 @@ fn main() {
         cache_stats.hit_rate()
     );
 
+    // Percentiles are NaN for an empty batch (LatencySummary's "never a
+    // silent 0" contract) and `{:.2}` would write a bare NaN token, which
+    // is not valid JSON — emit null for anything non-finite.
+    let json_f64 = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.2}")
+        } else {
+            "null".to_string()
+        }
+    };
     let scaling_json: Vec<String> = scaling
         .iter()
         .map(|r| {
             format!(
                 "    {{\"workers\": {}, \"qps\": {:.1}, \"batch_ms\": {:.2}, \
-                 \"p50_us\": {:.2}, \"p99_us\": {:.2}}}",
-                r.workers, r.qps, r.wall_ms, r.p50_us, r.p99_us
+                 \"p50_us\": {}, \"p99_us\": {}}}",
+                r.workers,
+                r.qps,
+                r.wall_ms,
+                json_f64(r.p50_us),
+                json_f64(r.p99_us)
             )
         })
         .collect();

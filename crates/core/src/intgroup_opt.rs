@@ -311,6 +311,88 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_sizes_keep_classes_and_buckets_consistent() {
+        // n ≤ 2 stores a single width class (width 2); words and buckets
+        // must stay mutually consistent down to n = 0.
+        let ctx = ctx();
+        let h = ctx.h();
+        for n in 0..=4usize {
+            let set: SortedSet = (0..n as u32).map(|x| x * 313 + 5).collect();
+            let idx = IntGroupOptIndex::build(&ctx, &set);
+            assert_eq!(idx.n(), n);
+            assert_eq!(idx.classes(), ceil_log2(n.max(2)).max(1) as usize);
+            for (j, words) in idx.class_words.iter().enumerate() {
+                let width = 1usize << (j + 1);
+                assert_eq!(words.len(), n.div_ceil(width), "n={n} class {j}");
+                for (g, chunk) in set.as_slice().chunks(width).enumerate() {
+                    let expect = chunk.iter().map(|&x| h.bit(x)).fold(0, |a, b| a | b);
+                    assert_eq!(words[g], expect, "n={n} class {j} group {g}");
+                }
+            }
+            assert_eq!(idx.bucket_offsets[0], 0);
+            assert_eq!(idx.bucket_offsets[WORD_BITS as usize] as usize, n);
+            for y in 0..WORD_BITS {
+                let run = idx.run(y, 0, n as u32);
+                let expect: Vec<u32> = (0..n)
+                    .filter(|&p| idx.hashes[p] as u32 == y)
+                    .map(|p| p as u32)
+                    .collect();
+                assert_eq!(run, expect.as_slice(), "n={n} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_pairs_intersect_correctly() {
+        let ctx = ctx();
+        let sets: Vec<SortedSet> = vec![
+            SortedSet::new(),
+            SortedSet::from_unsorted(vec![11]),
+            SortedSet::from_unsorted(vec![11, 77]),
+            SortedSet::from_unsorted(vec![11, 77, 3_000_000]),
+            (0..5000u32).map(|x| x * 11).collect(),
+        ];
+        let idxs: Vec<IntGroupOptIndex> = sets
+            .iter()
+            .map(|s| IntGroupOptIndex::build(&ctx, s))
+            .collect();
+        for (i, a) in idxs.iter().enumerate() {
+            for (j, b) in idxs.iter().enumerate() {
+                let expect = reference_intersection(&[sets[i].as_slice(), sets[j].as_slice()]);
+                assert_eq!(sorted2(a, b), expect, "pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_hash_values_stay_correct() {
+        // Every element hashes to the same y: each group's word is one bit,
+        // so word filtering rejects nothing and correctness rests entirely
+        // on the in-bucket merges.
+        let ctx = ctx();
+        let h = ctx.h();
+        let target = h.hash(1);
+        let elems: Vec<u32> = (0..2_000_000u32)
+            .filter(|&x| h.hash(x) == target)
+            .take(256)
+            .collect();
+        assert_eq!(elems.len(), 256, "universe yields enough collisions");
+        let set = SortedSet::from_sorted_unchecked(elems.clone());
+        let idx = IntGroupOptIndex::build(&ctx, &set);
+        for words in &idx.class_words {
+            for &w in words {
+                assert_eq!(w, 1u64 << target);
+            }
+        }
+        assert_eq!(sorted2(&idx, &idx), elems);
+        let half: SortedSet =
+            SortedSet::from_sorted_unchecked(elems.iter().copied().step_by(2).collect());
+        let hidx = IntGroupOptIndex::build(&ctx, &half);
+        assert_eq!(sorted2(&idx, &hidx), half.as_slice());
+        assert_eq!(sorted2(&hidx, &idx), half.as_slice());
+    }
+
+    #[test]
     fn space_is_linear() {
         let ctx = ctx();
         let set: SortedSet = (0..100_000u32).map(|x| x.wrapping_mul(31)).collect();

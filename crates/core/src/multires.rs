@@ -336,6 +336,104 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_sizes_keep_heaps_and_buckets_consistent() {
+        // `tmax_words = ceil_log2(n).saturating_sub(1)` collapses to a
+        // level-0-only heap for n ≤ 2; the heap, the group boundaries, and
+        // the flattened buckets must stay mutually consistent there.
+        let ctx = ctx();
+        let h = ctx.h();
+        for n in 0..=4usize {
+            let set: SortedSet = (0..n as u32).map(|x| x * 1717 + 3).collect();
+            let idx = MultiResIndex::build(&ctx, &set);
+            assert_eq!(idx.n(), n);
+            assert_eq!(idx.max_word_level(), ceil_log2(n).saturating_sub(1));
+            for t in 0..=idx.max_word_level() {
+                let mut prev_end = 0usize;
+                let mut level_or = 0u64;
+                for z in 0..(1u64 << t) as u32 {
+                    let r = idx.group_range(t, z);
+                    assert_eq!(r.start, prev_end, "n={n} t={t} z={z}");
+                    prev_end = r.end;
+                    let mut expect = 0u64;
+                    for &gv in &idx.gvalues()[r.clone()] {
+                        expect |= h.bit(gv);
+                    }
+                    assert_eq!(idx.word(t, z), expect, "n={n} t={t} z={z}");
+                    level_or |= idx.word(t, z);
+                }
+                assert_eq!(prev_end, n, "level {t} must cover all of n={n}");
+                assert_eq!(level_or, idx.word(0, 0), "every level ORs to the root");
+            }
+            // bucket_offsets partition exactly n positions, each bucket
+            // holding exactly the positions hashing to it.
+            assert_eq!(idx.bucket_offsets[0], 0);
+            assert_eq!(idx.bucket_offsets[WORD_BITS as usize] as usize, n);
+            for y in 0..WORD_BITS {
+                let run = idx.run(y, &(0..n));
+                let expect: Vec<u32> = (0..n)
+                    .filter(|&p| h.hash(idx.gvalues()[p]) == y)
+                    .map(|p| p as u32)
+                    .collect();
+                assert_eq!(run, expect.as_slice(), "n={n} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_pairs_intersect_correctly() {
+        let ctx = ctx();
+        let sets: Vec<SortedSet> = vec![
+            SortedSet::new(),
+            SortedSet::from_unsorted(vec![42]),
+            SortedSet::from_unsorted(vec![7, 42]),
+            SortedSet::from_unsorted(vec![7, 42, 1_000_000]),
+            (0..5000u32).map(|x| x * 2).collect(),
+        ];
+        let idxs: Vec<MultiResIndex> = sets.iter().map(|s| MultiResIndex::build(&ctx, s)).collect();
+        for (i, a) in idxs.iter().enumerate() {
+            for (j, b) in idxs.iter().enumerate() {
+                let expect = reference_intersection(&[sets[i].as_slice(), sets[j].as_slice()]);
+                assert_eq!(sorted_opt(a, b), expect, "pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_hash_values_collapse_to_one_bucket() {
+        // Adversarial for the inverted mapping: every element hashes to the
+        // same y, so one bucket holds all n positions and every word
+        // representation is a single bit.
+        // The structure hashes g-values, so collide under h ∘ g.
+        let ctx = ctx();
+        let h = ctx.h();
+        let g = ctx.g();
+        let target = h.hash(g.apply(0));
+        let elems: Vec<u32> = (0..2_000_000u32)
+            .filter(|&x| h.hash(g.apply(x)) == target)
+            .take(300)
+            .collect();
+        assert_eq!(elems.len(), 300, "universe yields enough collisions");
+        let set = SortedSet::from_sorted_unchecked(elems.clone());
+        let idx = MultiResIndex::build(&ctx, &set);
+        for t in 0..=idx.max_word_level() {
+            for z in 0..(1u64 << t) as u32 {
+                let r = idx.group_range(t, z);
+                let w = idx.word(t, z);
+                assert!(
+                    (r.is_empty() && w == 0) || w == 1u64 << target,
+                    "t={t} z={z}: word {w:#x}"
+                );
+            }
+        }
+        // Self- and partial-intersections stay exact.
+        assert_eq!(sorted_opt(&idx, &idx), elems);
+        let half: SortedSet =
+            SortedSet::from_sorted_unchecked(elems.iter().copied().step_by(2).collect());
+        let hidx = MultiResIndex::build(&ctx, &half);
+        assert_eq!(sorted_opt(&idx, &hidx), half.as_slice());
+    }
+
+    #[test]
     fn space_is_linear() {
         let ctx = ctx();
         for n in [1usize << 10, 1 << 12, 1 << 14] {

@@ -4,15 +4,26 @@
 //! the best one", and Section 3.4 already proposes choosing the algorithm
 //! "online, based on n₁/n₂".
 //!
-//! A [`PlannedList`] keeps the two structures whose winning regions the
-//! evaluation maps out — RanGroupScan for balanced sizes and a hash table
-//! for skewed sizes (the sorted list for Merge-style scans lives inside the
-//! RanGroupScan groups, so large-r queries degrade gracefully too). At query
-//! time the [`Planner`] dispatches on the size ratio of the actual operands.
+//! A [`PlannedList`] keeps the structures whose winning regions the
+//! evaluation maps out: RanGroupScan for balanced sparse sizes, a hash
+//! table for extreme skew, and the `fsi-kernels` layer for the two regimes
+//! wide machine words own outright — a chunked bitmap for *dense* operands
+//! (one `AND` per 64 universe slots) and a galloping merge for *moderately
+//! skewed* sizes. At query time the [`Planner`] dispatches on the size
+//! ratio and the density of the actual operands:
 //!
-//! The default threshold reflects *this repository's measured* crossover
-//! (sr ≈ 8 on a large-L3 machine — see EXPERIMENTS.md); the paper-era value
-//! was ≈ 100. It is a tunable because the right answer is hardware-bound.
+//! 1. an empty operand → [`Plan::Galloping`] (short-circuits immediately);
+//! 2. ratio ≥ [`Planner::hash_ratio_threshold`] → [`Plan::HashProbe`]
+//!    (`O(n_min)` probes beat everything at extreme skew);
+//! 3. every operand denser than [`Planner::bitmap_min_density`] →
+//!    [`Plan::Bitmap`];
+//! 4. ratio ≥ [`Planner::gallop_ratio_threshold`] → [`Plan::Galloping`];
+//! 5. otherwise → [`Plan::RanGroupScan`] (balanced, sparse — the paper's
+//!    home turf).
+//!
+//! The default thresholds reflect *this repository's measured* crossovers
+//! (see EXPERIMENTS.md and `BENCH_kernels.json`); they are tunables because
+//! the right answers are hardware-bound.
 
 use crate::strategy::Strategy;
 use fsi_baselines::HashSetIndex;
@@ -20,20 +31,38 @@ use fsi_core::elem::{Elem, SortedSet};
 use fsi_core::hash::HashContext;
 use fsi_core::traits::{KIntersect, SetIndex};
 use fsi_core::RanGroupScanIndex;
+use fsi_kernels::{BitmapSet, GallopingSet, BITMAP_MIN_DENSITY};
 
-/// A posting list prepared for both winning regimes.
+/// A posting list prepared for every winning regime.
 #[derive(Debug, Clone)]
 pub struct PlannedList {
     hash: HashSetIndex,
     rgs: RanGroupScanIndex,
+    /// Only built for lists dense enough (own `n / (max+1)` at or above
+    /// [`BITMAP_MIN_DENSITY`]) that [`Plan::Bitmap`] can ever fire on a
+    /// query containing them — a chunk bitmap costs a fixed 8 KiB per
+    /// touched 2¹⁶-value chunk, which is pure dead weight on sparse lists.
+    bitmap: Option<BitmapSet>,
+    flat: GallopingSet,
+    max_elem: Option<Elem>,
 }
 
 impl PlannedList {
-    /// Preprocesses `set` for both structures.
+    /// Preprocesses `set` for every structure the planner can dispatch to.
     pub fn build(ctx: &HashContext, set: &SortedSet) -> Self {
+        // If this list is sparser than BITMAP_MIN_DENSITY in its own value
+        // range, then for any query containing it the global span is at
+        // least its max+1 and the min operand size at most its n, so the
+        // density rule can never select Bitmap — skip the bitmap entirely.
+        let dense = set
+            .max()
+            .is_some_and(|m| set.len() as f64 >= BITMAP_MIN_DENSITY * (m as f64 + 1.0));
         Self {
             hash: HashSetIndex::build(set),
             rgs: RanGroupScanIndex::with_m(ctx, set, 2),
+            bitmap: dense.then(|| BitmapSet::build(set)),
+            flat: GallopingSet::build(set),
+            max_elem: set.max(),
         }
     }
 
@@ -42,19 +71,27 @@ impl PlannedList {
         self.rgs.n()
     }
 
-    /// Total footprint of both structures.
+    /// Total footprint of all prepared structures.
     pub fn size_in_bytes(&self) -> usize {
-        self.hash.size_in_bytes() + self.rgs.size_in_bytes()
+        self.hash.size_in_bytes()
+            + self.rgs.size_in_bytes()
+            + self.bitmap.as_ref().map_or(0, |b| b.size_in_bytes())
+            + self.flat.size_in_bytes()
     }
 }
 
 /// Which physical plan ran (exposed for tests/telemetry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Plan {
-    /// Balanced sizes: Algorithm 5 group filtering.
+    /// Balanced sparse sizes: Algorithm 5 group filtering.
     RanGroupScan,
-    /// Skewed sizes: probe the hash tables with the smallest list.
+    /// Extreme skew: probe the hash tables with the smallest list.
     HashProbe,
+    /// Dense operands: word-parallel chunked-bitmap `AND` (`fsi-kernels`).
+    Bitmap,
+    /// Moderate skew (or a trivially empty operand): branchless/galloping
+    /// merge (`fsi-kernels`).
+    Galloping,
 }
 
 impl Plan {
@@ -63,6 +100,8 @@ impl Plan {
         match self {
             Plan::RanGroupScan => Strategy::RanGroupScan { m: 2 },
             Plan::HashProbe => Strategy::Hash,
+            Plan::Bitmap => Strategy::Bitmap,
+            Plan::Galloping => Strategy::Galloping,
         }
     }
 }
@@ -70,36 +109,77 @@ impl Plan {
 /// The dispatcher.
 #[derive(Debug, Clone)]
 pub struct Planner {
-    /// Size ratio `max nᵢ / min nᵢ` at or above which hash probing wins.
+    /// Size ratio `max nᵢ / min nᵢ` at or above which hash probing wins
+    /// (extreme skew).
     pub hash_ratio_threshold: usize,
+    /// Size ratio at or above which the galloping kernel wins (moderate
+    /// skew; must be below `hash_ratio_threshold` to ever fire).
+    pub gallop_ratio_threshold: usize,
+    /// Minimum `nᵢ / universe` density (for **every** operand) at which
+    /// the chunked-bitmap `AND` wins. Values below
+    /// [`BITMAP_MIN_DENSITY`] are clamped up to it at dispatch time:
+    /// [`PlannedList::build`] only carries a bitmap for lists at least
+    /// that dense, so a looser setting could select a plan the prepared
+    /// state cannot run.
+    pub bitmap_min_density: f64,
 }
 
 impl Default for Planner {
     fn default() -> Self {
         Self {
-            // Measured crossover on this hardware (EXPERIMENTS.md, ratio
-            // experiment); the paper-era machine crossed near 100.
-            hash_ratio_threshold: 8,
+            // Measured crossovers on this hardware (EXPERIMENTS.md ratio
+            // experiment; BENCH_kernels.json for the kernel regimes). The
+            // paper-era machine crossed to hash probing near 100.
+            hash_ratio_threshold: 64,
+            gallop_ratio_threshold: 8,
+            bitmap_min_density: BITMAP_MIN_DENSITY,
         }
     }
 }
 
+/// The universe span the density rule divides by: `max element + 1` over
+/// the operands (0 when every operand is empty). Shared by
+/// [`Planner::intersect`] and [`Planner::choose_for_sets`] so the bench
+/// harness and the dispatcher can never disagree on the definition.
+fn universe_span(maxes: impl Iterator<Item = Option<Elem>>) -> u64 {
+    maxes.flatten().max().map_or(0, |m| m as u64 + 1)
+}
+
 impl Planner {
-    /// Decides the plan from operand sizes.
-    pub fn choose(&self, sizes: &[usize]) -> Plan {
+    /// Decides the plan from operand sizes and the universe span
+    /// (`max element + 1` over the operands; 0 when all are empty).
+    pub fn choose(&self, sizes: &[usize], universe_span: u64) -> Plan {
         let min = sizes.iter().copied().min().unwrap_or(0);
         let max = sizes.iter().copied().max().unwrap_or(0);
-        if min == 0 || max / min.max(1) >= self.hash_ratio_threshold {
+        if min == 0 {
+            return Plan::Galloping;
+        }
+        let ratio = max / min;
+        let density_floor = self.bitmap_min_density.max(BITMAP_MIN_DENSITY);
+        if ratio >= self.hash_ratio_threshold {
             Plan::HashProbe
+        } else if (min as f64) >= density_floor * universe_span.max(1) as f64 {
+            Plan::Bitmap
+        } else if ratio >= self.gallop_ratio_threshold {
+            Plan::Galloping
         } else {
             Plan::RanGroupScan
         }
     }
 
+    /// The plan [`Planner::intersect`] would run for these operand sets —
+    /// for harnesses that classify queries without prepared lists.
+    pub fn choose_for_sets(&self, sets: &[&SortedSet]) -> Plan {
+        let sizes: Vec<usize> = sets.iter().map(|s| s.len()).collect();
+        let span = universe_span(sets.iter().map(|s| s.max()));
+        self.choose(&sizes, span)
+    }
+
     /// Intersects under the chosen plan; returns which plan ran.
     pub fn intersect(&self, lists: &[&PlannedList], out: &mut Vec<Elem>) -> Plan {
         let sizes: Vec<usize> = lists.iter().map(|l| l.n()).collect();
-        let plan = self.choose(&sizes);
+        let span = universe_span(lists.iter().map(|l| l.max_elem));
+        let plan = self.choose(&sizes, span);
         match plan {
             Plan::RanGroupScan => {
                 let typed: Vec<&RanGroupScanIndex> = lists.iter().map(|l| &l.rgs).collect();
@@ -108,6 +188,21 @@ impl Planner {
             Plan::HashProbe => {
                 let typed: Vec<&HashSetIndex> = lists.iter().map(|l| &l.hash).collect();
                 HashSetIndex::intersect_k_into(&typed, out);
+            }
+            Plan::Bitmap => {
+                let typed: Vec<&BitmapSet> = lists
+                    .iter()
+                    .map(|l| {
+                        l.bitmap
+                            .as_ref()
+                            .expect("density rule only fires when every operand carries a bitmap")
+                    })
+                    .collect();
+                BitmapSet::intersect_k_into(&typed, out);
+            }
+            Plan::Galloping => {
+                let typed: Vec<&GallopingSet> = lists.iter().map(|l| &l.flat).collect();
+                GallopingSet::intersect_k_into(&typed, out);
             }
         }
         plan
@@ -121,25 +216,38 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    const SPARSE: u64 = 1 << 30; // a span that keeps every density tiny
+
     #[test]
-    fn chooses_by_ratio() {
+    fn chooses_by_ratio_and_density() {
         let p = Planner::default();
-        assert_eq!(p.choose(&[1000, 1000]), Plan::RanGroupScan);
-        assert_eq!(p.choose(&[1000, 2000]), Plan::RanGroupScan);
-        assert_eq!(p.choose(&[1000, 8000]), Plan::HashProbe);
-        assert_eq!(p.choose(&[100, 500, 80_000]), Plan::HashProbe);
-        assert_eq!(p.choose(&[0, 10]), Plan::HashProbe);
-        assert_eq!(p.choose(&[]), Plan::HashProbe);
+        // Balanced sparse → RanGroupScan.
+        assert_eq!(p.choose(&[1000, 1000], SPARSE), Plan::RanGroupScan);
+        assert_eq!(p.choose(&[1000, 2000], SPARSE), Plan::RanGroupScan);
+        // Moderate skew → Galloping.
+        assert_eq!(p.choose(&[1000, 8000], SPARSE), Plan::Galloping);
+        assert_eq!(p.choose(&[100, 500, 6000], SPARSE), Plan::Galloping);
+        // Extreme skew → HashProbe.
+        assert_eq!(p.choose(&[1000, 64_000], SPARSE), Plan::HashProbe);
+        assert_eq!(p.choose(&[100, 500, 80_000], SPARSE), Plan::HashProbe);
+        // Dense and balanced → Bitmap (density 1/2 ≥ 1/16).
+        assert_eq!(p.choose(&[50_000, 60_000], 100_000), Plan::Bitmap);
+        // Density wins over moderate skew, not over extreme skew.
+        assert_eq!(p.choose(&[10_000, 80_000], 100_000), Plan::Bitmap);
+        assert_eq!(p.choose(&[1_000, 80_000], 100_000), Plan::HashProbe);
+        // Degenerate inputs short-circuit to Galloping.
+        assert_eq!(p.choose(&[0, 10], SPARSE), Plan::Galloping);
+        assert_eq!(p.choose(&[], SPARSE), Plan::Galloping);
     }
 
     #[test]
-    fn both_plans_are_correct() {
+    fn all_plans_are_correct() {
         let ctx = HashContext::new(42);
         let mut rng = StdRng::seed_from_u64(5);
         let planner = Planner::default();
-        // Balanced.
-        let a: SortedSet = (0..2000).map(|_| rng.gen_range(0..8000u32)).collect();
-        let b: SortedSet = (0..2000).map(|_| rng.gen_range(0..8000u32)).collect();
+        // Balanced sparse.
+        let a: SortedSet = (0..2000).map(|_| rng.gen_range(0..2_000_000u32)).collect();
+        let b: SortedSet = (0..2000).map(|_| rng.gen_range(0..2_000_000u32)).collect();
         let pa = PlannedList::build(&ctx, &a);
         let pb = PlannedList::build(&ctx, &b);
         let mut out = Vec::new();
@@ -147,42 +255,137 @@ mod tests {
         assert_eq!(plan, Plan::RanGroupScan);
         out.sort_unstable();
         assert_eq!(out, reference_intersection(&[a.as_slice(), b.as_slice()]));
-        // Skewed.
-        let small: SortedSet = (0..50u32).map(|x| x * 160).collect();
+        // Moderate skew.
+        let small: SortedSet = (0..150u32).map(|x| x * 13_000).collect();
         let ps = PlannedList::build(&ctx, &small);
         let mut out = Vec::new();
         let plan = planner.intersect(&[&ps, &pb], &mut out);
-        assert_eq!(plan, Plan::HashProbe);
+        assert_eq!(plan, Plan::Galloping);
         out.sort_unstable();
         assert_eq!(
             out,
             reference_intersection(&[small.as_slice(), b.as_slice()])
         );
+        // Extreme skew.
+        let tiny: SortedSet = (0..20u32).map(|x| x * 100_000).collect();
+        let pt = PlannedList::build(&ctx, &tiny);
+        let mut out = Vec::new();
+        let plan = planner.intersect(&[&pt, &pb], &mut out);
+        assert_eq!(plan, Plan::HashProbe);
+        out.sort_unstable();
+        assert_eq!(
+            out,
+            reference_intersection(&[tiny.as_slice(), b.as_slice()])
+        );
+        // Dense.
+        let d1: SortedSet = (0..40_000u32).map(|x| x * 2).collect();
+        let d2: SortedSet = (0..40_000u32).map(|x| x * 2 + (x % 2)).collect();
+        let pd1 = PlannedList::build(&ctx, &d1);
+        let pd2 = PlannedList::build(&ctx, &d2);
+        let mut out = Vec::new();
+        let plan = planner.intersect(&[&pd1, &pd2], &mut out);
+        assert_eq!(plan, Plan::Bitmap);
+        out.sort_unstable();
+        assert_eq!(out, reference_intersection(&[d1.as_slice(), d2.as_slice()]));
     }
 
     #[test]
-    fn threshold_is_tunable() {
+    fn sparse_lists_skip_the_bitmap_and_loose_density_settings_clamp() {
+        let ctx = HashContext::new(44);
+        // ~1/131072 dense: the planner can never pick Bitmap for a query
+        // containing this list, so no 8KiB-per-chunk bitmap is built.
+        let sparse_a: SortedSet = (0..100u32).map(|x| x * 131_072).collect();
+        let sparse_b: SortedSet = (0..120u32).map(|x| x * 109_997 + 13).collect();
+        let dense: SortedSet = (0..10_000u32).map(|x| x * 4).collect();
+        let pa = PlannedList::build(&ctx, &sparse_a);
+        let pb = PlannedList::build(&ctx, &sparse_b);
+        let pd = PlannedList::build(&ctx, &dense);
+        assert!(pa.bitmap.is_none());
+        assert!(pb.bitmap.is_none());
+        assert!(pd.bitmap.is_some());
+        // A density threshold below the build floor is clamped at dispatch
+        // time: without the clamp this balanced sparse pair would select
+        // Plan::Bitmap and demand bitmaps that were never built.
+        let p = Planner {
+            bitmap_min_density: 0.0,
+            ..Planner::default()
+        };
+        let mut out = Vec::new();
+        let plan = p.intersect(&[&pa, &pb], &mut out);
+        assert_eq!(plan, Plan::RanGroupScan);
+        out.sort_unstable();
+        assert_eq!(
+            out,
+            reference_intersection(&[sparse_a.as_slice(), sparse_b.as_slice()])
+        );
+    }
+
+    #[test]
+    fn choose_for_sets_matches_intersect_dispatch() {
+        let ctx = HashContext::new(45);
+        let mut rng = StdRng::seed_from_u64(7);
+        let planner = Planner::default();
+        for (sizes, universe) in [
+            (vec![1500usize, 1500], 5_000_000u32),
+            (vec![100, 1500], 5_000_000),
+            (vec![20, 1500], 5_000_000),
+            (vec![1500, 1500], 3_000),
+            (vec![0, 10], 100),
+        ] {
+            let sets: Vec<SortedSet> = sizes
+                .iter()
+                .map(|&n| (0..n).map(|_| rng.gen_range(0..universe)).collect())
+                .collect();
+            let set_refs: Vec<&SortedSet> = sets.iter().collect();
+            let lists: Vec<PlannedList> =
+                sets.iter().map(|s| PlannedList::build(&ctx, s)).collect();
+            let refs: Vec<&PlannedList> = lists.iter().collect();
+            let mut out = Vec::new();
+            assert_eq!(
+                planner.choose_for_sets(&set_refs),
+                planner.intersect(&refs, &mut out),
+                "sizes {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn thresholds_are_tunable() {
         let p = Planner {
             hash_ratio_threshold: 1_000_000,
+            gallop_ratio_threshold: 1_000_000,
+            bitmap_min_density: 2.0, // impossible: never picks Bitmap
         };
-        assert_eq!(p.choose(&[10, 100_000]), Plan::RanGroupScan);
+        assert_eq!(p.choose(&[10, 100_000], SPARSE), Plan::RanGroupScan);
+        assert_eq!(p.choose(&[50_000, 60_000], 100_000), Plan::RanGroupScan);
         assert_eq!(Plan::HashProbe.as_strategy().name(), "Hash");
+        assert_eq!(Plan::Bitmap.as_strategy().name(), "Bitmap");
+        assert_eq!(Plan::Galloping.as_strategy().name(), "Galloping");
     }
 
     #[test]
-    fn k_way_under_both_plans() {
+    fn k_way_under_every_plan() {
         let ctx = HashContext::new(43);
         let mut rng = StdRng::seed_from_u64(6);
         let planner = Planner::default();
-        let sets: Vec<SortedSet> = (0..3)
-            .map(|_| (0..1500).map(|_| rng.gen_range(0..5000u32)).collect())
-            .collect();
-        let lists: Vec<PlannedList> = sets.iter().map(|s| PlannedList::build(&ctx, s)).collect();
-        let refs: Vec<&PlannedList> = lists.iter().collect();
-        let mut out = Vec::new();
-        planner.intersect(&refs, &mut out);
-        out.sort_unstable();
-        let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
-        assert_eq!(out, reference_intersection(&slices));
+        for (sizes, universe) in [
+            (vec![1500usize, 1500, 1500], 5_000_000u32), // RanGroupScan
+            (vec![100, 1500, 1500], 5_000_000),          // Galloping
+            (vec![20, 1500, 1500], 5_000_000),           // HashProbe
+            (vec![1500, 1500, 1500], 3_000),             // Bitmap
+        ] {
+            let sets: Vec<SortedSet> = sizes
+                .iter()
+                .map(|&n| (0..n).map(|_| rng.gen_range(0..universe)).collect())
+                .collect();
+            let lists: Vec<PlannedList> =
+                sets.iter().map(|s| PlannedList::build(&ctx, s)).collect();
+            let refs: Vec<&PlannedList> = lists.iter().collect();
+            let mut out = Vec::new();
+            planner.intersect(&refs, &mut out);
+            out.sort_unstable();
+            let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+            assert_eq!(out, reference_intersection(&slices), "sizes {sizes:?}");
+        }
     }
 }

@@ -17,6 +17,7 @@ use fsi_core::{
     hashbin, HashBinIndex, IntGroupIndex, IntGroupOptIndex, MultiResIndex, RanGroupIndex,
     RanGroupScanIndex,
 };
+use fsi_kernels::{BitmapSet, GallopingSet, SigFilterSet};
 
 /// Every algorithm the harness can run, identified the way the paper's
 /// figures label them.
@@ -61,6 +62,15 @@ pub enum Strategy {
     HashBin,
     /// Paper §3.4: online choice between RanGroup and HashBin.
     Auto,
+    /// `fsi-kernels`: chunked bitmap (Roaring-style dense containers),
+    /// word-parallel `AND`.
+    Bitmap,
+    /// `fsi-kernels`: branchless two-pointer merge / galloping probe,
+    /// chosen per query by size ratio.
+    Galloping,
+    /// `fsi-kernels`: FESIA-style per-bucket signature prefilter,
+    /// AND-then-verify.
+    SigFilter,
     /// γ/δ-compressed Merge.
     MergeCompressed(EliasCode),
     /// γ/δ-compressed Lookup.
@@ -89,6 +99,9 @@ impl Strategy {
             Strategy::RanGroupScan { m } => format!("RanGroupScan(m={m})"),
             Strategy::HashBin => "HashBin".into(),
             Strategy::Auto => "Auto".into(),
+            Strategy::Bitmap => "Bitmap".into(),
+            Strategy::Galloping => "Galloping".into(),
+            Strategy::SigFilter => "SigFilter".into(),
             Strategy::MergeCompressed(c) => format!("Merge_{}", c.label()),
             Strategy::LookupCompressed(c) => format!("Lookup_{}", c.label()),
             Strategy::RgsCompressed(c) => format!("RanGroupScan_{}", c.label()),
@@ -134,6 +147,9 @@ impl Strategy {
         v.push(Strategy::Auto);
         v.push(Strategy::IntGroupOpt);
         v.push(Strategy::Treap);
+        v.push(Strategy::Bitmap);
+        v.push(Strategy::Galloping);
+        v.push(Strategy::SigFilter);
         v.extend(Self::compressed_lineup());
         v.push(Strategy::MergeCompressed(EliasCode::Gamma));
         v.push(Strategy::LookupCompressed(EliasCode::Gamma));
@@ -164,6 +180,9 @@ impl Strategy {
             }
             Strategy::HashBin => PreparedList::HashBin(HashBinIndex::build(ctx, set)),
             Strategy::Auto => PreparedList::Auto(MultiResIndex::build(ctx, set)),
+            Strategy::Bitmap => PreparedList::Bitmap(BitmapSet::build(set)),
+            Strategy::Galloping => PreparedList::Galloping(GallopingSet::build(set)),
+            Strategy::SigFilter => PreparedList::SigFilter(SigFilterSet::build(ctx, set)),
             Strategy::MergeCompressed(c) => {
                 PreparedList::MergeCompressed(CompressedPostings::build(c, set))
             }
@@ -197,6 +216,9 @@ pub enum PreparedList {
     RanGroupScan(RanGroupScanIndex),
     HashBin(HashBinIndex),
     Auto(MultiResIndex),
+    Bitmap(BitmapSet),
+    Galloping(GallopingSet),
+    SigFilter(SigFilterSet),
     MergeCompressed(CompressedPostings),
     LookupCompressed(CompressedLookup),
     RgsCompressed(CompressedRgsIndex),
@@ -221,6 +243,9 @@ macro_rules! on_prepared {
             PreparedList::RanGroupScan($ix) => $body,
             PreparedList::HashBin($ix) => $body,
             PreparedList::Auto($ix) => $body,
+            PreparedList::Bitmap($ix) => $body,
+            PreparedList::Galloping($ix) => $body,
+            PreparedList::SigFilter($ix) => $body,
             PreparedList::MergeCompressed($ix) => $body,
             PreparedList::LookupCompressed($ix) => $body,
             PreparedList::RgsCompressed($ix) => $body,
@@ -280,6 +305,9 @@ pub fn intersect_into(lists: &[&PreparedList], out: &mut Vec<Elem>) {
         PreparedList::RanGroupScan(_) => dispatch_k!(RanGroupScan, lists, out),
         PreparedList::HashBin(_) => dispatch_k!(HashBin, lists, out),
         PreparedList::Auto(_) => intersect_auto_k(lists, out),
+        PreparedList::Bitmap(_) => dispatch_k!(Bitmap, lists, out),
+        PreparedList::Galloping(_) => dispatch_k!(Galloping, lists, out),
+        PreparedList::SigFilter(_) => dispatch_k!(SigFilter, lists, out),
         PreparedList::MergeCompressed(_) => dispatch_k!(MergeCompressed, lists, out),
         PreparedList::LookupCompressed(_) => dispatch_k!(LookupCompressed, lists, out),
         PreparedList::RgsCompressed(_) => dispatch_k!(RgsCompressed, lists, out),

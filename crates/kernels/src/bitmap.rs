@@ -1,0 +1,287 @@
+//! Chunked-bitmap sets: Roaring-style dense containers intersected by
+//! 64-bit-word `AND`.
+//!
+//! The universe `Σ = u32` is split into 2¹⁶-value chunks; a set stores, for
+//! each chunk it touches, a 1024-word bitmap of the chunk's members.
+//! Intersecting two sets walks the (short, sorted) chunk-id lists, `AND`s
+//! the 1024 words of every chunk present in both, and extracts survivors
+//! with the trailing-zeros trick of the paper's footnote 1 — one `AND` per
+//! 64 universe slots, the word-parallel regime the paper packs groups for,
+//! here applied to the raw document space. The win is proportional to
+//! density: dense chunks amortize the fixed `O(1024)` word sweep over many
+//! members.
+
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::traits::{KIntersect, PairIntersect, SetIndex};
+use fsi_core::word::BitIter;
+
+/// Log2 of the chunk span: each chunk covers 2¹⁶ consecutive values.
+const CHUNK_BITS: u32 = 16;
+/// 64-bit words per chunk bitmap.
+const WORDS_PER_CHUNK: usize = 1 << (CHUNK_BITS - 6);
+
+/// A set as a sorted list of dense chunk bitmaps.
+#[derive(Debug, Clone)]
+pub struct BitmapSet {
+    n: usize,
+    /// Sorted ids (`value >> 16`) of the chunks this set touches.
+    ids: Vec<u32>,
+    /// Chunk bitmaps, chunk-major: chunk `i` owns
+    /// `words[i * WORDS_PER_CHUNK ..][..WORDS_PER_CHUNK]`.
+    words: Vec<u64>,
+}
+
+impl BitmapSet {
+    /// Builds the chunked bitmap of `set` in one ascending pass.
+    pub fn build(set: &SortedSet) -> Self {
+        Self::from_sorted_slice(set.as_slice())
+    }
+
+    /// Builds from a sorted, duplicate-free slice.
+    pub fn from_sorted_slice(elems: &[Elem]) -> Self {
+        let mut ids: Vec<u32> = Vec::new();
+        let mut words: Vec<u64> = Vec::new();
+        for &x in elems {
+            let id = x >> CHUNK_BITS;
+            if ids.last() != Some(&id) {
+                ids.push(id);
+                words.resize(words.len() + WORDS_PER_CHUNK, 0);
+            }
+            let low = (x & ((1 << CHUNK_BITS) - 1)) as usize;
+            let base = words.len() - WORDS_PER_CHUNK;
+            words[base + (low >> 6)] |= 1u64 << (low & 63);
+        }
+        Self {
+            n: elems.len(),
+            ids,
+            words,
+        }
+    }
+
+    /// Number of chunks the set touches.
+    pub fn num_chunks(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Appends chunk `ci`'s members (ascending) to `out`.
+    fn extract_chunk(&self, ci: usize, out: &mut Vec<Elem>) {
+        let id = self.ids[ci];
+        let chunk = &self.words[ci * WORDS_PER_CHUNK..][..WORDS_PER_CHUNK];
+        extract_words(id, chunk, out);
+    }
+}
+
+/// Appends the members encoded by `chunk` (belonging to chunk `id`) to
+/// `out`, ascending.
+fn extract_words(id: u32, chunk: &[u64], out: &mut Vec<Elem>) {
+    let hi = id << CHUNK_BITS;
+    for (w, &word) in chunk.iter().enumerate() {
+        if word == 0 {
+            continue;
+        }
+        let base = hi | ((w as u32) << 6);
+        for bit in BitIter::new(word) {
+            out.push(base | bit);
+        }
+    }
+}
+
+impl SetIndex for BitmapSet {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.ids.len() * 4 + self.words.len() * 8
+    }
+}
+
+impl PairIntersect for BitmapSet {
+    /// Word-parallel `AND` over chunks present in both sets; output is
+    /// ascending.
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let a = &self.words[i * WORDS_PER_CHUNK..][..WORDS_PER_CHUNK];
+                    let b = &other.words[j * WORDS_PER_CHUNK..][..WORDS_PER_CHUNK];
+                    let hi = self.ids[i] << CHUNK_BITS;
+                    for (w, (&wa, &wb)) in a.iter().zip(b).enumerate() {
+                        let word = wa & wb;
+                        if word == 0 {
+                            continue;
+                        }
+                        let base = hi | ((w as u32) << 6);
+                        for bit in BitIter::new(word) {
+                            out.push(base | bit);
+                        }
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+impl KIntersect for BitmapSet {
+    /// k-way `AND`: drives on the set with the fewest chunks, locating each
+    /// of its chunks in every other set by binary search, then `AND`s all
+    /// `k` words before extraction. Output is ascending.
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        match indexes {
+            [] => {}
+            [a] => {
+                for ci in 0..a.ids.len() {
+                    a.extract_chunk(ci, out);
+                }
+            }
+            _ => {
+                let driver = indexes
+                    .iter()
+                    .min_by_key(|ix| ix.ids.len())
+                    .expect("k >= 2");
+                let mut anded = [0u64; WORDS_PER_CHUNK];
+                'chunks: for (ci, &id) in driver.ids.iter().enumerate() {
+                    anded.copy_from_slice(&driver.words[ci * WORDS_PER_CHUNK..][..WORDS_PER_CHUNK]);
+                    for other in indexes {
+                        if std::ptr::eq(*other, *driver) {
+                            continue;
+                        }
+                        let Ok(cj) = other.ids.binary_search(&id) else {
+                            continue 'chunks;
+                        };
+                        let b = &other.words[cj * WORDS_PER_CHUNK..][..WORDS_PER_CHUNK];
+                        let mut all_zero = true;
+                        for (wa, &wb) in anded.iter_mut().zip(b) {
+                            *wa &= wb;
+                            all_zero &= *wa == 0;
+                        }
+                        if all_zero {
+                            continue 'chunks;
+                        }
+                    }
+                    extract_words(id, &anded, out);
+                }
+            }
+        }
+    }
+}
+
+/// The slice-level bitmap kernel: builds the chunked bitmaps on the fly
+/// (cost `O(n)`, the same order as reading the input) and intersects them
+/// word-parallel. The prepared form ([`BitmapSet`]) is what `fsi-index`
+/// strategies store; this form is what runtime kernel selection uses on raw
+/// slices.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitmapKernel;
+
+impl crate::kernel::Kernel for BitmapKernel {
+    fn name(&self) -> &'static str {
+        "Bitmap"
+    }
+
+    fn intersect_pair(&self, a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
+        BitmapSet::from_sorted_slice(a).intersect_pair_into(&BitmapSet::from_sorted_slice(b), out);
+    }
+
+    fn intersect_k(&self, sets: &[&[Elem]], out: &mut Vec<Elem>) {
+        let built: Vec<BitmapSet> = sets
+            .iter()
+            .map(|s| BitmapSet::from_sorted_slice(s))
+            .collect();
+        let refs: Vec<&BitmapSet> = built.iter().collect();
+        BitmapSet::intersect_k_into(&refs, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sorted_pair(a: &BitmapSet, b: &BitmapSet) -> Vec<Elem> {
+        let mut out = Vec::new();
+        a.intersect_pair_into(b, &mut out);
+        out
+    }
+
+    #[test]
+    fn pair_matches_reference_across_chunk_boundaries() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for trial in 0..20 {
+            let universe = rng.gen_range(1..400_000u32);
+            let n1 = rng.gen_range(0..3000);
+            let n2 = rng.gen_range(0..3000);
+            let a: SortedSet = (0..n1).map(|_| rng.gen_range(0..universe)).collect();
+            let b: SortedSet = (0..n2).map(|_| rng.gen_range(0..universe)).collect();
+            let ia = BitmapSet::build(&a);
+            let ib = BitmapSet::build(&b);
+            assert_eq!(
+                sorted_pair(&ia, &ib),
+                reference_intersection(&[a.as_slice(), b.as_slice()]),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_is_already_ascending() {
+        let a: SortedSet = (0..100_000u32).step_by(3).collect();
+        let b: SortedSet = (0..100_000u32).step_by(5).collect();
+        let out = sorted_pair(&BitmapSet::build(&a), &BitmapSet::build(&b));
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(out, reference_intersection(&[a.as_slice(), b.as_slice()]));
+    }
+
+    #[test]
+    fn k_way_matches_folded_pairs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for k in 2..=4usize {
+            let sets: Vec<SortedSet> = (0..k)
+                .map(|_| (0..1500).map(|_| rng.gen_range(0..120_000u32)).collect())
+                .collect();
+            let built: Vec<BitmapSet> = sets.iter().map(BitmapSet::build).collect();
+            let refs: Vec<&BitmapSet> = built.iter().collect();
+            let slices: Vec<&[Elem]> = sets.iter().map(|s| s.as_slice()).collect();
+            assert_eq!(
+                BitmapSet::intersect_k_sorted(&refs),
+                reference_intersection(&slices),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_values_round_trip() {
+        let a = SortedSet::from_unsorted(vec![0, 65_535, 65_536, u32::MAX - 1, u32::MAX]);
+        let b = SortedSet::from_unsorted(vec![0, 65_536, u32::MAX]);
+        let ia = BitmapSet::build(&a);
+        let ib = BitmapSet::build(&b);
+        assert_eq!(sorted_pair(&ia, &ib), vec![0, 65_536, u32::MAX]);
+        assert_eq!(ia.num_chunks(), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = BitmapSet::build(&SortedSet::new());
+        let s = BitmapSet::build(&SortedSet::from_unsorted(vec![42]));
+        assert_eq!(sorted_pair(&e, &s), Vec::<Elem>::new());
+        assert_eq!(sorted_pair(&s, &s), vec![42]);
+        assert_eq!(e.n(), 0);
+        assert_eq!(e.size_in_bytes(), 0);
+        assert!(s.size_in_bytes() > 0);
+    }
+
+    #[test]
+    fn single_set_k_extracts_everything() {
+        let a: SortedSet = (0..10_000u32).step_by(7).collect();
+        let ia = BitmapSet::build(&a);
+        assert_eq!(BitmapSet::intersect_k_sorted(&[&ia]), a.as_slice());
+    }
+}

@@ -1,0 +1,73 @@
+//! # fsi-kernels — portable word-parallel intersection primitives
+//!
+//! Ding & König's speedup comes from packing group signatures into machine
+//! words and intersecting them with single `AND` instructions. This crate
+//! generalizes that trick into a layer of standalone *kernels* the layers
+//! above (`fsi-index`'s `Strategy` dispatch and `Planner`, `fsi-serve`'s
+//! shards) can pick per query:
+//!
+//! * [`bitmap`] — [`BitmapSet`]: a chunked bitmap (Roaring-style dense
+//!   containers: 2¹⁶-value chunks of 1024 64-bit words). Intersection is a
+//!   word-by-word `AND` over chunks present in both sets, with
+//!   popcount/trailing-zeros-driven result extraction. Wins when sets are
+//!   *dense* in their universe: cost is `O(universe/64)` word ops
+//!   independent of how many elements the chunks hold.
+//! * [`gallop`] — [`GallopingSet`]: sorted-slice kernels with no auxiliary
+//!   structure. A *branchless* two-pointer merge (cursor advances computed
+//!   arithmetically, no unpredictable branches) for balanced sizes, and a
+//!   galloping (exponential-search) probe of the smaller list into the
+//!   larger for skewed `n₁/n₂` — the Hwang–Lin/SvS regime.
+//! * [`sigfilter`] — [`SigFilterSet`]: a FESIA-style hash-signature
+//!   prefilter (Zhang, Lu, Olteanu, Kim — "FESIA: A Fast and SIMD-Efficient
+//!   Set Intersection Approach on Modern CPUs", ICDE 2020). Elements are
+//!   hash-partitioned into per-set bucket arrays whose sizes scale with
+//!   `n`; each bucket keeps a 64-bit signature (one bit per element under a
+//!   second hash). Intersection `AND`s the signatures of aligned buckets
+//!   and only *verifies* (scalar-merges) bucket pairs whose signature
+//!   intersection is non-zero — most empty bucket pairs are rejected by a
+//!   single `AND`, exactly the paper's word-filtering idea applied at the
+//!   bucket granularity.
+//!
+//! All three implement the `fsi-core` index traits
+//! ([`SetIndex`](fsi_core::SetIndex) /
+//! [`PairIntersect`](fsi_core::PairIntersect) /
+//! [`KIntersect`](fsi_core::KIntersect)), so they slot into `fsi-index`'s
+//! strategy lineup (`Strategy::{Bitmap, Galloping, SigFilter}`) and are
+//! differential-tested byte-identical to the scalar executor.
+//!
+//! ## When the planner picks each kernel
+//!
+//! [`KernelChoice::select`] decides per query from the operand sizes and
+//! the universe span:
+//!
+//! 1. an empty operand short-circuits to the merge kernel (nothing to do);
+//! 2. skew (`max nᵢ / min nᵢ` ≥ [`GALLOP_RATIO`]) → [`Galloping`]:
+//!    `O(n_min · log(n_max/n_min))`;
+//! 3. dense operands (`n_min / universe` ≥ [`BITMAP_MIN_DENSITY`]) →
+//!    [`BitmapKernel`]: the `AND`-per-64-elements regime;
+//! 4. otherwise → [`SigFilterKernel`] (balanced, sparse: signatures reject
+//!    most bucket pairs before any scalar work).
+//!
+//! `fsi_index::Planner` applies the same ingredients over prepared lists
+//! but with its own tunable thresholds and a different precedence: it
+//! adds a hash-probe tier for extreme skew, checks **density before**
+//! moderate skew (a dense, moderately skewed pair runs as bitmap there),
+//! and falls back to RanGroupScan rather than the signature filter. Only
+//! the [`BITMAP_MIN_DENSITY`] constant is shared — see the
+//! `fsi_index::planner` module doc for the authoritative planner order.
+//!
+//! `Strategy::{Bitmap, Galloping, SigFilter}` pin one kernel for every
+//! query the way every other fixed strategy does; the planner makes the
+//! choice online, as Section 3.4 of Ding & König envisions.
+
+pub mod bitmap;
+pub mod gallop;
+pub mod kernel;
+pub mod sigfilter;
+
+pub use bitmap::{BitmapKernel, BitmapSet};
+pub use gallop::{
+    branchless_merge_into, galloping_into, BranchlessMerge, Galloping, GallopingSet, GALLOP_RATIO,
+};
+pub use kernel::{AutoKernel, Kernel, KernelChoice, ScalarMerge, BITMAP_MIN_DENSITY};
+pub use sigfilter::{SigFilterKernel, SigFilterSet};

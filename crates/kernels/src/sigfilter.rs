@@ -1,0 +1,324 @@
+//! FESIA-style hash-signature prefilter (Zhang et al., ICDE 2020).
+//!
+//! Elements are partitioned into `2^t` buckets by the **top `t` bits of the
+//! shared permutation `g`** (so bucket structure nests across sets of
+//! different sizes, exactly like the paper's multi-resolution groups), with
+//! `t` chosen per set so the expected bucket size is ≈ 8 elements. Each
+//! bucket keeps a 64-bit *signature*: the OR of `h(x)`-indexed bits over its
+//! members — the word representation of Section 3.1, applied per bucket.
+//!
+//! Intersection walks the finer set's buckets; each aligns with exactly one
+//! coarser bucket (its `t_a`-bit prefix). One `AND` of the two signatures
+//! rejects most non-overlapping bucket pairs before any element is read;
+//! survivors are *verified* by a scalar merge of the two (value-sorted)
+//! bucket slices, so false positives cost a short merge and never reach the
+//! output. This is FESIA's "compare signatures, then intersect only the
+//! segments whose signatures intersect" — with the paper's own `h` as the
+//! signature hash.
+
+use fsi_core::elem::{Elem, SortedSet};
+use fsi_core::hash::{ceil_log2, top_bits_of, HashContext, Permutation, UniversalHash};
+use fsi_core::traits::{KIntersect, PairIntersect, SetIndex};
+
+/// Target expected bucket size (the paper's `√w = 8` group size).
+const TARGET_BUCKET_SIZE: usize = 8;
+
+/// A set preprocessed into signature-guarded hash buckets.
+#[derive(Debug, Clone)]
+pub struct SigFilterSet {
+    n: usize,
+    g: Permutation,
+    h: UniversalHash,
+    /// Bucket count is `2^t`.
+    t: u32,
+    /// Per-bucket 64-bit signatures (`2^t` entries).
+    sigs: Vec<u64>,
+    /// `offsets[z]..offsets[z+1]` delimits bucket `z` in `elems`.
+    offsets: Vec<u32>,
+    /// Elements grouped by bucket, each bucket sorted by value.
+    elems: Vec<Elem>,
+}
+
+impl SigFilterSet {
+    /// Preprocesses `set` under the shared hash context: `O(n)` space, one
+    /// counting sort.
+    pub fn build(ctx: &HashContext, set: &SortedSet) -> Self {
+        let g = *ctx.g();
+        let h = ctx.h();
+        let n = set.len();
+        let t = ceil_log2(n.div_ceil(TARGET_BUCKET_SIZE)).min(28);
+        let nbuckets = 1usize << t;
+
+        let mut counts = vec![0u32; nbuckets + 1];
+        for x in set.iter() {
+            counts[top_bits_of(g.apply(x), t) as usize + 1] += 1;
+        }
+        for z in 0..nbuckets {
+            counts[z + 1] += counts[z];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut elems = vec![0 as Elem; n];
+        let mut sigs = vec![0u64; nbuckets];
+        // `set` ascends in value, so each bucket is filled in value order.
+        for x in set.iter() {
+            let z = top_bits_of(g.apply(x), t) as usize;
+            elems[cursor[z] as usize] = x;
+            cursor[z] += 1;
+            sigs[z] |= h.bit(x);
+        }
+
+        Self {
+            n,
+            g,
+            h,
+            t,
+            sigs,
+            offsets,
+            elems,
+        }
+    }
+
+    /// Number of buckets (`2^t`).
+    pub fn num_buckets(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Bucket `z`'s elements, sorted by value.
+    fn bucket(&self, z: usize) -> &[Elem] {
+        &self.elems[self.offsets[z] as usize..self.offsets[z + 1] as usize]
+    }
+
+    /// Signature-guarded membership test: one `AND`-style bit probe, then a
+    /// binary search within the (short) bucket.
+    pub fn contains(&self, x: Elem) -> bool {
+        let z = top_bits_of(self.g.apply(x), self.t) as usize;
+        if self.sigs[z] & self.h.bit(x) == 0 {
+            return false;
+        }
+        self.bucket(z).binary_search(&x).is_ok()
+    }
+}
+
+impl SetIndex for SigFilterSet {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.elems.len() * 4 + self.sigs.len() * 8 + self.offsets.len() * 4
+    }
+}
+
+impl PairIntersect for SigFilterSet {
+    /// AND-then-verify: output order follows the finer set's bucket order
+    /// (a `g`-prefix order, not ascending — callers sort, per the trait
+    /// contract).
+    fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        assert_eq!(self.g, other.g, "sets built under different permutations g");
+        assert_eq!(self.h, other.h, "sets built under different hashes h");
+        if self.n == 0 || other.n == 0 {
+            return;
+        }
+        // `fine` has at least as many buckets; every fine bucket aligns
+        // with the coarse bucket identified by its t_c-bit prefix.
+        let (fine, coarse) = if self.t >= other.t {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let dt = fine.t - coarse.t;
+        for zf in 0..fine.sigs.len() {
+            let zc = zf >> dt;
+            if fine.sigs[zf] & coarse.sigs[zc] == 0 {
+                continue;
+            }
+            // Verify by scalar merge. The coarse bucket may contain
+            // elements of sibling fine buckets; value equality filters
+            // them out (equal values imply equal g-prefixes).
+            crate::gallop::branchless_merge_into(fine.bucket(zf), coarse.bucket(zc), out);
+        }
+    }
+}
+
+impl KIntersect for SigFilterSet {
+    /// Pair kernel on the two smallest sets, then signature-guarded
+    /// membership filtering through the rest.
+    fn intersect_k_into(indexes: &[&Self], out: &mut Vec<Elem>) {
+        match indexes {
+            [] => {}
+            [a] => {
+                out.extend_from_slice(&a.elems);
+            }
+            _ => {
+                let mut order: Vec<&Self> = indexes.to_vec();
+                order.sort_by_key(|ix| ix.n());
+                let start = out.len();
+                order[0].intersect_pair_into(order[1], out);
+                let mut len = out.len();
+                for ix in &order[2..] {
+                    if len == start {
+                        break;
+                    }
+                    let mut write = start;
+                    for read in start..len {
+                        let x = out[read];
+                        if ix.contains(x) {
+                            out[write] = x;
+                            write += 1;
+                        }
+                    }
+                    len = write;
+                }
+                out.truncate(len);
+            }
+        }
+    }
+}
+
+/// The slice-level signature-prefilter kernel: owns a [`HashContext`] so it
+/// is self-contained, builds both [`SigFilterSet`]s on the fly, and
+/// intersects. The prepared form is what `fsi-index` strategies store.
+#[derive(Debug, Clone)]
+pub struct SigFilterKernel {
+    ctx: HashContext,
+}
+
+impl SigFilterKernel {
+    /// A kernel over its own deterministic hash context.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            ctx: HashContext::new(seed),
+        }
+    }
+}
+
+impl Default for SigFilterKernel {
+    fn default() -> Self {
+        Self::new(0xFE51A)
+    }
+}
+
+impl crate::kernel::Kernel for SigFilterKernel {
+    fn name(&self) -> &'static str {
+        "SigFilter"
+    }
+
+    fn intersect_pair(&self, a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
+        let sa = SigFilterSet::build(&self.ctx, &to_set(a));
+        let sb = SigFilterSet::build(&self.ctx, &to_set(b));
+        let start = out.len();
+        sa.intersect_pair_into(&sb, out);
+        out[start..].sort_unstable();
+    }
+}
+
+fn to_set(slice: &[Elem]) -> SortedSet {
+    SortedSet::from_sorted(slice.to_vec()).expect("kernel inputs are sorted sets")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::reference_intersection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ctx() -> HashContext {
+        HashContext::new(515)
+    }
+
+    fn sorted_pair(a: &SigFilterSet, b: &SigFilterSet) -> Vec<Elem> {
+        let mut out = Vec::new();
+        a.intersect_pair_into(b, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn random_pairs_match_reference() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..30 {
+            let n1 = rng.gen_range(0..1200);
+            let n2 = rng.gen_range(0..1200);
+            let u = rng.gen_range(1..5000u32);
+            let a: SortedSet = (0..n1).map(|_| rng.gen_range(0..u)).collect();
+            let b: SortedSet = (0..n2).map(|_| rng.gen_range(0..u)).collect();
+            let ia = SigFilterSet::build(&ctx, &a);
+            let ib = SigFilterSet::build(&ctx, &b);
+            assert_eq!(
+                sorted_pair(&ia, &ib),
+                reference_intersection(&[a.as_slice(), b.as_slice()]),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn unequal_bucket_counts_align_by_prefix() {
+        let ctx = ctx();
+        let small: SortedSet = (0..64u32).map(|x| x * 37).collect();
+        let large: SortedSet = (0..50_000u32).collect();
+        let ia = SigFilterSet::build(&ctx, &small);
+        let ib = SigFilterSet::build(&ctx, &large);
+        assert!(ia.num_buckets() < ib.num_buckets());
+        let expect = reference_intersection(&[small.as_slice(), large.as_slice()]);
+        assert_eq!(sorted_pair(&ia, &ib), expect);
+        assert_eq!(sorted_pair(&ib, &ia), expect);
+    }
+
+    #[test]
+    fn membership_probe_agrees_with_the_set() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(32);
+        let set: SortedSet = (0..2000).map(|_| rng.gen_range(0..10_000u32)).collect();
+        let ix = SigFilterSet::build(&ctx, &set);
+        for x in 0..10_000u32 {
+            assert_eq!(ix.contains(x), set.contains(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn k_way_matches_reference() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(33);
+        for k in 1..=4usize {
+            let sets: Vec<SortedSet> = (0..k)
+                .map(|_| (0..900).map(|_| rng.gen_range(0..3000u32)).collect())
+                .collect();
+            let built: Vec<SigFilterSet> =
+                sets.iter().map(|s| SigFilterSet::build(&ctx, s)).collect();
+            let refs: Vec<&SigFilterSet> = built.iter().collect();
+            let slices: Vec<&[Elem]> = sets.iter().map(|s| s.as_slice()).collect();
+            assert_eq!(
+                SigFilterSet::intersect_k_sorted(&refs),
+                reference_intersection(&slices),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let ctx = ctx();
+        let e = SigFilterSet::build(&ctx, &SortedSet::new());
+        let s = SigFilterSet::build(&ctx, &SortedSet::from_unsorted(vec![9]));
+        assert_eq!(sorted_pair(&e, &s), Vec::<Elem>::new());
+        assert_eq!(sorted_pair(&s, &s), vec![9]);
+        assert_eq!(e.num_buckets(), 1);
+        assert!(!e.contains(9));
+        assert!(s.contains(9));
+    }
+
+    #[test]
+    fn mismatched_contexts_panic() {
+        let a = SigFilterSet::build(&HashContext::new(1), &SortedSet::from_unsorted(vec![1]));
+        let b = SigFilterSet::build(&HashContext::new(2), &SortedSet::from_unsorted(vec![1]));
+        assert!(std::panic::catch_unwind(|| {
+            let mut out = Vec::new();
+            a.intersect_pair_into(&b, &mut out);
+        })
+        .is_err());
+    }
+}

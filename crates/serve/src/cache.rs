@@ -73,18 +73,35 @@ impl CacheKey {
 }
 
 /// Monotonic cache counters (a point-in-time copy).
+///
+/// Invariants (asserted by the property tests, and holding at any quiescent
+/// snapshot):
+///
+/// * `hits + misses == lookups` — every lookup is counted exactly once;
+/// * `len == insertions - evictions` — `insertions` counts only *fresh*
+///   entries (a re-insert of a live key is a `refresh`, which changes
+///   neither `len` nor `insertions`);
+/// * `value_bytes` equals the byte footprint of exactly the currently
+///   cached result vectors (refreshing a key with a different-sized result
+///   adjusts it by the difference).
 #[derive(Debug, Clone, Default)]
 pub struct CacheStats {
     /// Lookups that returned a cached result.
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
+    /// Total lookups (`hits + misses`).
+    pub lookups: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
-    /// Entries inserted.
+    /// Fresh entries inserted (excludes refreshes of live keys).
     pub insertions: u64,
+    /// Re-inserts that replaced a live key's value in place.
+    pub refreshes: u64,
     /// Current number of cached entries.
     pub len: usize,
+    /// Byte footprint of the currently cached result vectors.
+    pub value_bytes: usize,
     /// Total capacity in entries (0 = caching disabled).
     pub capacity: usize,
 }
@@ -92,11 +109,10 @@ pub struct CacheStats {
 impl CacheStats {
     /// Hit fraction over all lookups so far (0 when no lookups).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
+        if self.lookups == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            self.hits as f64 / self.lookups as f64
         }
     }
 }
@@ -110,6 +126,14 @@ struct Entry {
     next: usize,
 }
 
+/// What [`Segment::insert`] did (drives the cache-level counters).
+struct InsertOutcome {
+    /// A new entry was created (false: a live key was refreshed in place).
+    fresh: bool,
+    /// The LRU entry was evicted to make room.
+    evicted: bool,
+}
+
 /// One locked segment: an exact LRU over a slab of entries.
 struct Segment {
     map: HashMap<CacheKey, usize>,
@@ -118,6 +142,9 @@ struct Segment {
     head: usize, // most recently used
     tail: usize, // least recently used
     capacity: usize,
+    /// Byte footprint of the values currently held (kept in lockstep with
+    /// every insert/refresh/evict so accounting cannot drift).
+    bytes: usize,
 }
 
 impl Segment {
@@ -129,6 +156,7 @@ impl Segment {
             head: NIL,
             tail: NIL,
             capacity,
+            bytes: 0,
         }
     }
 
@@ -161,24 +189,32 @@ impl Segment {
         Some(Arc::clone(&self.slab[idx].value))
     }
 
-    /// Inserts; returns `true` if an entry was evicted.
-    fn insert(&mut self, key: CacheKey, value: Arc<Vec<Elem>>) -> bool {
+    fn insert(&mut self, key: CacheKey, value: Arc<Vec<Elem>>) -> InsertOutcome {
         if let Some(&idx) = self.map.get(&key) {
-            // Refresh an existing entry.
+            // Refresh an existing entry in place; the byte accounting moves
+            // by the size *difference* so a different-sized result cannot
+            // drift the totals.
+            self.bytes += value_bytes(&value);
+            self.bytes -= value_bytes(&self.slab[idx].value);
             self.slab[idx].value = value;
             self.unlink(idx);
             self.push_front(idx);
-            return false;
+            return InsertOutcome {
+                fresh: false,
+                evicted: false,
+            };
         }
         let mut evicted = false;
         if self.map.len() >= self.capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
             self.unlink(victim);
+            self.bytes -= value_bytes(&self.slab[victim].value);
             self.map.remove(&self.slab[victim].key);
             self.free.push(victim);
             evicted = true;
         }
+        self.bytes += value_bytes(&value);
         let idx = match self.free.pop() {
             Some(idx) => {
                 self.slab[idx] = Entry {
@@ -201,8 +237,16 @@ impl Segment {
         };
         self.map.insert(key, idx);
         self.push_front(idx);
-        evicted
+        InsertOutcome {
+            fresh: true,
+            evicted,
+        }
     }
+}
+
+/// Heap footprint of one cached result vector.
+fn value_bytes(value: &Arc<Vec<Elem>>) -> usize {
+    value.len() * std::mem::size_of::<Elem>()
 }
 
 /// The sharded, counter-instrumented result cache.
@@ -211,8 +255,13 @@ pub struct QueryCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Counted independently of hits/misses (once per [`QueryCache::get`])
+    /// so the `hits + misses == lookups` invariant is a real check on the
+    /// counting paths, not an identity.
+    lookups: AtomicU64,
     evictions: AtomicU64,
     insertions: AtomicU64,
+    refreshes: AtomicU64,
 }
 
 impl std::fmt::Debug for QueryCache {
@@ -249,8 +298,10 @@ impl QueryCache {
             },
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
         }
     }
 
@@ -261,6 +312,7 @@ impl QueryCache {
 
     /// Looks `key` up, refreshing its recency on a hit.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<Elem>>> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         if !self.is_enabled() {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -274,18 +326,26 @@ impl QueryCache {
         result
     }
 
-    /// Inserts a computed result, possibly evicting the segment's LRU entry.
+    /// Inserts a computed result, possibly evicting the segment's LRU
+    /// entry. Re-inserting a live key replaces its value in place and
+    /// counts as a *refresh*, not an insertion — `len == insertions -
+    /// evictions` holds even when the same (term set, mode) key is
+    /// recomputed with a different-sized result.
     pub fn insert(&self, key: CacheKey, value: Arc<Vec<Elem>>) {
         if !self.is_enabled() {
             return;
         }
         let seg = key.segment(self.segments.len());
-        let evicted = self.segments[seg]
+        let outcome = self.segments[seg]
             .lock()
             .expect("cache lock")
             .insert(key, value);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
-        if evicted {
+        if outcome.fresh {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.refreshes.fetch_add(1, Ordering::Relaxed);
+        }
+        if outcome.evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -309,14 +369,25 @@ impl QueryCache {
         self.len() == 0
     }
 
+    /// Byte footprint of the currently cached result vectors.
+    pub fn value_bytes(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.lock().expect("cache lock").bytes)
+            .sum()
+    }
+
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
             len: self.len(),
+            value_bytes: self.value_bytes(),
             capacity: self.capacity,
         }
     }
@@ -385,7 +456,93 @@ mod tests {
         cache.insert(key(&[1]), val(&[10, 11]));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get(&key(&[1])).expect("hit").as_slice(), &[10, 11]);
-        assert_eq!(cache.stats().evictions, 0);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0);
+        // Accounting: one fresh insert, one refresh — len still matches
+        // insertions - evictions, and the bytes track the *new* value.
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.refreshes, 1);
+        assert_eq!(stats.len as u64, stats.insertions - stats.evictions);
+        assert_eq!(stats.value_bytes, 2 * std::mem::size_of::<Elem>());
+    }
+
+    #[test]
+    fn refresh_with_different_sizes_keeps_bytes_exact() {
+        // Regression for accounting drift: the same key re-inserted with a
+        // larger, then smaller, result must leave value_bytes equal to the
+        // live value's footprint, never the sum of historical sizes.
+        let cache = QueryCache::new(4, 1);
+        let k = key(&[9]);
+        cache.insert(k.clone(), val(&[1]));
+        cache.insert(k.clone(), val(&[1, 2, 3, 4, 5]));
+        cache.insert(k.clone(), val(&[]));
+        cache.insert(k.clone(), val(&[7, 8]));
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.refreshes, 3);
+        assert_eq!(stats.len, 1);
+        assert_eq!(stats.value_bytes, 2 * std::mem::size_of::<Elem>());
+        // Evicting the entry returns the accounting to zero.
+        for i in 100..104usize {
+            cache.insert(key(&[i]), val(&[i as Elem]));
+        }
+        let stats = cache.stats();
+        assert!(cache.get(&k).is_none(), "original key evicted");
+        assert_eq!(stats.len, 4);
+        assert_eq!(stats.value_bytes, 4 * std::mem::size_of::<Elem>());
+        assert_eq!(stats.len as u64, stats.insertions - stats.evictions);
+    }
+
+    /// The model-free invariants any quiescent snapshot must satisfy.
+    fn assert_invariants(cache: &QueryCache) {
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, stats.lookups);
+        assert_eq!(stats.len as u64, stats.insertions - stats.evictions);
+        assert!(stats.len <= stats.capacity.max(1));
+        let actual_bytes: usize = cache
+            .segments
+            .iter()
+            .map(|s| {
+                let seg = s.lock().unwrap();
+                seg.map
+                    .values()
+                    .map(|&idx| value_bytes(&seg.slab[idx].value))
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(stats.value_bytes, actual_bytes);
+        let seg_bytes: usize = cache.segments.iter().map(|s| s.lock().unwrap().bytes).sum();
+        assert_eq!(seg_bytes, actual_bytes, "per-segment byte counters drifted");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn random_workloads_preserve_accounting_invariants(
+            capacity in 0usize..12,
+            segments in 1usize..5,
+            // Each op encodes (kind, term, value_len) in one draw:
+            // kind = op % 2 (get/insert), term = (op / 2) % 12,
+            // value_len = op / 24.
+            ops in proptest::collection::vec(0usize..144, 0..300),
+        ) {
+            let cache = QueryCache::new(capacity, segments);
+            for &op in &ops {
+                let term = (op / 2) % 12;
+                let k = key(&[term]);
+                if op % 2 == 0 {
+                    let _ = cache.get(&k);
+                } else {
+                    // Same keys recur with varying sizes: exercises fresh
+                    // inserts, refreshes with different-sized results, and
+                    // evictions in one stream.
+                    let value_len = op / 24;
+                    cache.insert(k, val(&vec![term as Elem; value_len]));
+                }
+            }
+            assert_invariants(&cache);
+        }
     }
 
     #[test]

@@ -4,6 +4,13 @@ use crate::cache::CacheStats;
 use std::time::Duration;
 
 /// Order statistics over a set of per-query latencies.
+///
+/// Percentiles follow the **nearest-rank** definition: the p-th percentile
+/// of `N` samples is the `⌈p·N⌉`-th smallest (1-indexed) — an actually
+/// observed latency, never an interpolation. For tiny samples this gives
+/// the exact answers one expects: with one sample every percentile is that
+/// sample; with two, p50 is the *smaller* (`⌈0.5·2⌉ = 1`) and p95/p99 the
+/// larger; with three, p50 is the middle sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySummary {
     /// Number of measured queries.
@@ -21,23 +28,30 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Summarizes a batch of latencies (empty input yields all zeros).
+    /// Summarizes a batch of latencies.
+    ///
+    /// An empty batch has **no** order statistics: `count` is 0 and every
+    /// microsecond field is `NaN`, so a missing measurement can never be
+    /// mistaken for a measured 0 µs (consumers check `count` or
+    /// `is_nan()`).
     pub fn from_durations(durations: &[Duration]) -> Self {
         if durations.is_empty() {
             return Self {
                 count: 0,
-                mean_us: 0.0,
-                p50_us: 0.0,
-                p95_us: 0.0,
-                p99_us: 0.0,
-                max_us: 0.0,
+                mean_us: f64::NAN,
+                p50_us: f64::NAN,
+                p95_us: f64::NAN,
+                p99_us: f64::NAN,
+                max_us: f64::NAN,
             };
         }
         let mut us: Vec<f64> = durations.iter().map(|d| d.as_secs_f64() * 1e6).collect();
         us.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
         let pct = |p: f64| {
-            let idx = ((us.len() as f64 - 1.0) * p).round() as usize;
-            us[idx]
+            // Nearest rank: ⌈p·N⌉-th smallest, 1-indexed. The clamp only
+            // guards p = 0 (rank 0) and floating-point overshoot.
+            let rank = (p * us.len() as f64).ceil() as usize;
+            us[rank.clamp(1, us.len()) - 1]
         };
         Self {
             count: us.len(),
@@ -70,29 +84,70 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_summary_is_zeroed() {
+    fn empty_summary_is_nan_not_zero() {
+        // A missing measurement must be distinguishable from a measured
+        // 0 µs — NaN (with count = 0), never a silent 0.
         let s = LatencySummary::from_durations(&[]);
         assert_eq!(s.count, 0);
-        assert_eq!(s.max_us, 0.0);
+        assert!(s.mean_us.is_nan());
+        assert!(s.p50_us.is_nan());
+        assert!(s.p95_us.is_nan());
+        assert!(s.p99_us.is_nan());
+        assert!(s.max_us.is_nan());
     }
 
     #[test]
-    fn percentiles_are_ordered() {
+    fn percentiles_are_ordered_and_nearest_rank() {
         let durations: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
         let s = LatencySummary::from_durations(&durations);
         assert_eq!(s.count, 100);
         assert!(s.p50_us <= s.p95_us);
         assert!(s.p95_us <= s.p99_us);
         assert!(s.p99_us <= s.max_us);
+        // Nearest rank over 1..=100 µs: ⌈0.5·100⌉ = 50th smallest, etc.
+        assert!((s.p50_us - 50.0).abs() < 1e-9);
+        assert!((s.p95_us - 95.0).abs() < 1e-9);
+        assert!((s.p99_us - 99.0).abs() < 1e-9);
         assert!((s.max_us - 100.0).abs() < 1e-9);
         assert!((s.mean_us - 50.5).abs() < 1e-9);
     }
 
     #[test]
-    fn single_sample_summary() {
+    fn single_sample_summary_is_that_sample() {
         let s = LatencySummary::from_durations(&[Duration::from_micros(7)]);
         assert_eq!(s.count, 1);
-        assert!((s.p50_us - 7.0).abs() < 1e-9);
-        assert!((s.p99_us - 7.0).abs() < 1e-9);
+        for v in [s.mean_us, s.p50_us, s.p95_us, s.p99_us, s.max_us] {
+            assert!((v - 7.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_samples_nearest_rank_exactly() {
+        // ⌈0.5·2⌉ = 1 → p50 is the smaller sample; ⌈0.95·2⌉ = ⌈0.99·2⌉ = 2
+        // → p95/p99 are the larger. (The old round()-based index reported
+        // the larger sample as the median.)
+        let s =
+            LatencySummary::from_durations(&[Duration::from_micros(30), Duration::from_micros(10)]);
+        assert_eq!(s.count, 2);
+        assert!((s.p50_us - 10.0).abs() < 1e-9);
+        assert!((s.p95_us - 30.0).abs() < 1e-9);
+        assert!((s.p99_us - 30.0).abs() < 1e-9);
+        assert!((s.max_us - 30.0).abs() < 1e-9);
+        assert!((s.mean_us - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_samples_nearest_rank_exactly() {
+        // ⌈0.5·3⌉ = 2 → the middle sample; ⌈0.95·3⌉ = ⌈0.99·3⌉ = 3 → the
+        // largest.
+        let s = LatencySummary::from_durations(&[
+            Duration::from_micros(9),
+            Duration::from_micros(1),
+            Duration::from_micros(5),
+        ]);
+        assert_eq!(s.count, 3);
+        assert!((s.p50_us - 5.0).abs() < 1e-9);
+        assert!((s.p95_us - 9.0).abs() < 1e-9);
+        assert!((s.p99_us - 9.0).abs() < 1e-9);
     }
 }

@@ -7,26 +7,38 @@ use rand::Rng;
 /// Zipf distribution over ranks `0..n` with exponent `s`:
 /// `P(rank) ∝ 1/(rank+1)^s`. Sampling is by binary search over the
 /// precomputed CDF (`O(log n)` per draw).
+///
+/// The CDF is accumulated term by term (no closed-form generalized
+/// harmonic `((n^{1-s} − 1)/(1 − s)`-style formula), so the `s → 1.0` edge
+/// involves no division by `1 − s` and cannot blow up; `s = 0` is the
+/// uniform distribution. The first term is exactly `1.0`, so the
+/// normalizer is always ≥ 1 and never divides by zero, even when huge `s`
+/// underflows every later term to `0`.
 #[derive(Debug, Clone)]
 pub struct Zipf {
     cdf: Vec<f64>,
 }
 
 impl Zipf {
-    /// Precomputes the CDF for `n` ranks with exponent `s > 0`.
+    /// Precomputes the CDF for `n ≥ 1` ranks with finite exponent `s ≥ 0`
+    /// (`s = 0` is uniform).
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "need at least one rank");
-        assert!(s > 0.0, "exponent must be positive");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and ≥ 0");
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for rank in 0..n {
             acc += 1.0 / ((rank + 1) as f64).powf(s);
             cdf.push(acc);
         }
-        let total = acc;
+        let total = acc; // ≥ 1.0: the rank-0 term is exactly 1.
         for c in cdf.iter_mut() {
-            *c /= total;
+            *c = (*c / total).min(1.0);
         }
+        // Rounding must never leave the tail short of 1.0 (a sampled
+        // u ∈ [last, 1) would otherwise need the `.min(len-1)` clamp to
+        // stay in range; make the CDF exact instead of leaning on it).
+        *cdf.last_mut().expect("n > 0") = 1.0;
         Self { cdf }
     }
 
@@ -59,6 +71,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -98,6 +111,74 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    fn assert_well_formed(z: &Zipf, n: usize) {
+        assert_eq!(z.len(), n);
+        assert!(z.cdf.windows(2).all(|w| w[0] <= w[1]), "monotone CDF");
+        assert!(z.cdf.iter().all(|&c| (0.0..=1.0).contains(&c)));
+        assert_eq!(*z.cdf.last().unwrap(), 1.0, "tail is exactly 1");
+        let pmf_sum: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        assert!((pmf_sum - 1.0).abs() < 1e-9, "pmf sums to 1: {pmf_sum}");
+        assert!((0..n).all(|r| z.pmf(r) >= 0.0), "non-negative pmf");
+    }
+
+    #[test]
+    fn edge_exponents_stay_well_formed() {
+        // The s → 1.0 neighbourhood (the classic-Zipf edge where
+        // closed-form harmonic formulas divide by 1 − s), exactly 1.0,
+        // s = 0 (uniform), and a huge s that underflows every tail term.
+        for s in [0.0, 1.0 - 1e-12, 1.0, 1.0 + 1e-12, 4.0, 300.0] {
+            for n in [1usize, 2, 3, 1000] {
+                let z = Zipf::new(n, s);
+                assert_well_formed(&z, n);
+            }
+        }
+        // s = 0 really is uniform.
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12, "rank {r}: {}", z.pmf(r));
+        }
+        // Huge s concentrates all sampling mass on rank 0.
+        let z = Zipf::new(1000, 300.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!((0..500).all(|_| z.sample(&mut rng) == 0));
+    }
+
+    #[test]
+    fn single_rank_always_samples_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for s in [0.0, 0.5, 1.0, 10.0] {
+            let z = Zipf::new(1, s);
+            assert_well_formed(&z, 1);
+            assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+            for _ in 0..100 {
+                assert_eq!(z.sample(&mut rng), 0);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn arbitrary_parameters_yield_valid_distributions(
+            n in 1usize..400,
+            // Dense coverage around the s = 1 edge plus the broad range.
+            s_millis in 0usize..4000,
+        ) {
+            let s = s_millis as f64 / 1000.0;
+            let z = Zipf::new(n, s);
+            assert_well_formed(&z, n);
+            let mut rng = StdRng::seed_from_u64((n as u64) << 12 | s_millis as u64);
+            for _ in 0..50 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+            // Mass is non-increasing in rank for every s ≥ 0.
+            for r in 1..n {
+                prop_assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+            }
         }
     }
 }

@@ -14,6 +14,11 @@
 //!   Lookup, SvS, Adaptive, BaezaYates, SmallAdaptive).
 //! * [`compress`] — γ/δ posting-list compression and the Lowbits codec
 //!   (§4.1, Appendix B).
+//! * [`kernels`] — portable word-parallel intersection primitives: chunked
+//!   bitmaps ([`kernels::BitmapSet`]), branchless/galloping merges
+//!   ([`kernels::GallopingSet`]), and FESIA-style signature prefilters
+//!   ([`kernels::SigFilterSet`]), behind a common [`kernels::Kernel`] trait
+//!   with runtime selection.
 //! * [`index`] — an inverted-index/search substrate with pluggable
 //!   intersection strategies, plus the bag-semantics extension.
 //! * [`workloads`] — the evaluation's synthetic and query-log workload
@@ -45,6 +50,7 @@ pub use fsi_baselines as baselines;
 pub use fsi_compress as compress;
 pub use fsi_core as core;
 pub use fsi_index as index;
+pub use fsi_kernels as kernels;
 pub use fsi_serve as serve;
 pub use fsi_workloads as workloads;
 
