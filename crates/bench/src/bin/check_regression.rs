@@ -1,0 +1,197 @@
+//! The CI bench-regression gate: compares a fresh (smoke) benchmark run
+//! against the committed `BENCH_*.json` baselines and fails on large
+//! regressions.
+//!
+//! The tolerance is deliberately generous — micro-benchmarks on shared CI
+//! hardware jitter, and smoke runs cut reps — so the gate only catches
+//! *cliffs*: a metric
+//! must fall below `baseline / tolerance` (default tolerance 2.0, i.e. a
+//! >2x regression) to fail. Checked metrics:
+//!
+//! * `kernels` files — `speedup_vs_merge` per (shape, kernel);
+//! * `multiway` files — `speedup_vs_fold` per (shape, k, algo);
+//! * `serve` files — `qps` per scaling row and the cache `warm_qps`.
+//!   Rows flagged `"oversubscribed": true` (more workers than cores) are
+//!   skipped **in either file**: their numbers measure OS timeslicing, not
+//!   the algorithms, and the baseline box's core count need not match CI's.
+//!
+//! Ratios are speedups/throughputs (higher = better), so the check is
+//! one-sided: getting faster never fails. A metric present in the baseline
+//! but missing from the current run fails — a silently dropped shape or
+//! kernel must not pass the gate.
+//!
+//! Usage:
+//! `check_regression [--tolerance 2.0] <baseline.json> <current.json> [<baseline> <current> ...]`
+
+use fsi_bench::json::Json;
+use std::process::ExitCode;
+
+/// One comparable metric extracted from a benchmark file.
+struct Metric {
+    /// Stable identity across runs, e.g. `balanced-dense/k=3/Planned`.
+    key: String,
+    value: f64,
+}
+
+fn load(path: &str) -> Json {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    Json::parse(&src).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn num(v: &Json, key: &str) -> f64 {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric field {key:?}"))
+}
+
+fn text<'j>(v: &'j Json, key: &str) -> &'j str {
+    v.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("missing string field {key:?}"))
+}
+
+/// Extracts the gated metrics of one benchmark file, dispatching on its
+/// `"bench"` tag. The second list holds keys the file *explicitly*
+/// declined to gate (oversubscribed serve rows) — only those may be
+/// tolerated when absent from the comparison; any other missing key is a
+/// silently dropped metric and must fail.
+fn metrics(doc: &Json, path: &str) -> (Vec<Metric>, Vec<String>) {
+    let mut out = Vec::new();
+    let mut declined = Vec::new();
+    match text(doc, "bench") {
+        "kernels" => {
+            for shape in doc.get("shapes").and_then(Json::as_array).unwrap_or(&[]) {
+                let shape_name = text(shape, "shape");
+                for row in shape.get("kernels").and_then(Json::as_array).unwrap_or(&[]) {
+                    let kernel = text(row, "kernel");
+                    if kernel == "Merge" {
+                        continue; // its speedup vs itself is 1.0 by construction
+                    }
+                    out.push(Metric {
+                        key: format!("{shape_name}/{kernel}/speedup_vs_merge"),
+                        value: num(row, "speedup_vs_merge"),
+                    });
+                }
+            }
+        }
+        "multiway" => {
+            for shape in doc.get("shapes").and_then(Json::as_array).unwrap_or(&[]) {
+                let shape_name = text(shape, "shape");
+                let k = num(shape, "k");
+                for row in shape.get("algos").and_then(Json::as_array).unwrap_or(&[]) {
+                    let algo = text(row, "algo");
+                    if algo == "PairwiseFold(Merge)" {
+                        continue; // the 1.0x baseline row
+                    }
+                    out.push(Metric {
+                        key: format!("{shape_name}/k={k}/{algo}/speedup_vs_fold"),
+                        value: num(row, "speedup_vs_fold"),
+                    });
+                }
+            }
+        }
+        "serve" => {
+            for row in doc.get("scaling").and_then(Json::as_array).unwrap_or(&[]) {
+                let key = format!("workers={}/qps", num(row, "workers"));
+                if row.get("oversubscribed").and_then(Json::as_bool) == Some(true) {
+                    // qps/latency of timesliced workers is noise.
+                    declined.push(key);
+                    continue;
+                }
+                out.push(Metric {
+                    key,
+                    value: num(row, "qps"),
+                });
+            }
+            if let Some(cache) = doc.get("cache") {
+                out.push(Metric {
+                    key: "cache/warm_qps".to_string(),
+                    value: num(cache, "warm_qps"),
+                });
+            }
+        }
+        other => panic!("{path}: unknown bench tag {other:?}"),
+    }
+    (out, declined)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 2.0f64;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            tolerance = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--tolerance needs a number");
+        } else {
+            paths.push(arg);
+        }
+    }
+    assert!(
+        !paths.is_empty() && paths.len().is_multiple_of(2),
+        "usage: check_regression [--tolerance X] <baseline.json> <current.json> ..."
+    );
+    assert!(tolerance >= 1.0, "tolerance must be >= 1.0");
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for pair in paths.chunks(2) {
+        let (base_path, cur_path) = (&pair[0], &pair[1]);
+        let baseline = load(base_path);
+        let current = load(cur_path);
+        // The binaries stamp `"smoke": true` into reduced-effort runs so
+        // one can never silently become the reference the gate measures
+        // against (docs/benchmarks.md: committed baselines must be full).
+        assert!(
+            baseline.get("smoke").and_then(Json::as_bool) != Some(true),
+            "{base_path}: baseline was produced by a --smoke run; regenerate it in full mode"
+        );
+        let tag = text(&baseline, "bench").to_string();
+        assert_eq!(
+            tag,
+            text(&current, "bench"),
+            "{base_path} vs {cur_path}: mismatched bench tags"
+        );
+        println!("\n== {tag}: {cur_path} vs baseline {base_path} (tolerance {tolerance}x) ==");
+        // Oversubscribed rows are skipped per-file; drop a metric when
+        // either side skipped it.
+        let (base_metrics, _) = metrics(&baseline, base_path);
+        let (cur_metrics, cur_declined) = metrics(&current, cur_path);
+        for m in &base_metrics {
+            let Some(cur) = cur_metrics.iter().find(|c| c.key == m.key) else {
+                if cur_declined.contains(&m.key) {
+                    // The CI box's core count decides which rows are
+                    // oversubscribed; a row the current run *explicitly*
+                    // flagged is not a dropped metric. Anything else
+                    // missing is — it must not pass silently.
+                    println!("  skip  {:<55} (oversubscribed in current run)", m.key);
+                    continue;
+                }
+                println!("  FAIL  {:<55} missing from current run", m.key);
+                failures += 1;
+                continue;
+            };
+            checked += 1;
+            let floor = m.value / tolerance;
+            let verdict = if cur.value >= floor { "ok  " } else { "FAIL" };
+            if cur.value < floor {
+                failures += 1;
+            }
+            println!(
+                "  {verdict}  {:<55} baseline {:>10.2}  current {:>10.2}",
+                m.key, m.value, cur.value
+            );
+        }
+    }
+    println!("\n{checked} metrics checked, {failures} regression(s) beyond {tolerance}x");
+    if failures > 0 {
+        println!("bench-regression gate: FAIL");
+        ExitCode::FAILURE
+    } else {
+        println!("bench-regression gate: PASS");
+        ExitCode::SUCCESS
+    }
+}

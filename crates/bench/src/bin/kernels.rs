@@ -8,9 +8,11 @@
 //! `BENCH_kernels.json` (hand-rolled JSON: the reference environment has
 //! no registry access, so no serde).
 //!
-//! Usage: `cargo run --release -p fsi-bench --bin kernels -- [out.json]`
+//! Usage: `cargo run --release -p fsi-bench --bin kernels -- [out.json] [--smoke]`
+//! (`--smoke` keeps the shapes but cuts reps — sizes stay identical so the
+//! CI regression gate compares like with like).
 
-use fsi_bench::{median_time, Table};
+use fsi_bench::{median_time, HarnessArgs, Table};
 use fsi_core::{HashContext, PairIntersect, SortedSet};
 use fsi_kernels::{
     branchless_merge_into, galloping_into, BitmapSet, Kernel, ScalarMerge, SigFilterSet,
@@ -19,7 +21,8 @@ use fsi_workloads::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const REPS: usize = 15;
+const FULL_REPS: usize = 15;
+const SMOKE_REPS: usize = 3;
 
 /// One benchmark shape: how the operand pair is generated.
 struct Shape {
@@ -85,9 +88,8 @@ struct Row {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let args = HarnessArgs::parse("BENCH_kernels.json");
+    let reps = args.pick(FULL_REPS, SMOKE_REPS);
     let ctx = HashContext::new(fsi_bench::HARNESS_SEED);
     let mut rng = StdRng::seed_from_u64(fsi_bench::HARNESS_SEED);
     let mut shape_json: Vec<String> = Vec::new();
@@ -121,7 +123,7 @@ fn main() {
         let mut rows: Vec<Row> = Vec::new();
         let mut bench =
             |kernel: &'static str, rows: &mut Vec<Row>, f: &mut dyn FnMut(&mut Vec<u32>)| {
-                let d = median_time(REPS, || {
+                let d = median_time(reps, || {
                     out.clear();
                     f(&mut out);
                     out.len()
@@ -194,9 +196,11 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"reps\": {REPS},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"kernels\",\n  \"reps\": {reps},\n  \"smoke\": {},\n  \
+         \"shapes\": [\n{}\n  ]\n}}\n",
+        args.smoke,
         shape_json.join(",\n")
     );
-    std::fs::write(&out_path, json).expect("write benchmark output");
-    println!("\nwrote {out_path}");
+    args.write_output(&json);
+    println!("\nwrote {}", args.out_path);
 }

@@ -980,7 +980,7 @@ fn planner_eval(opts: &Opts) {
     };
     let planner = fsi_index::Planner::default();
     let (mut t_planner, mut t_rgs, mut t_hash, mut t_merge) = (0f64, 0f64, 0f64, 0f64);
-    let mut plans = [0usize; 4];
+    let mut plans = [0usize; 5];
     for p in querylog::plan(&cfg) {
         let q = p.materialize(cfg.universe);
         let lists: Vec<fsi_index::PlannedList> = q
@@ -996,11 +996,15 @@ fn planner_eval(opts: &Opts) {
             (plan, out.len())
         });
         t_planner += ms(d);
-        match planner.choose_for_sets(&q.sets.iter().collect::<Vec<_>>()) {
-            fsi_index::Plan::RanGroupScan => plans[0] += 1,
-            fsi_index::Plan::HashProbe => plans[1] += 1,
-            fsi_index::Plan::Bitmap => plans[2] += 1,
-            fsi_index::Plan::Galloping => plans[3] += 1,
+        match planner
+            .plan_for_sets(&q.sets.iter().collect::<Vec<_>>())
+            .kind
+        {
+            fsi_index::PlanKind::RanGroupScan => plans[0] += 1,
+            fsi_index::PlanKind::HashProbe => plans[1] += 1,
+            fsi_index::PlanKind::BitmapAnd => plans[2] += 1,
+            fsi_index::PlanKind::GallopProbe => plans[3] += 1,
+            _ => plans[4] += 1,
         }
         let sets: Vec<&SortedSet> = q.sets.iter().collect();
         t_rgs += ms(run_strategy(Strategy::RanGroupScan { m: 2 }, &ctx, &sets, opts.reps).0);
@@ -1013,8 +1017,8 @@ fn planner_eval(opts: &Opts) {
         "Planner".to_string(),
         fmt_ms(t_planner / nq),
         format!(
-            "{} RanGroupScan / {} HashProbe / {} Bitmap / {} Galloping",
-            plans[0], plans[1], plans[2], plans[3]
+            "{} RanGroupScan / {} HashProbe / {} BitmapAnd / {} GallopProbe / {} other",
+            plans[0], plans[1], plans[2], plans[3], plans[4]
         ),
     ]);
     t.row(vec![

@@ -5,17 +5,22 @@
 //! baseline plus cache behaviour into `BENCH_serve.json` (hand-rolled
 //! JSON: this environment has no registry access, so no serde).
 //!
-//! Usage: `cargo run --release -p fsi-bench --bin serve -- [out.json]`
+//! Worker counts above the machine's available parallelism are
+//! **annotated** (`"oversubscribed": true`): latencies are measured from
+//! query pickup, so with more workers than cores the OS timeslices the
+//! workers and tail latencies inflate by queue-wait-in-disguise — a 10x
+//! p99 "regression" from 1→4 workers on a 1-core box is scheduling, not
+//! algorithmic. Consumers (docs/benchmarks.md, the CI regression gate)
+//! must not read latency fields of oversubscribed rows as meaningful.
+//!
+//! Usage: `cargo run --release -p fsi-bench --bin serve -- [out.json] [--smoke]`
 
-use fsi_bench::{ms, Table};
+use fsi_bench::{ms, HarnessArgs, Table};
 use fsi_core::HashContext;
 use fsi_index::{Corpus, CorpusConfig, SearchEngine, Strategy};
 use fsi_serve::{ExecMode, QueryCache, QueryPool, ShardedEngine};
 use fsi_workloads::stream::{generate_stream, repeat_rate, QueryStreamConfig};
 
-const NUM_DOCS: u32 = 400_000;
-const NUM_TERMS: usize = 1 << 11;
-const NUM_QUERIES: usize = 4_000;
 const NUM_SHARDS: usize = 4;
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
 
@@ -25,26 +30,36 @@ struct ScalingRow {
     wall_ms: f64,
     p50_us: f64,
     p99_us: f64,
+    max_queue_depth: usize,
+    oversubscribed: bool,
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let args = HarnessArgs::parse("BENCH_serve.json");
+    // Smoke keeps the full corpus and stream (the whole run takes seconds):
+    // a smaller corpus would shorten every posting list and inflate qps,
+    // leaving the one-sided regression gate comparing unlike numbers — a
+    // real throughput cliff could hide above the full-size baseline's
+    // floor. The --smoke flag still stamps `"smoke": true` so the output
+    // can never be committed as a baseline.
+    let num_docs: u32 = 400_000;
+    let num_terms: usize = 1 << 11;
+    let num_queries: usize = 4_000;
 
     println!(
-        "corpus: {NUM_DOCS} docs x {NUM_TERMS} terms, {NUM_SHARDS} shards; \
-         stream: {NUM_QUERIES} Zipf queries"
+        "corpus: {num_docs} docs x {num_terms} terms, {NUM_SHARDS} shards; \
+         stream: {num_queries} Zipf queries{}",
+        if args.smoke { " [smoke]" } else { "" }
     );
     let corpus = Corpus::generate(CorpusConfig {
-        num_docs: NUM_DOCS,
-        num_terms: NUM_TERMS,
+        num_docs,
+        num_terms,
         ..CorpusConfig::default()
     });
     let ctx = HashContext::new(fsi_bench::HARNESS_SEED);
     let stream = generate_stream(&QueryStreamConfig {
-        num_queries: NUM_QUERIES,
-        num_terms: NUM_TERMS,
+        num_queries,
+        num_terms,
         ..QueryStreamConfig::default()
     });
     let stream_repeat_rate = repeat_rate(&stream);
@@ -57,20 +72,40 @@ fn main() {
     let engine = SearchEngine::from_corpus(ctx, corpus);
     let sharded = ShardedEngine::build(&engine, NUM_SHARDS, ExecMode::Fixed(strategy));
 
+    // Scaling numbers are only meaningful relative to the cores actually
+    // available (CI containers are often single-core).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
     // Scaling baseline: cache disabled so every query exercises the shards.
     let mut scaling = Vec::new();
-    let mut table = Table::new(vec!["workers", "qps", "batch ms", "p50 us", "p99 us"]);
+    let mut table = Table::new(vec![
+        "workers",
+        "qps",
+        "batch ms",
+        "p50 us",
+        "p99 us",
+        "max depth",
+        "note",
+    ]);
     for &workers in &WORKER_COUNTS {
         let pool = QueryPool::new(workers);
         // Warm-up pass, then the measured pass.
         let _ = pool.run_batch(&sharded, None, &stream[..stream.len() / 4]);
         let outcome = pool.run_batch(&sharded, None, &stream);
+        let oversubscribed = workers > cores;
+        let max_queue_depth = outcome.queue_depths.iter().copied().max().unwrap_or(0);
         table.row(vec![
             workers.to_string(),
             format!("{:.0}", outcome.throughput_qps),
             format!("{:.1}", ms(outcome.wall)),
             format!("{:.1}", outcome.latency.p50_us),
             format!("{:.1}", outcome.latency.p99_us),
+            max_queue_depth.to_string(),
+            if oversubscribed {
+                format!("oversubscribed ({workers} workers > {cores} cores)")
+            } else {
+                String::new()
+            },
         ]);
         scaling.push(ScalingRow {
             workers,
@@ -78,9 +113,17 @@ fn main() {
             wall_ms: ms(outcome.wall),
             p50_us: outcome.latency.p50_us,
             p99_us: outcome.latency.p99_us,
+            max_queue_depth,
+            oversubscribed,
         });
     }
     table.print();
+    if scaling.iter().any(|r| r.oversubscribed) {
+        println!(
+            "note: rows flagged oversubscribed ran more workers than the {cores} available \
+             core(s); their latency percentiles measure OS timeslicing, not the algorithms."
+        );
+    }
 
     // Cache-fronted run at the widest worker count, same engine.
     let workers = *WORKER_COUNTS.last().expect("non-empty");
@@ -113,27 +156,29 @@ fn main() {
         .map(|r| {
             format!(
                 "    {{\"workers\": {}, \"qps\": {:.1}, \"batch_ms\": {:.2}, \
-                 \"p50_us\": {}, \"p99_us\": {}}}",
+                 \"p50_us\": {}, \"p99_us\": {}, \"max_queue_depth\": {}, \
+                 \"oversubscribed\": {}}}",
                 r.workers,
                 r.qps,
                 r.wall_ms,
                 json_f64(r.p50_us),
-                json_f64(r.p99_us)
+                json_f64(r.p99_us),
+                r.max_queue_depth,
+                r.oversubscribed
             )
         })
         .collect();
-    // Scaling numbers are only meaningful relative to the cores actually
-    // available (CI containers are often single-core).
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"config\": {{\n    \"num_docs\": {NUM_DOCS},\n    \
-         \"num_terms\": {NUM_TERMS},\n    \"num_queries\": {NUM_QUERIES},\n    \
+        "{{\n  \"bench\": \"serve\",\n  \"smoke\": {},\n  \"config\": {{\n    \
+         \"num_docs\": {num_docs},\n    \"num_terms\": {num_terms},\n    \
+         \"num_queries\": {num_queries},\n    \
          \"num_shards\": {NUM_SHARDS},\n    \"available_cores\": {cores},\n    \
          \"strategy\": \"{}\",\n    \
          \"stream_repeat_rate\": {stream_repeat_rate:.4}\n  }},\n  \"scaling\": [\n{}\n  ],\n  \
          \"cache\": {{\n    \"capacity\": 8192,\n    \"workers\": {workers},\n    \
          \"cold_qps\": {:.1},\n    \"warm_qps\": {:.1},\n    \"warm_hits\": {},\n    \
          \"hit_rate\": {:.4},\n    \"evictions\": {}\n  }}\n}}\n",
+        args.smoke,
         strategy.name(),
         scaling_json.join(",\n"),
         cold.throughput_qps,
@@ -142,6 +187,6 @@ fn main() {
         cache_stats.hit_rate(),
         cache_stats.evictions,
     );
-    std::fs::write(&out_path, json).expect("write benchmark output");
-    println!("\nwrote {out_path}");
+    args.write_output(&json);
+    println!("\nwrote {}", args.out_path);
 }

@@ -3,8 +3,11 @@
 //! The `paper` binary (`cargo run --release -p fsi-bench --bin paper`)
 //! regenerates every figure and table of the paper's evaluation; the
 //! criterion benches exercise the same code on reduced sizes. This library
-//! holds what they share: timing helpers, plain-text table rendering, and
-//! seeded dataset construction.
+//! holds what they share: timing helpers, plain-text table rendering,
+//! seeded dataset construction, harness CLI conventions ([`HarnessArgs`]),
+//! and a registry-free JSON reader ([`json`]) for the regression gate.
+
+pub mod json;
 
 use fsi_core::elem::SortedSet;
 use fsi_core::hash::HashContext;
@@ -27,6 +30,17 @@ pub fn median_time<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
     let mut times: Vec<Duration> = (0..reps.max(1)).map(|_| time_once(&mut f)).collect();
     times.sort_unstable();
     times[times.len() / 2]
+}
+
+/// Minimum wall-clock duration over `reps` runs (one warm-up run first) —
+/// the steady-state estimator for µs-scale operations, immune to the
+/// scheduling and cold-cache outliers a median of few reps can land on.
+pub fn min_time<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    std::hint::black_box(f());
+    (0..reps.max(1))
+        .map(|_| time_once(&mut f))
+        .min()
+        .expect("reps >= 1")
 }
 
 /// Milliseconds as a float.
@@ -125,6 +139,59 @@ pub fn run_strategy(
 
 /// Standard harness seed so every experiment is reproducible.
 pub const HARNESS_SEED: u64 = 0x2011_0404;
+
+/// Harness CLI conventions shared by the benchmark binaries: an optional
+/// positional output path plus a `--smoke` flag (or `FSI_BENCH_SMOKE=1`)
+/// that shrinks reps and problem sizes for the CI regression gate. Smoke
+/// runs stamp `"smoke": true` into their JSON so a reduced-effort file can
+/// never be mistaken for (or committed as) a reference baseline.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Where the JSON lands.
+    pub out_path: String,
+    /// Reduced-effort mode for the CI bench gate.
+    pub smoke: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`: the first non-flag argument is the output
+    /// path (defaulting to `default_out`), `--smoke` anywhere (or the
+    /// `FSI_BENCH_SMOKE=1` environment variable) selects smoke mode.
+    pub fn parse(default_out: &str) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let smoke = args.iter().any(|a| a == "--smoke")
+            || std::env::var("FSI_BENCH_SMOKE").is_ok_and(|v| v == "1");
+        let out_path = args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| default_out.to_string());
+        Self { out_path, smoke }
+    }
+
+    /// `full` normally, `smoke` in smoke mode — for scaling rep counts and
+    /// problem sizes in one place.
+    pub fn pick<T>(&self, full: T, smoke: T) -> T {
+        if self.smoke {
+            smoke
+        } else {
+            full
+        }
+    }
+
+    /// Writes the benchmark JSON to [`HarnessArgs::out_path`], creating
+    /// parent directories first (CI writes into `target/smoke/`, which no
+    /// prior step creates).
+    pub fn write_output(&self, json: &str) {
+        let path = std::path::Path::new(&self.out_path);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create output directory");
+            }
+        }
+        std::fs::write(path, json).expect("write benchmark output");
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -5,6 +5,7 @@
 //! queries with the corresponding intersection algorithm.
 
 use crate::corpus::Corpus;
+use crate::planner::{PlannedExecutor, Planner};
 use crate::strategy::{intersect_into, PreparedList, Strategy};
 use fsi_core::elem::{Elem, SortedSet};
 use fsi_core::hash::HashContext;
@@ -90,6 +91,14 @@ impl SearchEngine {
             strategy,
             prepared,
         }
+    }
+
+    /// Preprocesses **all** terms for cost-model planner dispatch — the
+    /// k-way sibling of [`SearchEngine::executor`]: instead of pinning one
+    /// strategy, every query is planned whole ([`crate::MultiwayPlan`])
+    /// over all its terms at once.
+    pub fn planned_executor(&self, planner: Planner) -> PlannedExecutor {
+        PlannedExecutor::build(self, planner)
     }
 
     /// Like [`SearchEngine::executor`], but consumes the engine, keeping

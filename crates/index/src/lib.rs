@@ -10,8 +10,10 @@
 //! * [`bag`] — the Section 3 bag-semantics extension;
 //! * [`daat`] — group-granular DAAT top-k retrieval (the Section 2
 //!   "score-based pruning" combination);
-//! * [`planner`] — per-query physical-plan choice (the robustness pitch of
-//!   the paper's conclusion, generalized beyond §3.4's two algorithms).
+//! * [`planner`] — whole-query k-way planning: a cost model over the entire
+//!   term list emits a [`MultiwayPlan`] (kernel + evaluation order), the
+//!   robustness pitch of the paper's conclusion generalized beyond §3.4's
+//!   two algorithms and beyond pairwise evaluation.
 
 pub mod bag;
 pub mod corpus;
@@ -24,5 +26,5 @@ pub use bag::BagIndex;
 pub use corpus::{Corpus, CorpusConfig};
 pub use daat::{top_k, DaatStats, Hit, ScoredIndex};
 pub use engine::{Executor, OwnedExecutor, SearchEngine};
-pub use planner::{Plan, PlannedList, Planner};
+pub use planner::{MultiwayPlan, OperandStats, PlanKind, PlannedExecutor, PlannedList, Planner};
 pub use strategy::{intersect_into, intersect_sorted, PreparedList, Strategy};

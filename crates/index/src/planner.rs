@@ -1,74 +1,98 @@
-//! Per-query physical-plan selection — the paper's closing pitch
-//! operationalized: its techniques "are robust in that — for inputs for
-//! which they are not the best-performing approach — they perform close to
-//! the best one", and Section 3.4 already proposes choosing the algorithm
-//! "online, based on n₁/n₂".
+//! Whole-query physical planning — the paper's closing pitch
+//! operationalized over **k sets at once**: Section 3.4 proposes choosing
+//! the algorithm "online, based on n₁/n₂", and the paper's own algorithms
+//! (IntGroup, RanGroup, the adaptive probes) are defined over intersecting
+//! *k* lists, with the smallest driving probes into all the others.
 //!
-//! A [`PlannedList`] keeps the structures whose winning regions the
-//! evaluation maps out: RanGroupScan for balanced sparse sizes, a hash
-//! table for extreme skew, and the `fsi-kernels` layer for the two regimes
-//! wide machine words own outright — a chunked bitmap for *dense* operands
-//! (one `AND` per 64 universe slots) and a galloping merge for *moderately
-//! skewed* sizes. At query time the [`Planner`] dispatches on the size
-//! ratio and the density of the actual operands:
+//! The [`Planner`] cost-models the **entire term list** in one shot and
+//! emits a [`MultiwayPlan`]: a kernel choice ([`PlanKind`]) plus an
+//! evaluation order (operands ascending by size — the smallest list always
+//! drives). Nothing is ever folded pairwise and no intermediate result is
+//! materialized. The candidate kernels and their cost estimates, in the
+//! units of [`Planner`]'s tunable constants:
 //!
-//! 1. an empty operand → [`Plan::Galloping`] (short-circuits immediately);
-//! 2. ratio ≥ [`Planner::hash_ratio_threshold`] → [`Plan::HashProbe`]
-//!    (`O(n_min)` probes beat everything at extreme skew);
-//! 3. every operand denser than [`Planner::bitmap_min_density`] →
-//!    [`Plan::Bitmap`];
-//! 4. ratio ≥ [`Planner::gallop_ratio_threshold`] → [`Plan::Galloping`];
-//! 5. otherwise → [`Plan::RanGroupScan`] (balanced, sparse — the paper's
-//!    home turf).
+//! | kind | estimated cost | regime it owns |
+//! |------|----------------|----------------|
+//! | [`PlanKind::BitmapAnd`] | `bitmap_word_unit · c_min · 1024 · (k−1)` | every operand dense (all carry chunk bitmaps) |
+//! | [`PlanKind::HashProbe`] | `hash_unit · n_min · (k−1)` | extreme skew: `O(n_min)` cache-missing probes |
+//! | [`PlanKind::GallopProbe`] | `gallop_unit · n_min · Σᵢ log₂(nᵢ/n_min + 2)` | moderate skew (Hwang–Lin across all k) |
+//! | [`PlanKind::RanGroupScan`] | `rgs_unit · Σ nᵢ` | balanced sparse — the paper's home turf |
+//! | [`PlanKind::HeapMerge`] | `heap_unit · Σ nᵢ · log₂ k` | structure-free fallback (tunables can force it) |
 //!
-//! The default thresholds reflect *this repository's measured* crossovers
-//! (see EXPERIMENTS.md and `BENCH_kernels.json`); they are tunables because
-//! the right answers are hardware-bound.
+//! The minimum-cost candidate wins; `c_min` is the smallest per-operand
+//! chunk count, so the bitmap estimate prices exactly the word sweep
+//! [`BitmapSet::intersect_k_into`] executes. A [`PlannedList`] keeps every
+//! representation a plan can bind: the flat sorted list (gallop probes,
+//! heap merge), a hash table (skew probes), the RanGroupScan structure, and
+//! — for lists dense enough to ever win it — a chunked bitmap.
+//!
+//! The default constants reflect *this repository's measured* crossovers
+//! (see EXPERIMENTS.md, `BENCH_kernels.json` and `BENCH_multiway.json`):
+//! hash probing overtakes galloping near ratio 64, galloping overtakes
+//! RanGroupScan near ratio 8, and the bitmap sweep wins whenever it is
+//! admissible at all. They are tunables because the right answers are
+//! hardware-bound.
 
-use crate::strategy::Strategy;
+use crate::engine::SearchEngine;
 use fsi_baselines::HashSetIndex;
 use fsi_core::elem::{Elem, SortedSet};
 use fsi_core::hash::HashContext;
 use fsi_core::traits::{KIntersect, SetIndex};
 use fsi_core::RanGroupScanIndex;
-use fsi_kernels::{BitmapSet, GallopingSet, BITMAP_MIN_DENSITY};
+use fsi_kernels::{
+    gallop_probe_ordered_into, heap_merge_into, BitmapSet, GallopingSet, BITMAP_MIN_DENSITY,
+    WORDS_PER_CHUNK,
+};
 
-/// A posting list prepared for every winning regime.
+/// A posting list prepared for every representation a plan can bind.
 #[derive(Debug, Clone)]
 pub struct PlannedList {
     hash: HashSetIndex,
     rgs: RanGroupScanIndex,
     /// Only built for lists dense enough (own `n / (max+1)` at or above
-    /// [`BITMAP_MIN_DENSITY`]) that [`Plan::Bitmap`] can ever fire on a
-    /// query containing them — a chunk bitmap costs a fixed 8 KiB per
+    /// [`BITMAP_MIN_DENSITY`]) that [`PlanKind::BitmapAnd`] can ever fire
+    /// on a query containing them — a chunk bitmap costs a fixed 8 KiB per
     /// touched 2¹⁶-value chunk, which is pure dead weight on sparse lists.
     bitmap: Option<BitmapSet>,
     flat: GallopingSet,
-    max_elem: Option<Elem>,
+}
+
+/// The build-floor rule shared by [`PlannedList::build`] and
+/// [`OperandStats::of_set`]: a list carries a chunk bitmap iff it is at
+/// least [`BITMAP_MIN_DENSITY`] dense in its own value range.
+fn dense_enough(set: &SortedSet) -> bool {
+    set.max()
+        .is_some_and(|m| set.len() as f64 >= BITMAP_MIN_DENSITY * (m as f64 + 1.0))
 }
 
 impl PlannedList {
     /// Preprocesses `set` for every structure the planner can dispatch to.
     pub fn build(ctx: &HashContext, set: &SortedSet) -> Self {
         // If this list is sparser than BITMAP_MIN_DENSITY in its own value
-        // range, then for any query containing it the global span is at
-        // least its max+1 and the min operand size at most its n, so the
-        // density rule can never select Bitmap — skip the bitmap entirely.
-        let dense = set
-            .max()
-            .is_some_and(|m| set.len() as f64 >= BITMAP_MIN_DENSITY * (m as f64 + 1.0));
+        // range, then for any query containing it the BitmapAnd candidate
+        // is inadmissible (it requires every operand's bitmap), so the
+        // bitmap would never be consulted — skip it entirely.
+        let dense = dense_enough(set);
         Self {
             hash: HashSetIndex::build(set),
             rgs: RanGroupScanIndex::with_m(ctx, set, 2),
             bitmap: dense.then(|| BitmapSet::build(set)),
             flat: GallopingSet::build(set),
-            max_elem: set.max(),
         }
     }
 
     /// Number of elements.
     pub fn n(&self) -> usize {
         self.rgs.n()
+    }
+
+    /// The cost-model inputs of this list: its size, and its chunk count
+    /// when it carries a bitmap.
+    pub fn stats(&self) -> OperandStats {
+        OperandStats {
+            n: self.n(),
+            chunks: self.bitmap.as_ref().map(|b| b.num_chunks()),
+        }
     }
 
     /// Total footprint of all prepared structures.
@@ -80,130 +104,289 @@ impl PlannedList {
     }
 }
 
-/// Which physical plan ran (exposed for tests/telemetry).
+/// What the cost model needs to know about one operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Plan {
-    /// Balanced sparse sizes: Algorithm 5 group filtering.
-    RanGroupScan,
-    /// Extreme skew: probe the hash tables with the smallest list.
-    HashProbe,
-    /// Dense operands: word-parallel chunked-bitmap `AND` (`fsi-kernels`).
-    Bitmap,
-    /// Moderate skew (or a trivially empty operand): branchless/galloping
-    /// merge (`fsi-kernels`).
-    Galloping,
+pub struct OperandStats {
+    /// Number of elements.
+    pub n: usize,
+    /// Number of 2¹⁶-value chunks the list touches, if a chunk bitmap is
+    /// prepared for it (`None` for lists too sparse to carry one).
+    pub chunks: Option<usize>,
 }
 
-impl Plan {
-    /// The equivalent standalone [`Strategy`].
-    pub fn as_strategy(self) -> Strategy {
-        match self {
-            Plan::RanGroupScan => Strategy::RanGroupScan { m: 2 },
-            Plan::HashProbe => Strategy::Hash,
-            Plan::Bitmap => Strategy::Bitmap,
-            Plan::Galloping => Strategy::Galloping,
+impl OperandStats {
+    /// Stats of a raw sorted set, exactly as [`PlannedList::build`] would
+    /// produce them: the chunk count is `Some` iff the list is dense enough
+    /// in its own value range to carry a bitmap.
+    pub fn of_set(set: &SortedSet) -> Self {
+        Self {
+            n: set.len(),
+            chunks: dense_enough(set).then(|| BitmapSet::count_chunks(set.as_slice())),
         }
     }
 }
 
-/// The dispatcher.
+/// Which k-way kernel a [`MultiwayPlan`] runs (exposed for tests and
+/// telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// An empty operand (or no operands): the result is empty, run nothing.
+    Empty,
+    /// One operand: copy its list through.
+    Single,
+    /// Balanced sparse sizes: Algorithm 5 group filtering (the paper).
+    RanGroupScan,
+    /// Extreme skew: drive the smallest list through the others' hash
+    /// tables.
+    HashProbe,
+    /// Dense operands: k-way chunked-bitmap `AND`, no intermediates.
+    BitmapAnd,
+    /// Moderate skew: gallop the smallest list through all the others at
+    /// once.
+    GallopProbe,
+    /// Heap-based k-way merge (structure-free fallback).
+    HeapMerge,
+}
+
+/// A whole-query physical plan: which kernel to run, in which operand
+/// order, and what the cost model predicted for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiwayPlan {
+    /// The chosen kernel.
+    pub kind: PlanKind,
+    /// Operand positions in evaluation order (ascending by size — the
+    /// smallest list drives, and probes hit the most selective lists
+    /// first).
+    pub order: Vec<usize>,
+    /// The winning candidate's estimated cost, in the planner's abstract
+    /// units (comparable only within one plan call).
+    pub est_cost: f64,
+}
+
+/// The whole-query cost-model dispatcher.
 #[derive(Debug, Clone)]
 pub struct Planner {
-    /// Size ratio `max nᵢ / min nᵢ` at or above which hash probing wins
-    /// (extreme skew).
-    pub hash_ratio_threshold: usize,
-    /// Size ratio at or above which the galloping kernel wins (moderate
-    /// skew; must be below `hash_ratio_threshold` to ever fire).
-    pub gallop_ratio_threshold: usize,
-    /// Minimum `nᵢ / universe` density (for **every** operand) at which
-    /// the chunked-bitmap `AND` wins. Values below
-    /// [`BITMAP_MIN_DENSITY`] are clamped up to it at dispatch time:
-    /// [`PlannedList::build`] only carries a bitmap for lists at least
-    /// that dense, so a looser setting could select a plan the prepared
-    /// state cannot run.
-    pub bitmap_min_density: f64,
+    /// Cost per driver element per probed list, scaled by the galloping
+    /// log factor (`log₂(nᵢ/n_min + 2)`).
+    pub gallop_unit: f64,
+    /// Cost per driver element per probed hash table. High relative to
+    /// `gallop_unit`: every probe is a likely cache miss. The ratio of the
+    /// two sets the skew crossover (defaults put it near `n_max/n_min ≈
+    /// 64`, the measured value; the paper-era machine crossed near 100).
+    pub hash_unit: f64,
+    /// Cost per 64-bit `AND` word per non-driver operand in the chunked
+    /// bitmap sweep.
+    pub bitmap_word_unit: f64,
+    /// Cost per input element for RanGroupScan's group-filtered scan.
+    pub rgs_unit: f64,
+    /// Cost per input element per `log₂ k` for the heap merge. The default
+    /// keeps it strictly dominated by RanGroupScan (prepared lists always
+    /// carry the RGS structure); tuning it below `rgs_unit` forces the
+    /// structure-free path.
+    pub heap_unit: f64,
 }
 
 impl Default for Planner {
     fn default() -> Self {
         Self {
-            // Measured crossovers on this hardware (EXPERIMENTS.md ratio
-            // experiment; BENCH_kernels.json for the kernel regimes). The
-            // paper-era machine crossed to hash probing near 100.
-            hash_ratio_threshold: 64,
-            gallop_ratio_threshold: 8,
-            bitmap_min_density: BITMAP_MIN_DENSITY,
+            gallop_unit: 2.5,
+            hash_unit: 15.0,
+            bitmap_word_unit: 1.0,
+            rgs_unit: 1.2,
+            heap_unit: 2.0,
         }
     }
-}
-
-/// The universe span the density rule divides by: `max element + 1` over
-/// the operands (0 when every operand is empty). Shared by
-/// [`Planner::intersect`] and [`Planner::choose_for_sets`] so the bench
-/// harness and the dispatcher can never disagree on the definition.
-fn universe_span(maxes: impl Iterator<Item = Option<Elem>>) -> u64 {
-    maxes.flatten().max().map_or(0, |m| m as u64 + 1)
 }
 
 impl Planner {
-    /// Decides the plan from operand sizes and the universe span
-    /// (`max element + 1` over the operands; 0 when all are empty).
-    pub fn choose(&self, sizes: &[usize], universe_span: u64) -> Plan {
-        let min = sizes.iter().copied().min().unwrap_or(0);
-        let max = sizes.iter().copied().max().unwrap_or(0);
-        if min == 0 {
-            return Plan::Galloping;
+    /// Cost-models the whole operand list and returns the minimum-cost
+    /// plan. `stats` is positional: `order[i]` in the returned plan indexes
+    /// into it.
+    pub fn plan(&self, stats: &[OperandStats]) -> MultiwayPlan {
+        let k = stats.len();
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by_key(|&i| stats[i].n);
+        if k == 0 || stats[order[0]].n == 0 {
+            return MultiwayPlan {
+                kind: PlanKind::Empty,
+                order,
+                est_cost: 0.0,
+            };
         }
-        let ratio = max / min;
-        let density_floor = self.bitmap_min_density.max(BITMAP_MIN_DENSITY);
-        if ratio >= self.hash_ratio_threshold {
-            Plan::HashProbe
-        } else if (min as f64) >= density_floor * universe_span.max(1) as f64 {
-            Plan::Bitmap
-        } else if ratio >= self.gallop_ratio_threshold {
-            Plan::Galloping
-        } else {
-            Plan::RanGroupScan
+        if k == 1 {
+            let est_cost = stats[0].n as f64;
+            return MultiwayPlan {
+                kind: PlanKind::Single,
+                order,
+                est_cost,
+            };
+        }
+        let n_min = stats[order[0]].n as f64;
+        let total: f64 = stats.iter().map(|s| s.n as f64).sum();
+        let probes = (k - 1) as f64;
+
+        let mut best = (PlanKind::RanGroupScan, self.rgs_unit * total);
+        let mut consider = |kind: PlanKind, cost: f64| {
+            if cost < best.1 {
+                best = (kind, cost);
+            }
+        };
+        let log_sum: f64 = order[1..]
+            .iter()
+            .map(|&i| (stats[i].n as f64 / n_min + 2.0).log2())
+            .sum();
+        consider(PlanKind::GallopProbe, self.gallop_unit * n_min * log_sum);
+        consider(PlanKind::HashProbe, self.hash_unit * n_min * probes);
+        if let Some(c_min) = stats.iter().map(|s| s.chunks).min().flatten() {
+            // `min` on Options puts None first, so a single bitmap-less
+            // operand (None) vetoes the candidate via `.flatten()`.
+            consider(
+                PlanKind::BitmapAnd,
+                self.bitmap_word_unit * (c_min * WORDS_PER_CHUNK) as f64 * probes,
+            );
+        }
+        consider(
+            PlanKind::HeapMerge,
+            self.heap_unit * total * (k as f64).log2(),
+        );
+        MultiwayPlan {
+            kind: best.0,
+            order,
+            est_cost: best.1,
         }
     }
 
-    /// The plan [`Planner::intersect`] would run for these operand sets —
-    /// for harnesses that classify queries without prepared lists.
-    pub fn choose_for_sets(&self, sets: &[&SortedSet]) -> Plan {
-        let sizes: Vec<usize> = sets.iter().map(|s| s.len()).collect();
-        let span = universe_span(sets.iter().map(|s| s.max()));
-        self.choose(&sizes, span)
+    /// The plan for these prepared lists.
+    pub fn plan_for_lists(&self, lists: &[&PlannedList]) -> MultiwayPlan {
+        let stats: Vec<OperandStats> = lists.iter().map(|l| l.stats()).collect();
+        self.plan(&stats)
     }
 
-    /// Intersects under the chosen plan; returns which plan ran.
-    pub fn intersect(&self, lists: &[&PlannedList], out: &mut Vec<Elem>) -> Plan {
-        let sizes: Vec<usize> = lists.iter().map(|l| l.n()).collect();
-        let span = universe_span(lists.iter().map(|l| l.max_elem));
-        let plan = self.choose(&sizes, span);
-        match plan {
-            Plan::RanGroupScan => {
+    /// The plan [`Planner::intersect`] would run for these raw operand
+    /// sets — for harnesses that classify queries without prepared lists.
+    /// Exactly matches [`Planner::plan_for_lists`] on the built lists.
+    pub fn plan_for_sets(&self, sets: &[&SortedSet]) -> MultiwayPlan {
+        let stats: Vec<OperandStats> = sets.iter().map(|s| OperandStats::of_set(s)).collect();
+        self.plan(&stats)
+    }
+
+    /// Runs `plan` over `lists`, appending the intersection to `out` in the
+    /// kernel's natural order (ascending for everything except
+    /// RanGroupScan's g-order).
+    pub fn execute(&self, plan: &MultiwayPlan, lists: &[&PlannedList], out: &mut Vec<Elem>) {
+        match plan.kind {
+            PlanKind::Empty => {}
+            PlanKind::Single => out.extend_from_slice(lists[plan.order[0]].flat.as_slice()),
+            PlanKind::RanGroupScan => {
                 let typed: Vec<&RanGroupScanIndex> = lists.iter().map(|l| &l.rgs).collect();
                 RanGroupScanIndex::intersect_k_into(&typed, out);
             }
-            Plan::HashProbe => {
+            PlanKind::HashProbe => {
+                // HashSetIndex's k-way walk already drives the smallest
+                // list's elements through the other tables in ascending
+                // size order — the same schedule `plan.order` encodes.
                 let typed: Vec<&HashSetIndex> = lists.iter().map(|l| &l.hash).collect();
                 HashSetIndex::intersect_k_into(&typed, out);
             }
-            Plan::Bitmap => {
+            PlanKind::BitmapAnd => {
                 let typed: Vec<&BitmapSet> = lists
                     .iter()
                     .map(|l| {
                         l.bitmap
                             .as_ref()
-                            .expect("density rule only fires when every operand carries a bitmap")
+                            .expect("BitmapAnd only wins when every operand carries a bitmap")
                     })
                     .collect();
                 BitmapSet::intersect_k_into(&typed, out);
             }
-            Plan::Galloping => {
-                let typed: Vec<&GallopingSet> = lists.iter().map(|l| &l.flat).collect();
-                GallopingSet::intersect_k_into(&typed, out);
+            PlanKind::GallopProbe => {
+                let driver = lists[plan.order[0]].flat.as_slice();
+                let rest: Vec<&[Elem]> = plan.order[1..]
+                    .iter()
+                    .map(|&i| lists[i].flat.as_slice())
+                    .collect();
+                gallop_probe_ordered_into(driver, &rest, out);
             }
+            PlanKind::HeapMerge => {
+                let slices: Vec<&[Elem]> = lists.iter().map(|l| l.flat.as_slice()).collect();
+                heap_merge_into(&slices, out);
+            }
+        }
+    }
+
+    /// Plans and executes in one call; returns the plan that ran.
+    pub fn intersect(&self, lists: &[&PlannedList], out: &mut Vec<Elem>) -> MultiwayPlan {
+        let plan = self.plan_for_lists(lists);
+        self.execute(&plan, lists, out);
+        plan
+    }
+}
+
+/// A fully planned, self-contained index: every term prepared for every
+/// representation, queries answered through the cost-model planner. The
+/// planner-mode sibling of [`crate::engine::OwnedExecutor`] — serving
+/// shards hold one per document range.
+#[derive(Debug, Clone)]
+pub struct PlannedExecutor {
+    planner: Planner,
+    lists: Vec<PlannedList>,
+}
+
+impl PlannedExecutor {
+    /// Prepares every posting list of `engine` for planner dispatch.
+    pub fn build(engine: &SearchEngine, planner: Planner) -> Self {
+        let lists = engine
+            .postings()
+            .iter()
+            .map(|p| PlannedList::build(engine.ctx(), p))
+            .collect();
+        Self { planner, lists }
+    }
+
+    /// The planner answering queries.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The prepared list of a term.
+    pub fn list(&self, term: usize) -> &PlannedList {
+        &self.lists[term]
+    }
+
+    /// Total heap footprint of all prepared representations.
+    pub fn size_in_bytes(&self) -> usize {
+        self.lists.iter().map(|l| l.size_in_bytes()).sum()
+    }
+
+    /// The plan the executor would run for this term list (telemetry; the
+    /// query paths compute the same thing).
+    pub fn plan(&self, terms: &[usize]) -> MultiwayPlan {
+        let refs: Vec<&PlannedList> = terms.iter().map(|&t| &self.lists[t]).collect();
+        self.planner.plan_for_lists(&refs)
+    }
+
+    /// Answers the conjunctive query `terms`, ascending document order.
+    pub fn query(&self, terms: &[usize]) -> Vec<Elem> {
+        let mut out = Vec::new();
+        self.query_into(terms, &mut out);
+        out
+    }
+
+    /// Appends the (ascending) answer to `out` — the hot-path form serving
+    /// shards use to share one output buffer. Returns the plan that ran.
+    pub fn query_into(&self, terms: &[usize], out: &mut Vec<Elem>) -> MultiwayPlan {
+        let refs: Vec<&PlannedList> = terms.iter().map(|&t| &self.lists[t]).collect();
+        let start = out.len();
+        let plan = self.planner.intersect(&refs, out);
+        // Every kernel emits ascending output already except RanGroupScan,
+        // which emits in g-order — only that plan pays the sort.
+        if plan.kind == PlanKind::RanGroupScan {
+            out[start..].sort_unstable();
         }
         plan
     }
@@ -216,28 +399,79 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    const SPARSE: u64 = 1 << 30; // a span that keeps every density tiny
+    /// Stats of a sparse list (no bitmap prepared).
+    fn sparse(n: usize) -> OperandStats {
+        OperandStats { n, chunks: None }
+    }
+
+    /// Stats of a dense list touching `chunks` chunks.
+    fn dense(n: usize, chunks: usize) -> OperandStats {
+        OperandStats {
+            n,
+            chunks: Some(chunks),
+        }
+    }
+
+    fn kind(p: &Planner, stats: &[OperandStats]) -> PlanKind {
+        p.plan(stats).kind
+    }
 
     #[test]
-    fn chooses_by_ratio_and_density() {
+    fn cost_model_regions_match_measured_crossovers() {
         let p = Planner::default();
-        // Balanced sparse → RanGroupScan.
-        assert_eq!(p.choose(&[1000, 1000], SPARSE), Plan::RanGroupScan);
-        assert_eq!(p.choose(&[1000, 2000], SPARSE), Plan::RanGroupScan);
-        // Moderate skew → Galloping.
-        assert_eq!(p.choose(&[1000, 8000], SPARSE), Plan::Galloping);
-        assert_eq!(p.choose(&[100, 500, 6000], SPARSE), Plan::Galloping);
-        // Extreme skew → HashProbe.
-        assert_eq!(p.choose(&[1000, 64_000], SPARSE), Plan::HashProbe);
-        assert_eq!(p.choose(&[100, 500, 80_000], SPARSE), Plan::HashProbe);
-        // Dense and balanced → Bitmap (density 1/2 ≥ 1/16).
-        assert_eq!(p.choose(&[50_000, 60_000], 100_000), Plan::Bitmap);
-        // Density wins over moderate skew, not over extreme skew.
-        assert_eq!(p.choose(&[10_000, 80_000], 100_000), Plan::Bitmap);
-        assert_eq!(p.choose(&[1_000, 80_000], 100_000), Plan::HashProbe);
-        // Degenerate inputs short-circuit to Galloping.
-        assert_eq!(p.choose(&[0, 10], SPARSE), Plan::Galloping);
-        assert_eq!(p.choose(&[], SPARSE), Plan::Galloping);
+        // Balanced sparse → RanGroupScan (the paper's home turf).
+        assert_eq!(
+            kind(&p, &[sparse(1000), sparse(1000)]),
+            PlanKind::RanGroupScan
+        );
+        assert_eq!(
+            kind(&p, &[sparse(1000), sparse(2000)]),
+            PlanKind::RanGroupScan
+        );
+        // Moderate skew → GallopProbe (crossover near ratio 8).
+        assert_eq!(
+            kind(&p, &[sparse(1000), sparse(8000)]),
+            PlanKind::GallopProbe
+        );
+        assert_eq!(
+            kind(&p, &[sparse(100), sparse(500), sparse(6000)]),
+            PlanKind::GallopProbe
+        );
+        // Extreme skew → HashProbe (crossover near ratio 64).
+        assert_eq!(
+            kind(&p, &[sparse(1000), sparse(64_000)]),
+            PlanKind::HashProbe
+        );
+        assert_eq!(
+            kind(&p, &[sparse(100), sparse(500), sparse(80_000)]),
+            PlanKind::HashProbe
+        );
+        // Every operand dense → the chunked-bitmap AND wins outright.
+        assert_eq!(
+            kind(&p, &[dense(50_000, 2), dense(60_000, 2)]),
+            PlanKind::BitmapAnd
+        );
+        assert_eq!(
+            kind(&p, &[dense(10_000, 2), dense(80_000, 2)]),
+            PlanKind::BitmapAnd
+        );
+        // One sparse operand vetoes the bitmap; extreme skew → HashProbe.
+        assert_eq!(
+            kind(&p, &[sparse(1_000), dense(80_000, 2)]),
+            PlanKind::HashProbe
+        );
+        // Degenerate inputs.
+        assert_eq!(kind(&p, &[sparse(0), sparse(10)]), PlanKind::Empty);
+        assert_eq!(kind(&p, &[]), PlanKind::Empty);
+        assert_eq!(kind(&p, &[sparse(10)]), PlanKind::Single);
+    }
+
+    #[test]
+    fn plan_order_is_ascending_by_size() {
+        let p = Planner::default();
+        let plan = p.plan(&[sparse(500), sparse(20), sparse(9000), sparse(100)]);
+        assert_eq!(plan.order, vec![1, 3, 0, 2]);
+        assert!(plan.est_cost > 0.0);
     }
 
     #[test]
@@ -252,7 +486,7 @@ mod tests {
         let pb = PlannedList::build(&ctx, &b);
         let mut out = Vec::new();
         let plan = planner.intersect(&[&pa, &pb], &mut out);
-        assert_eq!(plan, Plan::RanGroupScan);
+        assert_eq!(plan.kind, PlanKind::RanGroupScan);
         out.sort_unstable();
         assert_eq!(out, reference_intersection(&[a.as_slice(), b.as_slice()]));
         // Moderate skew.
@@ -260,7 +494,8 @@ mod tests {
         let ps = PlannedList::build(&ctx, &small);
         let mut out = Vec::new();
         let plan = planner.intersect(&[&ps, &pb], &mut out);
-        assert_eq!(plan, Plan::Galloping);
+        assert_eq!(plan.kind, PlanKind::GallopProbe);
+        assert_eq!(plan.order, vec![0, 1]);
         out.sort_unstable();
         assert_eq!(
             out,
@@ -271,7 +506,7 @@ mod tests {
         let pt = PlannedList::build(&ctx, &tiny);
         let mut out = Vec::new();
         let plan = planner.intersect(&[&pt, &pb], &mut out);
-        assert_eq!(plan, Plan::HashProbe);
+        assert_eq!(plan.kind, PlanKind::HashProbe);
         out.sort_unstable();
         assert_eq!(
             out,
@@ -284,44 +519,62 @@ mod tests {
         let pd2 = PlannedList::build(&ctx, &d2);
         let mut out = Vec::new();
         let plan = planner.intersect(&[&pd1, &pd2], &mut out);
-        assert_eq!(plan, Plan::Bitmap);
+        assert_eq!(plan.kind, PlanKind::BitmapAnd);
         out.sort_unstable();
         assert_eq!(out, reference_intersection(&[d1.as_slice(), d2.as_slice()]));
+        // Single and empty.
+        let mut out = Vec::new();
+        let plan = planner.intersect(&[&pa], &mut out);
+        assert_eq!(plan.kind, PlanKind::Single);
+        out.sort_unstable();
+        assert_eq!(out, a.as_slice());
+        let empty = PlannedList::build(&ctx, &SortedSet::new());
+        let mut out = Vec::new();
+        let plan = planner.intersect(&[&pa, &empty], &mut out);
+        assert_eq!(plan.kind, PlanKind::Empty);
+        assert!(out.is_empty());
     }
 
     #[test]
-    fn sparse_lists_skip_the_bitmap_and_loose_density_settings_clamp() {
+    fn sparse_lists_skip_the_bitmap_and_veto_bitmap_plans() {
         let ctx = HashContext::new(44);
-        // ~1/131072 dense: the planner can never pick Bitmap for a query
+        // ~1/131072 dense: the planner can never pick BitmapAnd for a query
         // containing this list, so no 8KiB-per-chunk bitmap is built.
         let sparse_a: SortedSet = (0..100u32).map(|x| x * 131_072).collect();
         let sparse_b: SortedSet = (0..120u32).map(|x| x * 109_997 + 13).collect();
-        let dense: SortedSet = (0..10_000u32).map(|x| x * 4).collect();
+        let dense_c: SortedSet = (0..10_000u32).map(|x| x * 4).collect();
         let pa = PlannedList::build(&ctx, &sparse_a);
         let pb = PlannedList::build(&ctx, &sparse_b);
-        let pd = PlannedList::build(&ctx, &dense);
+        let pd = PlannedList::build(&ctx, &dense_c);
         assert!(pa.bitmap.is_none());
         assert!(pb.bitmap.is_none());
         assert!(pd.bitmap.is_some());
-        // A density threshold below the build floor is clamped at dispatch
-        // time: without the clamp this balanced sparse pair would select
-        // Plan::Bitmap and demand bitmaps that were never built.
+        // One bitmap-less operand makes BitmapAnd inadmissible however
+        // cheap the word sweep would be.
         let p = Planner {
-            bitmap_min_density: 0.0,
+            bitmap_word_unit: 0.0,
             ..Planner::default()
         };
         let mut out = Vec::new();
         let plan = p.intersect(&[&pa, &pb], &mut out);
-        assert_eq!(plan, Plan::RanGroupScan);
+        assert_ne!(plan.kind, PlanKind::BitmapAnd);
         out.sort_unstable();
         assert_eq!(
             out,
             reference_intersection(&[sparse_a.as_slice(), sparse_b.as_slice()])
         );
+        let mut out = Vec::new();
+        let plan = p.intersect(&[&pa, &pd], &mut out);
+        assert_ne!(plan.kind, PlanKind::BitmapAnd);
+        out.sort_unstable();
+        assert_eq!(
+            out,
+            reference_intersection(&[sparse_a.as_slice(), dense_c.as_slice()])
+        );
     }
 
     #[test]
-    fn choose_for_sets_matches_intersect_dispatch() {
+    fn plan_for_sets_matches_plan_for_built_lists() {
         let ctx = HashContext::new(45);
         let mut rng = StdRng::seed_from_u64(7);
         let planner = Planner::default();
@@ -331,6 +584,7 @@ mod tests {
             (vec![20, 1500], 5_000_000),
             (vec![1500, 1500], 3_000),
             (vec![0, 10], 100),
+            (vec![700], 10_000),
         ] {
             let sets: Vec<SortedSet> = sizes
                 .iter()
@@ -340,52 +594,118 @@ mod tests {
             let lists: Vec<PlannedList> =
                 sets.iter().map(|s| PlannedList::build(&ctx, s)).collect();
             let refs: Vec<&PlannedList> = lists.iter().collect();
-            let mut out = Vec::new();
             assert_eq!(
-                planner.choose_for_sets(&set_refs),
-                planner.intersect(&refs, &mut out),
+                planner.plan_for_sets(&set_refs),
+                planner.plan_for_lists(&refs),
                 "sizes {sizes:?}"
             );
         }
     }
 
     #[test]
-    fn thresholds_are_tunable() {
-        let p = Planner {
-            hash_ratio_threshold: 1_000_000,
-            gallop_ratio_threshold: 1_000_000,
-            bitmap_min_density: 2.0, // impossible: never picks Bitmap
+    fn cost_units_are_tunable_and_can_force_every_kernel() {
+        // Cranking every other unit sky-high forces each candidate in turn.
+        let sets = [sparse(3000), sparse(4000), sparse(5000)];
+        let force = |rgs: f64, gallop: f64, hash: f64, heap: f64| Planner {
+            rgs_unit: rgs,
+            gallop_unit: gallop,
+            hash_unit: hash,
+            heap_unit: heap,
+            bitmap_word_unit: f64::INFINITY,
         };
-        assert_eq!(p.choose(&[10, 100_000], SPARSE), Plan::RanGroupScan);
-        assert_eq!(p.choose(&[50_000, 60_000], 100_000), Plan::RanGroupScan);
-        assert_eq!(Plan::HashProbe.as_strategy().name(), "Hash");
-        assert_eq!(Plan::Bitmap.as_strategy().name(), "Bitmap");
-        assert_eq!(Plan::Galloping.as_strategy().name(), "Galloping");
+        assert_eq!(
+            kind(&force(1e-6, 1e9, 1e9, 1e9), &sets),
+            PlanKind::RanGroupScan
+        );
+        assert_eq!(
+            kind(&force(1e9, 1e-6, 1e9, 1e9), &sets),
+            PlanKind::GallopProbe
+        );
+        assert_eq!(
+            kind(&force(1e9, 1e9, 1e-6, 1e9), &sets),
+            PlanKind::HashProbe
+        );
+        assert_eq!(
+            kind(&force(1e9, 1e9, 1e9, 1e-6), &sets),
+            PlanKind::HeapMerge
+        );
+        let dense_sets = [dense(3000, 1), dense(4000, 1)];
+        let bitmap_cheap = Planner {
+            rgs_unit: 1e9,
+            gallop_unit: 1e9,
+            hash_unit: 1e9,
+            heap_unit: 1e9,
+            bitmap_word_unit: 1e-6,
+        };
+        assert_eq!(kind(&bitmap_cheap, &dense_sets), PlanKind::BitmapAnd);
     }
 
     #[test]
-    fn k_way_under_every_plan() {
+    fn every_forced_kernel_is_correct() {
         let ctx = HashContext::new(43);
         let mut rng = StdRng::seed_from_u64(6);
-        let planner = Planner::default();
-        for (sizes, universe) in [
-            (vec![1500usize, 1500, 1500], 5_000_000u32), // RanGroupScan
-            (vec![100, 1500, 1500], 5_000_000),          // Galloping
-            (vec![20, 1500, 1500], 5_000_000),           // HashProbe
-            (vec![1500, 1500, 1500], 3_000),             // Bitmap
-        ] {
-            let sets: Vec<SortedSet> = sizes
-                .iter()
-                .map(|&n| (0..n).map(|_| rng.gen_range(0..universe)).collect())
+        for k in 2..=5usize {
+            let sets: Vec<SortedSet> = (0..k)
+                .map(|_| (0..1500).map(|_| rng.gen_range(0..40_000u32)).collect())
                 .collect();
             let lists: Vec<PlannedList> =
                 sets.iter().map(|s| PlannedList::build(&ctx, s)).collect();
             let refs: Vec<&PlannedList> = lists.iter().collect();
-            let mut out = Vec::new();
-            planner.intersect(&refs, &mut out);
-            out.sort_unstable();
             let slices: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
-            assert_eq!(out, reference_intersection(&slices), "sizes {sizes:?}");
+            let expect = reference_intersection(&slices);
+            let planner = Planner::default();
+            let base = planner.plan_for_lists(&refs);
+            for forced in [
+                PlanKind::RanGroupScan,
+                PlanKind::HashProbe,
+                PlanKind::GallopProbe,
+                PlanKind::HeapMerge,
+            ] {
+                let plan = MultiwayPlan {
+                    kind: forced,
+                    ..base.clone()
+                };
+                let mut out = Vec::new();
+                planner.execute(&plan, &refs, &mut out);
+                out.sort_unstable();
+                assert_eq!(out, expect, "forced {forced:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_executor_matches_reference() {
+        let ctx = HashContext::new(46);
+        let mut rng = StdRng::seed_from_u64(8);
+        let postings: Vec<SortedSet> = (0..12)
+            .map(|i| {
+                let n = 200 * (i + 1);
+                (0..n).map(|_| rng.gen_range(0..60_000u32)).collect()
+            })
+            .collect();
+        let engine = SearchEngine::from_postings(ctx, postings);
+        let exec = engine.planned_executor(Planner::default());
+        assert_eq!(exec.num_terms(), 12);
+        assert!(exec.size_in_bytes() > 0);
+        for terms in [
+            vec![0usize, 1],
+            vec![0, 5, 11],
+            vec![3, 3, 7], // duplicate term
+            vec![9],
+            vec![],
+        ] {
+            let slices: Vec<&[u32]> = terms
+                .iter()
+                .map(|&t| engine.posting(t).as_slice())
+                .collect();
+            let expect = reference_intersection(&slices);
+            assert_eq!(exec.query(&terms), expect, "{terms:?}");
+            let plan = exec.plan(&terms);
+            let mut out = vec![1234u32]; // prefix must survive query_into
+            let ran = exec.query_into(&terms, &mut out);
+            assert_eq!(ran, plan);
+            assert_eq!(&out[..1], &[1234]);
+            assert_eq!(&out[1..], expect.as_slice(), "{terms:?}");
         }
     }
 }

@@ -17,8 +17,9 @@ use fsi_core::word::BitIter;
 
 /// Log2 of the chunk span: each chunk covers 2¹⁶ consecutive values.
 const CHUNK_BITS: u32 = 16;
-/// 64-bit words per chunk bitmap.
-const WORDS_PER_CHUNK: usize = 1 << (CHUNK_BITS - 6);
+/// 64-bit words per chunk bitmap — public so cost models (the `fsi-index`
+/// planner) can price a chunk sweep in the same unit the kernel executes.
+pub const WORDS_PER_CHUNK: usize = 1 << (CHUNK_BITS - 6);
 
 /// A set as a sorted list of dense chunk bitmaps.
 #[derive(Debug, Clone)]
@@ -61,6 +62,24 @@ impl BitmapSet {
     /// Number of chunks the set touches.
     pub fn num_chunks(&self) -> usize {
         self.ids.len()
+    }
+
+    /// Number of distinct chunks a sorted slice touches — exactly what
+    /// [`BitmapSet::num_chunks`] would report after
+    /// [`BitmapSet::from_sorted_slice`], without building any bitmap.
+    /// Cost models (the `fsi-index` planner) price the chunk sweep with
+    /// this.
+    pub fn count_chunks(elems: &[Elem]) -> usize {
+        let mut count = 0usize;
+        let mut last = None;
+        for &x in elems {
+            let id = x >> CHUNK_BITS;
+            if last != Some(id) {
+                count += 1;
+                last = Some(id);
+            }
+        }
+        count
     }
 
     /// Appends chunk `ci`'s members (ascending) to `out`.
@@ -276,6 +295,21 @@ mod tests {
         assert_eq!(e.n(), 0);
         assert_eq!(e.size_in_bytes(), 0);
         assert!(s.size_in_bytes() > 0);
+    }
+
+    #[test]
+    fn count_chunks_matches_built_bitmap() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10 {
+            let n = rng.gen_range(0..2000);
+            let u = rng.gen_range(1..3_000_000u32);
+            let s: SortedSet = (0..n).map(|_| rng.gen_range(0..u)).collect();
+            assert_eq!(
+                BitmapSet::count_chunks(s.as_slice()),
+                BitmapSet::build(&s).num_chunks()
+            );
+        }
+        assert_eq!(BitmapSet::count_chunks(&[]), 0);
     }
 
     #[test]

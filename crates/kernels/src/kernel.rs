@@ -153,6 +153,19 @@ impl Kernel for AutoKernel {
             KernelChoice::SigFilter => self.sig.intersect_pair(a, b, out),
         }
     }
+
+    /// `k ≥ 3` routes through the true k-way layer
+    /// ([`MultiwayAuto`](crate::multiway::MultiwayAuto)) — no pairwise
+    /// fold, no materialized intermediates.
+    fn intersect_k(&self, sets: &[&[Elem]], out: &mut Vec<Elem>) {
+        use crate::multiway::{MultiwayAuto, MultiwayKernel};
+        match sets {
+            [] => {}
+            [a] => out.extend_from_slice(a),
+            [a, b] => self.intersect_pair(a, b, out),
+            _ => MultiwayAuto::default().intersect(sets, out),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -27,8 +27,13 @@
 //!   intersection is non-zero — most empty bucket pairs are rejected by a
 //!   single `AND`, exactly the paper's word-filtering idea applied at the
 //!   bucket granularity.
+//! * [`multiway`] — true k-way kernels behind the [`MultiwayKernel`] trait
+//!   ([`GallopProbe`], [`BitmapAnd`], [`HeapMerge`], selected per call by
+//!   [`MultiwayAuto`]): the smallest set drives probes into all the others
+//!   at once, with **no materialized intermediate results** — the paper's
+//!   k-set framing, which a pairwise fold forfeits.
 //!
-//! All three implement the `fsi-core` index traits
+//! The three prepared forms implement the `fsi-core` index traits
 //! ([`SetIndex`](fsi_core::SetIndex) /
 //! [`PairIntersect`](fsi_core::PairIntersect) /
 //! [`KIntersect`](fsi_core::KIntersect)), so they slot into `fsi-index`'s
@@ -48,13 +53,15 @@
 //! 4. otherwise → [`SigFilterKernel`] (balanced, sparse: signatures reject
 //!    most bucket pairs before any scalar work).
 //!
-//! `fsi_index::Planner` applies the same ingredients over prepared lists
-//! but with its own tunable thresholds and a different precedence: it
-//! adds a hash-probe tier for extreme skew, checks **density before**
-//! moderate skew (a dense, moderately skewed pair runs as bitmap there),
-//! and falls back to RanGroupScan rather than the signature filter. Only
-//! the [`BITMAP_MIN_DENSITY`] constant is shared — see the
-//! `fsi_index::planner` module doc for the authoritative planner order.
+//! [`MultiwayChoice::select`] mirrors the same rule shape for k-way calls
+//! (skew → [`GallopProbe`], density → [`BitmapAnd`], otherwise
+//! [`HeapMerge`]). `fsi_index::Planner` goes further over *prepared*
+//! lists: it prices every candidate kernel with a whole-query cost model
+//! (adding a hash-probe tier for extreme skew and the paper's
+//! RanGroupScan for balanced sparse) and picks the minimum — see the
+//! `fsi_index::planner` module doc for the authoritative cost table. The
+//! [`BITMAP_MIN_DENSITY`] constant is shared: it decides, at build time,
+//! which lists carry a chunk bitmap at all.
 //!
 //! `Strategy::{Bitmap, Galloping, SigFilter}` pin one kernel for every
 //! query the way every other fixed strategy does; the planner makes the
@@ -63,11 +70,17 @@
 pub mod bitmap;
 pub mod gallop;
 pub mod kernel;
+pub mod multiway;
 pub mod sigfilter;
 
+pub use bitmap::WORDS_PER_CHUNK;
 pub use bitmap::{BitmapKernel, BitmapSet};
 pub use gallop::{
     branchless_merge_into, galloping_into, BranchlessMerge, Galloping, GallopingSet, GALLOP_RATIO,
 };
 pub use kernel::{AutoKernel, Kernel, KernelChoice, ScalarMerge, BITMAP_MIN_DENSITY};
+pub use multiway::{
+    gallop_probe_into, gallop_probe_ordered_into, heap_merge_into, pairwise_fold_into, BitmapAnd,
+    GallopProbe, HeapMerge, MultiwayAuto, MultiwayChoice, MultiwayKernel,
+};
 pub use sigfilter::{SigFilterKernel, SigFilterSet};

@@ -1,0 +1,430 @@
+//! True k-way intersection kernels: the smallest set drives probes into
+//! all the others, with **no materialized intermediate results**.
+//!
+//! The paper's headline algorithms (IntGroup, RanGroup, the small×large
+//! adaptive probes of §3.4) are defined over intersecting *k* sets at once,
+//! yet a pairwise fold — `((L₁ ∩ L₂) ∩ L₃) ∩ …` — materializes every
+//! intermediate, re-scanning survivors once per remaining list. The kernels
+//! here evaluate the whole operand list in one pass each:
+//!
+//! * [`GallopProbe`] — sort the lists by length, then drive each candidate
+//!   of the smallest list through all the others with per-list galloping
+//!   cursors (`O(n_min · Σᵢ log(nᵢ/n_min))`, Hwang–Lin across all `k` at
+//!   once). A candidate that misses any list is dropped immediately — no
+//!   later list ever sees it — and an exhausted cursor ends the whole
+//!   query early.
+//! * [`BitmapAnd`] — a k-way chunked-bitmap `AND`: for every chunk of the
+//!   operand with the fewest chunks, locate the aligned chunk in the other
+//!   operands and `AND` all `k` bitmaps word-by-word before any extraction.
+//!   One 64-bit `AND` covers 64 universe slots per operand; a chunk that
+//!   zeroes out is abandoned mid-`AND`.
+//! * [`HeapMerge`] — a binary min-heap over the `k` list heads: pop the
+//!   minimum, count how many lists carry it, emit it only when all `k` do.
+//!   `O(Σ nᵢ · log k)`, no random access — the robust fallback when sizes
+//!   are balanced and nothing is dense enough for the bitmap sweep.
+//!
+//! [`MultiwayAuto`] picks among the three per call from the operand sizes
+//! and the universe span, mirroring [`KernelChoice`](crate::KernelChoice)'s
+//! dispatch shape at the k-way level. The `fsi-index` planner applies a
+//! finer *cost model* over prepared lists (adding a hash-probe tier and the
+//! paper's RanGroupScan); these kernels are the slice-level machinery both
+//! dispatchers bottom out in.
+
+use crate::bitmap::BitmapSet;
+use crate::gallop::GALLOP_RATIO;
+use crate::kernel::BITMAP_MIN_DENSITY;
+use fsi_core::elem::Elem;
+use fsi_core::search::gallop;
+use fsi_core::traits::KIntersect;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A k-way slice-level intersection kernel.
+///
+/// Implementations accept any number of sorted, duplicate-free slices and
+/// append the **ascending** intersection of all of them to `out`. Zero
+/// operands yield nothing; one operand is copied through.
+pub trait MultiwayKernel: std::fmt::Debug + Send + Sync {
+    /// The label benchmarks and tests report.
+    fn name(&self) -> &'static str;
+
+    /// Appends `⋂ sets` to `out`, ascending.
+    fn intersect(&self, sets: &[&[Elem]], out: &mut Vec<Elem>);
+}
+
+/// Drives every candidate of the smallest list through all the other lists
+/// with per-list galloping cursors, appending survivors (ascending) to
+/// `out`. No intermediate result is ever materialized.
+pub fn gallop_probe_into(sets: &[&[Elem]], out: &mut Vec<Elem>) {
+    match sets {
+        [] => {}
+        [a] => out.extend_from_slice(a),
+        _ => {
+            let mut order: Vec<&[Elem]> = sets.to_vec();
+            // Probing the next-smallest list first maximizes the chance a
+            // doomed candidate dies on its first (cheapest) probe.
+            order.sort_by_key(|s| s.len());
+            let (driver, rest) = order.split_first().expect("k >= 2");
+            gallop_probe_ordered_into(driver, rest, out);
+        }
+    }
+}
+
+/// The order-honouring core of [`gallop_probe_into`]: probes `driver`'s
+/// candidates through `rest` **in the given order** (callers — the
+/// `fsi-index` planner — choose the evaluation order; this function never
+/// re-sorts). Appends survivors to `out`, ascending.
+pub fn gallop_probe_ordered_into(driver: &[Elem], rest: &[&[Elem]], out: &mut Vec<Elem>) {
+    if rest.is_empty() {
+        out.extend_from_slice(driver);
+        return;
+    }
+    let mut cursors = vec![0usize; rest.len()];
+    'candidates: for &x in driver {
+        for (ci, list) in rest.iter().enumerate() {
+            let c = gallop(list, cursors[ci], x);
+            if c >= list.len() {
+                // Every later candidate is larger still: done.
+                return;
+            }
+            if list[c] != x {
+                cursors[ci] = c;
+                continue 'candidates;
+            }
+            cursors[ci] = c + 1;
+        }
+        out.push(x);
+    }
+}
+
+/// Heap-based k-way merge: pops the minimum head across all lists and emits
+/// it only when every list carries it. Appends ascending output to `out`.
+pub fn heap_merge_into(sets: &[&[Elem]], out: &mut Vec<Elem>) {
+    match sets {
+        [] => {}
+        [a] => out.extend_from_slice(a),
+        _ => {
+            let k = sets.len();
+            if sets.iter().any(|s| s.is_empty()) {
+                return;
+            }
+            let mut cursors = vec![0usize; k];
+            // Min-heap of (head value, list index).
+            let mut heap: BinaryHeap<Reverse<(Elem, usize)>> = sets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Reverse((s[0], i)))
+                .collect();
+            let mut popped: Vec<usize> = Vec::with_capacity(k);
+            loop {
+                let Reverse((v, first)) = heap.pop().expect("heap holds k entries");
+                popped.clear();
+                popped.push(first);
+                while let Some(&Reverse((head, i))) = heap.peek() {
+                    if head != v {
+                        break;
+                    }
+                    heap.pop();
+                    popped.push(i);
+                }
+                if popped.len() == k {
+                    out.push(v);
+                }
+                for &i in &popped {
+                    cursors[i] += 1;
+                    if cursors[i] >= sets[i].len() {
+                        // One list exhausted: nothing further can be in all k.
+                        return;
+                    }
+                    heap.push(Reverse((sets[i][cursors[i]], i)));
+                }
+            }
+        }
+    }
+}
+
+/// The k-way gallop-probe kernel (see [`gallop_probe_into`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GallopProbe;
+
+impl MultiwayKernel for GallopProbe {
+    fn name(&self) -> &'static str {
+        "GallopProbe"
+    }
+
+    fn intersect(&self, sets: &[&[Elem]], out: &mut Vec<Elem>) {
+        gallop_probe_into(sets, out);
+    }
+}
+
+/// The heap-based k-way merge kernel (see [`heap_merge_into`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeapMerge;
+
+impl MultiwayKernel for HeapMerge {
+    fn name(&self) -> &'static str {
+        "HeapMerge"
+    }
+
+    fn intersect(&self, sets: &[&[Elem]], out: &mut Vec<Elem>) {
+        heap_merge_into(sets, out);
+    }
+}
+
+/// The k-way chunked-bitmap `AND` kernel: builds the chunk bitmaps on the
+/// fly (`O(Σ nᵢ)`, the same order as reading the input) and intersects all
+/// `k` chunk-by-chunk without intermediates. The prepared form
+/// ([`BitmapSet`]) is what the `fsi-index` planner stores; this form is
+/// what slice-level selection uses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitmapAnd;
+
+impl MultiwayKernel for BitmapAnd {
+    fn name(&self) -> &'static str {
+        "BitmapAnd"
+    }
+
+    fn intersect(&self, sets: &[&[Elem]], out: &mut Vec<Elem>) {
+        let built: Vec<BitmapSet> = sets
+            .iter()
+            .map(|s| BitmapSet::from_sorted_slice(s))
+            .collect();
+        let refs: Vec<&BitmapSet> = built.iter().collect();
+        BitmapSet::intersect_k_into(&refs, out);
+    }
+}
+
+/// Which k-way kernel [`MultiwayAuto`] picked (exposed for tests and
+/// telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiwayChoice {
+    /// An empty operand (or no operands): the result is empty, run nothing.
+    Trivial,
+    /// Skewed sizes: gallop the smallest list through all the others.
+    GallopProbe,
+    /// Dense operands: word-parallel k-way chunked-bitmap `AND`.
+    BitmapAnd,
+    /// Balanced, sparse: heap-based k-way merge.
+    HeapMerge,
+}
+
+impl MultiwayChoice {
+    /// Dispatch rule, mirroring [`KernelChoice::select`](crate::KernelChoice)
+    /// at the k-way level: an empty operand is trivial; size skew
+    /// (`max nᵢ / min nᵢ ≥` [`GALLOP_RATIO`]) → gallop-probe; density
+    /// (`n_min / universe ≥` [`BITMAP_MIN_DENSITY`]) → bitmap `AND`;
+    /// otherwise the heap merge. `universe_span` is `max element + 1` over
+    /// the operands.
+    pub fn select(sizes: &[usize], universe_span: u64) -> Self {
+        let Some(&lo) = sizes.iter().min() else {
+            return MultiwayChoice::Trivial;
+        };
+        let hi = *sizes.iter().max().expect("non-empty");
+        if lo == 0 {
+            MultiwayChoice::Trivial
+        } else if hi / lo >= GALLOP_RATIO {
+            MultiwayChoice::GallopProbe
+        } else if lo as f64 >= BITMAP_MIN_DENSITY * universe_span.max(1) as f64 {
+            MultiwayChoice::BitmapAnd
+        } else {
+            MultiwayChoice::HeapMerge
+        }
+    }
+}
+
+/// A kernel that re-selects per call via [`MultiwayChoice::select`].
+#[derive(Debug, Clone, Default)]
+pub struct MultiwayAuto {
+    probe: GallopProbe,
+    bitmap: BitmapAnd,
+    heap: HeapMerge,
+}
+
+impl MultiwayAuto {
+    /// The choice [`MultiwayAuto::intersect`] would make for these operands.
+    pub fn choice(sets: &[&[Elem]]) -> MultiwayChoice {
+        let sizes: Vec<usize> = sets.iter().map(|s| s.len()).collect();
+        let span = sets
+            .iter()
+            .filter_map(|s| s.last())
+            .max()
+            .map_or(0, |&m| m as u64 + 1);
+        MultiwayChoice::select(&sizes, span)
+    }
+}
+
+impl MultiwayKernel for MultiwayAuto {
+    fn name(&self) -> &'static str {
+        "MultiwayAuto"
+    }
+
+    fn intersect(&self, sets: &[&[Elem]], out: &mut Vec<Elem>) {
+        match (sets, Self::choice(sets)) {
+            ([], _) => {}
+            ([a], _) => out.extend_from_slice(a),
+            (_, MultiwayChoice::Trivial) => {}
+            (_, MultiwayChoice::GallopProbe) => self.probe.intersect(sets, out),
+            (_, MultiwayChoice::BitmapAnd) => self.bitmap.intersect(sets, out),
+            (_, MultiwayChoice::HeapMerge) => self.heap.intersect(sets, out),
+        }
+    }
+}
+
+/// The pairwise-fold baseline the multiway kernels are benchmarked against:
+/// sort by length, intersect the two smallest, then fold each remaining
+/// list in — materializing every intermediate, exactly what true k-way
+/// evaluation avoids. `pair` is the pair kernel folded over.
+pub fn pairwise_fold_into(pair: &dyn crate::kernel::Kernel, sets: &[&[Elem]], out: &mut Vec<Elem>) {
+    match sets {
+        [] => {}
+        [a] => out.extend_from_slice(a),
+        _ => {
+            let mut order: Vec<&[Elem]> = sets.to_vec();
+            order.sort_by_key(|s| s.len());
+            let mut acc = Vec::new();
+            pair.intersect_pair(order[0], order[1], &mut acc);
+            for s in &order[2..] {
+                if acc.is_empty() {
+                    break;
+                }
+                let mut next = Vec::new();
+                pair.intersect_pair(&acc, s, &mut next);
+                acc = next;
+            }
+            out.extend(acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::elem::{reference_intersection, SortedSet};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn kernels() -> Vec<Box<dyn MultiwayKernel>> {
+        vec![
+            Box::new(GallopProbe),
+            Box::new(HeapMerge),
+            Box::new(BitmapAnd),
+            Box::new(MultiwayAuto::default()),
+        ]
+    }
+
+    fn random_sets(rng: &mut StdRng, k: usize, max_n: usize, universe: u32) -> Vec<SortedSet> {
+        (0..k)
+            .map(|_| {
+                let n = rng.gen_range(0..max_n);
+                (0..n).map(|_| rng.gen_range(0..universe)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_kernel_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..12 {
+            for k in 2..=6usize {
+                let universe = rng.gen_range(1..50_000u32);
+                let sets = random_sets(&mut rng, k, 1200, universe);
+                let slices: Vec<&[Elem]> = sets.iter().map(|s| s.as_slice()).collect();
+                let expect = reference_intersection(&slices);
+                for kernel in kernels() {
+                    let mut out = Vec::new();
+                    kernel.intersect(&slices, &mut out);
+                    assert_eq!(out, expect, "{} trial {trial} k={k}", kernel.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let a: SortedSet = (0..50u32).collect();
+        let empty = SortedSet::new();
+        for kernel in kernels() {
+            let mut out = Vec::new();
+            kernel.intersect(&[], &mut out);
+            assert!(out.is_empty(), "{} on zero operands", kernel.name());
+            kernel.intersect(&[a.as_slice()], &mut out);
+            assert_eq!(out, a.as_slice(), "{} on one operand", kernel.name());
+            out.clear();
+            kernel.intersect(&[a.as_slice(), empty.as_slice(), a.as_slice()], &mut out);
+            assert!(out.is_empty(), "{} with an empty operand", kernel.name());
+        }
+    }
+
+    #[test]
+    fn duplicate_operands_and_identical_lists() {
+        let a: SortedSet = (0..500u32).step_by(3).collect();
+        for kernel in kernels() {
+            let mut out = Vec::new();
+            kernel.intersect(&[a.as_slice(), a.as_slice(), a.as_slice()], &mut out);
+            assert_eq!(out, a.as_slice(), "{}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn gallop_probe_early_exits_on_exhausted_list() {
+        // The driver continues past the largest element of another list:
+        // the kernel must stop, not scan the remaining candidates.
+        let driver: SortedSet = (0..1000u32).collect();
+        let low: SortedSet = (0..10u32).collect();
+        let mut out = Vec::new();
+        gallop_probe_into(&[driver.as_slice(), low.as_slice()], &mut out);
+        assert_eq!(out, low.as_slice());
+    }
+
+    #[test]
+    fn boundary_values_survive_all_kernels() {
+        let a = SortedSet::from_unsorted(vec![0, 65_535, 65_536, u32::MAX - 1, u32::MAX]);
+        let b = SortedSet::from_unsorted(vec![0, 65_536, u32::MAX]);
+        let c = SortedSet::from_unsorted(vec![0, 1, 65_536, u32::MAX]);
+        for kernel in kernels() {
+            let mut out = Vec::new();
+            kernel.intersect(&[a.as_slice(), b.as_slice(), c.as_slice()], &mut out);
+            assert_eq!(out, vec![0, 65_536, u32::MAX], "{}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn selection_rules() {
+        assert_eq!(MultiwayChoice::select(&[], 100), MultiwayChoice::Trivial);
+        assert_eq!(
+            MultiwayChoice::select(&[0, 10, 10], 100),
+            MultiwayChoice::Trivial
+        );
+        assert_eq!(
+            MultiwayChoice::select(&[10, 500, 1000], 1 << 20),
+            MultiwayChoice::GallopProbe
+        );
+        assert_eq!(
+            MultiwayChoice::select(&[500, 600, 700], 1000),
+            MultiwayChoice::BitmapAnd
+        );
+        assert_eq!(
+            MultiwayChoice::select(&[500, 600, 700], 1 << 20),
+            MultiwayChoice::HeapMerge
+        );
+    }
+
+    #[test]
+    fn pairwise_fold_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let sets = random_sets(&mut rng, 4, 900, 5_000);
+        let slices: Vec<&[Elem]> = sets.iter().map(|s| s.as_slice()).collect();
+        let mut out = Vec::new();
+        pairwise_fold_into(&crate::kernel::ScalarMerge, &slices, &mut out);
+        assert_eq!(out, reference_intersection(&slices));
+    }
+
+    #[test]
+    fn kernel_names_are_distinct() {
+        let names: Vec<&str> = kernels().iter().map(|k| k.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+}

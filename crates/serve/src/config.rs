@@ -8,9 +8,9 @@ use fsi_index::{Planner, Strategy};
 pub enum ExecMode {
     /// Every posting list preprocessed under one fixed [`Strategy`].
     Fixed(Strategy),
-    /// Per-query plan choice between RanGroupScan and hash probing (the
-    /// paper's "choose online by size ratio" pitch, see
-    /// [`fsi_index::planner`]).
+    /// Whole-query cost-model planning: every query's term list is planned
+    /// at once into a k-way [`fsi_index::MultiwayPlan`] (the paper's
+    /// "choose online" pitch, see [`fsi_index::planner`]).
     Planned(Planner),
 }
 
@@ -19,7 +19,7 @@ impl ExecMode {
     pub fn label(&self) -> String {
         match self {
             ExecMode::Fixed(s) => s.name(),
-            ExecMode::Planned(p) => format!("Planned(ratio≥{})", p.hash_ratio_threshold),
+            ExecMode::Planned(_) => "Planned(multiway)".to_string(),
         }
     }
 }

@@ -27,9 +27,21 @@ pub struct BatchOutcome {
     /// order. `Arc`-shared with the cache: hits cost no copy.
     pub results: Vec<Arc<Vec<Elem>>>,
     /// Per-query wall-clock latency, parallel to the input batch.
+    ///
+    /// Measured from the moment a worker *picks the query up*, so this is
+    /// service time, not queue wait. When more workers run than cores
+    /// exist, the OS timeslices them and service times inflate — check
+    /// [`BatchOutcome::queue_depths`] against the machine's parallelism
+    /// before reading tail latencies as algorithmic.
     pub latencies: Vec<Duration>,
     /// Order statistics over `latencies`.
     pub latency: LatencySummary,
+    /// How many queries were dealt to each worker's queue before the batch
+    /// started (round-robin; length = workers actually used).
+    pub queue_depths: Vec<usize>,
+    /// How many queries each worker actually completed — the difference
+    /// from [`BatchOutcome::queue_depths`] is work stealing.
+    pub executed_per_worker: Vec<usize>,
     /// Wall-clock duration of the whole batch.
     pub wall: Duration,
     /// Queries per second over the batch.
@@ -96,11 +108,12 @@ impl QueryPool {
         queries: &[Vec<usize>],
     ) -> BatchOutcome {
         let batch_start = Instant::now();
-        let completed = if self.workers == 1 || queries.len() <= 1 {
-            self.run_serial(engine, cache, queries)
-        } else {
-            self.run_stealing(engine, cache, queries)
-        };
+        let (completed, queue_depths, executed_per_worker) =
+            if self.workers == 1 || queries.len() <= 1 {
+                self.run_serial(engine, cache, queries)
+            } else {
+                self.run_stealing(engine, cache, queries)
+            };
         let wall = batch_start.elapsed();
 
         let empty = Arc::new(Vec::new());
@@ -126,6 +139,8 @@ impl QueryPool {
             throughput_qps,
             cache_hits,
             cache_misses: queries.len() as u64 - cache_hits,
+            queue_depths,
+            executed_per_worker,
         }
     }
 
@@ -134,8 +149,8 @@ impl QueryPool {
         engine: &ShardedEngine,
         cache: Option<&QueryCache>,
         queries: &[Vec<usize>],
-    ) -> Vec<Completed> {
-        queries
+    ) -> (Vec<Completed>, Vec<usize>, Vec<usize>) {
+        let completed: Vec<Completed> = queries
             .iter()
             .enumerate()
             .map(|(query_idx, terms)| {
@@ -148,7 +163,8 @@ impl QueryPool {
                     cache_hit,
                 }
             })
-            .collect()
+            .collect();
+        (completed, vec![queries.len()], vec![queries.len()])
     }
 
     fn run_stealing(
@@ -156,11 +172,15 @@ impl QueryPool {
         engine: &ShardedEngine,
         cache: Option<&QueryCache>,
         queries: &[Vec<usize>],
-    ) -> Vec<Completed> {
+    ) -> (Vec<Completed>, Vec<usize>, Vec<usize>) {
         let workers = self.workers.min(queries.len()).max(1);
         // Deal queries round-robin onto per-worker deques.
         let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
             .map(|w| Mutex::new((w..queries.len()).step_by(workers).collect()))
+            .collect();
+        let queue_depths: Vec<usize> = queues
+            .iter()
+            .map(|q| q.lock().expect("queue lock").len())
             .collect();
         let queues = &queues;
         std::thread::scope(|scope| {
@@ -199,10 +219,16 @@ impl QueryPool {
                     })
                 })
                 .collect();
-            handles
+            let per_worker: Vec<Vec<Completed>> = handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("worker panicked"))
-                .collect()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect();
+            let executed: Vec<usize> = per_worker.iter().map(Vec::len).collect();
+            (
+                per_worker.into_iter().flatten().collect(),
+                queue_depths,
+                executed,
+            )
         })
     }
 }
@@ -279,6 +305,31 @@ mod tests {
         for ((w, h), c) in warm.results.iter().zip(&hot.results).zip(&cold.results) {
             assert_eq!(w, h);
             assert_eq!(w, c);
+        }
+    }
+
+    #[test]
+    fn queue_depths_and_executed_counts_cover_the_batch() {
+        let engine = sharded(2);
+        let queries = batch();
+        for workers in [1usize, 3, 4] {
+            let outcome = QueryPool::new(workers).run_batch(&engine, None, &queries);
+            let used = workers.min(queries.len());
+            assert_eq!(outcome.queue_depths.len(), used, "workers={workers}");
+            assert_eq!(outcome.executed_per_worker.len(), used);
+            assert_eq!(outcome.queue_depths.iter().sum::<usize>(), queries.len());
+            assert_eq!(
+                outcome.executed_per_worker.iter().sum::<usize>(),
+                queries.len()
+            );
+            // Round-robin deal: initial depths differ by at most one.
+            let mn = *outcome.queue_depths.iter().min().expect("non-empty");
+            let mx = *outcome.queue_depths.iter().max().expect("non-empty");
+            assert!(
+                mx - mn <= 1,
+                "deal not round-robin: {:?}",
+                outcome.queue_depths
+            );
         }
     }
 

@@ -14,7 +14,7 @@
 
 use crate::config::ExecMode;
 use fsi_core::Elem;
-use fsi_index::{OwnedExecutor, PlannedList, Planner, SearchEngine};
+use fsi_index::{OwnedExecutor, PlannedExecutor, SearchEngine};
 use std::ops::Range;
 
 /// Per-shard prepared state under one execution mode.
@@ -22,11 +22,10 @@ use std::ops::Range;
 enum ShardIndex {
     /// All terms preprocessed under one fixed strategy.
     Fixed(OwnedExecutor),
-    /// All terms preprocessed for both planner regimes.
-    Planned {
-        planner: Planner,
-        lists: Vec<PlannedList>,
-    },
+    /// All terms preprocessed for every representation the cost-model
+    /// planner can bind; each query runs one whole-list
+    /// [`fsi_index::MultiwayPlan`].
+    Planned(PlannedExecutor),
 }
 
 /// One document shard: prepared state plus the ID range it covers.
@@ -52,11 +51,8 @@ impl Shard {
     fn query_into(&self, terms: &[usize], out: &mut Vec<Elem>) {
         match &self.index {
             ShardIndex::Fixed(exec) => exec.query_into(terms, out),
-            ShardIndex::Planned { planner, lists } => {
-                let refs: Vec<&PlannedList> = terms.iter().map(|&t| &lists[t]).collect();
-                let start = out.len();
-                planner.intersect(&refs, out);
-                out[start..].sort_unstable();
+            ShardIndex::Planned(exec) => {
+                exec.query_into(terms, out);
             }
         }
     }
@@ -64,7 +60,7 @@ impl Shard {
     fn size_in_bytes(&self) -> usize {
         match &self.index {
             ShardIndex::Fixed(exec) => exec.size_in_bytes(),
-            ShardIndex::Planned { lists, .. } => lists.iter().map(|l| l.size_in_bytes()).sum(),
+            ShardIndex::Planned(exec) => exec.size_in_bytes(),
         }
     }
 }
@@ -93,15 +89,7 @@ impl ShardedEngine {
                 let index = match &mode {
                     ExecMode::Fixed(strategy) => ShardIndex::Fixed(sub.into_executor(*strategy)),
                     ExecMode::Planned(planner) => {
-                        let lists = sub
-                            .postings()
-                            .iter()
-                            .map(|p| PlannedList::build(sub.ctx(), p))
-                            .collect();
-                        ShardIndex::Planned {
-                            planner: planner.clone(),
-                            lists,
-                        }
+                        ShardIndex::Planned(sub.planned_executor(planner.clone()))
                     }
                 };
                 Shard { index, docs }
@@ -186,7 +174,7 @@ impl ShardedEngine {
 mod tests {
     use super::*;
     use fsi_core::HashContext;
-    use fsi_index::{Corpus, CorpusConfig, Strategy};
+    use fsi_index::{Corpus, CorpusConfig, Planner, Strategy};
 
     fn engine() -> SearchEngine {
         let corpus = Corpus::generate(CorpusConfig {
