@@ -10,6 +10,11 @@
 //!
 //! * `kernels` files — `speedup_vs_merge` per (shape, kernel);
 //! * `multiway` files — `speedup_vs_fold` per (shape, k, algo);
+//! * `simd` files — `speedup_vs_scalar` per (shape, kernel). A run whose
+//!   `active_level` is `Scalar` (no SIMD hardware, or a `force-scalar`
+//!   build) declines all of its rows instead of reporting fake 1.0x
+//!   speedups — the gate skips them the way it skips oversubscribed serve
+//!   rows;
 //! * `serve` files — `qps` per scaling row and the cache `warm_qps`.
 //!   Rows flagged `"oversubscribed": true` (more workers than cores) are
 //!   skipped **in either file**: their numbers measure OS timeslicing, not
@@ -18,7 +23,10 @@
 //! Ratios are speedups/throughputs (higher = better), so the check is
 //! one-sided: getting faster never fails. A metric present in the baseline
 //! but missing from the current run fails — a silently dropped shape or
-//! kernel must not pass the gate.
+//! kernel must not pass the gate. A baseline (or current) file that does
+//! not exist or does not parse fails the gate with a nonzero exit, never a
+//! silent skip: a missing baseline means a new benchmark was added without
+//! committing its reference.
 //!
 //! Usage:
 //! `check_regression [--tolerance 2.0] <baseline.json> <current.json> [<baseline> <current> ...]`
@@ -33,9 +41,14 @@ struct Metric {
     value: f64,
 }
 
-fn load(path: &str) -> Json {
-    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    Json::parse(&src).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+/// Reads and parses one benchmark file. Errors are returned, not panicked:
+/// `main` turns them into a clean `FAIL` + nonzero exit so a missing or
+/// corrupt baseline can never look like a passing (or crashed) gate.
+fn load(path: &str) -> Result<Json, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| {
+        format!("cannot read {path}: {e} (new benchmark without a committed baseline? regenerate it in full mode and commit it)")
+    })?;
+    Json::parse(&src).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
 fn num(v: &Json, key: &str) -> f64 {
@@ -51,11 +64,12 @@ fn text<'j>(v: &'j Json, key: &str) -> &'j str {
 }
 
 /// Extracts the gated metrics of one benchmark file, dispatching on its
-/// `"bench"` tag. The second list holds keys the file *explicitly*
-/// declined to gate (oversubscribed serve rows) — only those may be
-/// tolerated when absent from the comparison; any other missing key is a
-/// silently dropped metric and must fail.
-fn metrics(doc: &Json, path: &str) -> (Vec<Metric>, Vec<String>) {
+/// `"bench"` tag. The second list holds `(key, reason)` pairs the file
+/// *explicitly* declined to gate (oversubscribed serve rows, SIMD rows of
+/// a scalar-tier run) — only those may be tolerated when absent from the
+/// comparison; any other missing key is a silently dropped metric and
+/// must fail.
+fn metrics(doc: &Json, path: &str) -> (Vec<Metric>, Vec<(String, &'static str)>) {
     let mut out = Vec::new();
     let mut declined = Vec::new();
     match text(doc, "bench") {
@@ -71,6 +85,26 @@ fn metrics(doc: &Json, path: &str) -> (Vec<Metric>, Vec<String>) {
                         key: format!("{shape_name}/{kernel}/speedup_vs_merge"),
                         value: num(row, "speedup_vs_merge"),
                     });
+                }
+            }
+        }
+        "simd" => {
+            // A Scalar-tier run measured nothing vectorized: decline every
+            // row instead of gating 1.0x "speedups" (the CI box need not
+            // share the baseline box's instruction sets).
+            let scalar_only = text(doc, "active_level") == "Scalar";
+            for shape in doc.get("shapes").and_then(Json::as_array).unwrap_or(&[]) {
+                let shape_name = text(shape, "shape");
+                for row in shape.get("kernels").and_then(Json::as_array).unwrap_or(&[]) {
+                    let key = format!("{shape_name}/{}/speedup_vs_scalar", text(row, "kernel"));
+                    if scalar_only {
+                        declined.push((key, "no SIMD tier in this run"));
+                    } else {
+                        out.push(Metric {
+                            key,
+                            value: num(row, "speedup_vs_scalar"),
+                        });
+                    }
                 }
             }
         }
@@ -95,7 +129,7 @@ fn metrics(doc: &Json, path: &str) -> (Vec<Metric>, Vec<String>) {
                 let key = format!("workers={}/qps", num(row, "workers"));
                 if row.get("oversubscribed").and_then(Json::as_bool) == Some(true) {
                     // qps/latency of timesliced workers is noise.
-                    declined.push(key);
+                    declined.push((key, "oversubscribed"));
                     continue;
                 }
                 out.push(Metric {
@@ -140,8 +174,16 @@ fn main() -> ExitCode {
     let mut checked = 0usize;
     for pair in paths.chunks(2) {
         let (base_path, cur_path) = (&pair[0], &pair[1]);
-        let baseline = load(base_path);
-        let current = load(cur_path);
+        let (baseline, current) = match (load(base_path), load(cur_path)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (b, c) => {
+                for err in [b.err(), c.err()].into_iter().flatten() {
+                    println!("  FAIL  {err}");
+                }
+                failures += 1;
+                continue;
+            }
+        };
         // The binaries stamp `"smoke": true` into reduced-effort runs so
         // one can never silently become the reference the gate measures
         // against (docs/benchmarks.md: committed baselines must be full).
@@ -156,18 +198,18 @@ fn main() -> ExitCode {
             "{base_path} vs {cur_path}: mismatched bench tags"
         );
         println!("\n== {tag}: {cur_path} vs baseline {base_path} (tolerance {tolerance}x) ==");
-        // Oversubscribed rows are skipped per-file; drop a metric when
-        // either side skipped it.
+        // Declined rows are skipped per-file; drop a metric when either
+        // side skipped it.
         let (base_metrics, _) = metrics(&baseline, base_path);
         let (cur_metrics, cur_declined) = metrics(&current, cur_path);
         for m in &base_metrics {
             let Some(cur) = cur_metrics.iter().find(|c| c.key == m.key) else {
-                if cur_declined.contains(&m.key) {
-                    // The CI box's core count decides which rows are
-                    // oversubscribed; a row the current run *explicitly*
-                    // flagged is not a dropped metric. Anything else
-                    // missing is — it must not pass silently.
-                    println!("  skip  {:<55} (oversubscribed in current run)", m.key);
+                if let Some((_, reason)) = cur_declined.iter().find(|(k, _)| *k == m.key) {
+                    // The CI box decides which rows it can gate (its core
+                    // count, its instruction sets); a row the current run
+                    // *explicitly* declined is not a dropped metric.
+                    // Anything else missing is — it must not pass silently.
+                    println!("  skip  {:<55} (current run: {reason})", m.key);
                     continue;
                 }
                 println!("  FAIL  {:<55} missing from current run", m.key);

@@ -93,7 +93,7 @@ fn main() {
     let reps = 11;
     let ctx = HashContext::new(fsi_bench::HARNESS_SEED);
     let mut rng = StdRng::seed_from_u64(fsi_bench::HARNESS_SEED);
-    let planner = Planner::default();
+    let planner = Planner::auto();
     let mut shape_json: Vec<String> = Vec::new();
 
     for shape in &SHAPES {

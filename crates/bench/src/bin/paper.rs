@@ -27,6 +27,8 @@
 //!   --reps N     timing repetitions per point (default 3)
 //!   --queries N  query count for workload experiments (default 60)
 //!   --seed N     harness seed
+//!   --smoke      CI mode: scale >= 64, 1 rep, few queries; experiment
+//!                defaults to `all` — proves every path runs, times nothing
 //! ```
 
 use fsi_bench::{fmt_ms, median_time, ms, run_strategy, Table, HARNESS_SEED};
@@ -67,6 +69,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = String::new();
     let mut opts = Opts::default();
+    let mut smoke = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -74,6 +77,7 @@ fn main() {
             "--reps" => opts.reps = parse_num(it.next(), "--reps"),
             "--queries" => opts.queries = parse_num(it.next(), "--queries"),
             "--seed" => opts.seed = parse_num(it.next(), "--seed") as u64,
+            "--smoke" => smoke = true,
             other if experiment.is_empty() && !other.starts_with('-') => {
                 experiment = other.to_string();
             }
@@ -83,8 +87,23 @@ fn main() {
             }
         }
     }
+    if smoke {
+        // CI mode: prove every experiment's code path end-to-end at a
+        // fraction of the paper's sizes. Defaults to the full experiment
+        // list; an explicit experiment narrows it.
+        opts.scale = opts.scale.max(64);
+        opts.reps = 1;
+        opts.queries = opts.queries.min(12);
+        if experiment.is_empty() {
+            experiment = "all".to_string();
+        }
+        println!(
+            "paper --smoke: scale 1/{}, reps {}, queries {}",
+            opts.scale, opts.reps, opts.queries
+        );
+    }
     if experiment.is_empty() {
-        eprintln!("usage: paper <experiment> [--scale N] [--reps N] [--queries N]");
+        eprintln!("usage: paper <experiment> [--scale N] [--reps N] [--queries N] [--smoke]");
         eprintln!("run `paper all` for the full suite; see the source header for the list");
         std::process::exit(2);
     }

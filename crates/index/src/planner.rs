@@ -199,6 +199,41 @@ impl Default for Planner {
 }
 
 impl Planner {
+    /// Constants tuned for one SIMD tier. [`Planner::default`] is the
+    /// scalar calibration (deterministic across machines — what the plan
+    /// tests pin); the SIMD tiers cheapen exactly the units whose kernels
+    /// the `fsi-kernels` SIMD layer vectorizes, by the per-word/per-element
+    /// speedups `BENCH_simd.json` measures on the dense shapes:
+    ///
+    /// * `bitmap_word_unit` — the chunk sweep ANDs 2/4 words per
+    ///   instruction and PTEST-skips zero groups, so a word costs ~½/~⅓
+    ///   of scalar (extraction of survivors stays scalar, which is why the
+    ///   factor is milder than the lane count);
+    /// * `rgs_unit` is *not* cheapened: RanGroupScan's group filtering is
+    ///   already word-packed scalar code the SIMD layer does not touch —
+    ///   under SIMD its *relative* price versus the vectorized kernels
+    ///   rises, and the untouched constant expresses exactly that.
+    pub fn for_simd(level: fsi_kernels::SimdLevel) -> Self {
+        use fsi_kernels::SimdLevel;
+        let mut p = Self::default();
+        match level {
+            SimdLevel::Scalar => {}
+            SimdLevel::Sse41 => p.bitmap_word_unit = 0.55,
+            SimdLevel::Avx2 => p.bitmap_word_unit = 0.35,
+        }
+        p
+    }
+
+    /// Constants tuned for the SIMD tier this process actually dispatches
+    /// to ([`SimdLevel::active`](fsi_kernels::SimdLevel::active)) — what
+    /// serving defaults use, so planned execution picks the vectorized
+    /// bitmap sweep in the regimes where it now wins.
+    pub fn auto() -> Self {
+        Self::for_simd(fsi_kernels::SimdLevel::active())
+    }
+}
+
+impl Planner {
     /// Cost-models the whole operand list and returns the minimum-cost
     /// plan. `stats` is positional: `order[i]` in the returned plan indexes
     /// into it.
@@ -464,6 +499,40 @@ mod tests {
         assert_eq!(kind(&p, &[sparse(0), sparse(10)]), PlanKind::Empty);
         assert_eq!(kind(&p, &[]), PlanKind::Empty);
         assert_eq!(kind(&p, &[sparse(10)]), PlanKind::Single);
+    }
+
+    #[test]
+    fn simd_tuning_only_cheapens_vectorized_units() {
+        let base = Planner::default();
+        for level in fsi_kernels::SimdLevel::ALL {
+            let tuned = Planner::for_simd(level);
+            // The bitmap sweep is the vectorized unit; everything else is
+            // untouched so scalar-calibrated crossovers stay put.
+            assert!(tuned.bitmap_word_unit <= base.bitmap_word_unit, "{level:?}");
+            assert_eq!(tuned.gallop_unit, base.gallop_unit);
+            assert_eq!(tuned.hash_unit, base.hash_unit);
+            assert_eq!(tuned.rgs_unit, base.rgs_unit);
+            assert_eq!(tuned.heap_unit, base.heap_unit);
+        }
+        // Scalar tuning IS the default; auto() follows the active tier.
+        assert_eq!(
+            Planner::for_simd(fsi_kernels::SimdLevel::Scalar).bitmap_word_unit,
+            base.bitmap_word_unit
+        );
+        let auto = Planner::auto();
+        assert_eq!(
+            auto.bitmap_word_unit,
+            Planner::for_simd(fsi_kernels::SimdLevel::active()).bitmap_word_unit
+        );
+        // A cheaper sweep can only widen the BitmapAnd region: a query it
+        // already won under scalar constants it must still win tuned.
+        let dense_pair = [dense(50_000, 2), dense(60_000, 2)];
+        for level in fsi_kernels::SimdLevel::ALL {
+            assert_eq!(
+                kind(&Planner::for_simd(level), &dense_pair),
+                PlanKind::BitmapAnd
+            );
+        }
     }
 
     #[test]

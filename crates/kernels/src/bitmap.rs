@@ -119,6 +119,8 @@ impl PairIntersect for BitmapSet {
     /// Word-parallel `AND` over chunks present in both sets; output is
     /// ascending.
     fn intersect_pair_into(&self, other: &Self, out: &mut Vec<Elem>) {
+        // One dispatch read for the whole sweep, not one per chunk.
+        let level = crate::simd::SimdLevel::active();
         let (mut i, mut j) = (0usize, 0usize);
         while i < self.ids.len() && j < other.ids.len() {
             match self.ids[i].cmp(&other.ids[j]) {
@@ -128,16 +130,10 @@ impl PairIntersect for BitmapSet {
                     let a = &self.words[i * WORDS_PER_CHUNK..][..WORDS_PER_CHUNK];
                     let b = &other.words[j * WORDS_PER_CHUNK..][..WORDS_PER_CHUNK];
                     let hi = self.ids[i] << CHUNK_BITS;
-                    for (w, (&wa, &wb)) in a.iter().zip(b).enumerate() {
-                        let word = wa & wb;
-                        if word == 0 {
-                            continue;
-                        }
-                        let base = hi | ((w as u32) << 6);
-                        for bit in BitIter::new(word) {
-                            out.push(base | bit);
-                        }
-                    }
+                    // Wide AND at the dispatched SIMD level: 2/4 words per
+                    // instruction, PTEST-skipped all-zero groups, scalar
+                    // trailing-zeros extraction of survivors.
+                    crate::simd::and_extract_at(level, hi, a, b, out);
                     i += 1;
                     j += 1;
                 }
@@ -163,6 +159,8 @@ impl KIntersect for BitmapSet {
                     .iter()
                     .min_by_key(|ix| ix.ids.len())
                     .expect("k >= 2");
+                // One dispatch read for the whole sweep, not one per AND.
+                let level = crate::simd::SimdLevel::active();
                 let mut anded = [0u64; WORDS_PER_CHUNK];
                 'chunks: for (ci, &id) in driver.ids.iter().enumerate() {
                     anded.copy_from_slice(&driver.words[ci * WORDS_PER_CHUNK..][..WORDS_PER_CHUNK]);
@@ -174,12 +172,7 @@ impl KIntersect for BitmapSet {
                             continue 'chunks;
                         };
                         let b = &other.words[cj * WORDS_PER_CHUNK..][..WORDS_PER_CHUNK];
-                        let mut all_zero = true;
-                        for (wa, &wb) in anded.iter_mut().zip(b) {
-                            *wa &= wb;
-                            all_zero &= *wa == 0;
-                        }
-                        if all_zero {
+                        if crate::simd::and_in_place_at(level, &mut anded, b) {
                             continue 'chunks;
                         }
                     }

@@ -54,8 +54,12 @@ pub fn galloping_into(small: &[Elem], large: &[Elem], out: &mut Vec<Elem>) {
     }
 }
 
-/// Pair kernel choosing between the branchless merge and galloping by the
-/// size ratio; output ascending.
+/// Pair kernel choosing between the vectorized merge and galloping by the
+/// size ratio; output ascending. The balanced branch runs the SIMD merge
+/// at the dispatched [`SimdLevel`](crate::simd::SimdLevel) (the scalar
+/// branchless merge under `force-scalar` or on non-x86 targets); the
+/// skewed branch stays scalar — galloping is random access, which lanes
+/// don't help.
 pub fn adaptive_pair_into(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if small.is_empty() {
@@ -64,7 +68,7 @@ pub fn adaptive_pair_into(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
     if large.len() / small.len() >= GALLOP_RATIO {
         galloping_into(small, large, out);
     } else {
-        branchless_merge_into(a, b, out);
+        crate::simd::merge_into(a, b, out);
     }
 }
 

@@ -81,6 +81,24 @@ impl Kernel for ScalarMerge {
     }
 }
 
+/// The block compare-and-compact merge at the dispatched
+/// [`SimdLevel`](crate::simd::SimdLevel) — what the balanced branch of
+/// [`GallopingSet`](crate::GallopingSet) runs. Identical output to
+/// [`ScalarMerge`]/[`BranchlessMerge`](crate::gallop::BranchlessMerge) at
+/// every level; identical code under `force-scalar` or off x86_64.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimdMerge;
+
+impl Kernel for SimdMerge {
+    fn name(&self) -> &'static str {
+        "SimdMerge"
+    }
+
+    fn intersect_pair(&self, a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
+        crate::simd::merge_into(a, b, out);
+    }
+}
+
 /// Minimum `n_min/universe` density at which the chunked bitmap's
 /// fixed `O(universe/64)` word sweep beats element-at-a-time kernels.
 pub const BITMAP_MIN_DENSITY: f64 = 1.0 / 16.0;
@@ -180,6 +198,7 @@ mod tests {
         vec![
             Box::new(ScalarMerge),
             Box::new(BranchlessMerge),
+            Box::new(SimdMerge),
             Box::new(Galloping),
             Box::new(BitmapKernel),
             Box::new(SigFilterKernel::default()),

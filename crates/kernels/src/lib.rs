@@ -66,21 +66,36 @@
 //! `Strategy::{Bitmap, Galloping, SigFilter}` pin one kernel for every
 //! query the way every other fixed strategy does; the planner makes the
 //! choice online, as Section 3.4 of Ding & König envisions.
+//!
+//! ## SIMD acceleration
+//!
+//! Underneath all of the above sits [`simd`]: explicit SSE4.1/AVX2
+//! `std::arch` paths with `is_x86_feature_detected!` runtime dispatch and
+//! a portable scalar fallback. The balanced merge, the bitmap chunk
+//! sweeps, and the signature compare all route through it, so every kernel
+//! and strategy above is transparently vectorized where the hardware
+//! allows. The `force-scalar` cargo feature compiles the `std::arch` paths
+//! out; the `FSI_SIMD` environment variable and
+//! [`simd::with_level`] clamp the dispatched [`SimdLevel`] at runtime so
+//! the scalar twins stay testable on the same machine — see `docs/simd.md`
+//! for the dispatch rules and the `BENCH_simd.json` schema.
 
 pub mod bitmap;
 pub mod gallop;
 pub mod kernel;
 pub mod multiway;
 pub mod sigfilter;
+pub mod simd;
 
 pub use bitmap::WORDS_PER_CHUNK;
 pub use bitmap::{BitmapKernel, BitmapSet};
 pub use gallop::{
     branchless_merge_into, galloping_into, BranchlessMerge, Galloping, GallopingSet, GALLOP_RATIO,
 };
-pub use kernel::{AutoKernel, Kernel, KernelChoice, ScalarMerge, BITMAP_MIN_DENSITY};
+pub use kernel::{AutoKernel, Kernel, KernelChoice, ScalarMerge, SimdMerge, BITMAP_MIN_DENSITY};
 pub use multiway::{
     gallop_probe_into, gallop_probe_ordered_into, heap_merge_into, pairwise_fold_into, BitmapAnd,
     GallopProbe, HeapMerge, MultiwayAuto, MultiwayChoice, MultiwayKernel,
 };
 pub use sigfilter::{SigFilterKernel, SigFilterSet};
+pub use simd::SimdLevel;

@@ -128,16 +128,17 @@ impl PairIntersect for SigFilterSet {
             (other, self)
         };
         let dt = fine.t - coarse.t;
-        for zf in 0..fine.sigs.len() {
-            let zc = zf >> dt;
-            if fine.sigs[zf] & coarse.sigs[zc] == 0 {
-                continue;
-            }
-            // Verify by scalar merge. The coarse bucket may contain
-            // elements of sibling fine buckets; value equality filters
-            // them out (equal values imply equal g-prefixes).
-            crate::gallop::branchless_merge_into(fine.bucket(zf), coarse.bucket(zc), out);
-        }
+        // Vectorized compare-and-verify: the signature ANDs run at the
+        // dispatched SIMD level (2/4 bucket pairs per instruction, all-zero
+        // groups rejected by one PTEST); only surviving buckets reach the
+        // verify merge — itself the level-dispatched block merge, which
+        // falls to scalar below one block. The coarse bucket may contain
+        // elements of sibling fine buckets; value equality filters them out
+        // (equal values imply equal g-prefixes).
+        let level = crate::simd::SimdLevel::active();
+        crate::simd::sig_scan_at(level, &fine.sigs, &coarse.sigs, dt, &mut |zf| {
+            crate::simd::merge_into_at(level, fine.bucket(zf), coarse.bucket(zf >> dt), out);
+        });
     }
 }
 

@@ -1,0 +1,381 @@
+//! The x86_64 `std::arch` implementations behind [`super`]'s dispatched
+//! entry points. Compiled only on x86_64 without the `force-scalar`
+//! feature; every function is `#[target_feature]`-gated and reached only
+//! through [`SimdLevel::saturate`](super::SimdLevel::saturate)-checked
+//! dispatch, so the required instructions are always present at runtime.
+//!
+//! The merge kernels are the classic block compare-and-compact network
+//! (Katsov/Lemire-style, also the "shuffling" method of the
+//! simd-set-operations literature): compare every lane pair of two sorted
+//! blocks via cyclic rotations, derive a match bitmask, compact the
+//! matching lanes with a precomputed permutation table, and advance the
+//! block with the smaller maximum. Sorted, duplicate-free inputs guarantee
+//! each lane matches at most once, so the compacted store is exactly the
+//! ascending intersection of the two blocks' overlap.
+
+use super::extract_word;
+use crate::gallop::branchless_merge_into;
+use core::arch::x86_64::*;
+use fsi_core::elem::Elem;
+
+/// Byte-shuffle masks compacting the set lanes of a 4-lane match mask to
+/// the front (lane order preserved); unused output lanes read 0x80 (zero).
+static SSE_COMPACT: [[u8; 16]; 16] = sse_compact_table();
+
+const fn sse_compact_table() -> [[u8; 16]; 16] {
+    let mut table = [[0x80u8; 16]; 16];
+    let mut mask = 0usize;
+    while mask < 16 {
+        let mut out_lane = 0usize;
+        let mut lane = 0usize;
+        while lane < 4 {
+            if mask & (1 << lane) != 0 {
+                let mut byte = 0usize;
+                while byte < 4 {
+                    table[mask][out_lane * 4 + byte] = (lane * 4 + byte) as u8;
+                    byte += 1;
+                }
+                out_lane += 1;
+            }
+            lane += 1;
+        }
+        mask += 1;
+    }
+    table
+}
+
+/// Dword-permutation indices compacting the set lanes of an 8-lane match
+/// mask to the front (lane order preserved), for `vpermd`.
+static AVX_COMPACT: [[u32; 8]; 256] = avx_compact_table();
+
+const fn avx_compact_table() -> [[u32; 8]; 256] {
+    let mut table = [[0u32; 8]; 256];
+    let mut mask = 0usize;
+    while mask < 256 {
+        let mut out_lane = 0usize;
+        let mut lane = 0usize;
+        while lane < 8 {
+            if mask & (1 << lane) != 0 {
+                table[mask][out_lane] = lane as u32;
+                out_lane += 1;
+            }
+            lane += 1;
+        }
+        mask += 1;
+    }
+    table
+}
+
+/// SSE4.1 merge intersect of sorted, duplicate-free slices; appends the
+/// ascending intersection to `out`.
+///
+/// # Safety
+/// The CPU must support SSE4.1 (which implies the SSSE3 byte shuffle).
+#[target_feature(enable = "sse4.1")]
+pub unsafe fn merge_sse(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    let (na, nb) = (a.len(), b.len());
+    if na >= 4 && nb >= 4 {
+        // The intersection holds at most min(na, nb) elements; one reserve
+        // up front keeps >= 4 spare slots for every block store below.
+        out.reserve(na.min(nb) + 4);
+        loop {
+            let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(b.as_ptr().add(j) as *const __m128i);
+            // Compare va against every cyclic rotation of vb: all 16 lane
+            // pairs in 4 compares.
+            let rot1 = _mm_shuffle_epi32::<0b00_11_10_01>(vb);
+            let rot2 = _mm_shuffle_epi32::<0b01_00_11_10>(vb);
+            let rot3 = _mm_shuffle_epi32::<0b10_01_00_11>(vb);
+            let cmp = _mm_or_si128(
+                _mm_or_si128(_mm_cmpeq_epi32(va, vb), _mm_cmpeq_epi32(va, rot1)),
+                _mm_or_si128(_mm_cmpeq_epi32(va, rot2), _mm_cmpeq_epi32(va, rot3)),
+            );
+            let mask = _mm_movemask_ps(_mm_castsi128_ps(cmp)) as usize;
+            let shuffle = _mm_loadu_si128(SSE_COMPACT[mask].as_ptr() as *const __m128i);
+            let packed = _mm_shuffle_epi8(va, shuffle);
+            let len = out.len();
+            debug_assert!(out.capacity() - len >= 4);
+            _mm_storeu_si128(out.as_mut_ptr().add(len) as *mut __m128i, packed);
+            out.set_len(len + mask.count_ones() as usize);
+            // Advance the block with the smaller maximum (both on a tie).
+            let a_max = *a.get_unchecked(i + 3);
+            let b_max = *b.get_unchecked(j + 3);
+            let mut done = false;
+            if a_max <= b_max {
+                i += 4;
+                done |= i + 4 > na;
+            }
+            if b_max <= a_max {
+                j += 4;
+                done |= j + 4 > nb;
+            }
+            if done {
+                break;
+            }
+        }
+    }
+    branchless_merge_into(&a[i..], &b[j..], out);
+}
+
+/// AVX2 merge intersect of sorted, duplicate-free slices; appends the
+/// ascending intersection to `out`. The ragged tail falls through the
+/// SSE4.1 kernel and then the scalar merge.
+///
+/// # Safety
+/// The CPU must support AVX2 (which implies SSE4.1).
+#[target_feature(enable = "avx2")]
+pub unsafe fn merge_avx2(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    let (na, nb) = (a.len(), b.len());
+    if na >= 8 && nb >= 8 {
+        out.reserve(na.min(nb) + 8);
+        // Lane rotations by 1 and 2 for vpermd; chaining rot2 keeps the
+        // dependency depth at ~4 permutes instead of 7.
+        let rot1_idx = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+        let rot2_idx = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+        loop {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.as_ptr().add(j) as *const __m256i);
+            // Compare va against every cyclic rotation of vb: all 64 lane
+            // pairs in 8 compares.
+            let r1 = _mm256_permutevar8x32_epi32(vb, rot1_idx);
+            let r2 = _mm256_permutevar8x32_epi32(vb, rot2_idx);
+            let r3 = _mm256_permutevar8x32_epi32(r1, rot2_idx);
+            let r4 = _mm256_permutevar8x32_epi32(r2, rot2_idx);
+            let r5 = _mm256_permutevar8x32_epi32(r3, rot2_idx);
+            let r6 = _mm256_permutevar8x32_epi32(r4, rot2_idx);
+            let r7 = _mm256_permutevar8x32_epi32(r5, rot2_idx);
+            let cmp = _mm256_or_si256(
+                _mm256_or_si256(
+                    _mm256_or_si256(_mm256_cmpeq_epi32(va, vb), _mm256_cmpeq_epi32(va, r1)),
+                    _mm256_or_si256(_mm256_cmpeq_epi32(va, r2), _mm256_cmpeq_epi32(va, r3)),
+                ),
+                _mm256_or_si256(
+                    _mm256_or_si256(_mm256_cmpeq_epi32(va, r4), _mm256_cmpeq_epi32(va, r5)),
+                    _mm256_or_si256(_mm256_cmpeq_epi32(va, r6), _mm256_cmpeq_epi32(va, r7)),
+                ),
+            );
+            let mask = _mm256_movemask_ps(_mm256_castsi256_ps(cmp)) as usize;
+            let perm = _mm256_loadu_si256(AVX_COMPACT[mask].as_ptr() as *const __m256i);
+            let packed = _mm256_permutevar8x32_epi32(va, perm);
+            let len = out.len();
+            debug_assert!(out.capacity() - len >= 8);
+            _mm256_storeu_si256(out.as_mut_ptr().add(len) as *mut __m256i, packed);
+            out.set_len(len + mask.count_ones() as usize);
+            let a_max = *a.get_unchecked(i + 7);
+            let b_max = *b.get_unchecked(j + 7);
+            let mut done = false;
+            if a_max <= b_max {
+                i += 8;
+                done |= i + 8 > na;
+            }
+            if b_max <= a_max {
+                j += 8;
+                done |= j + 8 > nb;
+            }
+            if done {
+                break;
+            }
+        }
+    }
+    merge_sse(&a[i..], &b[j..], out);
+}
+
+/// SSE4.1 bitmap `AND` + extract: 2 words per `AND`, `PTEST` skip of
+/// all-zero pairs, scalar trailing-zeros extraction of survivors.
+///
+/// # Safety
+/// The CPU must support SSE4.1. `a` and `b` must be equal length.
+#[target_feature(enable = "sse4.1")]
+pub unsafe fn and_extract_sse(base: Elem, a: &[u64], b: &[u64], out: &mut Vec<Elem>) {
+    let n = a.len();
+    let mut w = 0usize;
+    while w + 2 <= n {
+        let va = _mm_loadu_si128(a.as_ptr().add(w) as *const __m128i);
+        let vb = _mm_loadu_si128(b.as_ptr().add(w) as *const __m128i);
+        let v = _mm_and_si128(va, vb);
+        if _mm_testz_si128(v, v) == 0 {
+            let mut words = [0u64; 2];
+            _mm_storeu_si128(words.as_mut_ptr() as *mut __m128i, v);
+            for (t, &word) in words.iter().enumerate() {
+                if word != 0 {
+                    extract_word(base | (((w + t) as u32) << 6), word, out);
+                }
+            }
+        }
+        w += 2;
+    }
+    if w < n {
+        let word = a[w] & b[w];
+        if word != 0 {
+            extract_word(base | ((w as u32) << 6), word, out);
+        }
+    }
+}
+
+/// AVX2 bitmap `AND` + extract: 4 words per `AND`, `PTEST` skip of
+/// all-zero quads, scalar trailing-zeros extraction of survivors.
+///
+/// # Safety
+/// The CPU must support AVX2. `a` and `b` must be equal length.
+#[target_feature(enable = "avx2")]
+pub unsafe fn and_extract_avx2(base: Elem, a: &[u64], b: &[u64], out: &mut Vec<Elem>) {
+    let n = a.len();
+    let mut w = 0usize;
+    while w + 4 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(w) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(w) as *const __m256i);
+        let v = _mm256_and_si256(va, vb);
+        if _mm256_testz_si256(v, v) == 0 {
+            let mut words = [0u64; 4];
+            _mm256_storeu_si256(words.as_mut_ptr() as *mut __m256i, v);
+            for (t, &word) in words.iter().enumerate() {
+                if word != 0 {
+                    extract_word(base | (((w + t) as u32) << 6), word, out);
+                }
+            }
+        }
+        w += 4;
+    }
+    while w < n {
+        let word = a[w] & b[w];
+        if word != 0 {
+            extract_word(base | ((w as u32) << 6), word, out);
+        }
+        w += 1;
+    }
+}
+
+/// SSE4.1 in-place `AND` with a folded all-zero test (one `PTEST` of the
+/// OR-accumulator at the end).
+///
+/// # Safety
+/// The CPU must support SSE4.1. `acc` and `other` must be equal length.
+#[target_feature(enable = "sse4.1")]
+pub unsafe fn and_in_place_sse(acc: &mut [u64], other: &[u64]) -> bool {
+    let n = acc.len();
+    let mut any = _mm_setzero_si128();
+    let mut w = 0usize;
+    while w + 2 <= n {
+        let va = _mm_loadu_si128(acc.as_ptr().add(w) as *const __m128i);
+        let vb = _mm_loadu_si128(other.as_ptr().add(w) as *const __m128i);
+        let v = _mm_and_si128(va, vb);
+        _mm_storeu_si128(acc.as_mut_ptr().add(w) as *mut __m128i, v);
+        any = _mm_or_si128(any, v);
+        w += 2;
+    }
+    let mut tail_any = 0u64;
+    while w < n {
+        acc[w] &= other[w];
+        tail_any |= acc[w];
+        w += 1;
+    }
+    _mm_testz_si128(any, any) == 1 && tail_any == 0
+}
+
+/// AVX2 in-place `AND` with a folded all-zero test.
+///
+/// # Safety
+/// The CPU must support AVX2. `acc` and `other` must be equal length.
+#[target_feature(enable = "avx2")]
+pub unsafe fn and_in_place_avx2(acc: &mut [u64], other: &[u64]) -> bool {
+    let n = acc.len();
+    let mut any = _mm256_setzero_si256();
+    let mut w = 0usize;
+    while w + 4 <= n {
+        let va = _mm256_loadu_si256(acc.as_ptr().add(w) as *const __m256i);
+        let vb = _mm256_loadu_si256(other.as_ptr().add(w) as *const __m256i);
+        let v = _mm256_and_si256(va, vb);
+        _mm256_storeu_si256(acc.as_mut_ptr().add(w) as *mut __m256i, v);
+        any = _mm256_or_si256(any, v);
+        w += 4;
+    }
+    let mut tail_any = 0u64;
+    while w < n {
+        acc[w] &= other[w];
+        tail_any |= acc[w];
+        w += 1;
+    }
+    _mm256_testz_si256(any, any) == 1 && tail_any == 0
+}
+
+/// SSE4.1 signature scan: `AND`s 2 fine signatures against their aligned
+/// coarse signatures per iteration, `PTEST`-skips all-zero pairs, and
+/// calls `verify` for each surviving fine bucket.
+///
+/// # Safety
+/// The CPU must support SSE4.1. Every fine bucket must have an aligned
+/// coarse bucket — `(fine.len() - 1) >> dt < coarse.len()` (guaranteed by
+/// the nested-bucket construction); a violation panics on the safe index.
+#[target_feature(enable = "sse4.1")]
+pub unsafe fn sig_scan_sse(fine: &[u64], coarse: &[u64], dt: u32, verify: &mut dyn FnMut(usize)) {
+    let n = fine.len();
+    let mut z = 0usize;
+    while z + 2 <= n {
+        let vf = _mm_loadu_si128(fine.as_ptr().add(z) as *const __m128i);
+        let vc = if dt == 0 {
+            _mm_loadu_si128(coarse.as_ptr().add(z) as *const __m128i)
+        } else {
+            _mm_set_epi64x(coarse[(z + 1) >> dt] as i64, coarse[z >> dt] as i64)
+        };
+        let v = _mm_and_si128(vf, vc);
+        if _mm_testz_si128(v, v) == 0 {
+            // Which of the two lanes are non-zero? cmpeq against zero
+            // marks the zero lanes; movemask_pd gives one bit per lane.
+            let zero = _mm_cmpeq_epi64(v, _mm_setzero_si128());
+            let live = !(_mm_movemask_pd(_mm_castsi128_pd(zero)) as usize) & 0b11;
+            if live & 1 != 0 {
+                verify(z);
+            }
+            if live & 2 != 0 {
+                verify(z + 1);
+            }
+        }
+        z += 2;
+    }
+    if z < n && fine[z] & coarse[z >> dt] != 0 {
+        verify(z);
+    }
+}
+
+/// AVX2 signature scan: 4 bucket pairs per iteration.
+///
+/// # Safety
+/// The CPU must support AVX2. Every fine bucket must have an aligned
+/// coarse bucket — `(fine.len() - 1) >> dt < coarse.len()` (guaranteed by
+/// the nested-bucket construction); a violation panics on the safe index.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sig_scan_avx2(fine: &[u64], coarse: &[u64], dt: u32, verify: &mut dyn FnMut(usize)) {
+    let n = fine.len();
+    let mut z = 0usize;
+    while z + 4 <= n {
+        let vf = _mm256_loadu_si256(fine.as_ptr().add(z) as *const __m256i);
+        let vc = if dt == 0 {
+            _mm256_loadu_si256(coarse.as_ptr().add(z) as *const __m256i)
+        } else {
+            _mm256_set_epi64x(
+                coarse[(z + 3) >> dt] as i64,
+                coarse[(z + 2) >> dt] as i64,
+                coarse[(z + 1) >> dt] as i64,
+                coarse[z >> dt] as i64,
+            )
+        };
+        let v = _mm256_and_si256(vf, vc);
+        if _mm256_testz_si256(v, v) == 0 {
+            let zero = _mm256_cmpeq_epi64(v, _mm256_setzero_si256());
+            let mut live = !(_mm256_movemask_pd(_mm256_castsi256_pd(zero)) as usize) & 0b1111;
+            while live != 0 {
+                verify(z + live.trailing_zeros() as usize);
+                live &= live - 1;
+            }
+        }
+        z += 4;
+    }
+    while z < n {
+        if fine[z] & coarse[z >> dt] != 0 {
+            verify(z);
+        }
+        z += 1;
+    }
+}

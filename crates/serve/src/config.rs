@@ -22,6 +22,14 @@ impl ExecMode {
             ExecMode::Planned(_) => "Planned(multiway)".to_string(),
         }
     }
+
+    /// Planner-mode execution with cost constants tuned for the SIMD tier
+    /// this process dispatches to ([`Planner::auto`]) — the serving-stack
+    /// default for planned execution, so plans favour the vectorized
+    /// bitmap sweep exactly where `BENCH_simd.json` measured it winning.
+    pub fn planned_auto() -> Self {
+        ExecMode::Planned(Planner::auto())
+    }
 }
 
 /// Configuration of a serving engine.
@@ -48,7 +56,11 @@ impl Default for ServeConfig {
             num_workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
             cache_capacity: 4096,
             cache_segments: 8,
-            mode: ExecMode::Fixed(Strategy::RanGroupScan { m: 2 }),
+            // Whole-query cost-model planning with constants tuned for the
+            // SIMD tier this process dispatches to. Fix a strategy (e.g.
+            // the paper's `Strategy::RanGroupScan { m: 2 }`) to pin one
+            // algorithm instead.
+            mode: ExecMode::planned_auto(),
         }
     }
 }
