@@ -15,6 +15,8 @@
 //!   build) declines all of its rows instead of reporting fake 1.0x
 //!   speedups — the gate skips them the way it skips oversubscribed serve
 //!   rows;
+//! * `boolean` files — `qps` per query-stream shape plus the canonical
+//!   cache-keying `hit_rate` (deterministic in the seeded stream);
 //! * `serve` files — `qps` per scaling row and the cache `warm_qps`.
 //!   Rows flagged `"oversubscribed": true` (more workers than cores) are
 //!   skipped **in either file**: their numbers measure OS timeslicing, not
@@ -122,6 +124,23 @@ fn metrics(doc: &Json, path: &str) -> (Vec<Metric>, Vec<(String, &'static str)>)
                         value: num(row, "speedup_vs_fold"),
                     });
                 }
+            }
+        }
+        "boolean" => {
+            for shape in doc.get("shapes").and_then(Json::as_array).unwrap_or(&[]) {
+                out.push(Metric {
+                    key: format!("{}/qps", text(shape, "shape")),
+                    value: num(shape, "qps"),
+                });
+            }
+            if let Some(cache) = doc.get("cache") {
+                // The canonical-keying demonstration: deterministic in the
+                // seeded stream, so a hit-rate drop means canonicalization
+                // (or cache keying) regressed, not hardware jitter.
+                out.push(Metric {
+                    key: "cache/hit_rate".to_string(),
+                    value: num(cache, "hit_rate"),
+                });
             }
         }
         "serve" => {

@@ -86,6 +86,18 @@ impl PlannedList {
         self.rgs.n()
     }
 
+    /// The flat sorted list — what boolean-expression evaluation
+    /// (`fsi-query`) feeds to the union/difference slice kernels.
+    pub fn flat(&self) -> &[Elem] {
+        self.flat.as_slice()
+    }
+
+    /// The chunked bitmap, when this list is dense enough to carry one —
+    /// what the expression planner's bitmap-`OR` candidate binds.
+    pub fn bitmap(&self) -> Option<&BitmapSet> {
+        self.bitmap.as_ref()
+    }
+
     /// The cost-model inputs of this list: its size, and its chunk count
     /// when it carries a bitmap.
     pub fn stats(&self) -> OperandStats {
@@ -365,6 +377,7 @@ impl Planner {
 pub struct PlannedExecutor {
     planner: Planner,
     lists: Vec<PlannedList>,
+    universe: u64,
 }
 
 impl PlannedExecutor {
@@ -375,12 +388,23 @@ impl PlannedExecutor {
             .iter()
             .map(|p| PlannedList::build(engine.ctx(), p))
             .collect();
-        Self { planner, lists }
+        Self {
+            planner,
+            lists,
+            universe: engine.max_doc().map_or(0, |m| m as u64 + 1),
+        }
     }
 
     /// The planner answering queries.
     pub fn planner(&self) -> &Planner {
         &self.planner
+    }
+
+    /// Size of the document space this executor covers (`max_doc + 1`; 0
+    /// for an empty index) — the denominator of the expression planner's
+    /// selectivity estimates.
+    pub fn universe(&self) -> u64 {
+        self.universe
     }
 
     /// Number of terms.

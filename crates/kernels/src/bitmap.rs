@@ -88,6 +88,62 @@ impl BitmapSet {
         let chunk = &self.words[ci * WORDS_PER_CHUNK..][..WORDS_PER_CHUNK];
         extract_words(id, chunk, out);
     }
+
+    /// k-way `OR`: walks all chunk-id lists in lockstep ascending order;
+    /// each chunk id present anywhere is `OR`ed across every set carrying
+    /// it (via the SIMD word primitive [`crate::simd::or_in_place_at`]) and
+    /// extracted once. A chunk only one set touches skips the accumulator
+    /// and extracts straight from that set's words. Output is ascending and
+    /// duplicate-free — the dense-regime union counterpart of
+    /// [`BitmapSet::intersect_k_into`].
+    pub fn union_k_into(sets: &[&Self], out: &mut Vec<Elem>) {
+        match sets {
+            [] => {}
+            [a] => {
+                for ci in 0..a.ids.len() {
+                    a.extract_chunk(ci, out);
+                }
+            }
+            _ => {
+                // One dispatch read for the whole sweep, not one per OR.
+                let level = crate::simd::SimdLevel::active();
+                let mut acc = [0u64; WORDS_PER_CHUNK];
+                let mut cursors = vec![0usize; sets.len()];
+                let next_id = |cursors: &[usize]| {
+                    sets.iter()
+                        .zip(cursors)
+                        .filter_map(|(s, &c)| s.ids.get(c).copied())
+                        .min()
+                };
+                while let Some(id) = next_id(&cursors) {
+                    let carriers: Vec<usize> = sets
+                        .iter()
+                        .zip(&cursors)
+                        .enumerate()
+                        .filter(|(_, (s, &c))| s.ids.get(c) == Some(&id))
+                        .map(|(si, _)| si)
+                        .collect();
+                    if let [only] = carriers.as_slice() {
+                        sets[*only].extract_chunk(cursors[*only], out);
+                    } else {
+                        acc.fill(0);
+                        for &si in &carriers {
+                            let c = cursors[si];
+                            crate::simd::or_in_place_at(
+                                level,
+                                &mut acc,
+                                &sets[si].words[c * WORDS_PER_CHUNK..][..WORDS_PER_CHUNK],
+                            );
+                        }
+                        extract_words(id, &acc, out);
+                    }
+                    for si in carriers {
+                        cursors[si] += 1;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Appends the members encoded by `chunk` (belonging to chunk `id`) to
@@ -303,6 +359,43 @@ mod tests {
             );
         }
         assert_eq!(BitmapSet::count_chunks(&[]), 0);
+    }
+
+    #[test]
+    fn k_way_union_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for k in 1..=5usize {
+            let sets: Vec<SortedSet> = (0..k)
+                .map(|_| (0..1200).map(|_| rng.gen_range(0..150_000u32)).collect())
+                .collect();
+            let built: Vec<BitmapSet> = sets.iter().map(BitmapSet::build).collect();
+            let refs: Vec<&BitmapSet> = built.iter().collect();
+            let expect: Vec<Elem> = sets
+                .iter()
+                .flat_map(|s| s.iter())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            let mut out = Vec::new();
+            BitmapSet::union_k_into(&refs, &mut out);
+            assert_eq!(out, expect, "k={k}");
+        }
+        let mut out = Vec::new();
+        BitmapSet::union_k_into(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn union_covers_disjoint_and_shared_chunks() {
+        // a touches chunks {0, 1}, b touches {1, 65537-chunk}: exercises the
+        // single-carrier fast path and the OR-accumulator path in one call.
+        let a = SortedSet::from_unsorted(vec![3, 65_535, 65_536, 70_000]);
+        let b = SortedSet::from_unsorted(vec![65_536, 70_001, u32::MAX]);
+        let ia = BitmapSet::build(&a);
+        let ib = BitmapSet::build(&b);
+        let mut out = Vec::new();
+        BitmapSet::union_k_into(&[&ia, &ib], &mut out);
+        assert_eq!(out, vec![3, 65_535, 65_536, 70_000, 70_001, u32::MAX]);
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //!   intersection is non-zero — most empty bucket pairs are rejected by a
 //!   single `AND`, exactly the paper's word-filtering idea applied at the
 //!   bucket granularity.
+//! * [`boolean`] — boolean-composition primitives for the expression
+//!   engine (`fsi-query`): k-way heap **union** ([`heap_union_into`]),
+//!   galloping multi-subtrahend **difference** ([`gallop_diff_into`]), and
+//!   the chunked-bitmap `OR` ([`BitmapSet::union_k_into`]) riding the same
+//!   SIMD word primitives as the `AND` sweep.
 //! * [`multiway`] — true k-way kernels behind the [`MultiwayKernel`] trait
 //!   ([`GallopProbe`], [`BitmapAnd`], [`HeapMerge`], selected per call by
 //!   [`MultiwayAuto`]): the smallest set drives probes into all the others
@@ -81,6 +86,7 @@
 //! for the dispatch rules and the `BENCH_simd.json` schema.
 
 pub mod bitmap;
+pub mod boolean;
 pub mod gallop;
 pub mod kernel;
 pub mod multiway;
@@ -89,6 +95,7 @@ pub mod simd;
 
 pub use bitmap::WORDS_PER_CHUNK;
 pub use bitmap::{BitmapKernel, BitmapSet};
+pub use boolean::{gallop_diff_into, heap_union_into, merge_union_into};
 pub use gallop::{
     branchless_merge_into, galloping_into, BranchlessMerge, Galloping, GallopingSet, GALLOP_RATIO,
 };

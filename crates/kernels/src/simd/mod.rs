@@ -333,6 +333,38 @@ pub fn and_in_place_at(level: SimdLevel, acc: &mut [u64], other: &[u64]) -> bool
     }
 }
 
+/// ORs `other` into `acc` word-by-word at the dispatched level — the union
+/// sibling of [`and_in_place`], used by the chunked-bitmap `OR` sweep.
+/// Unlike the `AND`, there is no zero test: a union accumulator only ever
+/// gains bits, so there is nothing to early-exit on.
+#[inline]
+pub fn or_in_place(acc: &mut [u64], other: &[u64]) {
+    or_in_place_at(SimdLevel::active(), acc, other)
+}
+
+/// [`or_in_place`] at an explicit level (saturated to the hardware).
+///
+/// Panics when `acc` and `other` differ in length — the SIMD tiers read
+/// whole blocks from both slices, so the precondition is enforced in
+/// release builds too.
+pub fn or_in_place_at(level: SimdLevel, acc: &mut [u64], other: &[u64]) {
+    assert_eq!(
+        acc.len(),
+        other.len(),
+        "bitmap OR operands differ in length"
+    );
+    match level.saturate() {
+        SimdLevel::Scalar => or_in_place_scalar(acc, other),
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        // SAFETY: level saturated to the detected hardware tier.
+        SimdLevel::Sse41 => unsafe { x86::or_in_place_sse(acc, other) },
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        SimdLevel::Avx2 => unsafe { x86::or_in_place_avx2(acc, other) },
+        #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
+        _ => or_in_place_scalar(acc, other),
+    }
+}
+
 /// Appends the set bits of `word` (offset by `base`) to `out`, ascending —
 /// the paper's footnote-1 trailing-zeros walk, shared by every level.
 #[inline]
@@ -360,6 +392,12 @@ fn and_in_place_scalar(acc: &mut [u64], other: &[u64]) -> bool {
         any |= *wa;
     }
     any == 0
+}
+
+fn or_in_place_scalar(acc: &mut [u64], other: &[u64]) {
+    for (wa, &wb) in acc.iter_mut().zip(other) {
+        *wa |= wb;
+    }
 }
 
 // ---------------------------------------------------------------------------

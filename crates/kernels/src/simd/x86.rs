@@ -300,6 +300,53 @@ pub unsafe fn and_in_place_avx2(acc: &mut [u64], other: &[u64]) -> bool {
     _mm256_testz_si256(any, any) == 1 && tail_any == 0
 }
 
+/// SSE4.1 in-place `OR` — the union sweep's word primitive. No zero test:
+/// a union accumulator only gains bits.
+///
+/// # Safety
+/// The CPU must support SSE4.1. `acc` and `other` must be equal length.
+#[target_feature(enable = "sse4.1")]
+pub unsafe fn or_in_place_sse(acc: &mut [u64], other: &[u64]) {
+    let n = acc.len();
+    let mut w = 0usize;
+    while w + 2 <= n {
+        let va = _mm_loadu_si128(acc.as_ptr().add(w) as *const __m128i);
+        let vb = _mm_loadu_si128(other.as_ptr().add(w) as *const __m128i);
+        _mm_storeu_si128(
+            acc.as_mut_ptr().add(w) as *mut __m128i,
+            _mm_or_si128(va, vb),
+        );
+        w += 2;
+    }
+    while w < n {
+        acc[w] |= other[w];
+        w += 1;
+    }
+}
+
+/// AVX2 in-place `OR` — 4 words per instruction.
+///
+/// # Safety
+/// The CPU must support AVX2. `acc` and `other` must be equal length.
+#[target_feature(enable = "avx2")]
+pub unsafe fn or_in_place_avx2(acc: &mut [u64], other: &[u64]) {
+    let n = acc.len();
+    let mut w = 0usize;
+    while w + 4 <= n {
+        let va = _mm256_loadu_si256(acc.as_ptr().add(w) as *const __m256i);
+        let vb = _mm256_loadu_si256(other.as_ptr().add(w) as *const __m256i);
+        _mm256_storeu_si256(
+            acc.as_mut_ptr().add(w) as *mut __m256i,
+            _mm256_or_si256(va, vb),
+        );
+        w += 4;
+    }
+    while w < n {
+        acc[w] |= other[w];
+        w += 1;
+    }
+}
+
 /// SSE4.1 signature scan: `AND`s 2 fine signatures against their aligned
 /// coarse signatures per iteration, `PTEST`-skips all-zero pairs, and
 /// calls `verify` for each surviving fine bucket.

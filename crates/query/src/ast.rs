@@ -1,0 +1,101 @@
+//! The parse-level boolean query AST.
+//!
+//! [`Expr`] is exactly what the surface syntax says — n-ary `AND`/`OR`
+//! nodes in source order, explicit `NOT` — before any algebraic rewriting.
+//! The canonical evaluable form lives in [`crate::rewrite::NormExpr`];
+//! everything downstream (planning, execution, cache keys) consumes that,
+//! never `Expr`.
+
+use std::fmt;
+
+/// A boolean query over term ids, as parsed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// One posting list.
+    Term(usize),
+    /// Conjunction of all children (≥ 1, in source order).
+    And(Vec<Expr>),
+    /// Disjunction of all children (≥ 1, in source order).
+    Or(Vec<Expr>),
+    /// Complement of the child (must end up bounded after rewriting).
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Every term id mentioned anywhere in the expression (with repeats,
+    /// in syntax order) — validation walks this against the index
+    /// vocabulary.
+    pub fn terms(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_terms(&mut out);
+        out
+    }
+
+    fn collect_terms(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Term(t) => out.push(*t),
+            Expr::And(children) | Expr::Or(children) => {
+                for c in children {
+                    c.collect_terms(out);
+                }
+            }
+            Expr::Not(inner) => inner.collect_terms(out),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Re-renders the expression in the surface syntax (fully
+    /// parenthesized, explicit `AND`) — `parse(&expr.to_string())` returns
+    /// a structurally equal AST.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Term(t) => write!(f, "{t}"),
+            Expr::And(children) => {
+                write!(f, "(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Or(children) => {
+                write!(f, "(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Not(inner) => write!(f, "NOT {inner}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_the_parser() {
+        let e = Expr::And(vec![
+            Expr::Term(3),
+            Expr::Or(vec![Expr::Term(1), Expr::Not(Box::new(Expr::Term(9)))]),
+        ]);
+        assert_eq!(e.to_string(), "(3 AND (1 OR NOT 9))");
+        assert_eq!(crate::parse(&e.to_string()).expect("reparses"), e);
+    }
+
+    #[test]
+    fn terms_walk_every_leaf() {
+        let e = Expr::Or(vec![
+            Expr::And(vec![Expr::Term(2), Expr::Term(5)]),
+            Expr::Not(Box::new(Expr::Term(2))),
+        ]);
+        assert_eq!(e.terms(), vec![2, 5, 2]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Reference evaluators with naive set semantics (`BTreeSet` union /
+//! intersection / difference) — the ground truth the differential suites
+//! pin the expression engine against.
+
+use crate::ast::Expr;
+use crate::rewrite::NormExpr;
+use fsi_core::elem::Elem;
+use std::collections::BTreeSet;
+
+/// Evaluates a canonical expression over term-indexed posting slices with
+/// textbook set operations. No universe is needed: normalization
+/// guarantees every difference is bounded by its own intersection.
+pub fn naive_eval(postings: &[&[Elem]], expr: &NormExpr) -> BTreeSet<Elem> {
+    match expr {
+        NormExpr::Term(t) => postings[*t].iter().copied().collect(),
+        NormExpr::And { pos, neg } => {
+            let mut acc = naive_eval(postings, &pos[0]);
+            for c in &pos[1..] {
+                let s = naive_eval(postings, c);
+                acc = acc.intersection(&s).copied().collect();
+            }
+            for c in neg {
+                let s = naive_eval(postings, c);
+                acc = acc.difference(&s).copied().collect();
+            }
+            acc
+        }
+        NormExpr::Or(children) => {
+            let mut acc = BTreeSet::new();
+            for c in children {
+                acc.extend(naive_eval(postings, c));
+            }
+            acc
+        }
+    }
+}
+
+/// Evaluates a *raw* (pre-rewrite) expression with `NOT` as complement
+/// within the explicit universe `0..universe` — the semantics the rewrite
+/// proptests compare [`crate::normalize`]'s output against. For bounded
+/// expressions the result is independent of `universe` as long as it
+/// covers every posting.
+pub fn naive_eval_universe(postings: &[&[Elem]], universe: u32, expr: &Expr) -> BTreeSet<Elem> {
+    match expr {
+        Expr::Term(t) => postings[*t]
+            .iter()
+            .copied()
+            .filter(|&x| x < universe)
+            .collect(),
+        Expr::And(children) => {
+            let mut acc = naive_eval_universe(postings, universe, &children[0]);
+            for c in &children[1..] {
+                let s = naive_eval_universe(postings, universe, c);
+                acc = acc.intersection(&s).copied().collect();
+            }
+            acc
+        }
+        Expr::Or(children) => {
+            let mut acc = BTreeSet::new();
+            for c in children {
+                acc.extend(naive_eval_universe(postings, universe, c));
+            }
+            acc
+        }
+        Expr::Not(inner) => {
+            let s = naive_eval_universe(postings, universe, inner);
+            (0..universe).filter(|x| !s.contains(x)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::rewrite::normalize;
+
+    #[test]
+    fn bounded_results_are_universe_independent() {
+        let postings: Vec<Vec<Elem>> = vec![vec![1, 4, 9], vec![2, 4, 6, 9], vec![4, 5]];
+        let slices: Vec<&[Elem]> = postings.iter().map(Vec::as_slice).collect();
+        for src in ["0 AND 1", "0 AND NOT 1", "0 OR 2", "1 AND (0 OR NOT 2)"] {
+            let expr = parse(src).expect("parses");
+            let norm = normalize(&expr).expect("bounded");
+            let via_norm = naive_eval(&slices, &norm);
+            for universe in [10u32, 50, 1000] {
+                assert_eq!(
+                    naive_eval_universe(&slices, universe, &expr),
+                    via_norm,
+                    "{src} at universe {universe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_results_grow_with_the_universe() {
+        let postings: Vec<Vec<Elem>> = vec![vec![1, 4]];
+        let slices: Vec<&[Elem]> = postings.iter().map(Vec::as_slice).collect();
+        let expr = parse("NOT 0").expect("parses");
+        assert_eq!(naive_eval_universe(&slices, 10, &expr).len(), 8);
+        assert_eq!(naive_eval_universe(&slices, 100, &expr).len(), 98);
+    }
+}

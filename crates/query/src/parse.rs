@@ -1,0 +1,306 @@
+//! A hand-rolled recursive-descent parser for the boolean query language.
+//!
+//! Grammar (keywords case-insensitive; whitespace separates tokens):
+//!
+//! ```text
+//! expr    := or
+//! or      := and ( "OR" and )*
+//! and     := unary ( "AND"? unary )*      // juxtaposition is implicit AND
+//! unary   := "NOT" unary | primary
+//! primary := TERM | "(" expr ")"
+//! TERM    := [0-9]+ | "t" [0-9]+
+//! ```
+//!
+//! `OR` binds loosest, implicit/explicit `AND` tighter, `NOT` tightest —
+//! `a b OR c` parses as `(a AND b) OR c`, and `NOT a b` as `(NOT a) AND b`.
+//! Terms are posting-list ids, written bare (`12`) or `t`-prefixed (`t12`).
+
+use crate::ast::Expr;
+use std::fmt;
+
+/// A parse failure, with the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the query string.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Term(usize),
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+}
+
+/// One lexed token plus where it started.
+struct Spanned {
+    tok: Tok,
+    pos: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let pos = i;
+        let tok = match c {
+            b'(' => {
+                i += 1;
+                Tok::LParen
+            }
+            b')' => {
+                i += 1;
+                Tok::RParen
+            }
+            _ if c.is_ascii_digit() || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                match word.to_ascii_uppercase().as_str() {
+                    "AND" => Tok::And,
+                    "OR" => Tok::Or,
+                    "NOT" => Tok::Not,
+                    _ => {
+                        // `t`-prefixed or bare decimal term id.
+                        let digits = word
+                            .strip_prefix(['t', 'T'])
+                            .filter(|d| !d.is_empty())
+                            .unwrap_or(word);
+                        let term = digits.parse::<usize>().map_err(|_| ParseError {
+                            pos,
+                            msg: format!("expected a term id or keyword, found {word:?}"),
+                        })?;
+                        Tok::Term(term)
+                    }
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    pos,
+                    msg: format!("unexpected character {:?}", other as char),
+                })
+            }
+        };
+        toks.push(Spanned { tok, pos });
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    at: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.at).map(|s| &s.tok)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks.get(self.at).map_or(self.end, |s| s.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.at).map(|s| s.tok.clone());
+        self.at += t.is_some() as usize;
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            pos: self.pos(),
+            msg: msg.into(),
+        })
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut children = vec![self.and_expr()?];
+        while self.peek() == Some(&Tok::Or) {
+            self.bump();
+            children.push(self.and_expr()?);
+        }
+        Ok(if children.len() == 1 {
+            children.pop().expect("one child")
+        } else {
+            Expr::Or(children)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut children = vec![self.unary()?];
+        loop {
+            match self.peek() {
+                Some(&Tok::And) => {
+                    self.bump();
+                    children.push(self.unary()?);
+                }
+                // Juxtaposition: anything that can *start* a unary
+                // continues the conjunction.
+                Some(&Tok::Term(_)) | Some(&Tok::Not) | Some(&Tok::LParen) => {
+                    children.push(self.unary()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(if children.len() == 1 {
+            children.pop().expect("one child")
+        } else {
+            Expr::And(children)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Tok::Not) {
+            self.bump();
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(&Tok::Term(t)) => {
+                self.bump();
+                Ok(Expr::Term(t))
+            }
+            Some(&Tok::LParen) => {
+                self.bump();
+                let inner = self.or_expr()?;
+                if self.peek() == Some(&Tok::RParen) {
+                    self.bump();
+                    Ok(inner)
+                } else {
+                    self.err("expected `)`")
+                }
+            }
+            Some(tok) => self.err(format!("expected a term or `(`, found {tok:?}")),
+            None => self.err("unexpected end of query"),
+        }
+    }
+}
+
+/// Parses a boolean query string into an [`Expr`].
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    if toks.is_empty() {
+        return Err(ParseError {
+            pos: 0,
+            msg: "empty query".to_string(),
+        });
+    }
+    let mut p = Parser {
+        toks,
+        at: 0,
+        end: src.len(),
+    };
+    let expr = p.or_expr()?;
+    if p.at < p.toks.len() {
+        return p.err(format!(
+            "trailing input after a complete expression (token {:?})",
+            p.toks[p.at].tok
+        ));
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: usize) -> Expr {
+        Expr::Term(id)
+    }
+
+    #[test]
+    fn precedence_and_implicit_and() {
+        // OR loosest, AND tighter, NOT tightest.
+        assert_eq!(
+            parse("1 2 OR 3").expect("parses"),
+            Expr::Or(vec![Expr::And(vec![t(1), t(2)]), t(3)])
+        );
+        assert_eq!(
+            parse("1 AND 2 OR 3 AND 4").expect("parses"),
+            Expr::Or(vec![
+                Expr::And(vec![t(1), t(2)]),
+                Expr::And(vec![t(3), t(4)])
+            ])
+        );
+        assert_eq!(
+            parse("NOT 1 2").expect("parses"),
+            Expr::And(vec![Expr::Not(Box::new(t(1))), t(2)])
+        );
+        assert_eq!(
+            parse("1 2 3").expect("parses"),
+            Expr::And(vec![t(1), t(2), t(3)])
+        );
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        assert_eq!(
+            parse("1 AND (2 OR 3)").expect("parses"),
+            Expr::And(vec![t(1), Expr::Or(vec![t(2), t(3)])])
+        );
+        assert_eq!(
+            parse("NOT (1 OR 2)").expect("parses"),
+            Expr::Not(Box::new(Expr::Or(vec![t(1), t(2)])))
+        );
+        assert_eq!(parse("((7))").expect("parses"), t(7));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_and_terms_may_be_prefixed() {
+        assert_eq!(
+            parse("t1 and T2 oR 3 NoT 4").expect("parses"),
+            parse("1 AND 2 OR 3 AND NOT 4").expect("parses")
+        );
+        assert_eq!(parse("t42").expect("parses"), t(42));
+    }
+
+    #[test]
+    fn double_not_parses() {
+        assert_eq!(
+            parse("NOT NOT 5").expect("parses"),
+            Expr::Not(Box::new(Expr::Not(Box::new(t(5)))))
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        assert_eq!(parse("").expect_err("empty").pos, 0);
+        assert_eq!(parse("   ").expect_err("blank").pos, 0);
+        let e = parse("1 AND $").expect_err("bad char");
+        assert_eq!(e.pos, 6);
+        let e = parse("(1 OR 2").expect_err("unclosed");
+        assert!(e.msg.contains(')'), "{e}");
+        assert!(parse("1 )").is_err(), "trailing close paren");
+        assert!(parse("AND 1").is_err(), "leading AND");
+        assert!(parse("1 OR").is_err(), "dangling OR");
+        assert!(parse("NOT").is_err(), "dangling NOT");
+        assert!(parse("txyz").is_err(), "non-numeric term");
+        // `t` alone is not a term id.
+        assert!(parse("t").is_err());
+    }
+}

@@ -3,16 +3,22 @@
 //! Ding & König motivate set intersection as the inner loop of query
 //! serving; real query streams are heavily skewed (Zipfian term
 //! popularity), so a small result cache absorbs a large fraction of
-//! traffic. Keys are `(normalized term set, execution mode)`; values are
-//! `Arc`-shared result vectors so hits never copy documents.
+//! traffic. Keys are `(canonical expression encoding, execution mode)`;
+//! values are `Arc`-shared result vectors so hits never copy documents.
 //!
 //! The cache is split into independently locked segments (selected by key
 //! hash) so concurrent workers rarely contend; each segment runs an exact
 //! LRU over an intrusive free-list slab.
+//!
+//! The canonical encoding (`fsi_query::encode`) makes a flat conjunctive
+//! query and any boolean expression equivalent to it — reordered,
+//! duplicated, De Morgan'd — produce bit-identical keys, so `a b`, `b a`,
+//! and `b AND a AND b` all share one entry.
 
 use crate::config::ExecMode;
 use fsi_core::Elem;
 use fsi_index::Strategy;
+use fsi_query::NormExpr;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -39,30 +45,43 @@ impl From<&ExecMode> for ModeKey {
     }
 }
 
-/// A cache key: the query's term set (sorted, deduplicated) plus the
+/// A cache key: the canonical encoding of the query expression plus the
 /// execution mode the result was computed under.
+///
+/// Flat conjunctions and parsed boolean expressions share one key space:
+/// [`CacheKey::new`] encodes a term list exactly as
+/// [`CacheKey::from_norm`] encodes the equivalent normalized conjunction
+/// (`fsi_query::encode_flat_and` is definitionally consistent with
+/// `fsi_query::encode ∘ normalize`), so a flat `[a, b]` query hits an
+/// entry inserted by the expression `b AND a` and vice versa.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    terms: Box<[usize]>,
+    expr: Box<[u32]>,
     mode: ModeKey,
 }
 
 impl CacheKey {
-    /// Normalizes `terms` (sort + dedup: conjunctive queries are
-    /// order-insensitive and idempotent) and attaches the mode.
+    /// The key of a flat conjunctive query: canonicalizes `terms`
+    /// (sort + dedup — conjunctions are order-insensitive and idempotent)
+    /// into the shared expression encoding and attaches the mode.
     pub fn new(terms: &[usize], mode: ModeKey) -> Self {
-        let mut terms: Vec<usize> = terms.to_vec();
-        terms.sort_unstable();
-        terms.dedup();
         Self {
-            terms: terms.into_boxed_slice(),
+            expr: fsi_query::encode_flat_and(terms).into_boxed_slice(),
             mode,
         }
     }
 
-    /// The normalized term set.
-    pub fn terms(&self) -> &[usize] {
-        &self.terms
+    /// The key of a normalized boolean expression.
+    pub fn from_norm(expr: &NormExpr, mode: ModeKey) -> Self {
+        Self {
+            expr: fsi_query::encode(expr).into_boxed_slice(),
+            mode,
+        }
+    }
+
+    /// The canonical expression encoding this key carries.
+    pub fn encoding(&self) -> &[u32] {
+        &self.expr
     }
 
     fn segment(&self, num_segments: usize) -> usize {
@@ -410,6 +429,7 @@ mod tests {
         assert_eq!(key(&[3, 1, 2]), key(&[1, 2, 3]));
         assert_eq!(key(&[5, 5, 1]), key(&[1, 5]));
         assert_ne!(key(&[1, 2]), key(&[1, 3]));
+        assert_ne!(key(&[]), key(&[1]));
         assert_ne!(
             CacheKey::new(&[1, 2], ModeKey::Fixed(Strategy::Merge)),
             CacheKey::new(&[1, 2], ModeKey::Fixed(Strategy::Hash)),
@@ -418,6 +438,32 @@ mod tests {
             CacheKey::new(&[1, 2], ModeKey::Fixed(Strategy::Merge)),
             CacheKey::new(&[1, 2], ModeKey::Planned),
         );
+    }
+
+    #[test]
+    fn flat_and_expression_keys_share_one_entry() {
+        // The canonical-keying satellite: a flat `[a, b]` query, its
+        // reordered-duplicated variant, and any equivalent parsed boolean
+        // expression must all land on the same cache slot.
+        let mode = ModeKey::Planned;
+        let flat = CacheKey::new(&[4, 2], mode);
+        let shuffled = CacheKey::new(&[2, 4, 2], mode);
+        let expr = CacheKey::from_norm(&fsi_query::compile("4 AND 2").expect("ok"), mode);
+        let de_morgan = CacheKey::from_norm(
+            &fsi_query::compile("NOT (NOT 2 OR NOT 4)").expect("ok"),
+            mode,
+        );
+        assert_eq!(flat, shuffled);
+        assert_eq!(flat, expr);
+        assert_eq!(flat, de_morgan);
+        // …and a genuinely different expression does not.
+        let other = CacheKey::from_norm(&fsi_query::compile("4 OR 2").expect("ok"), mode);
+        assert_ne!(flat, other);
+        let cache = QueryCache::new(8, 2);
+        cache.insert(flat, val(&[1, 2, 3]));
+        assert_eq!(cache.get(&expr).expect("hit").as_slice(), &[1, 2, 3]);
+        assert_eq!(cache.get(&shuffled).expect("hit").as_slice(), &[1, 2, 3]);
+        assert!(cache.get(&other).is_none());
     }
 
     #[test]

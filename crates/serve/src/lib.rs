@@ -14,20 +14,27 @@
 //!   round-robin dealing and work stealing, reporting per-query latency
 //!   order statistics and batch throughput;
 //! * [`cache`] — [`QueryCache`]: a segmented LRU over intersection
-//!   results keyed by `(term set, execution mode)` with hit/miss/eviction
-//!   counters — Zipf-skewed query streams (the realistic case) hit it
-//!   hard;
+//!   results keyed by `(canonical expression encoding, execution mode)`
+//!   with hit/miss/eviction counters — Zipf-skewed query streams (the
+//!   realistic case) hit it hard, and flat conjunctions share the key
+//!   space with every equivalent boolean spelling;
 //! * [`config`] / [`stats`] — [`ServeConfig`] admission knobs (shards,
 //!   workers, cache capacity, fixed-[`fsi_index::Strategy`] vs
 //!   planner-dispatched execution) and [`ServeStats`] snapshots;
-//! * [`server`] — [`Server`]: the assembled stack.
+//! * [`server`] — [`Server`]: the assembled stack. Beyond flat
+//!   conjunctions, `Server::query_expr` answers the [`fsi_query`] boolean
+//!   language (`AND`/`OR`/`NOT`, parentheses, implicit `AND`) end-to-end:
+//!   parse → canonical rewrite → per-shard cost-based expression plan,
+//!   with malformed or unbounded queries rejected as [`QueryError`]s.
 //!
 //! ## Correctness contract
 //!
 //! For every strategy and shard count, `Server::query` returns exactly the
 //! bytes `fsi_index::Executor::query` returns on the unsharded engine —
 //! asserted by the differential test suite (`tests/serve_differential.rs`
-//! at the workspace root).
+//! at the workspace root). Boolean expressions are likewise pinned to a
+//! naive set-semantics evaluator across shard counts and planners
+//! (`tests/query_differential.rs`).
 //!
 //! ## Quick start
 //!
@@ -59,6 +66,6 @@ pub mod stats;
 pub use cache::{CacheKey, CacheStats, ModeKey, QueryCache};
 pub use config::{ExecMode, ServeConfig};
 pub use pool::{BatchOutcome, QueryPool};
-pub use server::Server;
+pub use server::{QueryError, Server};
 pub use shard::ShardedEngine;
 pub use stats::{LatencySummary, ServeStats};

@@ -1,15 +1,49 @@
 //! The top-level serving facade: a [`ShardedEngine`], a [`QueryCache`] and
 //! a [`QueryPool`] assembled from one [`ServeConfig`].
 
-use crate::cache::QueryCache;
+use crate::cache::{CacheKey, ModeKey, QueryCache};
 use crate::config::ServeConfig;
 use crate::pool::{BatchOutcome, QueryPool};
 use crate::shard::ShardedEngine;
 use crate::stats::ServeStats;
 use fsi_core::{Elem, HashContext};
 use fsi_index::{Corpus, SearchEngine};
+use fsi_query::{CompileError, NormExpr};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Why the server rejected a boolean query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query does not parse or normalizes to an unbounded set.
+    Compile(CompileError),
+    /// The query names a term outside the index vocabulary.
+    UnknownTerm {
+        /// The offending term id.
+        term: usize,
+        /// The vocabulary size (valid ids are `0..num_terms`).
+        num_terms: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Compile(e) => write!(f, "{e}"),
+            QueryError::UnknownTerm { term, num_terms } => {
+                write!(f, "unknown term t{term} (index has {num_terms} terms)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<CompileError> for QueryError {
+    fn from(e: CompileError) -> Self {
+        QueryError::Compile(e)
+    }
+}
 
 /// A self-contained query-serving engine.
 ///
@@ -35,6 +69,7 @@ pub struct Server {
     cache: QueryCache,
     pool: QueryPool,
     queries_served: AtomicU64,
+    expr_queries_served: AtomicU64,
 }
 
 impl Server {
@@ -46,6 +81,7 @@ impl Server {
             cache: QueryCache::new(config.cache_capacity, config.cache_segments),
             pool: QueryPool::new(config.num_workers),
             queries_served: AtomicU64::new(0),
+            expr_queries_served: AtomicU64::new(0),
             config,
         }
     }
@@ -61,6 +97,60 @@ impl Server {
         self.queries_served.fetch_add(1, Ordering::Relaxed);
         let cache = self.cache.is_enabled().then_some(&self.cache);
         QueryPool::answer(&self.engine, cache, terms).0
+    }
+
+    /// Parses, rewrites, and answers one **boolean** query string
+    /// (cache-fronted), ascending document order.
+    ///
+    /// ```
+    /// use fsi_serve::{ServeConfig, Server};
+    /// use fsi_core::{HashContext, SortedSet};
+    /// use fsi_index::SearchEngine;
+    ///
+    /// let engine = SearchEngine::from_postings(
+    ///     HashContext::new(1),
+    ///     vec![
+    ///         SortedSet::from_unsorted(vec![1, 5, 9, 12]),
+    ///         SortedSet::from_unsorted(vec![5, 9, 30]),
+    ///         SortedSet::from_unsorted(vec![9]),
+    ///     ],
+    /// );
+    /// let server = Server::new(&engine, ServeConfig::default());
+    /// let hits = server.query_expr("(0 AND 1) AND NOT 2").expect("valid query");
+    /// assert_eq!(hits.as_slice(), &[5]);
+    /// assert!(server.query_expr("NOT 2").is_err(), "unbounded");
+    /// ```
+    pub fn query_expr(&self, query: &str) -> Result<Arc<Vec<Elem>>, QueryError> {
+        let norm = fsi_query::compile(query)?;
+        let num_terms = self.engine.num_terms();
+        if let Some(&term) = norm.terms().iter().find(|&&t| t >= num_terms) {
+            return Err(QueryError::UnknownTerm { term, num_terms });
+        }
+        Ok(self.query_norm(&norm))
+    }
+
+    /// Answers one pre-compiled boolean expression (cache-fronted; the
+    /// caller guarantees every term is in `0..num_terms`). The cache key
+    /// is the canonical encoding, so any expression equivalent to a
+    /// previously answered one — including a flat conjunctive query of
+    /// the same terms — hits its entry.
+    pub fn query_norm(&self, expr: &NormExpr) -> Arc<Vec<Elem>> {
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        self.expr_queries_served.fetch_add(1, Ordering::Relaxed);
+        let key = self
+            .cache
+            .is_enabled()
+            .then(|| CacheKey::from_norm(expr, ModeKey::from(self.engine.mode())));
+        if let Some(key) = &key {
+            if let Some(hit) = self.cache.get(key) {
+                return hit;
+            }
+        }
+        let result = Arc::new(self.engine.query_expr(expr));
+        if let Some(key) = key {
+            self.cache.insert(key, Arc::clone(&result));
+        }
+        result
     }
 
     /// Drains a batch of queries across the worker pool, consulting and
@@ -91,6 +181,7 @@ impl Server {
     pub fn stats(&self) -> ServeStats {
         ServeStats {
             queries_served: self.queries_served.load(Ordering::Relaxed),
+            expr_queries_served: self.expr_queries_served.load(Ordering::Relaxed),
             cache: self.cache.stats(),
             num_shards: self.engine.num_shards(),
             num_workers: self.pool.workers(),
@@ -155,6 +246,80 @@ mod tests {
         let stats = s.stats();
         assert_eq!(stats.cache.hits, 0);
         assert_eq!(stats.cache.misses, 0, "disabled cache records nothing");
+    }
+
+    #[test]
+    fn expression_queries_are_served_and_cached_canonically() {
+        let s = server(ServeConfig {
+            num_shards: 3,
+            cache_capacity: 32,
+            ..ServeConfig::default()
+        });
+        let a = s.query_expr("(0 OR 1) AND 5 AND NOT 2").expect("valid");
+        // An equivalent expression — reordered, duplicated, De Morgan'd —
+        // must hit the same cache entry.
+        let b = s
+            .query_expr("5 AND NOT 2 AND NOT (NOT 1 AND NOT 0) AND 5")
+            .expect("valid");
+        assert_eq!(a, b);
+        let stats = s.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.expr_queries_served, 2);
+        assert_eq!(stats.queries_served, 2);
+    }
+
+    #[test]
+    fn flat_and_expression_paths_share_the_cache() {
+        let s = server(ServeConfig {
+            num_shards: 2,
+            cache_capacity: 32,
+            ..ServeConfig::default()
+        });
+        let flat = s.query(&[1, 0]);
+        let expr = s.query_expr("0 AND 1").expect("valid");
+        assert_eq!(flat, expr);
+        assert_eq!(s.stats().cache.hits, 1, "expression hit the flat entry");
+    }
+
+    #[test]
+    fn expression_matches_flat_conjunction_results() {
+        for mode in [
+            ExecMode::Fixed(Strategy::Merge),
+            ExecMode::Planned(Planner::default()),
+        ] {
+            let s = server(ServeConfig {
+                mode,
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            });
+            assert_eq!(
+                s.query_expr("0 AND 1 AND 9").expect("valid"),
+                s.query(&[0, 1, 9])
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_not_panicked() {
+        let s = server(ServeConfig::default());
+        assert!(matches!(
+            s.query_expr("0 AND"),
+            Err(QueryError::Compile(fsi_query::CompileError::Parse(_)))
+        ));
+        assert!(matches!(
+            s.query_expr("NOT 0"),
+            Err(QueryError::Compile(fsi_query::CompileError::Rewrite(_)))
+        ));
+        let err = s.query_expr("0 AND 99999").expect_err("unknown term");
+        assert!(
+            matches!(err, QueryError::UnknownTerm { term: 99999, .. }),
+            "{err}"
+        );
+        assert_eq!(
+            s.stats().queries_served,
+            0,
+            "rejected queries are not counted"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::config::ExecMode;
 use fsi_core::Elem;
 use fsi_index::{OwnedExecutor, PlannedExecutor, SearchEngine};
+use fsi_query::{ExprPlanner, NormExpr};
 use std::ops::Range;
 
 /// Per-shard prepared state under one execution mode.
@@ -53,6 +54,27 @@ impl Shard {
             ShardIndex::Fixed(exec) => exec.query_into(terms, out),
             ShardIndex::Planned(exec) => {
                 exec.query_into(terms, out);
+            }
+        }
+    }
+
+    /// Sorted evaluation of a boolean expression within this shard's
+    /// document range.
+    fn query_expr(&self, expr: &NormExpr) -> Vec<Elem> {
+        let mut out = Vec::new();
+        self.query_expr_into(expr, &mut out);
+        out
+    }
+
+    /// Appends the shard's expression result to `out`. Planned shards run
+    /// the full cost-based expression plan over shard-local statistics;
+    /// fixed shards evaluate structurally through their own strategy.
+    fn query_expr_into(&self, expr: &NormExpr, out: &mut Vec<Elem>) {
+        match &self.index {
+            ShardIndex::Fixed(exec) => fsi_query::eval_owned_into(exec, expr, out),
+            ShardIndex::Planned(exec) => {
+                let planner = ExprPlanner::new(exec.planner().clone());
+                fsi_query::eval_planned_into(exec, &planner, expr, out);
             }
         }
     }
@@ -139,6 +161,48 @@ impl ShardedEngine {
         for shard in &self.shards {
             // Disjoint ascending ranges: appending preserves order.
             shard.query_into(terms, &mut out);
+        }
+        out
+    }
+
+    /// Evaluates a boolean expression in ascending document order, running
+    /// shards sequentially on the calling thread.
+    ///
+    /// Union, intersection, and difference all distribute over restriction
+    /// to a document range (`(A ∪ B)|ᵣ = A|ᵣ ∪ B|ᵣ`, likewise `∩`/`∖`), and
+    /// shard ranges are disjoint and ascending — so, exactly as with flat
+    /// conjunctions, the global result is the plain concatenation of
+    /// per-shard results (asserted shard-count-invariant by
+    /// `tests/query_differential.rs`).
+    pub fn query_expr(&self, expr: &NormExpr) -> Vec<Elem> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            shard.query_expr_into(expr, &mut out);
+        }
+        out
+    }
+
+    /// Like [`ShardedEngine::query_expr`], but fans the shards out over
+    /// scoped threads (one per shard) — the expression sibling of
+    /// [`ShardedEngine::query_parallel`].
+    pub fn query_expr_parallel(&self, expr: &NormExpr) -> Vec<Elem> {
+        if self.shards.len() == 1 {
+            return self.query_expr(expr);
+        }
+        let partials: Vec<Vec<Elem>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| scope.spawn(move || shard.query_expr(expr)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard query panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(partials.iter().map(Vec::len).sum());
+        for p in partials {
+            out.extend(p);
         }
         out
     }
@@ -259,6 +323,63 @@ mod tests {
             ShardedEngine::build(&engine, 4, ExecMode::Fixed(Strategy::RanGroupScan { m: 2 }));
         for q in [vec![0usize, 1], vec![2, 9, 30], vec![]] {
             assert_eq!(sharded.query_parallel(&q), sharded.query(&q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn expression_results_are_shard_count_invariant() {
+        let engine = engine();
+        let exprs: Vec<NormExpr> = [
+            "0 AND 1",
+            "0 OR 9 OR 17",
+            "2 AND NOT 9",
+            "(0 OR 1) AND (2 OR 3) AND NOT 40",
+            "30 AND (5 OR NOT 6)",
+        ]
+        .iter()
+        .map(|s| fsi_query::compile(s).expect("compiles"))
+        .collect();
+        for mode in [
+            ExecMode::Fixed(Strategy::Merge),
+            ExecMode::Planned(Planner::default()),
+        ] {
+            let single = ShardedEngine::build(&engine, 1, mode.clone());
+            for shards in [2usize, 3, 7] {
+                let sharded = ShardedEngine::build(&engine, shards, mode.clone());
+                for e in &exprs {
+                    assert_eq!(
+                        sharded.query_expr(e),
+                        single.query_expr(e),
+                        "shards={shards} expr={e}"
+                    );
+                    assert_eq!(
+                        sharded.query_expr_parallel(e),
+                        single.query_expr(e),
+                        "parallel shards={shards} expr={e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expression_conjunctions_match_the_flat_path() {
+        // `a AND b` through the expression engine must be byte-identical
+        // to the flat `[a, b]` path on the same shards.
+        let engine = engine();
+        for mode in [
+            ExecMode::Fixed(Strategy::RanGroupScan { m: 2 }),
+            ExecMode::Planned(Planner::default()),
+        ] {
+            let sharded = ShardedEngine::build(&engine, 3, mode);
+            for (src, terms) in [
+                ("0 AND 1", vec![0usize, 1]),
+                ("9 AND 2 AND 30", vec![2, 9, 30]),
+                ("7", vec![7]),
+            ] {
+                let expr = fsi_query::compile(src).expect("compiles");
+                assert_eq!(sharded.query_expr(&expr), sharded.query(&terms), "{src}");
+            }
         }
     }
 

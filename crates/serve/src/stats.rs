@@ -69,6 +69,9 @@ impl LatencySummary {
 pub struct ServeStats {
     /// Queries answered since the server was built (cache hits included).
     pub queries_served: u64,
+    /// The subset of `queries_served` that arrived as boolean expressions
+    /// (`Server::query_expr` / `Server::query_norm`).
+    pub expr_queries_served: u64,
     /// Result-cache counters.
     pub cache: CacheStats,
     /// Number of document shards.

@@ -76,6 +76,116 @@ pub fn generate_stream(cfg: &QueryStreamConfig) -> Vec<Vec<usize>> {
         .collect()
 }
 
+/// Configuration of a **boolean** query stream: Zipf-popular terms
+/// composed into `AND`/`OR`/`NOT` expressions — the traffic model the
+/// serving layer and the boolean benchmark share.
+#[derive(Debug, Clone)]
+pub struct BooleanStreamConfig {
+    /// Number of queries to generate.
+    pub num_queries: usize,
+    /// Vocabulary size; queries draw term ranks in `0..num_terms`.
+    pub num_terms: usize,
+    /// Zipf exponent of term popularity.
+    pub zipf_exponent: f64,
+    /// Probability a query is a disjunction of conjunction groups (an
+    /// `(… AND …) OR (… AND …)` shape) rather than one flat conjunction.
+    pub or_probability: f64,
+    /// Maximum number of OR'd groups (≥ 2 when the OR branch fires;
+    /// values < 2 are treated as 2).
+    pub or_arity: usize,
+    /// Per-group probability of appending one `AND NOT term` exclusion
+    /// (always attached to a group with at least one positive term, so
+    /// every generated query is bounded and parses + normalizes cleanly).
+    pub not_probability: f64,
+    /// RNG seed (the stream is deterministic in it).
+    pub seed: u64,
+}
+
+impl Default for BooleanStreamConfig {
+    fn default() -> Self {
+        Self {
+            num_queries: 10_000,
+            num_terms: 1 << 12,
+            zipf_exponent: 1.0,
+            or_probability: 0.35,
+            or_arity: 3,
+            not_probability: 0.25,
+            seed: 0xb0_01_ea,
+        }
+    }
+}
+
+/// Draws `k` distinct Zipf-popular terms, in draw order (popular terms
+/// surface in varying positions, so repeated term sets arrive reordered —
+/// exactly what canonical cache keying has to absorb).
+fn draw_terms<R: Rng + ?Sized>(rng: &mut R, zipf: &Zipf, k: usize) -> Vec<usize> {
+    let mut terms: Vec<usize> = Vec::with_capacity(k);
+    while terms.len() < k {
+        let t = zipf.sample(rng);
+        if !terms.contains(&t) {
+            terms.push(t);
+        }
+    }
+    terms
+}
+
+/// Generates a boolean query stream as surface-syntax strings (exercising
+/// the `fsi-query` parser end-to-end). Every query is bounded: `NOT` only
+/// appears conjoined with positive terms inside a group. Queries repeat
+/// the way Zipf traffic repeats — with terms in fresh random order and
+/// occasional duplicates — so the stream doubles as the canonical-keying
+/// cache demonstration.
+pub fn generate_boolean_stream(cfg: &BooleanStreamConfig) -> Vec<String> {
+    assert!(cfg.num_terms > 0, "need a vocabulary");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zipf = Zipf::new(cfg.num_terms, cfg.zipf_exponent);
+    (0..cfg.num_queries)
+        .map(|_| {
+            let groups = if rng.gen::<f64>() < cfg.or_probability {
+                rng.gen_range(2..=cfg.or_arity.max(2))
+            } else {
+                1
+            };
+            let rendered: Vec<String> = (0..groups)
+                .map(|_| {
+                    let k = draw_k(&mut rng).min(cfg.num_terms);
+                    let mut terms = draw_terms(&mut rng, &zipf, k);
+                    // Occasionally duplicate a term in place — the dedup
+                    // rewrite (and the canonical cache key) must absorb it.
+                    if terms.len() > 1 && rng.gen::<f64>() < 0.15 {
+                        let dup = terms[rng.gen_range(0..terms.len())];
+                        terms.push(dup);
+                    }
+                    let mut atoms: Vec<String> = terms.iter().map(|t| format!("t{t}")).collect();
+                    if rng.gen::<f64>() < cfg.not_probability {
+                        // Exclude a term not already in the group.
+                        let not_term = loop {
+                            let t = zipf.sample(&mut rng);
+                            if !terms.contains(&t) || cfg.num_terms <= k + 1 {
+                                break t;
+                            }
+                        };
+                        atoms.push(format!("NOT t{not_term}"));
+                    }
+                    // Alternate implicit and explicit AND spellings so the
+                    // parser's juxtaposition path stays exercised.
+                    let joined = if rng.gen::<bool>() {
+                        atoms.join(" ")
+                    } else {
+                        atoms.join(" AND ")
+                    };
+                    if groups > 1 {
+                        format!("({joined})")
+                    } else {
+                        joined
+                    }
+                })
+                .collect();
+            rendered.join(" OR ")
+        })
+        .collect()
+}
+
 /// Fraction of queries in `stream` whose (order-insensitive) term set
 /// already appeared earlier — an upper bound on the hit rate an unbounded
 /// result cache could reach on this stream.
@@ -157,6 +267,103 @@ mod tests {
             ..cfg(50)
         };
         assert_ne!(generate_stream(&cfg(50)), generate_stream(&other));
+    }
+
+    fn bool_cfg(n: usize) -> BooleanStreamConfig {
+        BooleanStreamConfig {
+            num_queries: n,
+            num_terms: 128,
+            zipf_exponent: 1.0,
+            or_probability: 0.5,
+            or_arity: 3,
+            not_probability: 0.4,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn boolean_queries_all_compile_and_stay_in_vocabulary() {
+        let stream = generate_boolean_stream(&bool_cfg(1500));
+        assert_eq!(stream.len(), 1500);
+        for q in &stream {
+            let norm = fsi_query::compile(q)
+                .unwrap_or_else(|e| panic!("generated query {q:?} failed to compile: {e}"));
+            assert!(
+                norm.terms().iter().all(|&t| t < 128),
+                "{q:?} out of vocabulary"
+            );
+        }
+    }
+
+    #[test]
+    fn boolean_stream_mixes_shapes() {
+        let stream = generate_boolean_stream(&bool_cfg(3000));
+        let with_or = stream.iter().filter(|q| q.contains(" OR ")).count() as f64;
+        let with_not = stream.iter().filter(|q| q.contains("NOT ")).count() as f64;
+        let n = stream.len() as f64;
+        // OR fires at the configured probability; NOT at least per-group.
+        assert!(
+            (with_or / n - 0.5).abs() < 0.06,
+            "OR fraction {}",
+            with_or / n
+        );
+        assert!(with_not / n > 0.35, "NOT fraction {}", with_not / n);
+        // Shape knobs at zero produce pure conjunctions.
+        let flat = generate_boolean_stream(&BooleanStreamConfig {
+            or_probability: 0.0,
+            not_probability: 0.0,
+            ..bool_cfg(500)
+        });
+        assert!(flat.iter().all(|q| !q.contains("OR") && !q.contains("NOT")));
+    }
+
+    #[test]
+    fn boolean_streams_repeat_canonically() {
+        // Zipf skew must produce queries that are *equivalent after
+        // canonicalization* (often with different surface order) — the
+        // property the cache demonstration rides on.
+        let stream = generate_boolean_stream(&BooleanStreamConfig {
+            num_terms: 24,
+            ..bool_cfg(2000)
+        });
+        let mut seen = std::collections::HashSet::new();
+        let mut repeats = 0usize;
+        for q in &stream {
+            let key = fsi_query::encode(&fsi_query::compile(q).expect("compiles"));
+            if !seen.insert(key) {
+                repeats += 1;
+            }
+        }
+        let rate = repeats as f64 / stream.len() as f64;
+        assert!(rate > 0.05, "canonical repeat rate {rate} too low");
+        // …and strictly more repeats than raw-string matching finds, i.e.
+        // some repeats are reorderings/respellings only canonicalization
+        // unifies.
+        let mut raw_seen = std::collections::HashSet::new();
+        let raw_repeats = stream
+            .iter()
+            .filter(|q| !raw_seen.insert((*q).clone()))
+            .count();
+        assert!(
+            repeats > raw_repeats,
+            "canonical {repeats} vs raw {raw_repeats}"
+        );
+    }
+
+    #[test]
+    fn boolean_stream_is_deterministic_in_seed() {
+        assert_eq!(
+            generate_boolean_stream(&bool_cfg(80)),
+            generate_boolean_stream(&bool_cfg(80))
+        );
+        let other = BooleanStreamConfig {
+            seed: 10,
+            ..bool_cfg(80)
+        };
+        assert_ne!(
+            generate_boolean_stream(&bool_cfg(80)),
+            generate_boolean_stream(&other)
+        );
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   with runtime selection.
 //! * [`index`] — an inverted-index/search substrate with pluggable
 //!   intersection strategies, plus the bag-semantics extension.
+//! * [`query`] — the boolean expression engine: an `AND`/`OR`/`NOT` query
+//!   language ([`query::parse()`]), algebraic rewrites to a canonical form
+//!   ([`query::normalize`]), and cost-based expression planning/execution
+//!   ([`query::ExprPlanner`]) over the index layer's prepared lists.
 //! * [`workloads`] — the evaluation's synthetic and query-log workload
 //!   generators, plus Zipf-skewed query streams for the serving layer.
 //! * [`serve`] — the concurrent query-serving subsystem: document-range
@@ -51,6 +55,7 @@ pub use fsi_compress as compress;
 pub use fsi_core as core;
 pub use fsi_index as index;
 pub use fsi_kernels as kernels;
+pub use fsi_query as query;
 pub use fsi_serve as serve;
 pub use fsi_workloads as workloads;
 

@@ -154,6 +154,12 @@ fn word_and_primitives_match_scalar_on_hostile_word_counts() {
             let zero_v = simd::and_in_place_at(level, &mut acc_v, &b);
             assert_eq!(acc_v, acc_s, "{} and_in_place n={n}", level.name());
             assert_eq!(zero_v, zero_s, "{} all-zero flag n={n}", level.name());
+            // or_in_place (the union sweep's word primitive)
+            let mut or_s = a.clone();
+            simd::or_in_place_at(SimdLevel::Scalar, &mut or_s, &b);
+            let mut or_v = a.clone();
+            simd::or_in_place_at(level, &mut or_v, &b);
+            assert_eq!(or_v, or_s, "{} or_in_place n={n}", level.name());
             // sig_scan at every bucket-count ratio the nesting can produce
             for dt in 0..3u32 {
                 // Every fine index z must have a coarse bucket z >> dt.
