@@ -232,8 +232,9 @@ fn main() {
             )
         })
         .collect();
+    let env = fsi_bench::env_json();
     let json = format!(
-        "{{\n  \"bench\": \"boolean\",\n  \"smoke\": {},\n  \"config\": {{\n    \
+        "{{\n  \"bench\": \"boolean\",\n  \"smoke\": {},\n  {env},\n  \"config\": {{\n    \
          \"num_docs\": {num_docs},\n    \"num_terms\": {num_terms},\n    \
          \"num_queries\": {num_queries},\n    \"reps\": {reps},\n    \
          \"active_level\": \"{}\"\n  }},\n  \"shapes\": [\n{}\n  ],\n  \

@@ -17,6 +17,10 @@
 //!   rows;
 //! * `boolean` files — `qps` per query-stream shape plus the canonical
 //!   cache-keying `hit_rate` (deterministic in the seeded stream);
+//! * `obs` files — the untraced throughput `untraced_qps` and the
+//!   traced/untraced `qps_ratio` (higher = cheaper tracing). The obs
+//!   binary additionally hard-asserts its overhead budget in-process, so
+//!   the gate here only has to catch cliffs that assertion's slack admits;
 //! * `serve` files — `qps` per scaling row and the cache `warm_qps`.
 //!   Rows flagged `"oversubscribed": true` (more workers than cores) are
 //!   skipped **in either file**: their numbers measure OS timeslicing, not
@@ -142,6 +146,19 @@ fn metrics(doc: &Json, path: &str) -> (Vec<Metric>, Vec<(String, &'static str)>)
                     value: num(cache, "hit_rate"),
                 });
             }
+        }
+        "obs" => {
+            let overhead = doc
+                .get("overhead")
+                .unwrap_or_else(|| panic!("{path}: obs file without an overhead object"));
+            out.push(Metric {
+                key: "overhead/untraced_qps".to_string(),
+                value: num(overhead, "untraced_qps"),
+            });
+            out.push(Metric {
+                key: "overhead/qps_ratio".to_string(),
+                value: num(overhead, "qps_ratio"),
+            });
         }
         "serve" => {
             for row in doc.get("scaling").and_then(Json::as_array).unwrap_or(&[]) {

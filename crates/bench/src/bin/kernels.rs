@@ -195,8 +195,9 @@ fn main() {
         ));
     }
 
+    let env = fsi_bench::env_json();
     let json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"reps\": {reps},\n  \"smoke\": {},\n  \
+        "{{\n  \"bench\": \"kernels\",\n  \"reps\": {reps},\n  \"smoke\": {},\n  {env},\n  \
          \"shapes\": [\n{}\n  ]\n}}\n",
         args.smoke,
         shape_json.join(",\n")

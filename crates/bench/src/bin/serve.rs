@@ -168,8 +168,9 @@ fn main() {
             )
         })
         .collect();
+    let env = fsi_bench::env_json();
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"smoke\": {},\n  \"config\": {{\n    \
+        "{{\n  \"bench\": \"serve\",\n  \"smoke\": {},\n  {env},\n  \"config\": {{\n    \
          \"num_docs\": {num_docs},\n    \"num_terms\": {num_terms},\n    \
          \"num_queries\": {num_queries},\n    \
          \"num_shards\": {NUM_SHARDS},\n    \"available_cores\": {cores},\n    \

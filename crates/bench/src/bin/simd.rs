@@ -216,8 +216,9 @@ fn main() {
         ));
     }
 
+    let env = fsi_bench::env_json();
     let json = format!(
-        "{{\n  \"bench\": \"simd\",\n  \"reps\": {reps},\n  \"smoke\": {},\n  \
+        "{{\n  \"bench\": \"simd\",\n  \"reps\": {reps},\n  \"smoke\": {},\n  {env},\n  \
          \"active_level\": \"{}\",\n  \"shapes\": [\n{}\n  ]\n}}\n",
         args.smoke,
         active.name(),

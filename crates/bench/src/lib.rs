@@ -140,6 +140,36 @@ pub fn run_strategy(
 /// Standard harness seed so every experiment is reproducible.
 pub const HARNESS_SEED: u64 = 0x2011_0404;
 
+/// The `"env": {...}` JSON entry every benchmark binary stamps into its
+/// output: the SIMD tier this process actually dispatches to and the
+/// planner unit constants in force ([`fsi_index::Planner::auto`] /
+/// [`fsi_query::ExprPlanner::auto`]). Two baseline files that disagree
+/// here were measured on different effective machines — the regression
+/// gate's tolerance exists for jitter, not for silently comparing an AVX2
+/// box against a scalar one, so the provenance rides in the file itself.
+///
+/// Returned as a ready-to-splice `"env": {...}` fragment (no trailing
+/// comma) matching the two-space top-level indent the binaries use.
+pub fn env_json() -> String {
+    let p = fsi_index::Planner::auto();
+    let xp = fsi_query::ExprPlanner::auto();
+    format!(
+        "\"env\": {{\n    \"simd_level\": \"{}\",\n    \"planner_units\": {{\n      \
+         \"gallop_unit\": {}, \"hash_unit\": {}, \"bitmap_word_unit\": {}, \
+         \"rgs_unit\": {}, \"heap_unit\": {},\n      \
+         \"union_unit\": {}, \"union_bitmap_word_unit\": {}, \"diff_unit\": {}\n    }}\n  }}",
+        fsi_kernels::SimdLevel::active().name(),
+        p.gallop_unit,
+        p.hash_unit,
+        p.bitmap_word_unit,
+        p.rgs_unit,
+        p.heap_unit,
+        xp.union_unit,
+        xp.union_bitmap_word_unit,
+        xp.diff_unit,
+    )
+}
+
 /// Harness CLI conventions shared by the benchmark binaries: an optional
 /// positional output path plus a `--smoke` flag (or `FSI_BENCH_SMOKE=1`)
 /// that shrinks reps and problem sizes for the CI regression gate. Smoke
@@ -229,6 +259,32 @@ mod tests {
         assert_eq!(r, 500);
         assert!(bytes > 0);
         let _ = d;
+    }
+
+    #[test]
+    fn env_json_parses_and_names_the_active_tier() {
+        let doc = json::Json::parse(&format!("{{\n  {}\n}}", env_json())).expect("valid JSON");
+        let env = doc.get("env").expect("env object");
+        assert_eq!(
+            env.get("simd_level").and_then(json::Json::as_str),
+            Some(fsi_kernels::SimdLevel::active().name())
+        );
+        let units = env.get("planner_units").expect("planner_units");
+        for key in [
+            "gallop_unit",
+            "hash_unit",
+            "bitmap_word_unit",
+            "rgs_unit",
+            "heap_unit",
+            "union_unit",
+            "union_bitmap_word_unit",
+            "diff_unit",
+        ] {
+            assert!(
+                units.get(key).and_then(json::Json::as_f64).is_some(),
+                "missing unit {key}"
+            );
+        }
     }
 
     #[test]

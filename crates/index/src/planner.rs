@@ -160,6 +160,44 @@ pub enum PlanKind {
     HeapMerge,
 }
 
+impl PlanKind {
+    /// The label telemetry and EXPLAIN output report.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanKind::Empty => "Empty",
+            PlanKind::Single => "Single",
+            PlanKind::RanGroupScan => "RanGroupScan",
+            PlanKind::HashProbe => "HashProbe",
+            PlanKind::BitmapAnd => "BitmapAnd",
+            PlanKind::GallopProbe => "GallopProbe",
+            PlanKind::HeapMerge => "HeapMerge",
+        }
+    }
+
+    /// Bumps this kind's counter in the global metrics registry
+    /// (`fsi_plan_kind_total{kind=...}`) — one relaxed increment on a
+    /// cached handle per planned query.
+    fn record_choice(self) {
+        use std::sync::OnceLock;
+        static COUNTERS: OnceLock<[std::sync::Arc<fsi_obs::Counter>; 7]> = OnceLock::new();
+        let counters = COUNTERS.get_or_init(|| {
+            [
+                PlanKind::Empty,
+                PlanKind::Single,
+                PlanKind::RanGroupScan,
+                PlanKind::HashProbe,
+                PlanKind::BitmapAnd,
+                PlanKind::GallopProbe,
+                PlanKind::HeapMerge,
+            ]
+            .map(|k| {
+                fsi_obs::Registry::global().counter("fsi_plan_kind_total", &[("kind", k.name())])
+            })
+        });
+        counters[self as usize].inc();
+    }
+}
+
 /// A whole-query physical plan: which kernel to run, in which operand
 /// order, and what the cost model predicted for it.
 #[derive(Debug, Clone, PartialEq)]
@@ -249,7 +287,26 @@ impl Planner {
     /// Cost-models the whole operand list and returns the minimum-cost
     /// plan. `stats` is positional: `order[i]` in the returned plan indexes
     /// into it.
+    ///
+    /// Every call records the chosen [`PlanKind`] and the winning estimated
+    /// cost into the global metrics registry (`fsi_plan_kind_total{kind}`,
+    /// `fsi_plan_est_cost`) — the always-on half of the planner's
+    /// misprediction signal (the observed half is recorded where results
+    /// materialize, in `fsi-query`).
     pub fn plan(&self, stats: &[OperandStats]) -> MultiwayPlan {
+        let plan = self.plan_inner(stats);
+        plan.kind.record_choice();
+        {
+            use std::sync::OnceLock;
+            static EST_COST: OnceLock<std::sync::Arc<fsi_obs::Histogram>> = OnceLock::new();
+            EST_COST
+                .get_or_init(|| fsi_obs::Registry::global().histogram("fsi_plan_est_cost", &[]))
+                .record(plan.est_cost.max(0.0) as u64);
+        }
+        plan
+    }
+
+    fn plan_inner(&self, stats: &[OperandStats]) -> MultiwayPlan {
         let k = stats.len();
         let mut order: Vec<usize> = (0..k).collect();
         order.sort_by_key(|&i| stats[i].n);

@@ -117,6 +117,38 @@ pub enum KernelChoice {
 }
 
 impl KernelChoice {
+    /// The label telemetry reports for this choice.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelChoice::Merge => "Merge",
+            KernelChoice::Galloping => "Galloping",
+            KernelChoice::Bitmap => "Bitmap",
+            KernelChoice::SigFilter => "SigFilter",
+        }
+    }
+
+    /// Bumps this choice's dispatch counter in the global metrics registry
+    /// (`fsi_kernel_pair_dispatch_total{kernel=...}`) — one relaxed atomic
+    /// increment on a cached handle, called once per dispatched *query*,
+    /// not per element.
+    fn record_dispatch(self) {
+        use std::sync::OnceLock;
+        static COUNTERS: OnceLock<[std::sync::Arc<fsi_obs::Counter>; 4]> = OnceLock::new();
+        let counters = COUNTERS.get_or_init(|| {
+            [
+                KernelChoice::Merge,
+                KernelChoice::Galloping,
+                KernelChoice::Bitmap,
+                KernelChoice::SigFilter,
+            ]
+            .map(|k| {
+                fsi_obs::Registry::global()
+                    .counter("fsi_kernel_pair_dispatch_total", &[("kernel", k.name())])
+            })
+        });
+        counters[self as usize].inc();
+    }
+
     /// Dispatch rule (see the crate doc): empty → merge; ratio ≥
     /// [`GALLOP_RATIO`] → galloping; density ≥ [`BITMAP_MIN_DENSITY`] →
     /// bitmap; otherwise signature prefilter. `universe_span` is the
@@ -164,7 +196,9 @@ impl Kernel for AutoKernel {
     }
 
     fn intersect_pair(&self, a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
-        match Self::choice(a, b) {
+        let choice = Self::choice(a, b);
+        choice.record_dispatch();
+        match choice {
             KernelChoice::Merge => self.merge.intersect_pair(a, b, out),
             KernelChoice::Galloping => self.gallop.intersect_pair(a, b, out),
             KernelChoice::Bitmap => self.bitmap.intersect_pair(a, b, out),

@@ -209,6 +209,39 @@ pub enum MultiwayChoice {
 }
 
 impl MultiwayChoice {
+    /// The label telemetry reports for this choice.
+    pub fn name(self) -> &'static str {
+        match self {
+            MultiwayChoice::Trivial => "Trivial",
+            MultiwayChoice::GallopProbe => "GallopProbe",
+            MultiwayChoice::BitmapAnd => "BitmapAnd",
+            MultiwayChoice::HeapMerge => "HeapMerge",
+        }
+    }
+
+    /// Bumps this choice's dispatch counter in the global metrics registry
+    /// (`fsi_kernel_multiway_dispatch_total{kernel=...}`) — the k-way
+    /// sibling of `KernelChoice`'s pair counter.
+    fn record_dispatch(self) {
+        use std::sync::OnceLock;
+        static COUNTERS: OnceLock<[std::sync::Arc<fsi_obs::Counter>; 4]> = OnceLock::new();
+        let counters = COUNTERS.get_or_init(|| {
+            [
+                MultiwayChoice::Trivial,
+                MultiwayChoice::GallopProbe,
+                MultiwayChoice::BitmapAnd,
+                MultiwayChoice::HeapMerge,
+            ]
+            .map(|k| {
+                fsi_obs::Registry::global().counter(
+                    "fsi_kernel_multiway_dispatch_total",
+                    &[("kernel", k.name())],
+                )
+            })
+        });
+        counters[self as usize].inc();
+    }
+
     /// Dispatch rule, mirroring [`KernelChoice::select`](crate::KernelChoice)
     /// at the k-way level: an empty operand is trivial; size skew
     /// (`max nᵢ / min nᵢ ≥` [`GALLOP_RATIO`]) → gallop-probe; density
@@ -259,7 +292,9 @@ impl MultiwayKernel for MultiwayAuto {
     }
 
     fn intersect(&self, sets: &[&[Elem]], out: &mut Vec<Elem>) {
-        match (sets, Self::choice(sets)) {
+        let choice = Self::choice(sets);
+        choice.record_dispatch();
+        match (sets, choice) {
             ([], _) => {}
             ([a], _) => out.extend_from_slice(a),
             (_, MultiwayChoice::Trivial) => {}

@@ -62,8 +62,25 @@ pub fn eval_planned_into(
     out: &mut Vec<Elem>,
 ) -> ExprPlan {
     let plan = planner.plan(expr, &|t| exec.list(t).stats(), exec.universe());
+    let start = out.len();
     execute_plan(exec, planner, &plan, out);
+    record_misprediction(plan.est_rows, out.len() - start);
     plan
+}
+
+/// Records the planner's cardinality-misprediction magnitude,
+/// `|log₂((observed+1)/(estimated+1))|` in milli-log₂ units, into the
+/// global `fsi_plan_misprediction_millilog2` histogram — `0` means the
+/// estimate was exact, `1000` means off by 2×, `2000` by 4×. One cached
+/// histogram record per evaluated expression.
+fn record_misprediction(est_rows: f64, observed: usize) {
+    use std::sync::OnceLock;
+    static HIST: OnceLock<std::sync::Arc<fsi_obs::Histogram>> = OnceLock::new();
+    let hist = HIST.get_or_init(|| {
+        fsi_obs::Registry::global().histogram("fsi_plan_misprediction_millilog2", &[])
+    });
+    let ratio = (observed as f64 + 1.0) / (est_rows.max(0.0) + 1.0);
+    hist.record((ratio.log2().abs() * 1000.0) as u64);
 }
 
 /// Runs an already-planned expression, appending the ascending result to

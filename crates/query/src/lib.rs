@@ -37,6 +37,7 @@
 
 pub mod ast;
 pub mod exec;
+pub mod explain;
 pub mod naive;
 pub mod parse;
 pub mod plan;
@@ -44,6 +45,7 @@ pub mod rewrite;
 
 pub use ast::Expr;
 pub use exec::{eval_owned, eval_owned_into, eval_planned, eval_planned_into, execute_plan};
+pub use explain::{analyze_plan, explain, report_plan, strip_explain, ExplainMode, NodeReport};
 pub use parse::{parse, ParseError};
 pub use plan::{AndKind, ExprPlan, ExprPlanner, PlanNode, UnionKind};
 pub use rewrite::{encode, encode_flat_and, fingerprint, normalize, NormExpr, RewriteError};

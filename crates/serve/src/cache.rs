@@ -123,6 +123,29 @@ pub struct CacheStats {
     pub value_bytes: usize,
     /// Total capacity in entries (0 = caching disabled).
     pub capacity: usize,
+    /// Per-segment breakdown, indexed by segment id. Segment counters sum
+    /// to the cache-level totals (`Σ segments[i].insertions == insertions`,
+    /// likewise evictions/refreshes/len/value_bytes) — the property the
+    /// registry-merge tests lean on.
+    pub segments: Vec<SegmentCacheStats>,
+}
+
+/// Counters of one cache segment (a point-in-time copy; all monotonic
+/// except `len`/`value_bytes`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentCacheStats {
+    /// Entries currently held by this segment.
+    pub len: usize,
+    /// Byte footprint of this segment's cached result vectors.
+    pub value_bytes: usize,
+    /// Fresh entries this segment accepted.
+    pub insertions: u64,
+    /// Entries this segment evicted.
+    pub evictions: u64,
+    /// In-place value refreshes of live keys in this segment.
+    pub refreshes: u64,
+    /// This segment's share of the capacity.
+    pub capacity: usize,
 }
 
 impl CacheStats {
@@ -145,12 +168,16 @@ struct Entry {
     next: usize,
 }
 
-/// What [`Segment::insert`] did (drives the cache-level counters).
-struct InsertOutcome {
-    /// A new entry was created (false: a live key was refreshed in place).
-    fresh: bool,
+/// What one [`QueryCache::insert`] did (drives the cache-level counters;
+/// returned to callers so serving traces can attribute refresh vs fresh
+/// insert vs dropped-on-disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// A new entry was created (false: a live key was refreshed in place,
+    /// or the cache is disabled).
+    pub fresh: bool,
     /// The LRU entry was evicted to make room.
-    evicted: bool,
+    pub evicted: bool,
 }
 
 /// One locked segment: an exact LRU over a slab of entries.
@@ -164,6 +191,13 @@ struct Segment {
     /// Byte footprint of the values currently held (kept in lockstep with
     /// every insert/refresh/evict so accounting cannot drift).
     bytes: usize,
+    /// Per-segment monotonic counters (plain fields — always mutated under
+    /// this segment's lock). The cache-level atomics are *independent*
+    /// tallies of the same events, so the "segments sum to totals"
+    /// invariant is a real cross-check, not an identity.
+    insertions: u64,
+    evictions: u64,
+    refreshes: u64,
 }
 
 impl Segment {
@@ -176,6 +210,9 @@ impl Segment {
             tail: NIL,
             capacity,
             bytes: 0,
+            insertions: 0,
+            evictions: 0,
+            refreshes: 0,
         }
     }
 
@@ -218,6 +255,7 @@ impl Segment {
             self.slab[idx].value = value;
             self.unlink(idx);
             self.push_front(idx);
+            self.refreshes += 1;
             return InsertOutcome {
                 fresh: false,
                 evicted: false,
@@ -231,6 +269,7 @@ impl Segment {
             self.bytes -= value_bytes(&self.slab[victim].value);
             self.map.remove(&self.slab[victim].key);
             self.free.push(victim);
+            self.evictions += 1;
             evicted = true;
         }
         self.bytes += value_bytes(&value);
@@ -256,9 +295,21 @@ impl Segment {
         };
         self.map.insert(key, idx);
         self.push_front(idx);
+        self.insertions += 1;
         InsertOutcome {
             fresh: true,
             evicted,
+        }
+    }
+
+    fn stats(&self) -> SegmentCacheStats {
+        SegmentCacheStats {
+            len: self.map.len(),
+            value_bytes: self.bytes,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            refreshes: self.refreshes,
+            capacity: self.capacity,
         }
     }
 }
@@ -346,13 +397,16 @@ impl QueryCache {
     }
 
     /// Inserts a computed result, possibly evicting the segment's LRU
-    /// entry. Re-inserting a live key replaces its value in place and
-    /// counts as a *refresh*, not an insertion — `len == insertions -
-    /// evictions` holds even when the same (term set, mode) key is
-    /// recomputed with a different-sized result.
-    pub fn insert(&self, key: CacheKey, value: Arc<Vec<Elem>>) {
+    /// entry, and reports what happened. Re-inserting a live key replaces
+    /// its value in place and counts as a *refresh*, not an insertion —
+    /// `len == insertions - evictions` holds even when the same (term set,
+    /// mode) key is recomputed with a different-sized result.
+    pub fn insert(&self, key: CacheKey, value: Arc<Vec<Elem>>) -> InsertOutcome {
         if !self.is_enabled() {
-            return;
+            return InsertOutcome {
+                fresh: false,
+                evicted: false,
+            };
         }
         let seg = key.segment(self.segments.len());
         let outcome = self.segments[seg]
@@ -367,6 +421,7 @@ impl QueryCache {
         if outcome.evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        outcome
     }
 
     /// Effective total capacity in entries (the configured capacity rounded
@@ -396,8 +451,17 @@ impl QueryCache {
             .sum()
     }
 
-    /// Snapshot of the counters.
+    /// Per-segment counter snapshots, indexed by segment id.
+    pub fn segment_stats(&self) -> Vec<SegmentCacheStats> {
+        self.segments
+            .iter()
+            .map(|s| s.lock().expect("cache lock").stats())
+            .collect()
+    }
+
+    /// Snapshot of the counters, including the per-segment breakdown.
     pub fn stats(&self) -> CacheStats {
+        let segments = self.segment_stats();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -405,9 +469,10 @@ impl QueryCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             refreshes: self.refreshes.load(Ordering::Relaxed),
-            len: self.len(),
-            value_bytes: self.value_bytes(),
+            len: segments.iter().map(|s| s.len).sum(),
+            value_bytes: segments.iter().map(|s| s.value_bytes).sum(),
             capacity: self.capacity,
+            segments,
         }
     }
 }
@@ -559,6 +624,24 @@ mod tests {
         assert_eq!(stats.value_bytes, actual_bytes);
         let seg_bytes: usize = cache.segments.iter().map(|s| s.lock().unwrap().bytes).sum();
         assert_eq!(seg_bytes, actual_bytes, "per-segment byte counters drifted");
+        // The per-segment counters are tallied independently of the
+        // cache-level atomics; at quiescence they must agree exactly.
+        assert_eq!(
+            stats.segments.iter().map(|s| s.insertions).sum::<u64>(),
+            stats.insertions
+        );
+        assert_eq!(
+            stats.segments.iter().map(|s| s.evictions).sum::<u64>(),
+            stats.evictions
+        );
+        assert_eq!(
+            stats.segments.iter().map(|s| s.refreshes).sum::<u64>(),
+            stats.refreshes
+        );
+        assert_eq!(
+            stats.segments.iter().map(|s| s.len).sum::<usize>(),
+            stats.len
+        );
     }
 
     proptest::proptest! {

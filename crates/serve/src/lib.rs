@@ -63,7 +63,7 @@ pub mod server;
 pub mod shard;
 pub mod stats;
 
-pub use cache::{CacheKey, CacheStats, ModeKey, QueryCache};
+pub use cache::{CacheKey, CacheStats, InsertOutcome, ModeKey, QueryCache, SegmentCacheStats};
 pub use config::{ExecMode, ServeConfig};
 pub use pool::{BatchOutcome, QueryPool};
 pub use server::{QueryError, Server};

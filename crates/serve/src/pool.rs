@@ -16,6 +16,7 @@ use crate::cache::{CacheKey, ModeKey, QueryCache};
 use crate::shard::ShardedEngine;
 use crate::stats::LatencySummary;
 use fsi_core::Elem;
+use fsi_obs::{HistSnapshot, Histogram};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -34,8 +35,15 @@ pub struct BatchOutcome {
     /// [`BatchOutcome::queue_depths`] against the machine's parallelism
     /// before reading tail latencies as algorithmic.
     pub latencies: Vec<Duration>,
-    /// Order statistics over `latencies`.
+    /// Order statistics over `latencies`, computed from
+    /// [`BatchOutcome::latency_hist`].
     pub latency: LatencySummary,
+    /// The merged per-worker latency histogram (nanosecond samples). Each
+    /// worker records into its own histogram lock-free; the pool merges
+    /// them bucket-wise after the batch — the server folds this into its
+    /// registry so batch latencies and single-query latencies share one
+    /// distribution.
+    pub latency_hist: HistSnapshot,
     /// How many queries were dealt to each worker's queue before the batch
     /// started (round-robin; length = workers actually used).
     pub queue_depths: Vec<usize>,
@@ -108,7 +116,7 @@ impl QueryPool {
         queries: &[Vec<usize>],
     ) -> BatchOutcome {
         let batch_start = Instant::now();
-        let (completed, queue_depths, executed_per_worker) =
+        let (completed, queue_depths, executed_per_worker, hist) =
             if self.workers == 1 || queries.len() <= 1 {
                 self.run_serial(engine, cache, queries)
             } else {
@@ -125,7 +133,8 @@ impl QueryPool {
             latencies[c.query_idx] = c.latency;
             cache_hits += c.cache_hit as u64;
         }
-        let latency = LatencySummary::from_durations(&latencies);
+        let latency_hist = hist.snapshot();
+        let latency = LatencySummary::from_histogram(&latency_hist);
         let throughput_qps = if wall.as_secs_f64() > 0.0 {
             queries.len() as f64 / wall.as_secs_f64()
         } else {
@@ -135,6 +144,7 @@ impl QueryPool {
             results,
             latencies,
             latency,
+            latency_hist,
             wall,
             throughput_qps,
             cache_hits,
@@ -149,22 +159,25 @@ impl QueryPool {
         engine: &ShardedEngine,
         cache: Option<&QueryCache>,
         queries: &[Vec<usize>],
-    ) -> (Vec<Completed>, Vec<usize>, Vec<usize>) {
+    ) -> (Vec<Completed>, Vec<usize>, Vec<usize>, Histogram) {
+        let hist = Histogram::new();
         let completed: Vec<Completed> = queries
             .iter()
             .enumerate()
             .map(|(query_idx, terms)| {
                 let start = Instant::now();
                 let (result, cache_hit) = Self::answer(engine, cache, terms);
+                let latency = start.elapsed();
+                hist.record_duration(latency);
                 Completed {
                     query_idx,
                     result,
-                    latency: start.elapsed(),
+                    latency,
                     cache_hit,
                 }
             })
             .collect();
-        (completed, vec![queries.len()], vec![queries.len()])
+        (completed, vec![queries.len()], vec![queries.len()], hist)
     }
 
     fn run_stealing(
@@ -172,7 +185,7 @@ impl QueryPool {
         engine: &ShardedEngine,
         cache: Option<&QueryCache>,
         queries: &[Vec<usize>],
-    ) -> (Vec<Completed>, Vec<usize>, Vec<usize>) {
+    ) -> (Vec<Completed>, Vec<usize>, Vec<usize>, Histogram) {
         let workers = self.workers.min(queries.len()).max(1);
         // Deal queries round-robin onto per-worker deques.
         let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
@@ -187,6 +200,11 @@ impl QueryPool {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
+                        // One histogram per worker: recording stays
+                        // lock-free and contention-free; the pool merges
+                        // after the batch (bucket merge is associative, so
+                        // any merge order gives the same distribution).
+                        let hist = Histogram::new();
                         let mut done = Vec::new();
                         loop {
                             // Own queue first (front), then steal (back).
@@ -208,26 +226,33 @@ impl QueryPool {
                             let start = Instant::now();
                             let (result, cache_hit) =
                                 Self::answer(engine, cache, &queries[query_idx]);
+                            let latency = start.elapsed();
+                            hist.record_duration(latency);
                             done.push(Completed {
                                 query_idx,
                                 result,
-                                latency: start.elapsed(),
+                                latency,
                                 cache_hit,
                             });
                         }
-                        done
+                        (done, hist)
                     })
                 })
                 .collect();
-            let per_worker: Vec<Vec<Completed>> = handles
+            let per_worker: Vec<(Vec<Completed>, Histogram)> = handles
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
                 .collect();
-            let executed: Vec<usize> = per_worker.iter().map(Vec::len).collect();
+            let executed: Vec<usize> = per_worker.iter().map(|(d, _)| d.len()).collect();
+            let merged = Histogram::new();
+            for (_, h) in &per_worker {
+                merged.merge_from(h);
+            }
             (
-                per_worker.into_iter().flatten().collect(),
+                per_worker.into_iter().flat_map(|(d, _)| d).collect(),
                 queue_depths,
                 executed,
+                merged,
             )
         })
     }

@@ -5,12 +5,14 @@ use crate::cache::{CacheKey, ModeKey, QueryCache};
 use crate::config::ServeConfig;
 use crate::pool::{BatchOutcome, QueryPool};
 use crate::shard::ShardedEngine;
-use crate::stats::ServeStats;
+use crate::stats::{LatencySummary, ServeStats};
 use fsi_core::{Elem, HashContext};
 use fsi_index::{Corpus, SearchEngine};
-use fsi_query::{CompileError, NormExpr};
-use std::sync::atomic::{AtomicU64, Ordering};
+use fsi_kernels::SimdLevel;
+use fsi_obs::{Counter, HistSnapshot, Histogram, QueryTrace, Registry, Snapshot, TraceBuilder};
+use fsi_query::{CompileError, ExplainMode, NormExpr};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Why the server rejected a boolean query string.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +26,9 @@ pub enum QueryError {
         /// The vocabulary size (valid ids are `0..num_terms`).
         num_terms: usize,
     },
+    /// The operation needs the cost-based planner (`ExecMode::Planned`) —
+    /// `EXPLAIN` has no estimates to render under a fixed strategy.
+    NeedsPlanner,
 }
 
 impl std::fmt::Display for QueryError {
@@ -32,6 +37,12 @@ impl std::fmt::Display for QueryError {
             QueryError::Compile(e) => write!(f, "{e}"),
             QueryError::UnknownTerm { term, num_terms } => {
                 write!(f, "unknown term t{term} (index has {num_terms} terms)")
+            }
+            QueryError::NeedsPlanner => {
+                write!(
+                    f,
+                    "EXPLAIN requires planner-dispatched execution (ExecMode::Planned)"
+                )
             }
         }
     }
@@ -68,20 +79,35 @@ pub struct Server {
     engine: ShardedEngine,
     cache: QueryCache,
     pool: QueryPool,
-    queries_served: AtomicU64,
-    expr_queries_served: AtomicU64,
+    /// The server's own metrics registry. Serving counters live here (not
+    /// on the process-global registry) so two servers in one process never
+    /// alias; [`Server::metrics`] folds the global registry's kernel- and
+    /// planner-dispatch counters in at snapshot time.
+    registry: Registry,
+    queries_served: Arc<Counter>,
+    expr_queries_served: Arc<Counter>,
+    /// Per-query service-time distribution in nanoseconds: single queries
+    /// record directly, batch runs fold their merged per-worker histograms
+    /// in — one distribution for everything the server answered.
+    latency_ns: Arc<Histogram>,
 }
 
 impl Server {
     /// Builds the serving stack over an existing engine.
     pub fn new(engine: &SearchEngine, config: ServeConfig) -> Self {
         let config = config.normalized();
+        let registry = Registry::new();
+        let queries_served = registry.counter("fsi_queries_served_total", &[]);
+        let expr_queries_served = registry.counter("fsi_expr_queries_served_total", &[]);
+        let latency_ns = registry.histogram("fsi_query_latency_ns", &[]);
         Self {
             engine: ShardedEngine::build(engine, config.num_shards, config.mode.clone()),
             cache: QueryCache::new(config.cache_capacity, config.cache_segments),
             pool: QueryPool::new(config.num_workers),
-            queries_served: AtomicU64::new(0),
-            expr_queries_served: AtomicU64::new(0),
+            registry,
+            queries_served,
+            expr_queries_served,
+            latency_ns,
             config,
         }
     }
@@ -94,9 +120,12 @@ impl Server {
     /// Answers one conjunctive query (cache-fronted), ascending document
     /// order.
     pub fn query(&self, terms: &[usize]) -> Arc<Vec<Elem>> {
-        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        self.queries_served.inc();
         let cache = self.cache.is_enabled().then_some(&self.cache);
-        QueryPool::answer(&self.engine, cache, terms).0
+        let start = Instant::now();
+        let result = QueryPool::answer(&self.engine, cache, terms).0;
+        self.latency_ns.record_duration(start.elapsed());
+        result
     }
 
     /// Parses, rewrites, and answers one **boolean** query string
@@ -135,14 +164,16 @@ impl Server {
     /// previously answered one — including a flat conjunctive query of
     /// the same terms — hits its entry.
     pub fn query_norm(&self, expr: &NormExpr) -> Arc<Vec<Elem>> {
-        self.queries_served.fetch_add(1, Ordering::Relaxed);
-        self.expr_queries_served.fetch_add(1, Ordering::Relaxed);
+        self.queries_served.inc();
+        self.expr_queries_served.inc();
+        let start = Instant::now();
         let key = self
             .cache
             .is_enabled()
             .then(|| CacheKey::from_norm(expr, ModeKey::from(self.engine.mode())));
         if let Some(key) = &key {
             if let Some(hit) = self.cache.get(key) {
+                self.latency_ns.record_duration(start.elapsed());
                 return hit;
             }
         }
@@ -150,16 +181,98 @@ impl Server {
         if let Some(key) = key {
             self.cache.insert(key, Arc::clone(&result));
         }
+        self.latency_ns.record_duration(start.elapsed());
         result
     }
 
     /// Drains a batch of queries across the worker pool, consulting and
-    /// filling the result cache.
+    /// filling the result cache. The batch's merged per-worker latency
+    /// histogram folds into the server's registry, so `stats()` covers
+    /// batch traffic too.
     pub fn run_batch(&self, queries: &[Vec<usize>]) -> BatchOutcome {
-        self.queries_served
-            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        self.queries_served.add(queries.len() as u64);
         let cache = self.cache.is_enabled().then_some(&self.cache);
-        self.pool.run_batch(&self.engine, cache, queries)
+        let outcome = self.pool.run_batch(&self.engine, cache, queries);
+        self.latency_ns.merge_snapshot(&outcome.latency_hist);
+        outcome
+    }
+
+    /// Parses, plans, executes, and fully traces one boolean query:
+    /// returns the result plus a [`QueryTrace`] with one span per stage —
+    /// `parse`, `rewrite`, `cache` (hit/miss/disabled), one
+    /// `shard<N>.exec` span per shard carrying the chosen plan and its
+    /// estimated vs observed cardinality, a closing `exec` span, and a
+    /// `cache_insert` event with fresh/refresh/evicted attribution.
+    ///
+    /// Identical result and identical cache interaction to
+    /// [`Server::query_expr`]; only the span bookkeeping is added, so
+    /// traced and untraced paths can be compared for overhead directly.
+    pub fn query_expr_traced(
+        &self,
+        query: &str,
+    ) -> Result<(Arc<Vec<Elem>>, QueryTrace), QueryError> {
+        let mut tb = TraceBuilder::new(query);
+        let start = Instant::now();
+        let s = tb.start_span();
+        let ast = fsi_query::parse(query).map_err(CompileError::from)?;
+        tb.end_span(s, "parse");
+        let s = tb.start_span();
+        let norm = fsi_query::normalize(&ast).map_err(CompileError::from)?;
+        tb.end_span(s, "rewrite").attr("canonical", &norm).attr(
+            "fingerprint",
+            format!("{:016x}", fsi_query::fingerprint(&norm)),
+        );
+        let num_terms = self.engine.num_terms();
+        if let Some(&term) = norm.terms().iter().find(|&&t| t >= num_terms) {
+            return Err(QueryError::UnknownTerm { term, num_terms });
+        }
+        self.queries_served.inc();
+        self.expr_queries_served.inc();
+        let key = self
+            .cache
+            .is_enabled()
+            .then(|| CacheKey::from_norm(&norm, ModeKey::from(self.engine.mode())));
+        let s = tb.start_span();
+        let hit = key.as_ref().and_then(|k| self.cache.get(k));
+        if let Some(hit) = hit {
+            tb.end_span(s, "cache").attr("outcome", "hit");
+            self.latency_ns.record_duration(start.elapsed());
+            return Ok((hit, tb.finish()));
+        }
+        tb.end_span(s, "cache")
+            .attr("outcome", if key.is_some() { "miss" } else { "disabled" });
+        let s = tb.start_span();
+        let result = Arc::new(self.engine.query_expr_traced(&norm, &mut tb));
+        tb.end_span(s, "exec")
+            .attr("simd", SimdLevel::active().name())
+            .attr("shards", self.engine.num_shards())
+            .attr("rows", result.len());
+        if let Some(key) = key {
+            let outcome = self.cache.insert(key, Arc::clone(&result));
+            tb.event("cache_insert")
+                .attr("fresh", outcome.fresh)
+                .attr("evicted", outcome.evicted);
+        }
+        self.latency_ns.record_duration(start.elapsed());
+        Ok((result, tb.finish()))
+    }
+
+    /// Renders `EXPLAIN` or `EXPLAIN ANALYZE` for a boolean query. The
+    /// string may carry the `EXPLAIN [ANALYZE]` prefix (as a user would
+    /// type it) or be a bare query, in which case `default_mode` applies.
+    /// One plan tree renders per shard (shards plan independently over
+    /// shard-local statistics). Requires `ExecMode::Planned`.
+    pub fn explain(&self, query: &str, default_mode: ExplainMode) -> Result<String, QueryError> {
+        let (mode, rest) = fsi_query::strip_explain(query);
+        let mode = mode.unwrap_or(default_mode);
+        let norm = fsi_query::compile(rest)?;
+        let num_terms = self.engine.num_terms();
+        if let Some(&term) = norm.terms().iter().find(|&&t| t >= num_terms) {
+            return Err(QueryError::UnknownTerm { term, num_terms });
+        }
+        self.engine
+            .explain_expr(&norm, mode)
+            .ok_or(QueryError::NeedsPlanner)
     }
 
     /// The sharded engine.
@@ -177,11 +290,61 @@ impl Server {
         &self.config
     }
 
-    /// A point-in-time stats snapshot.
+    /// Copies the cache's counters and the engine's static facts into the
+    /// registry as gauges, so a snapshot is self-contained. Called on
+    /// every snapshot — gauge sets are cheap relative to taking one.
+    fn sync_gauges(&self) {
+        let stats = self.cache.stats();
+        let set = |name: &str, v: u64| self.registry.gauge(name, &[]).set(v);
+        set("fsi_cache_hits", stats.hits);
+        set("fsi_cache_misses", stats.misses);
+        set("fsi_cache_lookups", stats.lookups);
+        set("fsi_cache_insertions", stats.insertions);
+        set("fsi_cache_evictions", stats.evictions);
+        set("fsi_cache_refreshes", stats.refreshes);
+        set("fsi_cache_entries", stats.len as u64);
+        set("fsi_cache_value_bytes", stats.value_bytes as u64);
+        set("fsi_cache_capacity", stats.capacity as u64);
+        for (i, seg) in stats.segments.iter().enumerate() {
+            let id = i.to_string();
+            let labels = [("segment", id.as_str())];
+            let seg_set = |name: &str, v: u64| self.registry.gauge(name, &labels).set(v);
+            seg_set("fsi_cache_segment_entries", seg.len as u64);
+            seg_set("fsi_cache_segment_value_bytes", seg.value_bytes as u64);
+            seg_set("fsi_cache_segment_insertions", seg.insertions);
+            seg_set("fsi_cache_segment_evictions", seg.evictions);
+            seg_set("fsi_cache_segment_refreshes", seg.refreshes);
+        }
+        set("fsi_shards", self.engine.num_shards() as u64);
+        set("fsi_workers", self.pool.workers() as u64);
+        set("fsi_index_bytes", self.engine.size_in_bytes() as u64);
+    }
+
+    /// A full metrics snapshot: this server's registry (serving counters,
+    /// latency histogram, cache gauges) merged with the process-global
+    /// registry (kernel dispatch and planner choice counters). Render with
+    /// [`Snapshot::to_prometheus`] or [`Snapshot::to_json`].
+    pub fn metrics(&self) -> Snapshot {
+        self.sync_gauges();
+        let mut snap = self.registry.snapshot();
+        snap.merge_from(&Registry::global().snapshot());
+        snap
+    }
+
+    /// A point-in-time stats snapshot — a typed view over the same
+    /// registry [`Server::metrics`] exposes.
     pub fn stats(&self) -> ServeStats {
+        let snap = self.registry.snapshot();
+        let empty = HistSnapshot::default();
+        let latency_hist = snap
+            .histogram("fsi_query_latency_ns", &[])
+            .unwrap_or(&empty);
         ServeStats {
-            queries_served: self.queries_served.load(Ordering::Relaxed),
-            expr_queries_served: self.expr_queries_served.load(Ordering::Relaxed),
+            queries_served: snap.counter("fsi_queries_served_total", &[]).unwrap_or(0),
+            expr_queries_served: snap
+                .counter("fsi_expr_queries_served_total", &[])
+                .unwrap_or(0),
+            latency: LatencySummary::from_histogram(latency_hist),
             cache: self.cache.stats(),
             num_shards: self.engine.num_shards(),
             num_workers: self.pool.workers(),
@@ -319,6 +482,168 @@ mod tests {
             s.stats().queries_served,
             0,
             "rejected queries are not counted"
+        );
+    }
+
+    #[test]
+    fn traced_query_matches_untraced_and_carries_spans() {
+        let s = server(ServeConfig {
+            mode: ExecMode::Planned(Planner::default()),
+            num_shards: 3,
+            cache_capacity: 16,
+            ..ServeConfig::default()
+        });
+        let src = "(0 OR 1) AND 5 AND NOT 2";
+        let (traced, trace) = s.query_expr_traced(src).expect("valid");
+        let plain = s.query_expr(src).expect("valid");
+        assert_eq!(plain, traced, "tracing must not change results");
+        for span in ["parse", "rewrite", "cache", "exec"] {
+            assert!(trace.span(span).is_some(), "missing span {span}");
+        }
+        // Per-shard spans carry the plan and the estimate/observation pair.
+        for i in 0..3 {
+            let span = trace
+                .span(&format!("shard{i}.exec"))
+                .unwrap_or_else(|| panic!("missing shard{i}.exec"));
+            assert_eq!(span.get("mode"), Some("planned"));
+            assert!(span.get("kind").is_some());
+            assert!(span.get("est_rows").is_some());
+            assert!(span.get("rows").is_some());
+        }
+        let rendered = trace.render();
+        assert!(rendered.contains("shard0.exec"), "{rendered}");
+        assert!(trace.to_json().contains("\"spans\""));
+        // A second traced run hits the entry the first one inserted and
+        // returns early: cache span says hit, no exec span.
+        let (again, trace2) = s.query_expr_traced(src).expect("valid");
+        assert_eq!(again, traced);
+        assert_eq!(
+            trace2.span("cache").and_then(|s| s.get("outcome")),
+            Some("hit")
+        );
+        assert!(trace2.span("exec").is_none());
+    }
+
+    #[test]
+    fn traced_miss_records_exec_and_insert() {
+        let s = server(ServeConfig {
+            mode: ExecMode::Planned(Planner::default()),
+            num_shards: 2,
+            cache_capacity: 8,
+            ..ServeConfig::default()
+        });
+        let (_, trace) = s.query_expr_traced("0 AND 9").expect("valid");
+        assert_eq!(
+            trace.span("cache").and_then(|s| s.get("outcome")),
+            Some("miss")
+        );
+        let exec = trace.span("exec").expect("exec span");
+        assert!(exec.get("simd").is_some());
+        assert_eq!(exec.get("shards"), Some("2"));
+        let insert = trace.span("cache_insert").expect("insert event");
+        assert_eq!(insert.get("fresh"), Some("true"));
+        // Traced queries count like any other expression query.
+        assert_eq!(s.stats().expr_queries_served, 1);
+    }
+
+    #[test]
+    fn explain_renders_per_shard_plans_in_planned_mode_only() {
+        let planned = server(ServeConfig {
+            mode: ExecMode::Planned(Planner::default()),
+            num_shards: 2,
+            ..ServeConfig::default()
+        });
+        let plain = planned
+            .explain("EXPLAIN (0 OR 1) AND 5", fsi_query::ExplainMode::Plan)
+            .expect("valid");
+        assert!(plain.contains("-- shard 0"), "{plain}");
+        assert!(plain.contains("-- shard 1"), "{plain}");
+        assert!(plain.contains("est_cost"), "{plain}");
+        assert!(!plain.contains("time"), "plain EXPLAIN has no timings");
+        let analyzed = planned
+            .explain(
+                "EXPLAIN ANALYZE (0 OR 1) AND 5",
+                fsi_query::ExplainMode::Plan,
+            )
+            .expect("valid");
+        assert!(analyzed.contains("EXPLAIN ANALYZE"), "{analyzed}");
+        assert!(analyzed.contains("rows"), "{analyzed}");
+        // Bare queries take the default mode.
+        let defaulted = planned
+            .explain("0 AND 5", fsi_query::ExplainMode::Analyze)
+            .expect("valid");
+        assert!(defaulted.contains("EXPLAIN ANALYZE"), "{defaulted}");
+        // EXPLAIN does not serve documents.
+        assert_eq!(planned.stats().queries_served, 0);
+        // Fixed mode has no cost model to render.
+        let fixed = server(ServeConfig {
+            mode: ExecMode::Fixed(Strategy::Merge),
+            ..ServeConfig::default()
+        });
+        assert_eq!(
+            fixed.explain("EXPLAIN 0 AND 1", fsi_query::ExplainMode::Plan),
+            Err(QueryError::NeedsPlanner)
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_carries_counters_cache_gauges_and_latency() {
+        let s = server(ServeConfig {
+            num_shards: 2,
+            cache_capacity: 16,
+            cache_segments: 2,
+            ..ServeConfig::default()
+        });
+        s.query(&[0, 1]);
+        s.query(&[0, 1]);
+        s.query_expr("3 AND 4").expect("valid");
+        let snap = s.metrics();
+        assert_eq!(snap.counter("fsi_queries_served_total", &[]), Some(3));
+        assert_eq!(snap.counter("fsi_expr_queries_served_total", &[]), Some(1));
+        assert_eq!(snap.gauge("fsi_cache_hits", &[]), Some(1));
+        assert_eq!(snap.gauge("fsi_shards", &[]), Some(2));
+        assert!(snap
+            .gauge("fsi_cache_segment_entries", &[("segment", "0")])
+            .is_some());
+        let hist = snap
+            .histogram("fsi_query_latency_ns", &[])
+            .expect("latency histogram registered");
+        assert_eq!(hist.count, 3);
+        // The global registry's dispatch counters merge in (the server ran
+        // real intersections, so at least one planner/kernel counter is
+        // nonzero process-wide).
+        assert!(
+            snap.sum("fsi_plan_kind_total") + snap.sum("fsi_kernel_pair_dispatch_total") > 0
+                || snap.sum("fsi_kernel_multiway_dispatch_total") > 0
+        );
+        // Both render targets stay well-formed.
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("fsi_queries_served_total 3"), "{prom}");
+        assert!(snap.to_json().starts_with('{'));
+        // stats() is a typed view over the same registry.
+        let stats = s.stats();
+        assert_eq!(stats.queries_served, 3);
+        assert_eq!(stats.latency.count, 3);
+        assert!(stats.latency.max_us > 0.0);
+    }
+
+    #[test]
+    fn batch_latencies_fold_into_server_histogram() {
+        let s = server(ServeConfig {
+            num_shards: 2,
+            num_workers: 3,
+            ..ServeConfig::default()
+        });
+        let queries: Vec<Vec<usize>> = (0..12).map(|i| vec![i % 4, 8 + i % 2]).collect();
+        let outcome = s.run_batch(&queries);
+        assert_eq!(outcome.latency_hist.count, 12);
+        let stats = s.stats();
+        assert_eq!(stats.latency.count, 12, "batch latencies merged");
+        s.query(&[0, 1]);
+        assert_eq!(
+            s.stats().latency.count,
+            13,
+            "single queries join the same histogram"
         );
     }
 

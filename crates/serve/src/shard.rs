@@ -15,8 +15,25 @@
 use crate::config::ExecMode;
 use fsi_core::Elem;
 use fsi_index::{OwnedExecutor, PlannedExecutor, SearchEngine};
-use fsi_query::{ExprPlanner, NormExpr};
+use fsi_obs::TraceBuilder;
+use fsi_query::{ExplainMode, ExprPlan, ExprPlanner, NormExpr, PlanNode};
 use std::ops::Range;
+
+/// The top-level operator label of a plan (what the trace span reports as
+/// the chosen `PlanKind`).
+fn plan_kind_label(plan: &ExprPlan) -> &'static str {
+    match &plan.node {
+        PlanNode::Term(_) => "Term",
+        PlanNode::And { kind, .. } => match kind {
+            fsi_query::AndKind::Multiway(m) => m.kind.name(),
+            fsi_query::AndKind::SliceProbe => "SliceProbe",
+        },
+        PlanNode::Or { kind, .. } => match kind {
+            fsi_query::UnionKind::HeapMerge => "HeapMerge",
+            fsi_query::UnionKind::BitmapOr => "BitmapOr",
+        },
+    }
+}
 
 /// Per-shard prepared state under one execution mode.
 #[derive(Debug)]
@@ -37,6 +54,11 @@ enum ShardIndex {
 struct Shard {
     index: ShardIndex,
     docs: Range<u64>,
+    /// Trace span name (`shard{idx}.exec`) and document-range attribute,
+    /// rendered once at build time: traced queries clone them instead of
+    /// re-formatting per query.
+    span_name: String,
+    docs_label: String,
 }
 
 impl Shard {
@@ -79,6 +101,52 @@ impl Shard {
         }
     }
 
+    /// The traced twin of [`Shard::query_expr_into`]: identical execution,
+    /// plus one span per shard carrying the chosen plan, its estimates,
+    /// and the observed result size — the planner-misprediction signal at
+    /// per-shard granularity.
+    fn query_expr_into_traced(&self, expr: &NormExpr, out: &mut Vec<Elem>, tb: &mut TraceBuilder) {
+        let before = out.len();
+        let start = tb.start_span();
+        match &self.index {
+            ShardIndex::Fixed(exec) => {
+                fsi_query::eval_owned_into(exec, expr, out);
+                tb.end_span(start, &self.span_name)
+                    .attr("mode", "fixed")
+                    .attr("docs", &self.docs_label)
+                    .attr("rows", out.len() - before);
+            }
+            ShardIndex::Planned(exec) => {
+                let planner = ExprPlanner::new(exec.planner().clone());
+                let plan = fsi_query::eval_planned_into(exec, &planner, expr, out);
+                // The chosen root operator rides along as a cheap static
+                // label, and the estimates round to integers; the full plan
+                // tree is deliberately NOT rendered here (that is EXPLAIN's
+                // job) — a `describe()` per shard per query costs more than
+                // the tracing budget allows.
+                tb.end_span(start, &self.span_name)
+                    .attr("mode", "planned")
+                    .attr("docs", &self.docs_label)
+                    .attr("kind", plan_kind_label(&plan))
+                    .attr("est_rows", plan.est_rows.round() as u64)
+                    .attr("est_cost", plan.est_cost.round() as u64)
+                    .attr("rows", out.len() - before);
+            }
+        }
+    }
+
+    /// Shard-local `EXPLAIN` (planned shards only — the fixed path has no
+    /// cost model to render).
+    fn explain_expr(&self, expr: &NormExpr, mode: ExplainMode) -> Option<String> {
+        match &self.index {
+            ShardIndex::Fixed(_) => None,
+            ShardIndex::Planned(exec) => {
+                let planner = ExprPlanner::new(exec.planner().clone());
+                Some(fsi_query::explain(exec, &planner, expr, mode))
+            }
+        }
+    }
+
     fn size_in_bytes(&self) -> usize {
         match &self.index {
             ShardIndex::Fixed(exec) => exec.size_in_bytes(),
@@ -114,7 +182,12 @@ impl ShardedEngine {
                         ShardIndex::Planned(sub.planned_executor(planner.clone()))
                     }
                 };
-                Shard { index, docs }
+                Shard {
+                    index,
+                    span_name: format!("shard{i}.exec"),
+                    docs_label: format!("{}..{}", docs.start, docs.end),
+                    docs,
+                }
             })
             .collect();
         Self {
@@ -180,6 +253,37 @@ impl ShardedEngine {
             shard.query_expr_into(expr, &mut out);
         }
         out
+    }
+
+    /// The traced twin of [`ShardedEngine::query_expr`]: identical result,
+    /// one trace span per shard carrying the planned-mode attributes
+    /// (`kind`, `est_rows`, `est_cost`, observed `rows`). Sequential —
+    /// spans on one builder need one
+    /// thread; the untraced parallel path stays available for serving.
+    pub fn query_expr_traced(&self, expr: &NormExpr, tb: &mut TraceBuilder) -> Vec<Elem> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            shard.query_expr_into_traced(expr, &mut out, tb);
+        }
+        out
+    }
+
+    /// Renders `EXPLAIN`/`EXPLAIN ANALYZE` for every shard, concatenated
+    /// with per-shard headers. Returns `None` in fixed-strategy mode,
+    /// which has no cost model to render.
+    pub fn explain_expr(&self, expr: &NormExpr, mode: ExplainMode) -> Option<String> {
+        let mut out = String::new();
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let section = shard.explain_expr(expr, mode)?;
+            out.push_str(&format!(
+                "-- shard {idx} [docs {}..{}] --\n{section}",
+                shard.docs.start, shard.docs.end
+            ));
+            if idx + 1 < self.shards.len() {
+                out.push('\n');
+            }
+        }
+        Some(out)
     }
 
     /// Like [`ShardedEngine::query_expr`], but fans the shards out over

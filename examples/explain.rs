@@ -1,0 +1,58 @@
+//! Observability demo: `EXPLAIN` / `EXPLAIN ANALYZE`, per-query traces,
+//! and the metrics registry — the three windows into the planned
+//! execution stack.
+//!
+//! Run with `cargo run --release --example explain`.
+
+use fast_set_intersection::core::HashContext;
+use fast_set_intersection::index::{Corpus, CorpusConfig, SearchEngine};
+use fast_set_intersection::query::ExplainMode;
+use fast_set_intersection::serve::{ServeConfig, Server};
+
+fn main() {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_docs: 60_000,
+        num_terms: 64,
+        ..CorpusConfig::default()
+    });
+    let engine = SearchEngine::from_corpus(HashContext::new(7), corpus);
+    let server = Server::new(
+        &engine,
+        ServeConfig {
+            num_shards: 2,
+            cache_capacity: 1024,
+            ..ServeConfig::default() // planner-dispatched execution
+        },
+    );
+
+    // --- EXPLAIN: the cost model's side of the story -----------------------
+    // The prefix is part of the query language; a bare query takes the
+    // default mode passed alongside.
+    let src = "EXPLAIN (0 OR 1) AND 5 AND NOT 7";
+    println!(
+        "> {src}\n{}",
+        server.explain(src, ExplainMode::Plan).unwrap()
+    );
+
+    // --- EXPLAIN ANALYZE: estimates and measurements side by side ----------
+    let src = "EXPLAIN ANALYZE (0 OR 1) AND 5 AND NOT 7";
+    println!(
+        "> {src}\n{}",
+        server.explain(src, ExplainMode::Plan).unwrap()
+    );
+
+    // --- Traced execution: the per-stage timeline of one real query --------
+    let (result, trace) = server
+        .query_expr_traced("(0 OR 1) AND 5 AND NOT 7")
+        .unwrap();
+    println!("{} result docs\n\n{}", result.len(), trace.render());
+
+    // --- The metrics registry: counters, gauges, latency histograms --------
+    // A short warm-up so the snapshot has something to say.
+    for _ in 0..20 {
+        server.query_expr("(0 OR 1) AND 5 AND NOT 7").unwrap();
+        server.query_expr("2 AND 3").unwrap();
+    }
+    let snap = server.metrics();
+    println!("{}", snap.to_prometheus());
+}

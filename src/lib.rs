@@ -55,6 +55,7 @@ pub use fsi_compress as compress;
 pub use fsi_core as core;
 pub use fsi_index as index;
 pub use fsi_kernels as kernels;
+pub use fsi_obs as obs;
 pub use fsi_query as query;
 pub use fsi_serve as serve;
 pub use fsi_workloads as workloads;

@@ -1,0 +1,205 @@
+//! Integration tests for the observability layer end to end:
+//!
+//! * the log₂-bucketed latency histogram tracks an exact nearest-rank
+//!   oracle within its documented one-sided relative error bound, on
+//!   arbitrary sample distributions;
+//! * merging histograms and registry snapshots is associative and
+//!   split-invariant — recording a workload across any partition of
+//!   workers/shards and merging must equal recording it in one place,
+//!   which is exactly what lets per-worker histograms fold into one
+//!   server-level view;
+//! * `EXPLAIN ANALYZE` per-node timings are internally consistent (child
+//!   wall-clocks sum to at most the root's) and the root's wall fits
+//!   inside the traced query's end-to-end exec span.
+
+use fast_set_intersection::core::HashContext;
+use fast_set_intersection::index::{Corpus, CorpusConfig, SearchEngine};
+use fast_set_intersection::obs::{HistSnapshot, Histogram, Registry};
+use fast_set_intersection::serve::{ServeConfig, Server};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile over raw samples (`p` a fraction in
+/// `[0, 1]`, matching the histogram API) — the oracle the bucketed
+/// histogram approximates.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = (p * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn histogram_percentiles_track_exact_nearest_rank(
+        // Mixed magnitudes: shifting each draw by a data-dependent amount
+        // spreads samples from sub-bucket-resolution values up through the
+        // full u64 range (the vendored proptest subset has no prop_oneof).
+        samples in vec(any::<u64>(), 1..400)
+            .prop_map(|v| v.into_iter().map(|s| s >> (s % 61)).collect::<Vec<u64>>()),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), sorted.first().copied());
+        for p in [0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let exact = exact_percentile(&sorted, p) as f64;
+            let got = h.percentile(p);
+            // One-sided: a bucket's reported edge never undershoots the
+            // exact order statistic, and overshoots by at most the
+            // documented sub-bucket resolution.
+            prop_assert!(
+                got >= exact - 1e-9 && got <= exact * (1.0 + Histogram::MAX_RELATIVE_ERROR) + 1e-9,
+                "p{}: got {} exact {}", p, got, exact
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_split_invariant(
+        samples in vec(any::<u64>(), 1..300),
+        cuts in vec(0usize..300, 0..4),
+    ) {
+        // One histogram fed everything vs. the same samples partitioned
+        // across "workers" at arbitrary cut points, merged two ways.
+        let whole = Histogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % samples.len()).collect();
+        bounds.push(0);
+        bounds.push(samples.len());
+        bounds.sort_unstable();
+        let merged = Histogram::new();
+        let mut snap_merged = HistSnapshot::default();
+        for w in bounds.windows(2) {
+            let part = Histogram::new();
+            for &s in &samples[w[0]..w[1]] {
+                part.record(s);
+            }
+            merged.merge_from(&part);              // live merge (worker join)
+            snap_merged.merge_from(&part.snapshot()); // snapshot merge (batch fold)
+        }
+
+        let expect = whole.snapshot();
+        prop_assert_eq!(&merged.snapshot(), &expect);
+        prop_assert_eq!(&snap_merged, &expect);
+    }
+}
+
+#[test]
+fn registry_snapshot_merge_is_associative_across_shard_splits() {
+    // Three "shards" record disjoint slices of one workload into their own
+    // registries; merging the snapshots in either association must equal
+    // recording the whole workload into one registry.
+    let record = |reg: &Registry, queries: std::ops::Range<u64>| {
+        let served = reg.counter("queries_total", &[]);
+        let lat = reg.histogram("latency_ns", &[]);
+        for q in queries {
+            served.inc();
+            lat.record(q * 97 % 50_000);
+            reg.counter(
+                "kind_total",
+                &[("kind", if q % 3 == 0 { "probe" } else { "scan" })],
+            )
+            .inc();
+        }
+    };
+
+    let whole = Registry::new();
+    record(&whole, 0..90);
+
+    let parts: Vec<Registry> = [0..30u64, 30..60, 60..90]
+        .into_iter()
+        .map(|r| {
+            let reg = Registry::new();
+            record(&reg, r);
+            reg
+        })
+        .collect();
+
+    // Left fold: ((a + b) + c); right fold: (a + (b + c)).
+    let mut left = parts[0].snapshot();
+    left.merge_from(&parts[1].snapshot());
+    left.merge_from(&parts[2].snapshot());
+    let mut bc = parts[1].snapshot();
+    bc.merge_from(&parts[2].snapshot());
+    let mut right = parts[0].snapshot();
+    right.merge_from(&bc);
+
+    let expect = whole.snapshot();
+    assert_eq!(left, expect);
+    assert_eq!(right, expect);
+    assert_eq!(left.counter("queries_total", &[]), Some(90));
+    assert_eq!(
+        left.counter("kind_total", &[("kind", "probe")]).unwrap()
+            + left.counter("kind_total", &[("kind", "scan")]).unwrap(),
+        90
+    );
+}
+
+#[test]
+fn explain_analyze_timings_fit_inside_the_traced_exec_span() {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_docs: 40_000,
+        num_terms: 48,
+        ..CorpusConfig::default()
+    });
+    let engine = SearchEngine::from_corpus(HashContext::new(11), corpus);
+    let server = Server::new(
+        &engine,
+        ServeConfig {
+            num_shards: 2,
+            cache_capacity: 0, // every run must execute
+            ..ServeConfig::default()
+        },
+    );
+
+    let query = "(0 OR 1) AND 5 AND NOT 7";
+    let (_, trace) = server.query_expr_traced(query).unwrap();
+
+    // The exec span covers every shard span, which in turn lie inside the
+    // trace's total wall-clock.
+    let exec = trace.span("exec").expect("exec span");
+    let shard_total: u64 = (0..2)
+        .map(|i| {
+            trace
+                .span(&format!("shard{i}.exec"))
+                .expect("shard span")
+                .dur_ns
+        })
+        .sum();
+    assert!(
+        shard_total <= exec.dur_ns,
+        "{shard_total} > {}",
+        exec.dur_ns
+    );
+    assert!(exec.dur_ns <= trace.total_ns);
+
+    // EXPLAIN ANALYZE on the same query: each shard section reports a
+    // total that bounds its root node's wall, and text and traced paths
+    // agree on the plan shape (same root operator as the span's kind).
+    let analyzed = server
+        .explain(
+            &format!("EXPLAIN ANALYZE {query}"),
+            fast_set_intersection::query::ExplainMode::Plan,
+        )
+        .unwrap();
+    assert!(analyzed.contains("-- shard 0"), "{analyzed}");
+    assert!(analyzed.contains("rows"), "{analyzed}");
+    let kind = trace
+        .span("shard0.exec")
+        .and_then(|s| s.get("kind"))
+        .expect("kind attr");
+    assert!(
+        analyzed.contains(kind),
+        "kind {kind} missing from:\n{analyzed}"
+    );
+}
