@@ -1,0 +1,368 @@
+//! A lossy-but-honest lexical model of a Rust source file.
+//!
+//! The analyzer's rules are line-oriented string scans; what makes them
+//! sound enough to gate CI is that they never look at raw source. This
+//! module splits every physical line into three channels:
+//!
+//! * [`Line::code`] — source with comments removed and the *contents* of
+//!   string/char literals blanked (delimiters kept). `unsafe` mentioned in
+//!   a doc comment or a panic message can never trip the unsafe rules —
+//!   the exact false positive a naive `grep unsafe` hits on
+//!   `crates/serve/src/pool.rs`.
+//! * [`Line::code_raw`] — source with comments removed but literal
+//!   contents kept, for attribute scans that need to read
+//!   `target_arch = "x86_64"` or `enable = "avx2"` inside `cfg`/
+//!   `target_feature` attributes.
+//! * [`Line::comment`] — the comment text of the line (all comments on the
+//!   line concatenated), where `// SAFETY:` justifications and
+//!   `// audit:allow(...)` pragmas live.
+//!
+//! The scanner is a hand-rolled state machine covering the token shapes
+//! that matter for channel separation: line comments, nested block
+//! comments, string literals with escapes, raw strings with arbitrary `#`
+//! depth, byte strings, char literals, and the char-vs-lifetime
+//! ambiguity. It does not parse Rust; it only needs to know what is code,
+//! what is comment, and what is literal text.
+
+/// One physical source line, split into channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments stripped and literal contents blanked.
+    pub code: String,
+    /// Code with comments stripped, literal contents preserved.
+    pub code_raw: String,
+    /// All comment text appearing on this line (markers included).
+    pub comment: String,
+}
+
+impl Line {
+    /// Whether the line carries any code at all (blank and comment-only
+    /// lines answer false).
+    pub fn has_code(&self) -> bool {
+        !self.code.trim().is_empty()
+    }
+}
+
+/// A scanned file: path (workspace-relative by convention) plus per-line
+/// channels, 0-indexed (rule diagnostics report 1-indexed).
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Channel-split lines.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth — Rust block comments nest.
+    BlockComment(u32),
+    /// `Some(n)` = raw string closed by `"` + n `#`s; `None` = normal
+    /// string with backslash escapes.
+    Str(Option<u32>),
+    CharLit,
+}
+
+/// Scans `text` into a [`SourceFile`].
+pub fn scan(path: &str, text: &str) -> SourceFile {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    for raw in text.split('\n') {
+        let mut line = Line::default();
+        let b: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        // A line comment never survives a newline.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+        while i < b.len() {
+            let c = b[i];
+            match state {
+                State::LineComment => {
+                    line.comment.push(c);
+                    i += 1;
+                }
+                State::BlockComment(depth) => {
+                    if c == '/' && b.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(depth + 1);
+                        line.comment.push_str("/*");
+                        i += 2;
+                    } else if c == '*' && b.get(i + 1) == Some(&'/') {
+                        line.comment.push_str("*/");
+                        state = if depth > 1 {
+                            State::BlockComment(depth - 1)
+                        } else {
+                            State::Code
+                        };
+                        i += 2;
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str(raw_hashes) => {
+                    match raw_hashes {
+                        None => {
+                            if c == '\\' {
+                                // Escape: blank both chars in `code`.
+                                line.code.push(' ');
+                                line.code_raw.push(c);
+                                if let Some(&n) = b.get(i + 1) {
+                                    line.code.push(' ');
+                                    line.code_raw.push(n);
+                                    i += 1;
+                                }
+                                i += 1;
+                                continue;
+                            }
+                            if c == '"' {
+                                line.code.push(c);
+                                line.code_raw.push(c);
+                                state = State::Code;
+                                i += 1;
+                                continue;
+                            }
+                        }
+                        Some(n) => {
+                            if c == '"' {
+                                let hashes = n as usize;
+                                let closes = (0..hashes).all(|k| b.get(i + 1 + k) == Some(&'#'));
+                                if closes {
+                                    line.code.push('"');
+                                    line.code_raw.push('"');
+                                    for _ in 0..hashes {
+                                        line.code.push('#');
+                                        line.code_raw.push('#');
+                                    }
+                                    state = State::Code;
+                                    i += 1 + hashes;
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    line.code.push(' ');
+                    line.code_raw.push(c);
+                    i += 1;
+                }
+                State::CharLit => {
+                    if c == '\\' {
+                        line.code.push(' ');
+                        line.code_raw.push(c);
+                        if let Some(&n) = b.get(i + 1) {
+                            line.code.push(' ');
+                            line.code_raw.push(n);
+                            i += 1;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    line.code.push(if c == '\'' { '\'' } else { ' ' });
+                    line.code_raw.push(c);
+                    if c == '\'' {
+                        state = State::Code;
+                    }
+                    i += 1;
+                }
+                State::Code => {
+                    if c == '/' && b.get(i + 1) == Some(&'/') {
+                        state = State::LineComment;
+                        line.comment.push_str("//");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && b.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(1);
+                        line.comment.push_str("/*");
+                        i += 2;
+                        continue;
+                    }
+                    // Raw / byte string prefixes: r"", r#""#, b"", br#""#.
+                    if (c == 'r' || c == 'b') && !prev_is_ident(&line.code_raw) {
+                        if let Some((hashes, consumed)) = raw_str_open(&b[i..]) {
+                            for k in 0..consumed {
+                                line.code.push(b[i + k]);
+                                line.code_raw.push(b[i + k]);
+                            }
+                            state = State::Str(hashes);
+                            i += consumed;
+                            continue;
+                        }
+                    }
+                    if c == '"' {
+                        line.code.push(c);
+                        line.code_raw.push(c);
+                        state = State::Str(None);
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' && is_char_literal(&b[i..]) {
+                        line.code.push(c);
+                        line.code_raw.push(c);
+                        state = State::CharLit;
+                        i += 1;
+                        continue;
+                    }
+                    line.code.push(c);
+                    line.code_raw.push(c);
+                    i += 1;
+                }
+            }
+        }
+        lines.push(line);
+    }
+    SourceFile {
+        path: path.to_string(),
+        lines,
+    }
+}
+
+/// Whether the last char pushed so far is an identifier char — guards the
+/// raw-string prefix check against identifiers merely ending in `r`/`b`
+/// (e.g. `var"` can't occur, but `br` inside `abr` must not open one).
+fn prev_is_ident(code_so_far: &str) -> bool {
+    code_so_far
+        .chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If `rest` opens a raw or byte string (`r"`, `r#"`, `b"`, `br##"`, …),
+/// returns `(raw hash count or None for plain b-string, chars consumed
+/// through the opening quote)`.
+fn raw_str_open(rest: &[char]) -> Option<(Option<u32>, usize)> {
+    let mut j = 0usize;
+    if rest[j] == 'b' {
+        j += 1;
+    }
+    let is_raw = rest.get(j) == Some(&'r');
+    if is_raw {
+        j += 1;
+    }
+    if j == 0 {
+        return None;
+    }
+    let mut hashes = 0u32;
+    while rest.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if rest.get(j) != Some(&'"') {
+        return None;
+    }
+    if !is_raw && hashes > 0 {
+        return None;
+    }
+    let hash = if is_raw { Some(hashes) } else { None };
+    Some((hash, j + 1))
+}
+
+/// Disambiguates `'x'` / `'\n'` (char literal) from `'a`, `'static`, `'_`
+/// (lifetime): a literal either escapes or closes within two chars.
+fn is_char_literal(rest: &[char]) -> bool {
+    match rest.get(1) {
+        Some('\\') => true,
+        Some(_) => rest.get(2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Whether `needle` occurs in `hay` as a whole word (not embedded in a
+/// longer identifier). Returns the byte offset of the first such match.
+pub fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    let mut from = 0usize;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let end = at + needle.len();
+        let after_ok = end >= hay.len()
+            || !hay[end..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Line {
+        scan("t.rs", src)
+            .lines
+            .into_iter()
+            .next()
+            .expect("one line")
+    }
+
+    #[test]
+    fn comments_leave_code_channel() {
+        let l = one("let x = 1; // unsafe stuff");
+        assert_eq!(l.code.trim_end(), "let x = 1;");
+        assert!(l.comment.contains("unsafe stuff"));
+    }
+
+    #[test]
+    fn doc_comment_unsafe_is_not_code() {
+        // The pool.rs grep trap: `unsafe` mentioned only in a doc comment.
+        let f = scan("t.rs", "//! no `unsafe`, scoped threads\nfn f() {}\n");
+        assert!(!f.lines[0].has_code());
+        assert!(find_word(&f.lines[0].code, "unsafe").is_none());
+        assert!(f.lines[0].comment.contains("unsafe"));
+    }
+
+    #[test]
+    fn string_contents_blank_in_code_survive_in_raw() {
+        let l = one(r#"let p = "unsafe { bad }";"#);
+        assert!(find_word(&l.code, "unsafe").is_none());
+        assert!(l.code_raw.contains("unsafe { bad }"));
+        // Delimiters survive in both channels.
+        assert_eq!(l.code.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let l = one(r##"let s = r#"a " quote"#; let t = "\"unsafe\"";"##);
+        assert!(find_word(&l.code, "unsafe").is_none());
+        assert!(l.code.ends_with(';'));
+        let f = scan("t.rs", "let s = \"multi\nline unsafe\";\nunsafe {}\n");
+        assert!(find_word(&f.lines[1].code, "unsafe").is_none());
+        assert!(find_word(&f.lines[2].code, "unsafe").is_some());
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = scan("t.rs", "/* a /* b */ still comment */ code();\n");
+        assert_eq!(f.lines[0].code.trim(), "code();");
+        let f = scan("t.rs", "/* open\nunsafe {}\n*/ fn f() {}\n");
+        assert!(!f.lines[1].has_code());
+        assert!(f.lines[2].code.contains("fn f()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = one("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(l.code.contains("&'a str"));
+        let l = one("let c = 'x'; let n = '\\n'; unsafe {}");
+        assert!(find_word(&l.code, "unsafe").is_some());
+        assert!(!l.code.contains('x'));
+    }
+
+    #[test]
+    fn find_word_respects_identifier_boundaries() {
+        assert!(find_word("deny(unsafe_op_in_unsafe_fn)", "unsafe").is_none());
+        assert_eq!(find_word("pub unsafe fn x()", "unsafe"), Some(4));
+        assert!(find_word("not_unsafe", "unsafe").is_none());
+    }
+}

@@ -1,0 +1,420 @@
+//! `fsi-audit`: a zero-dependency lexical analyzer for this workspace's
+//! correctness-critical conventions — run locally as
+//! `cargo run -p fsi-audit -- check` and as a required CI step.
+//!
+//! The test suite pins *behavior* on one box; these rules pin *soundness
+//! conventions* across boxes, feature levels, and interleavings:
+//!
+//! | rule | enforces |
+//! |------|----------|
+//! | `undocumented_unsafe` | every `unsafe` carries a `// SAFETY:` (or `# Safety` doc) justification |
+//! | `unguarded_target_feature` | `#[target_feature]` fns are `unsafe`, arch-gated, and only called through `SimdLevel` dispatch or `is_x86_feature_detected!` |
+//! | `hot_path_panic` | no `unwrap`/`expect`/`panic!`-family in hot-path crates outside `#[cfg(test)]` |
+//! | `hot_path_index` | no slice indexing without bound evidence in the enclosing fn |
+//! | `missing_scalar_fallback` | every x86-64 gate has a `force-scalar` opt-out and a scalar fallback twin |
+//! | `bench_gate_mismatch` | `BENCH_*.json` baselines ↔ `check_regression` tags ↔ CI wiring stay in sync |
+//! | `bad_allow` | `audit:allow` pragmas name a real rule and carry a reason |
+//! | `unused_allow` | pragmas that no longer suppress anything are removed |
+//!
+//! Escape hatch: `// audit:allow(<rule>): <reason>` on the offending line
+//! or the comment line(s) directly above it. The reason is mandatory —
+//! an allow is a reviewed claim, not a mute button. See
+//! `docs/static-analysis.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::SourceFile;
+use std::fmt;
+use std::path::Path;
+
+/// Every rule the analyzer knows, with a one-line description (`rules`
+/// subcommand; also the validity domain of `audit:allow`).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "undocumented_unsafe",
+        "unsafe block/fn/impl without a // SAFETY: (or # Safety doc) justification",
+    ),
+    (
+        "unguarded_target_feature",
+        "#[target_feature] fn not unsafe, not arch-gated, or called outside SimdLevel dispatch / feature-detect guards",
+    ),
+    (
+        "hot_path_panic",
+        "unwrap/expect/panic!/unreachable!/todo!/unimplemented! in a hot-path crate outside #[cfg(test)]",
+    ),
+    (
+        "hot_path_index",
+        "slice indexing without bound evidence in the enclosing fn, in a hot-path crate",
+    ),
+    (
+        "missing_scalar_fallback",
+        "cfg(target_arch = \"x86_64\") without force-scalar opt-out or without a scalar fallback arm",
+    ),
+    (
+        "bench_gate_mismatch",
+        "BENCH_*.json baseline, check_regression tag arm, or CI gate wiring out of sync",
+    ),
+    (
+        "bad_allow",
+        "audit:allow pragma with an unknown rule or a missing reason",
+    ),
+    (
+        "unused_allow",
+        "audit:allow pragma that suppressed nothing (stale after a fix)",
+    ),
+];
+
+/// One diagnostic: `path:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule name from [`RULES`].
+    pub rule: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Finding {
+    pub(crate) fn new(
+        path: &str,
+        line: usize,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            path: path.to_string(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Everything the rules look at: scanned `.rs` files plus the bench-gate
+/// context (baseline tags and CI text).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Scanned Rust sources, workspace-relative paths.
+    pub files: Vec<SourceFile>,
+    /// `(filename, tag)` per committed `BENCH_*.json` baseline.
+    pub baselines: Vec<(String, String)>,
+    /// The CI workflow text, when present.
+    pub ci_text: Option<String>,
+}
+
+/// An `audit:allow(<rule>): <reason>` pragma, resolved to the code line it
+/// suppresses.
+#[derive(Debug)]
+struct Allow {
+    path: String,
+    /// Line the pragma itself is written on (1-indexed).
+    pragma_line: usize,
+    /// Code line it applies to (1-indexed).
+    target_line: usize,
+    rule: String,
+    used: bool,
+}
+
+/// Analyzes a set of in-memory files — the entry point the fixture corpus
+/// drives. Paths decide rule applicability (hot crates, gated modules),
+/// and non-`.rs` entries named `BENCH_*.json` / `ci.yml` feed the
+/// bench-gate rule.
+pub fn analyze(files: &[(String, String)]) -> Vec<Finding> {
+    let mut ws = Workspace::default();
+    for (path, text) in files {
+        let name = path.rsplit('/').next().unwrap_or(path);
+        if path.ends_with(".rs") {
+            ws.files.push(lexer::scan(path, text));
+        } else if name.starts_with("BENCH_") && name.ends_with(".json") {
+            if let Some(tag) = baseline_tag(text) {
+                ws.baselines.push((name.to_string(), tag));
+            }
+        } else if name.ends_with(".yml") || name.ends_with(".yaml") {
+            ws.ci_text = Some(text.clone());
+        }
+    }
+    run(&ws)
+}
+
+/// Walks the real workspace rooted at `root` (every `.rs` under `crates/`
+/// except the analyzer's own fixture corpus, the root `BENCH_*.json`
+/// baselines, and the CI workflow) and runs every rule.
+pub fn check_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut ws = Workspace::default();
+    let crates = root.join("crates");
+    let mut rs_paths = Vec::new();
+    walk(&crates, &mut rs_paths)?;
+    rs_paths.sort();
+    for p in rs_paths {
+        let rel = p
+            .strip_prefix(root)
+            .map_err(|e| e.to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.contains("tests/fixtures/") {
+            continue; // the known-bad corpus must trip rules only in its own tests
+        }
+        let text = std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+        ws.files.push(lexer::scan(&rel, &text));
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(root)
+        .map_err(|e| e.to_string())?
+        .filter_map(|e| e.ok())
+        .collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name().to_string_lossy().to_string();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            let text = std::fs::read_to_string(entry.path()).map_err(|e| e.to_string())?;
+            if let Some(tag) = baseline_tag(&text) {
+                ws.baselines.push((name, tag));
+            }
+        }
+    }
+    let ci = root.join(".github/workflows/ci.yml");
+    if let Ok(text) = std::fs::read_to_string(ci) {
+        ws.ci_text = Some(text);
+    }
+    Ok(run(&ws))
+}
+
+fn walk(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> Result<(), String> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Ok(()); // a missing crates/ dir is "nothing to audit"
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let p = entry.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Pulls `"bench": "<tag>"` out of a baseline without a JSON parser (the
+/// field is machine-written by `fsi-bench`, always on one line).
+fn baseline_tag(text: &str) -> Option<String> {
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("\"bench\"") {
+            let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+            let rest = rest.strip_prefix('"')?;
+            return Some(rest[..rest.find('"')?].to_string());
+        }
+    }
+    None
+}
+
+/// Runs every rule and applies `audit:allow` suppression.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = rules::run(ws);
+    let mut allows = Vec::new();
+    for f in &ws.files {
+        collect_allows(f, &mut allows, &mut findings);
+    }
+    findings.retain(|fi| {
+        let allowed = allows.iter_mut().find(|a| {
+            !a.used && a.path == fi.path && a.target_line == fi.line && a.rule == fi.rule
+        });
+        match allowed {
+            Some(a) => {
+                a.used = true;
+                false
+            }
+            None => true,
+        }
+    });
+    for a in &allows {
+        if !a.used {
+            findings.push(Finding::new(
+                &a.path,
+                a.pragma_line,
+                "unused_allow",
+                format!(
+                    "audit:allow({}) suppresses nothing on line {} — remove the stale pragma",
+                    a.rule, a.target_line
+                ),
+            ));
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings.dedup();
+    findings
+}
+
+/// Parses every `audit:allow` pragma in `f`. A pragma on a code line
+/// covers that line; a pragma on a comment-only line covers the next code
+/// line (stacking across a contiguous comment block).
+fn collect_allows(f: &SourceFile, allows: &mut Vec<Allow>, findings: &mut Vec<Finding>) {
+    for (i, line) in f.lines.iter().enumerate() {
+        // Only a pragma that *leads* its comment parses — prose that merely
+        // mentions audit:allow (docs, this crate) is not a pragma.
+        let comment = line.comment.as_str();
+        let Some(first) = comment.find("audit:allow") else {
+            continue;
+        };
+        if !comment[..first]
+            .chars()
+            .all(|c| matches!(c, '/' | '!' | '*') || c.is_whitespace())
+        {
+            continue;
+        }
+        let mut rest = comment;
+        while let Some(at) = rest.find("audit:allow") {
+            rest = &rest[at + "audit:allow".len()..];
+            let parsed = parse_allow(rest);
+            match parsed {
+                Err(why) => findings.push(Finding::new(&f.path, i + 1, "bad_allow", why)),
+                Ok((rule, consumed)) => {
+                    let target = if line.has_code() {
+                        Some(i + 1)
+                    } else {
+                        f.lines[i + 1..]
+                            .iter()
+                            .position(|l| l.has_code())
+                            .map(|off| i + 1 + off + 1)
+                    };
+                    match target {
+                        None => findings.push(Finding::new(
+                            &f.path,
+                            i + 1,
+                            "bad_allow",
+                            "audit:allow pragma with no following code line to apply to",
+                        )),
+                        Some(target_line) => allows.push(Allow {
+                            path: f.path.clone(),
+                            pragma_line: i + 1,
+                            target_line,
+                            rule,
+                            used: false,
+                        }),
+                    }
+                    rest = &rest[consumed..];
+                }
+            }
+        }
+    }
+}
+
+/// Parses `(<rule>): <reason>` after the `audit:allow` marker. Returns the
+/// rule and how many bytes of `rest` the pragma head consumed.
+fn parse_allow(rest: &str) -> Result<(String, usize), String> {
+    let Some(open) = rest.strip_prefix('(') else {
+        return Err("audit:allow must be written `audit:allow(<rule>): <reason>`".to_string());
+    };
+    let Some(close) = open.find(')') else {
+        return Err("audit:allow(<rule> — missing closing parenthesis".to_string());
+    };
+    let rule = open[..close].trim().to_string();
+    if !RULES.iter().any(|(r, _)| *r == rule) {
+        return Err(format!(
+            "audit:allow({rule}) names an unknown rule — run `fsi-audit rules` for the list"
+        ));
+    }
+    let after = &open[close + 1..];
+    let Some(reason) = after.trim_start().strip_prefix(':') else {
+        return Err(format!(
+            "audit:allow({rule}) is missing its `: <reason>` — an allow is a reviewed claim, not a mute button"
+        ));
+    };
+    // The reason runs to the end of the comment or the next pragma.
+    let reason_text = reason.split("audit:allow").next().unwrap_or("").trim();
+    if reason_text.is_empty() {
+        return Err(format!("audit:allow({rule}): has an empty reason"));
+    }
+    Ok((rule, 1 + close + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(files: &[(&str, &str)]) -> Vec<Finding> {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, t)| (p.to_string(), t.to_string()))
+            .collect();
+        analyze(&owned)
+    }
+
+    #[test]
+    fn clean_file_is_clean() {
+        let f = findings(&[(
+            "crates/kernels/src/ok.rs",
+            "/// Fine.\npub fn f(xs: &[u32]) -> u32 {\n    xs.iter().sum()\n}\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_used() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    // audit:allow(hot_path_panic): caller guarantees Some in this demo\n    x.unwrap()\n}\n";
+        let f = findings(&[("crates/kernels/src/a.rs", src)]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_bad_allow() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    // audit:allow(hot_path_panic)\n    x.unwrap()\n}\n";
+        let f = findings(&[("crates/kernels/src/a.rs", src)]);
+        assert!(f.iter().any(|x| x.rule == "bad_allow"), "{f:?}");
+        // The unreasoned pragma does not suppress.
+        assert!(f.iter().any(|x| x.rule == "hot_path_panic"), "{f:?}");
+    }
+
+    #[test]
+    fn unknown_rule_is_bad_allow() {
+        let src = "// audit:allow(no_such_rule): whatever\npub fn f() {}\n";
+        let f = findings(&[("crates/kernels/src/a.rs", src)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "bad_allow");
+    }
+
+    #[test]
+    fn stale_allow_is_flagged() {
+        let src =
+            "// audit:allow(hot_path_panic): stale — the unwrap below was removed\npub fn f() {}\n";
+        let f = findings(&[("crates/kernels/src/a.rs", src)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unused_allow");
+    }
+
+    #[test]
+    fn prose_mention_is_not_a_pragma() {
+        // Docs talk *about* the escape hatch without invoking it.
+        let src =
+            "//! The escape hatch is `audit:allow(hot_path_panic)` with a reason.\npub fn f() {}\n";
+        let f = findings(&[("crates/kernels/src/a.rs", src)]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn baseline_tag_parses() {
+        assert_eq!(
+            baseline_tag("{\n  \"bench\": \"kernels\",\n}"),
+            Some("kernels".to_string())
+        );
+        assert_eq!(baseline_tag("{}"), None);
+    }
+}

@@ -1,0 +1,66 @@
+//! CLI: `fsi-audit check [--root <path>]` (exit 1 with `file:line: rule:
+//! message` diagnostics on any violation) and `fsi-audit rules`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "check" | "rules" if cmd.is_none() => cmd = Some(a),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    match cmd.as_deref() {
+        Some("rules") => {
+            for (name, what) in fsi_audit::RULES {
+                println!("{name:26} {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            // Default root: the workspace this binary was built from.
+            let root = root.unwrap_or_else(|| {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .ancestors()
+                    .nth(2)
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("."))
+            });
+            match fsi_audit::check_workspace(&root) {
+                Err(e) => {
+                    eprintln!("fsi-audit: {e}");
+                    ExitCode::from(2)
+                }
+                Ok(findings) if findings.is_empty() => {
+                    println!(
+                        "fsi-audit: workspace clean ({} rules)",
+                        fsi_audit::RULES.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        println!("{f}");
+                    }
+                    println!("fsi-audit: {} violation(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage("expected a subcommand: check | rules"),
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("fsi-audit: {why}\nusage: fsi-audit check [--root <workspace>] | fsi-audit rules");
+    ExitCode::from(2)
+}

@@ -1,0 +1,530 @@
+//! The audit rules. Each rule is a pure function from the scanned
+//! [`Workspace`] to [`Finding`]s; suppression via `audit:allow` pragmas is
+//! applied by the caller (`lib.rs`), so rules always report everything
+//! they see.
+
+use crate::lexer::{find_word, Line, SourceFile};
+use crate::{Finding, Workspace};
+
+/// Crates whose `src/` trees are hot paths: implicit panics are forbidden
+/// outside `#[cfg(test)]` (rule `hot_path_panic` / `hot_path_index`).
+pub const HOT_CRATES: &[&str] = &["kernels", "index", "query", "obs", "serve"];
+
+/// How many lines above a call site the dispatch-guard scan looks for a
+/// `match …saturate()` / `is_x86_feature_detected!` context.
+const GUARD_WINDOW: usize = 10;
+
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let gated_files = arch_gated_files(ws);
+    for f in &ws.files {
+        let tests = test_regions(f);
+        undocumented_unsafe(f, &mut out);
+        target_feature_decls(f, &gated_files, &mut out);
+        if let Some(name) = hot_crate(&f.path) {
+            hot_path(f, name, &tests, &mut out);
+        }
+        feature_gate_symmetry(f, &mut out);
+    }
+    target_feature_call_sites(ws, &gated_files, &mut out);
+    bench_gate(ws, &mut out);
+    out
+}
+
+/// `crates/<name>/src/**` for a hot crate; crate test dirs and `tests/`
+/// trees are exempt by construction.
+fn hot_crate(path: &str) -> Option<&'static str> {
+    HOT_CRATES
+        .iter()
+        .find(|&&c| path.starts_with(&format!("crates/{c}/src/")))
+        .copied()
+}
+
+// ---------------------------------------------------------------------------
+// Rule: undocumented_unsafe
+// ---------------------------------------------------------------------------
+
+/// Every `unsafe` block / fn / impl / trait must carry a justification: a
+/// `// SAFETY:` comment on the same line or in the contiguous
+/// comment/attribute block above, or (for `unsafe fn`) a doc-comment
+/// `# Safety` section.
+fn undocumented_unsafe(f: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, line) in f.lines.iter().enumerate() {
+        let Some(at) = find_word(&line.code, "unsafe") else {
+            continue;
+        };
+        // At most one interesting `unsafe` per line in practice; a second
+        // one would share the same justification block anyway.
+        let after = line.code[at + "unsafe".len()..].trim_start();
+        let is_fn = after.starts_with("fn") || after.starts_with("extern");
+        let documented = line.comment.contains("SAFETY:")
+            || preamble_above(f, i).any(|l| {
+                l.comment.contains("SAFETY:") || (is_fn && l.comment.contains("# Safety"))
+            });
+        if !documented {
+            let what = if is_fn {
+                "unsafe fn without a `# Safety` doc section or `// SAFETY:` comment"
+            } else {
+                "unsafe block without a `// SAFETY:` comment on or above it"
+            };
+            out.push(Finding::new(&f.path, i + 1, "undocumented_unsafe", what));
+        }
+    }
+}
+
+/// Lines above `i` that form the item's preamble: blank, comment-only, or
+/// attribute lines. Stops at the first real code line.
+fn preamble_above(f: &SourceFile, i: usize) -> impl Iterator<Item = &Line> {
+    f.lines[..i].iter().rev().take_while(|l| {
+        let code = l.code.trim();
+        code.is_empty() || code.starts_with("#[") || code.starts_with("#!")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unguarded_target_feature
+// ---------------------------------------------------------------------------
+
+/// Files reachable only through a `#[cfg(…target_arch…)] mod <name>;`
+/// declaration (e.g. `simd/x86.rs`): the compilation-gate half of the
+/// target-feature containment argument.
+fn arch_gated_files(ws: &Workspace) -> Vec<String> {
+    let mut gated = Vec::new();
+    for f in &ws.files {
+        for (i, line) in f.lines.iter().enumerate() {
+            let code = line.code.trim();
+            let Some(rest) = code
+                .strip_prefix("pub mod ")
+                .or_else(|| code.strip_prefix("mod "))
+            else {
+                continue;
+            };
+            let Some(name) = rest.strip_suffix(';') else {
+                continue;
+            };
+            let arch_gated = preamble_above(f, i)
+                .any(|l| l.code_raw.contains("#[cfg(") && l.code_raw.contains("target_arch"));
+            if !arch_gated {
+                continue;
+            }
+            let dir = match f.path.rfind('/') {
+                Some(cut) => &f.path[..cut],
+                None => "",
+            };
+            gated.push(format!("{dir}/{name}.rs"));
+            gated.push(format!("{dir}/{name}/mod.rs"));
+        }
+    }
+    gated
+}
+
+/// Declaration half: every `#[target_feature(enable = …)]` fn must be
+/// `unsafe` and must live in an arch-gated module (so `force-scalar` and
+/// non-x86 builds compile it out entirely).
+fn target_feature_decls(f: &SourceFile, gated_files: &[String], out: &mut Vec<Finding>) {
+    for (i, line) in f.lines.iter().enumerate() {
+        if !line.code_raw.trim_start().starts_with("#[")
+            || !line.code_raw.contains("target_feature(")
+        {
+            continue;
+        }
+        // The attribute's item: the next line carrying a `fn` (further
+        // attributes and doc lines may intervene).
+        let decl = f.lines[i + 1..]
+            .iter()
+            .take(10)
+            .find(|l| find_word(&l.code, "fn").is_some());
+        let is_unsafe = decl.is_some_and(|d| find_word(&d.code, "unsafe").is_some());
+        if !is_unsafe {
+            out.push(Finding::new(
+                &f.path,
+                i + 1,
+                "unguarded_target_feature",
+                "#[target_feature] fn must be declared unsafe (callers must prove the CPU has the feature)",
+            ));
+        }
+        if !gated_files.contains(&f.path) {
+            out.push(Finding::new(
+                &f.path,
+                i + 1,
+                "unguarded_target_feature",
+                "#[target_feature] fn outside a cfg(target_arch)-gated module — non-x86 and force-scalar builds must compile it out",
+            ));
+        }
+    }
+}
+
+/// Names of `#[target_feature]` fns, with their defining file.
+fn target_feature_fns(ws: &Workspace) -> Vec<(String, String)> {
+    let mut fns = Vec::new();
+    for f in &ws.files {
+        for (i, line) in f.lines.iter().enumerate() {
+            if !line.code_raw.trim_start().starts_with("#[")
+                || !line.code_raw.contains("target_feature(")
+            {
+                continue;
+            }
+            let decl = f.lines[i + 1..]
+                .iter()
+                .take(10)
+                .find_map(|l| fn_name(&l.code));
+            if let Some(name) = decl {
+                fns.push((name, f.path.clone()));
+            }
+        }
+    }
+    fns
+}
+
+fn fn_name(code: &str) -> Option<String> {
+    let at = find_word(code, "fn")?;
+    let rest = code[at + 2..].trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Call-site half: outside the arch-gated modules themselves (where
+/// callers are target-feature fns of an implying tier), a call to a
+/// `#[target_feature]` fn must sit in a `SimdLevel` dispatch arm or under
+/// an `is_x86_feature_detected!` guard.
+fn target_feature_call_sites(ws: &Workspace, gated_files: &[String], out: &mut Vec<Finding>) {
+    let fns = target_feature_fns(ws);
+    for f in &ws.files {
+        if gated_files.contains(&f.path) {
+            continue;
+        }
+        for (i, line) in f.lines.iter().enumerate() {
+            for (name, def_file) in &fns {
+                if *def_file == f.path {
+                    continue;
+                }
+                let Some(at) = find_word(&line.code, name) else {
+                    continue;
+                };
+                if !line.code[at + name.len()..].trim_start().starts_with('(') {
+                    continue; // a `use` or mention, not a call
+                }
+                let line_guarded = (line.code.contains("SimdLevel::") && line.code.contains("=>"))
+                    || line.code.contains("is_x86_feature_detected!");
+                let window_guarded = f.lines[i.saturating_sub(GUARD_WINDOW)..i].iter().any(|l| {
+                    l.code.contains("is_x86_feature_detected!")
+                        || (find_word(&l.code, "match").is_some() && l.code.contains("saturate()"))
+                });
+                if !line_guarded && !window_guarded {
+                    out.push(Finding::new(
+                        &f.path,
+                        i + 1,
+                        "unguarded_target_feature",
+                        format!(
+                            "call to #[target_feature] fn `{name}` outside a SimdLevel dispatch arm or is_x86_feature_detected! guard"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hot_path_panic / hot_path_index
+// ---------------------------------------------------------------------------
+
+/// `(start, end)` line ranges (0-indexed, inclusive) of `#[cfg(test)]`
+/// modules, found by brace-matching from the attribute's item.
+fn test_regions(f: &SourceFile) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for (i, line) in f.lines.iter().enumerate() {
+        let attr = line.code_raw.trim_start();
+        if !attr.starts_with("#[cfg(") || find_word(attr, "test").is_none() {
+            continue;
+        }
+        // Walk to the gated item's opening brace and match it.
+        let mut depth = 0i32;
+        let mut opened = false;
+        for (j, l) in f.lines.iter().enumerate().skip(i + 1) {
+            for c in l.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if l.code.contains(';') && !opened {
+                break; // gated a braceless item (e.g. `mod x;`): no region
+            }
+            if opened && depth <= 0 {
+                regions.push((i, j));
+                break;
+            }
+        }
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], i: usize) -> bool {
+    regions.iter().any(|&(s, e)| s <= i && i <= e)
+}
+
+/// Implicit-panic calls the hot-path rule forbids.
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Tokens that count as bound evidence for slice indexing: the enclosing
+/// function demonstrably reasons about lengths (lexical heuristic — the
+/// escape hatch for the rest is `audit:allow(hot_path_index)`).
+const BOUND_EVIDENCE: &[&str] = &[
+    ".len()",
+    ".iter(",
+    ".iter_mut(",
+    ".get(",
+    ".zip(",
+    ".enumerate(",
+    "assert",
+    ".min(",
+    ".clamp(",
+    "% ",
+];
+
+fn hot_path(f: &SourceFile, crate_name: &str, tests: &[(usize, usize)], out: &mut Vec<Finding>) {
+    for (i, line) in f.lines.iter().enumerate() {
+        if in_regions(tests, i) {
+            continue;
+        }
+        for pat in PANIC_PATTERNS {
+            if line.code.contains(pat) {
+                out.push(Finding::new(
+                    &f.path,
+                    i + 1,
+                    "hot_path_panic",
+                    format!(
+                        "`{}` in hot-path crate `{crate_name}` outside #[cfg(test)] — return an error, prove the invariant, or audit:allow with a reason",
+                        pat.trim_matches(['.', '(', ')'])
+                    ),
+                ));
+                break; // one diagnostic per line
+            }
+        }
+        if let Some(idx) = unevidenced_index(f, i) {
+            out.push(Finding::new(
+                &f.path,
+                i + 1,
+                "hot_path_index",
+                format!(
+                    "slice index `{idx}` without bound evidence in the enclosing fn (no len/iter/assert reasoning found) — bounds-panic on the hot path"
+                ),
+            ));
+        }
+    }
+}
+
+/// Detects `ident[expr]` indexing on line `i` where the index is not a
+/// literal or range, and the enclosing function shows no bound evidence.
+/// Returns the offending `ident[expr]` text.
+fn unevidenced_index(f: &SourceFile, i: usize) -> Option<String> {
+    let code = &f.lines[i].code;
+    if code.trim_start().starts_with("#[") {
+        return None;
+    }
+    let bytes: Vec<char> = code.chars().collect();
+    for (pos, &c) in bytes.iter().enumerate() {
+        if c != '[' || pos == 0 {
+            continue;
+        }
+        let prev = bytes[pos - 1];
+        if !(prev.is_alphanumeric() || prev == '_') {
+            continue; // array literal, slice type, vec! etc.
+        }
+        // The indexed identifier.
+        let start = bytes[..pos]
+            .iter()
+            .rposition(|&c| !(c.is_alphanumeric() || c == '_'))
+            .map_or(0, |p| p + 1);
+        let ident: String = bytes[start..pos].iter().collect();
+        // Closing bracket on the same line (spanning lines is rare enough
+        // to ignore: the evidence scan below would still have to fire).
+        let rel_end = bytes[pos + 1..].iter().position(|&c| c == ']')?;
+        let index: String = bytes[pos + 1..pos + 1 + rel_end].iter().collect();
+        let trimmed = index.trim();
+        if trimmed.is_empty()
+            || trimmed.contains("..")
+            || trimmed
+                .chars()
+                .all(|c| c.is_ascii_digit() || c.is_whitespace() || c == '_')
+        {
+            continue; // range/sub-slice or literal index
+        }
+        if !function_has_evidence(f, i) {
+            return Some(format!("{ident}[{trimmed}]"));
+        }
+    }
+    None
+}
+
+/// Scans the function enclosing line `i` (header found by walking up to a
+/// `fn` at lower brace depth, body by brace-matching forward) for any
+/// [`BOUND_EVIDENCE`] token.
+fn function_has_evidence(f: &SourceFile, i: usize) -> bool {
+    // Find the header: nearest preceding line introducing a fn.
+    let Some(header) = f.lines[..=i]
+        .iter()
+        .rposition(|l| find_word(&l.code, "fn").is_some())
+    else {
+        return false;
+    };
+    // Walk the body from the header until braces balance.
+    let mut depth = 0i32;
+    let mut opened = false;
+    for l in &f.lines[header..] {
+        if BOUND_EVIDENCE.iter().any(|e| l.code.contains(e)) {
+            return true;
+        }
+        for c in l.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            break;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule: missing_scalar_fallback
+// ---------------------------------------------------------------------------
+
+/// Feature-gate symmetry: every positive `cfg(target_arch = "x86_64")`
+/// must include `not(feature = "force-scalar")` (so the scalar CI leg
+/// compiles the item out), and a file with positive arch gates must also
+/// contain a negated twin (the scalar fallback arm) — unless the gate is
+/// on a `mod`/`use` declaration whose fallback lives at the dispatch site.
+fn feature_gate_symmetry(f: &SourceFile, out: &mut Vec<Finding>) {
+    let mut positives: Vec<usize> = Vec::new();
+    let mut has_negative = false;
+    for (i, line) in f.lines.iter().enumerate() {
+        let attr = line.code_raw.trim_start();
+        if !attr.starts_with("#[") && !attr.starts_with("#!") {
+            continue;
+        }
+        if !attr.contains("target_arch = \"x86_64\"") {
+            continue;
+        }
+        let negative = attr.contains("not(all(target_arch") || attr.contains("not(target_arch");
+        if negative {
+            has_negative = true;
+            continue;
+        }
+        if !attr.contains("not(feature = \"force-scalar\")") {
+            out.push(Finding::new(
+                &f.path,
+                i + 1,
+                "missing_scalar_fallback",
+                "cfg(target_arch = \"x86_64\") without not(feature = \"force-scalar\") — the force-scalar leg must compile this out",
+            ));
+        }
+        // Gates on mod/use declarations defer their fallback to dispatch.
+        let item = f.lines[i + 1..].iter().take(5).find(|l| l.has_code());
+        let is_decl = item.is_some_and(|l| {
+            let c = l.code.trim();
+            c.starts_with("mod ")
+                || c.starts_with("pub mod ")
+                || c.starts_with("use ")
+                || c.starts_with("pub use ")
+        });
+        if !is_decl {
+            positives.push(i);
+        }
+    }
+    if let (Some(&first), false) = (positives.first(), has_negative) {
+        out.push(Finding::new(
+            &f.path,
+            first + 1,
+            "missing_scalar_fallback",
+            "file has cfg(target_arch = \"x86_64\") items but no cfg(not(...)) scalar fallback arm",
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: bench_gate_mismatch
+// ---------------------------------------------------------------------------
+
+/// Every committed `BENCH_*.json` baseline must have a matching tag arm in
+/// `check_regression.rs` and appear in the CI gate step, and every tag arm
+/// must have a baseline — a silent one-sided drop here is exactly how a
+/// perf regression sails past the gate.
+fn bench_gate(ws: &Workspace, out: &mut Vec<Finding>) {
+    let gate = ws
+        .files
+        .iter()
+        .find(|f| f.path.ends_with("check_regression.rs"));
+    if ws.baselines.is_empty() && gate.is_none() {
+        return; // nothing bench-shaped in scope (e.g. single-file fixtures)
+    }
+    let mut tags: Vec<(String, usize)> = Vec::new();
+    if let Some(g) = gate {
+        for (i, line) in g.lines.iter().enumerate() {
+            // Match arms like `"kernels" => { ... }` inside extract().
+            let t = line.code_raw.trim_start();
+            if let Some(rest) = t.strip_prefix('"') {
+                if let Some(end) = rest.find('"') {
+                    if rest[end + 1..].trim_start().starts_with("=>") {
+                        tags.push((rest[..end].to_string(), i + 1));
+                    }
+                }
+            }
+        }
+    }
+    for (file, tag) in &ws.baselines {
+        if !tags.iter().any(|(t, _)| t == tag) {
+            out.push(Finding::new(
+                file,
+                1,
+                "bench_gate_mismatch",
+                format!(
+                    "baseline tag \"{tag}\" has no matching arm in check_regression.rs — this file is not gated"
+                ),
+            ));
+        }
+        if let Some(ci) = &ws.ci_text {
+            if !ci.contains(file) {
+                out.push(Finding::new(
+                    file,
+                    1,
+                    "bench_gate_mismatch",
+                    format!("baseline {file} is not wired into the CI bench-regression step"),
+                ));
+            }
+        }
+    }
+    if let Some(g) = gate {
+        for (tag, line) in &tags {
+            if !ws.baselines.iter().any(|(_, t)| t == tag) {
+                out.push(Finding::new(
+                    &g.path,
+                    *line,
+                    "bench_gate_mismatch",
+                    format!("gate arm \"{tag}\" has no committed BENCH_*.json baseline"),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Drives the known-bad / known-good fixture corpus in `tests/fixtures/`.
+//!
+//! Each `.fixture` file holds one or more virtual workspace files:
+//!
+//! * `//@ file: <path>` starts a new virtual file; the path decides which
+//!   rules apply (hot crates, arch-gated modules, `BENCH_*.json`, CI).
+//! * `//@ expect: <rule>` pins one finding of `<rule>` to the next
+//!   non-directive line. Repeat the directive for multiple findings on
+//!   the same line.
+//! * Text before the first `//@ file:` is fixture documentation.
+//!
+//! A `*_bad.fixture` must trip **exactly** its expected findings — no
+//! more, no fewer — and a `*_good.fixture` twin must be completely
+//! clean, so every assertion is an exact multiset comparison.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+struct Fixture {
+    files: Vec<(String, String)>,
+    /// Expected findings as `(path, 1-indexed line, rule)`.
+    expects: Vec<(String, usize, String)>,
+}
+
+fn parse_fixture(text: &str) -> Fixture {
+    let mut files: Vec<(String, Vec<String>)> = Vec::new();
+    let mut expects = Vec::new();
+    let mut pending: Vec<String> = Vec::new();
+    for raw in text.lines() {
+        let t = raw.trim_start();
+        if let Some(p) = t.strip_prefix("//@ file: ") {
+            files.push((p.trim().to_string(), Vec::new()));
+        } else if let Some(r) = t.strip_prefix("//@ expect: ") {
+            assert!(
+                !files.is_empty(),
+                "//@ expect before any //@ file in fixture"
+            );
+            pending.push(r.trim().to_string());
+        } else if let Some((path, lines)) = files.last_mut() {
+            lines.push(raw.to_string());
+            for rule in pending.drain(..) {
+                expects.push((path.clone(), lines.len(), rule));
+            }
+        }
+    }
+    assert!(pending.is_empty(), "trailing //@ expect with no code line");
+    Fixture {
+        files: files
+            .into_iter()
+            .map(|(p, ls)| (p, ls.join("\n")))
+            .collect(),
+        expects,
+    }
+}
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn check_fixture(path: &Path) {
+    let name = path.file_name().unwrap().to_string_lossy().to_string();
+    let fx = parse_fixture(&fs::read_to_string(path).unwrap());
+    if name.contains("_bad") {
+        assert!(
+            !fx.expects.is_empty(),
+            "{name}: bad fixture expects nothing"
+        );
+    } else {
+        assert!(fx.expects.is_empty(), "{name}: good fixture has expects");
+    }
+    let findings = fsi_audit::analyze(&fx.files);
+    let mut got: Vec<(String, usize, String)> = findings
+        .iter()
+        .map(|f| (f.path.clone(), f.line, f.rule.to_string()))
+        .collect();
+    let mut want = fx.expects;
+    got.sort();
+    want.sort();
+    assert_eq!(
+        got, want,
+        "{name}: findings diverge from //@ expect directives\nfull diagnostics: {findings:#?}"
+    );
+}
+
+#[test]
+fn every_fixture_matches_its_expectations() {
+    let mut paths: Vec<PathBuf> = fs::read_dir(fixture_dir())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "fixture"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 14, "fixture corpus went missing: {paths:?}");
+    for p in &paths {
+        check_fixture(p);
+    }
+}
+
+#[test]
+fn every_rule_has_a_bad_fixture() {
+    // The corpus must keep covering the whole rule set as rules are added.
+    let names: Vec<String> = fs::read_dir(fixture_dir())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().to_string())
+        .collect();
+    for (rule, _) in fsi_audit::RULES {
+        // bad_allow / unused_allow share the allow fixture pair.
+        let stem = if rule.contains("allow") {
+            "allow"
+        } else {
+            rule
+        };
+        assert!(
+            names.iter().any(|n| n == &format!("{stem}_bad.fixture")),
+            "rule {rule} has no bad fixture"
+        );
+        assert!(
+            names.iter().any(|n| n == &format!("{stem}_good.fixture")),
+            "rule {rule} has no good twin"
+        );
+    }
+}
+
+/// End-to-end: the CLI exits 1 with `path:line: rule:` diagnostics on a
+/// workspace materialized from a bad fixture, and 0 on its good twin.
+#[test]
+fn cli_exit_codes_and_diagnostics() {
+    let scratch = std::env::temp_dir().join(format!("fsi-audit-fx-{}", std::process::id()));
+    for (fixture, expect_clean) in [
+        ("hot_path_panic_bad.fixture", false),
+        ("hot_path_panic_good.fixture", true),
+    ] {
+        let root = scratch.join(fixture);
+        let fx = parse_fixture(&fs::read_to_string(fixture_dir().join(fixture)).unwrap());
+        for (rel, text) in &fx.files {
+            let dst = root.join(rel);
+            fs::create_dir_all(dst.parent().unwrap()).unwrap();
+            fs::write(dst, text).unwrap();
+        }
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_fsi-audit"))
+            .args(["check", "--root"])
+            .arg(&root)
+            .output()
+            .unwrap();
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        if expect_clean {
+            assert!(out.status.success(), "good fixture not clean: {stdout}");
+        } else {
+            assert_eq!(out.status.code(), Some(1), "bad fixture exit: {stdout}");
+            assert!(
+                stdout.contains("crates/query/src/fx.rs:") && stdout.contains("hot_path_panic:"),
+                "diagnostics must carry path:line and the rule name: {stdout}"
+            );
+        }
+    }
+    fs::remove_dir_all(&scratch).ok();
+}

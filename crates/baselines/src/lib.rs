@@ -20,6 +20,8 @@
 //! [`fsi_core::KIntersect`], so harnesses drive them interchangeably with
 //! the paper's algorithms.
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod baezayates;
 pub mod bpp;

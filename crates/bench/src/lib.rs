@@ -7,6 +7,8 @@
 //! seeded dataset construction, harness CLI conventions ([`HarnessArgs`]),
 //! and a registry-free JSON reader ([`json`]) for the regression gate.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 
 use fsi_core::elem::SortedSet;

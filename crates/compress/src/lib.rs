@@ -8,6 +8,8 @@
 //! * [`lowbits`] — compressed RanGroupScan: `RanGroupScan_Gamma/Delta` and
 //!   the paper's own `RanGroupScan_Lowbits` codec (Appendix B).
 
+#![forbid(unsafe_code)]
+
 pub mod bitio;
 pub mod elias;
 pub mod lowbits;

@@ -45,6 +45,8 @@
 //! * [`search`] — binary/galloping search primitives.
 //! * [`traits`] — `SetIndex` / `PairIntersect` / `KIntersect`.
 
+#![forbid(unsafe_code)]
+
 pub mod auto;
 pub mod elem;
 pub mod hash;

@@ -32,6 +32,7 @@ impl BagIndex {
         let mut counts = Vec::new();
         for &x in &sorted {
             if elems.last() == Some(&x) {
+                // audit:allow(hot_path_panic): elems and counts grow in lockstep, so a matching last element implies a last count
                 *counts.last_mut().expect("parallel arrays") += 1;
             } else {
                 elems.push(x);
@@ -60,6 +61,7 @@ impl BagIndex {
     /// Multiplicity of `x` (0 if absent).
     pub fn multiplicity(&self, x: Elem) -> u32 {
         match self.elems.binary_search(&x) {
+            // audit:allow(hot_path_index): binary_search returned Ok(i) against elems, and counts is its parallel array
             Ok(i) => self.counts[i],
             Err(_) => 0,
         }

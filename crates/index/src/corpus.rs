@@ -87,6 +87,7 @@ impl Corpus {
 
     /// The posting list of term `rank` (0 = most frequent).
     pub fn posting(&self, rank: usize) -> &SortedSet {
+        // audit:allow(hot_path_index): public accessor with a documented rank contract; a bounds panic is the misuse signal
         &self.postings[rank]
     }
 

@@ -63,6 +63,7 @@ impl ScoredIndex {
 
     /// The score of the element at group-major position `pos`.
     fn score_at(&self, pos: usize) -> f32 {
+        // audit:allow(hot_path_index): pos comes from this struct's own cursor arithmetic over scores
         self.scores[pos]
     }
 
@@ -94,6 +95,7 @@ impl Ord for HeapHit {
             .0
             .score
             .partial_cmp(&self.0.score)
+            // audit:allow(hot_path_panic): scores are sums of finite per-list contributions, never NaN
             .expect("scores are finite")
             .then_with(|| other.0.doc.cmp(&self.0.doc))
     }
@@ -128,7 +130,9 @@ pub fn top_k(indexes: &[&ScoredIndex], k: usize) -> (Vec<Hit>, DaatStats) {
     let mut order: Vec<&ScoredIndex> = indexes.to_vec();
     order.sort_by_key(|ix| ix.rgs.level());
     let levels: Vec<u32> = order.iter().map(|ix| ix.rgs.level()).collect();
+    // audit:allow(hot_path_panic): order is non-empty: callers enter with k >= 2 lists
     let tk = *levels.last().expect("non-empty");
+    // audit:allow(hot_path_panic): order is non-empty: callers enter with k >= 2 lists
     let m = order.iter().map(|ix| ix.rgs.m()).min().expect("non-empty");
 
     let mut cursors = vec![0usize; kk];
@@ -157,6 +161,7 @@ pub fn top_k(indexes: &[&ScoredIndex], k: usize) -> (Vec<Hit>, DaatStats) {
             .map(|(ix, &ti)| ix.group_max[(zk >> (tk - ti)) as usize])
             .sum();
         if heap.len() == k {
+            // audit:allow(hot_path_panic): guarded by the heap.len() == k check on the line above
             let threshold = heap.peek().expect("full heap").0.score;
             if ub <= threshold {
                 stats.skipped_by_score += 1;
@@ -204,6 +209,7 @@ pub fn top_k(indexes: &[&ScoredIndex], k: usize) -> (Vec<Hit>, DaatStats) {
     hits.sort_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
+            // audit:allow(hot_path_panic): scores are finite by construction, never NaN
             .expect("finite")
             .then_with(|| a.doc.cmp(&b.doc))
     });

@@ -36,6 +36,7 @@ impl SearchEngine {
 
     /// The raw posting list of a term.
     pub fn posting(&self, term: usize) -> &SortedSet {
+        // audit:allow(hot_path_index): public accessor with a documented term-id contract; a bounds panic is the misuse signal
         &self.postings[term]
     }
 
@@ -137,6 +138,7 @@ impl Executor<'_> {
 
     /// The prepared list of a term (for harnesses that time raw calls).
     pub fn prepared(&self, term: usize) -> &PreparedList {
+        // audit:allow(hot_path_index): public accessor with a documented term-id contract; a bounds panic is the misuse signal
         &self.prepared[term]
     }
 
@@ -187,6 +189,7 @@ impl OwnedExecutor {
 
     /// The prepared list of a term.
     pub fn prepared(&self, term: usize) -> &PreparedList {
+        // audit:allow(hot_path_index): public accessor with a documented term-id contract; a bounds panic is the misuse signal
         &self.prepared[term]
     }
 

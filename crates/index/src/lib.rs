@@ -15,6 +15,8 @@
 //!   robustness pitch of the paper's conclusion generalized beyond §3.4's
 //!   two algorithms and beyond pairwise evaluation.
 
+#![forbid(unsafe_code)]
+
 pub mod bag;
 pub mod corpus;
 pub mod daat;

@@ -194,6 +194,7 @@ impl PlanKind {
                 fsi_obs::Registry::global().counter("fsi_plan_kind_total", &[("kind", k.name())])
             })
         });
+        // audit:allow(hot_path_index): the array is sized to the enum's variant count and indexed by discriminant
         counters[self as usize].inc();
     }
 }
@@ -398,6 +399,7 @@ impl Planner {
                     .map(|l| {
                         l.bitmap
                             .as_ref()
+                            // audit:allow(hot_path_panic): the planner only picks BitmapAnd when every operand carried a bitmap
                             .expect("BitmapAnd only wins when every operand carries a bitmap")
                     })
                     .collect();
@@ -471,6 +473,7 @@ impl PlannedExecutor {
 
     /// The prepared list of a term.
     pub fn list(&self, term: usize) -> &PlannedList {
+        // audit:allow(hot_path_index): public accessor with a documented term-id contract; a bounds panic is the misuse signal
         &self.lists[term]
     }
 

@@ -271,6 +271,7 @@ macro_rules! dispatch_k {
             .iter()
             .map(|l| match l {
                 PreparedList::$variant(ix) => ix,
+                // audit:allow(hot_path_panic): prepared lists for one query share one strategy; mixing them is a caller bug worth failing fast
                 other => panic!(
                     "mixed strategies in one query: expected {}, got {:?}",
                     stringify!($variant),
@@ -329,6 +330,7 @@ fn intersect_intgroup_opt(lists: &[&PreparedList], out: &mut Vec<Elem>) {
         .iter()
         .map(|l| match l {
             PreparedList::IntGroupOpt(ix) => ix,
+            // audit:allow(hot_path_panic): prepared lists for one query share one strategy; mixing them is a caller bug worth failing fast
             _ => panic!("mixed strategies in one query"),
         })
         .collect();
@@ -367,6 +369,7 @@ fn intersect_auto_k(lists: &[&PreparedList], out: &mut Vec<Elem>) {
         .iter()
         .map(|l| match l {
             PreparedList::Auto(ix) => ix,
+            // audit:allow(hot_path_panic): prepared lists for one query share one strategy; mixing them is a caller bug worth failing fast
             _ => panic!("mixed strategies in one query"),
         })
         .collect();

@@ -85,6 +85,8 @@
 //! the scalar twins stay testable on the same machine — see `docs/simd.md`
 //! for the dispatch rules and the `BENCH_simd.json` schema.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bitmap;
 pub mod boolean;
 pub mod gallop;

@@ -64,6 +64,7 @@ pub fn gallop_probe_into(sets: &[&[Elem]], out: &mut Vec<Elem>) {
             // Probing the next-smallest list first maximizes the chance a
             // doomed candidate dies on its first (cheapest) probe.
             order.sort_by_key(|s| s.len());
+            // audit:allow(hot_path_panic): k >= 2 was checked at dispatch, so split_first always succeeds
             let (driver, rest) = order.split_first().expect("k >= 2");
             gallop_probe_ordered_into(driver, rest, out);
         }
@@ -117,6 +118,7 @@ pub fn heap_merge_into(sets: &[&[Elem]], out: &mut Vec<Elem>) {
                 .collect();
             let mut popped: Vec<usize> = Vec::with_capacity(k);
             loop {
+                // audit:allow(hot_path_panic): the heap is re-pushed back to k entries every round before pop
                 let Reverse((v, first)) = heap.pop().expect("heap holds k entries");
                 popped.clear();
                 popped.push(first);
@@ -239,6 +241,7 @@ impl MultiwayChoice {
                 )
             })
         });
+        // audit:allow(hot_path_index): the array is sized to the enum's variant count and indexed by discriminant
         counters[self as usize].inc();
     }
 
@@ -252,6 +255,7 @@ impl MultiwayChoice {
         let Some(&lo) = sizes.iter().min() else {
             return MultiwayChoice::Trivial;
         };
+        // audit:allow(hot_path_panic): sizes is non-empty on this path (k >= 2)
         let hi = *sizes.iter().max().expect("non-empty");
         if lo == 0 {
             MultiwayChoice::Trivial

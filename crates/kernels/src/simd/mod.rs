@@ -262,6 +262,7 @@ pub fn merge_into_at(level: SimdLevel, a: &[Elem], b: &[Elem], out: &mut Vec<Ele
         // the corresponding CPU features are present.
         SimdLevel::Sse41 => unsafe { x86::merge_sse(a, b, out) },
         #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        // SAFETY: saturate() capped the level at SimdLevel::detect(), and Avx2 implies the avx2 feature (plus sse4.1) is present on this CPU.
         SimdLevel::Avx2 => unsafe { x86::merge_avx2(a, b, out) },
         #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
         _ => crate::gallop::branchless_merge_into(a, b, out),
@@ -295,6 +296,7 @@ pub fn and_extract_at(level: SimdLevel, base: Elem, a: &[u64], b: &[u64], out: &
         // SAFETY: level saturated to the detected hardware tier.
         SimdLevel::Sse41 => unsafe { x86::and_extract_sse(base, a, b, out) },
         #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        // SAFETY: saturate() capped the level at SimdLevel::detect(), and Avx2 implies the avx2 feature (plus sse4.1) is present on this CPU.
         SimdLevel::Avx2 => unsafe { x86::and_extract_avx2(base, a, b, out) },
         #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
         _ => and_extract_scalar(base, a, b, out),
@@ -327,6 +329,7 @@ pub fn and_in_place_at(level: SimdLevel, acc: &mut [u64], other: &[u64]) -> bool
         // SAFETY: level saturated to the detected hardware tier.
         SimdLevel::Sse41 => unsafe { x86::and_in_place_sse(acc, other) },
         #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        // SAFETY: saturate() capped the level at SimdLevel::detect(), and Avx2 implies the avx2 feature (plus sse4.1) is present on this CPU.
         SimdLevel::Avx2 => unsafe { x86::and_in_place_avx2(acc, other) },
         #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
         _ => and_in_place_scalar(acc, other),
@@ -359,6 +362,7 @@ pub fn or_in_place_at(level: SimdLevel, acc: &mut [u64], other: &[u64]) {
         // SAFETY: level saturated to the detected hardware tier.
         SimdLevel::Sse41 => unsafe { x86::or_in_place_sse(acc, other) },
         #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        // SAFETY: saturate() capped the level at SimdLevel::detect(), and Avx2 implies the avx2 feature (plus sse4.1) is present on this CPU.
         SimdLevel::Avx2 => unsafe { x86::or_in_place_avx2(acc, other) },
         #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
         _ => or_in_place_scalar(acc, other),
@@ -436,6 +440,7 @@ pub fn sig_scan_at(
         // SAFETY: level saturated to the detected hardware tier.
         SimdLevel::Sse41 => unsafe { x86::sig_scan_sse(fine, coarse, dt, verify) },
         #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        // SAFETY: saturate() capped the level at SimdLevel::detect(), and Avx2 implies the avx2 feature (plus sse4.1) is present on this CPU.
         SimdLevel::Avx2 => unsafe { x86::sig_scan_avx2(fine, coarse, dt, verify) },
         #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
         _ => sig_scan_scalar(fine, coarse, dt, verify),

@@ -32,6 +32,7 @@ const fn sse_compact_table() -> [[u8; 16]; 16] {
             if mask & (1 << lane) != 0 {
                 let mut byte = 0usize;
                 while byte < 4 {
+                    // audit:allow(hot_path_index): const-eval table builder: mask < 16 and out_lane*4+byte < 16 by the loop bounds; an overrun is a compile error
                     table[mask][out_lane * 4 + byte] = (lane * 4 + byte) as u8;
                     byte += 1;
                 }
@@ -56,6 +57,7 @@ const fn avx_compact_table() -> [[u32; 8]; 256] {
         let mut lane = 0usize;
         while lane < 8 {
             if mask & (1 << lane) != 0 {
+                // audit:allow(hot_path_index): const-eval table builder: mask < 256 and out_lane < 8 by the loop bounds; an overrun is a compile error
                 table[mask][out_lane] = lane as u32;
                 out_lane += 1;
             }
@@ -80,8 +82,15 @@ pub unsafe fn merge_sse(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
         // up front keeps >= 4 spare slots for every block store below.
         out.reserve(na.min(nb) + 4);
         loop {
-            let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
-            let vb = _mm_loadu_si128(b.as_ptr().add(j) as *const __m128i);
+            // SAFETY: the loop invariant holds i + 4 <= na and j + 4 <= nb
+            // (established by the entry check, maintained by `done`), so
+            // both 4-lane unaligned loads stay in bounds.
+            let (va, vb) = unsafe {
+                (
+                    _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i),
+                    _mm_loadu_si128(b.as_ptr().add(j) as *const __m128i),
+                )
+            };
             // Compare va against every cyclic rotation of vb: all 16 lane
             // pairs in 4 compares.
             let rot1 = _mm_shuffle_epi32::<0b00_11_10_01>(vb);
@@ -92,15 +101,22 @@ pub unsafe fn merge_sse(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
                 _mm_or_si128(_mm_cmpeq_epi32(va, rot2), _mm_cmpeq_epi32(va, rot3)),
             );
             let mask = _mm_movemask_ps(_mm_castsi128_ps(cmp)) as usize;
-            let shuffle = _mm_loadu_si128(SSE_COMPACT[mask].as_ptr() as *const __m128i);
+            // SAFETY: mask < 16 (a 4-bit movemask) and every table row is
+            // exactly 16 bytes.
+            let shuffle = unsafe { _mm_loadu_si128(SSE_COMPACT[mask].as_ptr() as *const __m128i) };
             let packed = _mm_shuffle_epi8(va, shuffle);
             let len = out.len();
             debug_assert!(out.capacity() - len >= 4);
-            _mm_storeu_si128(out.as_mut_ptr().add(len) as *mut __m128i, packed);
-            out.set_len(len + mask.count_ones() as usize);
+            // SAFETY: the reserve above keeps >= 4 spare slots, so the
+            // 4-lane store writes into allocated capacity; set_len claims
+            // only the count_ones() matched lanes the store initialized.
+            unsafe {
+                _mm_storeu_si128(out.as_mut_ptr().add(len) as *mut __m128i, packed);
+                out.set_len(len + mask.count_ones() as usize);
+            }
             // Advance the block with the smaller maximum (both on a tie).
-            let a_max = *a.get_unchecked(i + 3);
-            let b_max = *b.get_unchecked(j + 3);
+            // SAFETY: i + 4 <= na and j + 4 <= nb by the loop invariant.
+            let (a_max, b_max) = unsafe { (*a.get_unchecked(i + 3), *b.get_unchecked(j + 3)) };
             let mut done = false;
             if a_max <= b_max {
                 i += 4;
@@ -135,8 +151,15 @@ pub unsafe fn merge_avx2(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
         let rot1_idx = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
         let rot2_idx = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
         loop {
-            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
-            let vb = _mm256_loadu_si256(b.as_ptr().add(j) as *const __m256i);
+            // SAFETY: the loop invariant holds i + 8 <= na and j + 8 <= nb
+            // (established by the entry check, maintained by `done`), so
+            // both 8-lane unaligned loads stay in bounds.
+            let (va, vb) = unsafe {
+                (
+                    _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i),
+                    _mm256_loadu_si256(b.as_ptr().add(j) as *const __m256i),
+                )
+            };
             // Compare va against every cyclic rotation of vb: all 64 lane
             // pairs in 8 compares.
             let r1 = _mm256_permutevar8x32_epi32(vb, rot1_idx);
@@ -157,14 +180,21 @@ pub unsafe fn merge_avx2(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
                 ),
             );
             let mask = _mm256_movemask_ps(_mm256_castsi256_ps(cmp)) as usize;
-            let perm = _mm256_loadu_si256(AVX_COMPACT[mask].as_ptr() as *const __m256i);
+            // SAFETY: mask < 256 (an 8-bit movemask) and every table row
+            // is exactly 32 bytes.
+            let perm = unsafe { _mm256_loadu_si256(AVX_COMPACT[mask].as_ptr() as *const __m256i) };
             let packed = _mm256_permutevar8x32_epi32(va, perm);
             let len = out.len();
             debug_assert!(out.capacity() - len >= 8);
-            _mm256_storeu_si256(out.as_mut_ptr().add(len) as *mut __m256i, packed);
-            out.set_len(len + mask.count_ones() as usize);
-            let a_max = *a.get_unchecked(i + 7);
-            let b_max = *b.get_unchecked(j + 7);
+            // SAFETY: the reserve above keeps >= 8 spare slots, so the
+            // 8-lane store writes into allocated capacity; set_len claims
+            // only the count_ones() matched lanes the store initialized.
+            unsafe {
+                _mm256_storeu_si256(out.as_mut_ptr().add(len) as *mut __m256i, packed);
+                out.set_len(len + mask.count_ones() as usize);
+            }
+            // SAFETY: i + 8 <= na and j + 8 <= nb by the loop invariant.
+            let (a_max, b_max) = unsafe { (*a.get_unchecked(i + 7), *b.get_unchecked(j + 7)) };
             let mut done = false;
             if a_max <= b_max {
                 i += 8;
@@ -179,7 +209,8 @@ pub unsafe fn merge_avx2(a: &[Elem], b: &[Elem], out: &mut Vec<Elem>) {
             }
         }
     }
-    merge_sse(&a[i..], &b[j..], out);
+    // SAFETY: AVX2 implies SSE4.1, so the callee's CPU requirement holds.
+    unsafe { merge_sse(&a[i..], &b[j..], out) };
 }
 
 /// SSE4.1 bitmap `AND` + extract: 2 words per `AND`, `PTEST` skip of
@@ -192,12 +223,19 @@ pub unsafe fn and_extract_sse(base: Elem, a: &[u64], b: &[u64], out: &mut Vec<El
     let n = a.len();
     let mut w = 0usize;
     while w + 2 <= n {
-        let va = _mm_loadu_si128(a.as_ptr().add(w) as *const __m128i);
-        let vb = _mm_loadu_si128(b.as_ptr().add(w) as *const __m128i);
+        // SAFETY: w + 2 <= n = a.len(), and the caller contract makes
+        // b the same length, so both 2-word loads stay in bounds.
+        let (va, vb) = unsafe {
+            (
+                _mm_loadu_si128(a.as_ptr().add(w) as *const __m128i),
+                _mm_loadu_si128(b.as_ptr().add(w) as *const __m128i),
+            )
+        };
         let v = _mm_and_si128(va, vb);
         if _mm_testz_si128(v, v) == 0 {
             let mut words = [0u64; 2];
-            _mm_storeu_si128(words.as_mut_ptr() as *mut __m128i, v);
+            // SAFETY: `words` is exactly 16 writable bytes on the stack.
+            unsafe { _mm_storeu_si128(words.as_mut_ptr() as *mut __m128i, v) };
             for (t, &word) in words.iter().enumerate() {
                 if word != 0 {
                     extract_word(base | (((w + t) as u32) << 6), word, out);
@@ -224,12 +262,19 @@ pub unsafe fn and_extract_avx2(base: Elem, a: &[u64], b: &[u64], out: &mut Vec<E
     let n = a.len();
     let mut w = 0usize;
     while w + 4 <= n {
-        let va = _mm256_loadu_si256(a.as_ptr().add(w) as *const __m256i);
-        let vb = _mm256_loadu_si256(b.as_ptr().add(w) as *const __m256i);
+        // SAFETY: w + 4 <= n = a.len(), and the caller contract makes
+        // b the same length, so both 4-word loads stay in bounds.
+        let (va, vb) = unsafe {
+            (
+                _mm256_loadu_si256(a.as_ptr().add(w) as *const __m256i),
+                _mm256_loadu_si256(b.as_ptr().add(w) as *const __m256i),
+            )
+        };
         let v = _mm256_and_si256(va, vb);
         if _mm256_testz_si256(v, v) == 0 {
             let mut words = [0u64; 4];
-            _mm256_storeu_si256(words.as_mut_ptr() as *mut __m256i, v);
+            // SAFETY: `words` is exactly 32 writable bytes on the stack.
+            unsafe { _mm256_storeu_si256(words.as_mut_ptr() as *mut __m256i, v) };
             for (t, &word) in words.iter().enumerate() {
                 if word != 0 {
                     extract_word(base | (((w + t) as u32) << 6), word, out);
@@ -258,10 +303,18 @@ pub unsafe fn and_in_place_sse(acc: &mut [u64], other: &[u64]) -> bool {
     let mut any = _mm_setzero_si128();
     let mut w = 0usize;
     while w + 2 <= n {
-        let va = _mm_loadu_si128(acc.as_ptr().add(w) as *const __m128i);
-        let vb = _mm_loadu_si128(other.as_ptr().add(w) as *const __m128i);
+        // SAFETY: w + 2 <= n = acc.len(), and the caller contract makes
+        // `other` the same length, so the loads and the write-back stay
+        // in bounds.
+        let (va, vb) = unsafe {
+            (
+                _mm_loadu_si128(acc.as_ptr().add(w) as *const __m128i),
+                _mm_loadu_si128(other.as_ptr().add(w) as *const __m128i),
+            )
+        };
         let v = _mm_and_si128(va, vb);
-        _mm_storeu_si128(acc.as_mut_ptr().add(w) as *mut __m128i, v);
+        // SAFETY: same bound as the loads; the store writes back in place.
+        unsafe { _mm_storeu_si128(acc.as_mut_ptr().add(w) as *mut __m128i, v) };
         any = _mm_or_si128(any, v);
         w += 2;
     }
@@ -284,10 +337,18 @@ pub unsafe fn and_in_place_avx2(acc: &mut [u64], other: &[u64]) -> bool {
     let mut any = _mm256_setzero_si256();
     let mut w = 0usize;
     while w + 4 <= n {
-        let va = _mm256_loadu_si256(acc.as_ptr().add(w) as *const __m256i);
-        let vb = _mm256_loadu_si256(other.as_ptr().add(w) as *const __m256i);
+        // SAFETY: w + 4 <= n = acc.len(), and the caller contract makes
+        // `other` the same length, so the loads and the write-back stay
+        // in bounds.
+        let (va, vb) = unsafe {
+            (
+                _mm256_loadu_si256(acc.as_ptr().add(w) as *const __m256i),
+                _mm256_loadu_si256(other.as_ptr().add(w) as *const __m256i),
+            )
+        };
         let v = _mm256_and_si256(va, vb);
-        _mm256_storeu_si256(acc.as_mut_ptr().add(w) as *mut __m256i, v);
+        // SAFETY: same bound as the loads; the store writes back in place.
+        unsafe { _mm256_storeu_si256(acc.as_mut_ptr().add(w) as *mut __m256i, v) };
         any = _mm256_or_si256(any, v);
         w += 4;
     }
@@ -310,12 +371,22 @@ pub unsafe fn or_in_place_sse(acc: &mut [u64], other: &[u64]) {
     let n = acc.len();
     let mut w = 0usize;
     while w + 2 <= n {
-        let va = _mm_loadu_si128(acc.as_ptr().add(w) as *const __m128i);
-        let vb = _mm_loadu_si128(other.as_ptr().add(w) as *const __m128i);
-        _mm_storeu_si128(
-            acc.as_mut_ptr().add(w) as *mut __m128i,
-            _mm_or_si128(va, vb),
-        );
+        // SAFETY: w + 2 <= n = acc.len(), and the caller contract makes
+        // `other` the same length, so the loads and the write-back stay
+        // in bounds.
+        let (va, vb) = unsafe {
+            (
+                _mm_loadu_si128(acc.as_ptr().add(w) as *const __m128i),
+                _mm_loadu_si128(other.as_ptr().add(w) as *const __m128i),
+            )
+        };
+        // SAFETY: same bound as the loads; the store writes back in place.
+        unsafe {
+            _mm_storeu_si128(
+                acc.as_mut_ptr().add(w) as *mut __m128i,
+                _mm_or_si128(va, vb),
+            )
+        };
         w += 2;
     }
     while w < n {
@@ -333,12 +404,22 @@ pub unsafe fn or_in_place_avx2(acc: &mut [u64], other: &[u64]) {
     let n = acc.len();
     let mut w = 0usize;
     while w + 4 <= n {
-        let va = _mm256_loadu_si256(acc.as_ptr().add(w) as *const __m256i);
-        let vb = _mm256_loadu_si256(other.as_ptr().add(w) as *const __m256i);
-        _mm256_storeu_si256(
-            acc.as_mut_ptr().add(w) as *mut __m256i,
-            _mm256_or_si256(va, vb),
-        );
+        // SAFETY: w + 4 <= n = acc.len(), and the caller contract makes
+        // `other` the same length, so the loads and the write-back stay
+        // in bounds.
+        let (va, vb) = unsafe {
+            (
+                _mm256_loadu_si256(acc.as_ptr().add(w) as *const __m256i),
+                _mm256_loadu_si256(other.as_ptr().add(w) as *const __m256i),
+            )
+        };
+        // SAFETY: same bound as the loads; the store writes back in place.
+        unsafe {
+            _mm256_storeu_si256(
+                acc.as_mut_ptr().add(w) as *mut __m256i,
+                _mm256_or_si256(va, vb),
+            )
+        };
         w += 4;
     }
     while w < n {
@@ -360,9 +441,14 @@ pub unsafe fn sig_scan_sse(fine: &[u64], coarse: &[u64], dt: u32, verify: &mut d
     let n = fine.len();
     let mut z = 0usize;
     while z + 2 <= n {
-        let vf = _mm_loadu_si128(fine.as_ptr().add(z) as *const __m128i);
+        // SAFETY: z + 2 <= n = fine.len(); when dt == 0 the caller
+        // contract gives coarse.len() >= fine.len(), so both 2-word
+        // loads stay in bounds.
+        let vf = unsafe { _mm_loadu_si128(fine.as_ptr().add(z) as *const __m128i) };
         let vc = if dt == 0 {
-            _mm_loadu_si128(coarse.as_ptr().add(z) as *const __m128i)
+            // SAFETY: same bound as the `vf` load — dt == 0 means coarse
+            // is at least as long as fine.
+            unsafe { _mm_loadu_si128(coarse.as_ptr().add(z) as *const __m128i) }
         } else {
             _mm_set_epi64x(coarse[(z + 1) >> dt] as i64, coarse[z >> dt] as i64)
         };
@@ -397,9 +483,14 @@ pub unsafe fn sig_scan_avx2(fine: &[u64], coarse: &[u64], dt: u32, verify: &mut 
     let n = fine.len();
     let mut z = 0usize;
     while z + 4 <= n {
-        let vf = _mm256_loadu_si256(fine.as_ptr().add(z) as *const __m256i);
+        // SAFETY: z + 4 <= n = fine.len(); when dt == 0 the caller
+        // contract gives coarse.len() >= fine.len(), so both 4-word
+        // loads stay in bounds.
+        let vf = unsafe { _mm256_loadu_si256(fine.as_ptr().add(z) as *const __m256i) };
         let vc = if dt == 0 {
-            _mm256_loadu_si256(coarse.as_ptr().add(z) as *const __m256i)
+            // SAFETY: same bound as the `vf` load — dt == 0 means coarse
+            // is at least as long as fine.
+            unsafe { _mm256_loadu_si256(coarse.as_ptr().add(z) as *const __m256i) }
         } else {
             _mm256_set_epi64x(
                 coarse[(z + 3) >> dt] as i64,

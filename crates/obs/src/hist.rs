@@ -98,6 +98,7 @@ impl Histogram {
         let buckets: Box<[AtomicU64; NUM_BUCKETS]> = buckets
             .into_boxed_slice()
             .try_into()
+            // audit:allow(hot_path_panic): the vec is built with exactly NUM_BUCKETS elements two lines up
             .unwrap_or_else(|_| unreachable!("length is NUM_BUCKETS"));
         Self {
             buckets,
@@ -112,6 +113,7 @@ impl Histogram {
     /// bounded CAS loops that only retry while another thread is moving
     /// the same extremum in the same direction.
     pub fn record(&self, v: u64) {
+        // audit:allow(hot_path_index): bucket_index returns < NUM_BUCKETS for every u64
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -152,6 +154,7 @@ impl Histogram {
     /// loses no precision beyond the bucketing already applied.
     pub fn merge_snapshot(&self, other: &HistSnapshot) {
         for &(upper, n) in &other.buckets {
+            // audit:allow(hot_path_index): bucket_index returns < NUM_BUCKETS for every u64
             self.buckets[bucket_index(upper)].fetch_add(n, Ordering::Relaxed);
         }
         self.count.fetch_add(other.count, Ordering::Relaxed);
@@ -469,20 +472,23 @@ mod tests {
 
     #[test]
     fn concurrent_recording_loses_nothing() {
+        // Miri executes this with real (interpreted) threads; keep the
+        // per-thread volume small enough to finish while still racing.
+        const PER_THREAD: u64 = if cfg!(miri) { 200 } else { 10_000 };
         let h = Histogram::new();
         std::thread::scope(|s| {
             for t in 0..4u64 {
                 let h = &h;
                 s.spawn(move || {
-                    for i in 0..10_000u64 {
+                    for i in 0..PER_THREAD {
                         h.record(t * 1_000_000 + i);
                     }
                 });
             }
         });
-        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.count(), 4 * PER_THREAD);
         let bucket_total: u64 = h.snapshot().buckets.iter().map(|&(_, n)| n).sum();
-        assert_eq!(bucket_total, 40_000);
+        assert_eq!(bucket_total, 4 * PER_THREAD);
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //! gates it at ≤ 5%); span construction allocates, so traces are built
 //! only on the explicitly traced entry points.
 
+#![forbid(unsafe_code)]
+
 pub mod hist;
 pub mod registry;
 pub mod trace;

@@ -132,7 +132,9 @@ fn run_plan(exec: &PlannedExecutor, planner: &ExprPlanner, plan: &ExprPlan, out:
                         PlanNode::Term(t) => exec
                             .list(t)
                             .bitmap()
+                            // audit:allow(hot_path_panic): the planner only emits BitmapOr when every term operand carries a bitmap
                             .expect("BitmapOr only planned when every operand carries a bitmap"),
+                        // audit:allow(hot_path_panic): the planner only puts Term nodes under BitmapOr
                         _ => unreachable!("BitmapOr only planned over term operands"),
                     })
                     .collect();
@@ -163,6 +165,7 @@ fn run_and_base(
                 .iter()
                 .map(|p| match p.node {
                     PlanNode::Term(t) => exec.list(t),
+                    // audit:allow(hot_path_panic): the planner only puts Term nodes under Multiway
                     _ => unreachable!("Multiway only planned over term operands"),
                 })
                 .collect();

@@ -191,6 +191,7 @@ pub fn analyze_plan(
                         .iter()
                         .map(|p| match p.node {
                             PlanNode::Term(t) => exec.list(t),
+                            // audit:allow(hot_path_panic): the planner only puts Term nodes under Multiway
                             _ => unreachable!("Multiway only planned over term operands"),
                         })
                         .collect();
@@ -252,8 +253,10 @@ pub fn analyze_plan(
                             let list = exec.list(t);
                             children.push(input_report(c, list));
                             list.bitmap()
+                                // audit:allow(hot_path_panic): the planner only emits BitmapOr when every term operand carries a bitmap
                                 .expect("BitmapOr only planned when every operand carries a bitmap")
                         }
+                        // audit:allow(hot_path_panic): the planner only puts Term nodes under BitmapOr
                         _ => unreachable!("BitmapOr only planned over term operands"),
                     })
                     .collect();

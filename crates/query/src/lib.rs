@@ -35,6 +35,8 @@
 //! document-partitioned serving concatenates per-shard expression results
 //! exactly as it concatenates flat-query results.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod exec;
 pub mod explain;

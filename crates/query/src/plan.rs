@@ -194,6 +194,7 @@ impl ExprPlanner {
                         .iter()
                         .map(|p| match p.node {
                             PlanNode::Term(t) => stats(t),
+                            // audit:allow(hot_path_panic): all_terms() verified every child is a Term before this match
                             _ => unreachable!("all_terms checked"),
                         })
                         .collect();

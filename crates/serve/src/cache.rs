@@ -217,22 +217,28 @@ impl Segment {
     }
 
     fn unlink(&mut self, idx: usize) {
+        // audit:allow(hot_path_index): prev/next/head/tail are LRU-list invariants; every live link points into slab
         let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
         match prev {
             NIL => self.head = next,
+            // audit:allow(hot_path_index): prev/next/head/tail are LRU-list invariants; every live link points into slab
             p => self.slab[p].next = next,
         }
         match next {
             NIL => self.tail = prev,
+            // audit:allow(hot_path_index): prev/next/head/tail are LRU-list invariants; every live link points into slab
             n => self.slab[n].prev = prev,
         }
     }
 
     fn push_front(&mut self, idx: usize) {
+        // audit:allow(hot_path_index): prev/next/head/tail are LRU-list invariants; every live link points into slab
         self.slab[idx].prev = NIL;
+        // audit:allow(hot_path_index): prev/next/head/tail are LRU-list invariants; every live link points into slab
         self.slab[idx].next = self.head;
         match self.head {
             NIL => self.tail = idx,
+            // audit:allow(hot_path_index): prev/next/head/tail are LRU-list invariants; every live link points into slab
             h => self.slab[h].prev = idx,
         }
         self.head = idx;
@@ -388,6 +394,7 @@ impl QueryCache {
             return None;
         }
         let seg = key.segment(self.segments.len());
+        // audit:allow(hot_path_panic): mutex poisoning means another request already panicked; propagating is correct
         let result = self.segments[seg].lock().expect("cache lock").get(key);
         match &result {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -411,6 +418,7 @@ impl QueryCache {
         let seg = key.segment(self.segments.len());
         let outcome = self.segments[seg]
             .lock()
+            // audit:allow(hot_path_panic): mutex poisoning means another request already panicked; propagating is correct
             .expect("cache lock")
             .insert(key, value);
         if outcome.fresh {
@@ -434,6 +442,7 @@ impl QueryCache {
     pub fn len(&self) -> usize {
         self.segments
             .iter()
+            // audit:allow(hot_path_panic): mutex poisoning means another request already panicked; propagating is correct
             .map(|s| s.lock().expect("cache lock").map.len())
             .sum()
     }
@@ -447,6 +456,7 @@ impl QueryCache {
     pub fn value_bytes(&self) -> usize {
         self.segments
             .iter()
+            // audit:allow(hot_path_panic): mutex poisoning means another request already panicked; propagating is correct
             .map(|s| s.lock().expect("cache lock").bytes)
             .sum()
     }
@@ -455,6 +465,7 @@ impl QueryCache {
     pub fn segment_stats(&self) -> Vec<SegmentCacheStats> {
         self.segments
             .iter()
+            // audit:allow(hot_path_panic): mutex poisoning means another request already panicked; propagating is correct
             .map(|s| s.lock().expect("cache lock").stats())
             .collect()
     }

@@ -56,6 +56,8 @@
 //!     outcome.throughput_qps, outcome.latency.p99_us, outcome.cache_hits);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod config;
 pub mod pool;

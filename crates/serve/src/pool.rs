@@ -5,7 +5,8 @@
 //! own queue from the front and, when empty, steals from the back of its
 //! siblings' queues — cheap load balancing for skewed batches where a few
 //! giant queries would otherwise idle most workers. All threads are scoped
-//! (`std::thread::scope`, no `unsafe`, nothing outlives the batch).
+//! (`std::thread::scope`, nothing outlives the batch), and the crate is
+//! `#![forbid(unsafe_code)]`, so the borrow checker vouches for the pool.
 //!
 //! The pool is cache-aware: when handed a [`QueryCache`] it consults it
 //! before dispatching to shards and fills it on miss. Two workers racing on
@@ -193,6 +194,7 @@ impl QueryPool {
             .collect();
         let queue_depths: Vec<usize> = queues
             .iter()
+            // audit:allow(hot_path_panic): mutex poisoning means a worker already panicked; propagate rather than limp on
             .map(|q| q.lock().expect("queue lock").len())
             .collect();
         let queues = &queues;
@@ -213,11 +215,13 @@ impl QueryPool {
                             // holding it across the steal is an AB-BA
                             // deadlock when two drained workers steal
                             // from each other.
+                            // audit:allow(hot_path_panic): mutex poisoning means a worker already panicked; propagate rather than limp on
                             let own = queues[w].lock().expect("queue lock").pop_front();
                             let next = own.or_else(|| {
                                 (1..workers).find_map(|offset| {
                                     queues[(w + offset) % workers]
                                         .lock()
+                                        // audit:allow(hot_path_panic): mutex poisoning means a worker already panicked; propagate rather than limp on
                                         .expect("queue lock")
                                         .pop_back()
                                 })
@@ -241,6 +245,7 @@ impl QueryPool {
                 .collect();
             let per_worker: Vec<(Vec<Completed>, Histogram)> = handles
                 .into_iter()
+                // audit:allow(hot_path_panic): a panicked worker must fail the whole batch, not vanish silently
                 .map(|h| h.join().expect("worker panicked"))
                 .collect();
             let executed: Vec<usize> = per_worker.iter().map(|(d, _)| d.len()).collect();

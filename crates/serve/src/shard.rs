@@ -215,6 +215,7 @@ impl ShardedEngine {
     /// The document-ID range shard `i` covers (`u64` because the exclusive
     /// end of the last shard can be `u32::MAX as u64 + 1`).
     pub fn shard_range(&self, i: usize) -> Range<u64> {
+        // audit:allow(hot_path_index): public accessor with a documented shard-index contract
         self.shards[i].docs.clone()
     }
 
@@ -301,6 +302,7 @@ impl ShardedEngine {
                 .collect();
             handles
                 .into_iter()
+                // audit:allow(hot_path_panic): a panicked shard query must fail the whole fan-out
                 .map(|h| h.join().expect("shard query panicked"))
                 .collect()
         });
@@ -327,6 +329,7 @@ impl ShardedEngine {
                 .collect();
             handles
                 .into_iter()
+                // audit:allow(hot_path_panic): a panicked shard query must fail the whole fan-out
                 .map(|h| h.join().expect("shard query panicked"))
                 .collect()
         });

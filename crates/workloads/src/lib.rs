@@ -12,6 +12,8 @@
 //!   the serving layer, where whole-query repetition is what a result
 //!   cache feeds on.
 
+#![forbid(unsafe_code)]
+
 pub mod querylog;
 pub mod stream;
 pub mod synthetic;

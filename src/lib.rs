@@ -50,6 +50,8 @@
 //! benchmark harness lives in the `fsi-bench` crate
 //! (`cargo run --release -p fsi-bench --bin paper -- all`).
 
+#![forbid(unsafe_code)]
+
 pub use fsi_baselines as baselines;
 pub use fsi_compress as compress;
 pub use fsi_core as core;
