@@ -21,6 +21,10 @@
 //!   traced/untraced `qps_ratio` (higher = cheaper tracing). The obs
 //!   binary additionally hard-asserts its overhead budget in-process, so
 //!   the gate here only has to catch cliffs that assertion's slack admits;
+//! * `compress` files — `compression_ratio` per (shape, codec) — the
+//!   flat-u32-bytes over compressed-bytes ratio, higher = smaller — and
+//!   `qps` per (shape, algo) for the flat, decode-then-intersect, and
+//!   compressed-domain intersection variants;
 //! * `serve` files — `qps` per scaling row and the cache `warm_qps`.
 //!   Rows flagged `"oversubscribed": true` (more workers than cores) are
 //!   skipped **in either file**: their numbers measure OS timeslicing, not
@@ -159,6 +163,26 @@ fn metrics(doc: &Json, path: &str) -> (Vec<Metric>, Vec<(String, &'static str)>)
                 key: "overhead/qps_ratio".to_string(),
                 value: num(overhead, "qps_ratio"),
             });
+        }
+        "compress" => {
+            for shape in doc.get("shapes").and_then(Json::as_array).unwrap_or(&[]) {
+                let shape_name = text(shape, "shape");
+                for row in shape.get("codecs").and_then(Json::as_array).unwrap_or(&[]) {
+                    // Gate the ratio, not raw bytes: higher = smaller files,
+                    // so improving compression can never fail the one-sided
+                    // check.
+                    out.push(Metric {
+                        key: format!("{shape_name}/{}/compression_ratio", text(row, "codec")),
+                        value: num(row, "compression_ratio"),
+                    });
+                }
+                for row in shape.get("algos").and_then(Json::as_array).unwrap_or(&[]) {
+                    out.push(Metric {
+                        key: format!("{shape_name}/{}/qps", text(row, "algo")),
+                        value: num(row, "qps"),
+                    });
+                }
+            }
         }
         "serve" => {
             for row in doc.get("scaling").and_then(Json::as_array).unwrap_or(&[]) {

@@ -1,0 +1,251 @@
+//! Compressed-domain execution benchmark: skip-augmented block postings
+//! (`fsi_compress::BlockPostings`) against the flat kernels and against the
+//! decode-everything-first strawman.
+//!
+//! For each standard shape, the harness reports two metric families:
+//!
+//! * **space** — bytes per posting for every [`BlockCodec`], and the
+//!   compression ratio against the 4-byte flat `u32` representation
+//!   (`compression_ratio = 4.0 / bytes_per_posting`, higher is better —
+//!   what the regression gate checks, so shrinking files never fails it);
+//! * **speed** — microseconds and queries/second per pair intersection for
+//!   `FlatGallop` (the uncompressed adaptive kernel),
+//!   `DecodeThenIntersect_<codec>` (bulk-decode both lists, then the SIMD
+//!   merge — what a system without compressed-domain kernels must do), and
+//!   `CompressedGallop_<codec>` (cursors seek across the skip tables and
+//!   decode at most the blocks they touch).
+//!
+//! Every timed variant is asserted byte-identical to the scalar reference
+//! before its row is recorded. Results land in `BENCH_compress.json`
+//! (hand-rolled JSON — the reference environment has no registry access).
+//!
+//! Usage: `cargo run --release -p fsi-bench --bin compress -- [out.json] [--smoke]`
+
+use fsi_bench::{min_time, HarnessArgs, Table};
+use fsi_compress::{BlockCodec, BlockPostings};
+use fsi_core::elem::reference_intersection;
+use fsi_core::{PairIntersect, SetIndex, SortedSet};
+use fsi_kernels::GallopingSet;
+use fsi_workloads::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One benchmark shape: the two operand lists of a pair intersection.
+struct Shape {
+    name: &'static str,
+    small: usize,
+    large: usize,
+    universe: u32,
+    zipf: bool,
+}
+
+const SHAPES: [Shape; 5] = [
+    Shape {
+        name: "balanced-sparse",
+        small: 100_000,
+        large: 100_000,
+        universe: 8_000_000,
+        zipf: false,
+    },
+    Shape {
+        name: "balanced-dense",
+        small: 150_000,
+        large: 150_000,
+        universe: 1_000_000,
+        zipf: false,
+    },
+    Shape {
+        name: "skewed-1:64",
+        small: 4_000,
+        large: 256_000,
+        universe: 8_000_000,
+        zipf: false,
+    },
+    // Ratio beyond BLOCK_LEN: the driver touches only a fraction of the
+    // large list's blocks, so the skip table pays for itself even under the
+    // near-free bulk decode of the Packed codec.
+    Shape {
+        name: "skewed-1:512",
+        small: 500,
+        large: 256_000,
+        universe: 8_000_000,
+        zipf: false,
+    },
+    Shape {
+        name: "zipf-clustered",
+        small: 120_000,
+        large: 120_000,
+        universe: 2_000_000,
+        zipf: true,
+    },
+];
+
+/// Draws a set of `n` distinct values: uniform over the universe, or (for
+/// Zipf shapes) rank-skewed so values cluster at the low end — the dense
+/// head yields tiny gaps, the regime compression exists for.
+fn draw_set(rng: &mut StdRng, n: usize, universe: u32, zipf: bool) -> SortedSet {
+    if zipf {
+        let z = Zipf::new(universe as usize, 1.0);
+        let mut vals: Vec<u32> = (0..4 * n).map(|_| z.sample(rng) as u32).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals.truncate(n);
+        SortedSet::from_sorted_unchecked(vals)
+    } else {
+        (0..n).map(|_| rng.gen_range(0..universe)).collect()
+    }
+}
+
+struct AlgoRow {
+    algo: String,
+    us: f64,
+    qps: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse("BENCH_compress.json");
+    // Sizes stay identical in smoke mode — shrinking the lists would change
+    // gap widths and block counts, making the space metrics incomparable to
+    // the committed baseline. Smoke only cuts repetitions.
+    let reps = args.pick(15, 3);
+    let mut rng = StdRng::seed_from_u64(fsi_bench::HARNESS_SEED);
+    let mut shape_json: Vec<String> = Vec::new();
+
+    for shape in &SHAPES {
+        let a = draw_set(&mut rng, shape.small, shape.universe, shape.zipf);
+        let b = draw_set(&mut rng, shape.large, shape.universe, shape.zipf);
+        let expect = reference_intersection(&[a.as_slice(), b.as_slice()]);
+        let n_total = a.len() + b.len();
+        println!(
+            "\n== {} (sizes [{}, {}], universe {}) ==",
+            shape.name,
+            a.len(),
+            b.len(),
+            shape.universe
+        );
+
+        // Space: bytes per posting for every codec, against flat u32.
+        let mut space_table = Table::new(vec!["codec", "bytes/posting", "ratio vs u32"]);
+        let codec_json: Vec<String> = BlockCodec::ALL
+            .iter()
+            .map(|&codec| {
+                let bytes = BlockPostings::from_slice(codec, a.as_slice()).size_in_bytes()
+                    + BlockPostings::from_slice(codec, b.as_slice()).size_in_bytes();
+                let bpp = bytes as f64 / n_total as f64;
+                let ratio = 4.0 / bpp;
+                space_table.row(vec![
+                    codec.label().to_string(),
+                    format!("{bpp:.3}"),
+                    format!("{ratio:.2}x"),
+                ]);
+                format!(
+                    "        {{\"codec\": \"{}\", \"bytes_per_posting\": {bpp:.4}, \
+                     \"compression_ratio\": {ratio:.4}}}",
+                    codec.label()
+                )
+            })
+            .collect();
+        space_table.print();
+
+        // Speed: every variant asserted against the reference, timed via
+        // the amortized-minimum estimator (see the multiway harness for the
+        // rationale — µs-scale ops are too noisy to gate one call at a
+        // time).
+        let mut out: Vec<u32> = Vec::new();
+        let mut rows: Vec<AlgoRow> = Vec::new();
+        let mut bench =
+            |algo: String, rows: &mut Vec<AlgoRow>, f: &mut dyn FnMut(&mut Vec<u32>)| {
+                let once = fsi_bench::time_once(|| {
+                    out.clear();
+                    f(&mut out);
+                    out.len()
+                });
+                assert_eq!(out, expect, "algo {algo} diverged on {}", shape.name);
+                let inner = (1_000_000 / once.as_nanos().max(1)).clamp(1, 256) as usize;
+                let d = min_time(reps, || {
+                    let mut len = 0;
+                    for _ in 0..inner {
+                        out.clear();
+                        f(&mut out);
+                        len = out.len();
+                    }
+                    len
+                }) / inner as u32;
+                let us = d.as_secs_f64() * 1e6;
+                rows.push(AlgoRow {
+                    algo,
+                    us,
+                    qps: if us > 0.0 { 1e6 / us } else { 0.0 },
+                });
+            };
+
+        let flat_a = GallopingSet::build(&a);
+        let flat_b = GallopingSet::build(&b);
+        bench("FlatGallop".to_string(), &mut rows, &mut |out| {
+            flat_a.intersect_pair_into(&flat_b, out)
+        });
+        for &codec in &BlockCodec::ALL {
+            let ca = BlockPostings::from_slice(codec, a.as_slice());
+            let cb = BlockPostings::from_slice(codec, b.as_slice());
+            let mut buf_a: Vec<u32> = Vec::new();
+            let mut buf_b: Vec<u32> = Vec::new();
+            bench(
+                format!("DecodeThenIntersect_{}", codec.label()),
+                &mut rows,
+                &mut |out| {
+                    buf_a.clear();
+                    buf_b.clear();
+                    ca.decode_into(&mut buf_a);
+                    cb.decode_into(&mut buf_b);
+                    fsi_kernels::simd::merge_into(&buf_a, &buf_b, out);
+                },
+            );
+            bench(
+                format!("CompressedGallop_{}", codec.label()),
+                &mut rows,
+                &mut |out| ca.intersect_pair_into(&cb, out),
+            );
+        }
+
+        let mut speed_table = Table::new(vec!["algo", "us/op", "qps"]);
+        let algo_json: Vec<String> = rows
+            .iter()
+            .map(|row| {
+                speed_table.row(vec![
+                    row.algo.clone(),
+                    format!("{:.1}", row.us),
+                    format!("{:.0}", row.qps),
+                ]);
+                format!(
+                    "        {{\"algo\": \"{}\", \"us_per_op\": {:.2}, \"qps\": {:.1}}}",
+                    row.algo, row.us, row.qps
+                )
+            })
+            .collect();
+        speed_table.print();
+
+        shape_json.push(format!(
+            "    {{\n      \"shape\": \"{}\",\n      \"sizes\": [{}, {}],\n      \
+             \"universe\": {},\n      \"zipf\": {},\n      \"r\": {},\n      \
+             \"codecs\": [\n{}\n      ],\n      \"algos\": [\n{}\n      ]\n    }}",
+            shape.name,
+            a.len(),
+            b.len(),
+            shape.universe,
+            shape.zipf,
+            expect.len(),
+            codec_json.join(",\n"),
+            algo_json.join(",\n")
+        ));
+    }
+
+    let env = fsi_bench::env_json();
+    let json = format!(
+        "{{\n  \"bench\": \"compress\",\n  \"reps\": {reps},\n  \"smoke\": {},\n  {env},\n  \
+         \"shapes\": [\n{}\n  ]\n}}\n",
+        args.smoke,
+        shape_json.join(",\n")
+    );
+    args.write_output(&json);
+    println!("\nwrote {}", args.out_path);
+}

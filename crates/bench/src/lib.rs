@@ -159,6 +159,7 @@ pub fn env_json() -> String {
         "\"env\": {{\n    \"simd_level\": \"{}\",\n    \"planner_units\": {{\n      \
          \"gallop_unit\": {}, \"hash_unit\": {}, \"bitmap_word_unit\": {}, \
          \"rgs_unit\": {}, \"heap_unit\": {},\n      \
+         \"decode_unit\": {}, \"bytes_unit\": {},\n      \
          \"union_unit\": {}, \"union_bitmap_word_unit\": {}, \"diff_unit\": {}\n    }}\n  }}",
         fsi_kernels::SimdLevel::active().name(),
         p.gallop_unit,
@@ -166,6 +167,8 @@ pub fn env_json() -> String {
         p.bitmap_word_unit,
         p.rgs_unit,
         p.heap_unit,
+        p.decode_unit,
+        p.bytes_unit,
         xp.union_unit,
         xp.union_bitmap_word_unit,
         xp.diff_unit,
@@ -278,6 +281,8 @@ mod tests {
             "bitmap_word_unit",
             "rgs_unit",
             "heap_unit",
+            "decode_unit",
+            "bytes_unit",
             "union_unit",
             "union_bitmap_word_unit",
             "diff_unit",

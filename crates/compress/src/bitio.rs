@@ -44,6 +44,7 @@ impl BitWriter {
         if off == 0 {
             self.words.push(0);
         }
+        // audit:allow(hot_path_panic): when off == 0 a word was just pushed, so the vec is never empty here
         let word = self.words.last_mut().expect("pushed above");
         let room = 64 - off;
         if nbits <= room {

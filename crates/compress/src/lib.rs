@@ -7,15 +7,21 @@
 //!   and `Lookup_Gamma/Delta` variants of Figure 8.
 //! * [`lowbits`] — compressed RanGroupScan: `RanGroupScan_Gamma/Delta` and
 //!   the paper's own `RanGroupScan_Lowbits` codec (Appendix B).
+//! * [`block`] — skip-augmented block postings ([`BlockPostings`]): the
+//!   compressed-domain execution representation the kernels intersect
+//!   without full decode (SIMD bulk unpack lives in `fsi-kernels`; this
+//!   crate stays `forbid(unsafe_code)`).
 
 #![forbid(unsafe_code)]
 
 pub mod bitio;
+pub mod block;
 pub mod elias;
 pub mod lowbits;
 pub mod postings;
 
 pub use bitio::{BitBuf, BitReader, BitWriter};
+pub use block::{BlockCodec, BlockCursor, BlockPostings, SkipEntry, BLOCK_LEN};
 pub use elias::EliasCode;
 pub use lowbits::{CompressedRgsIndex, GroupCoding};
 pub use postings::{CompressedLookup, CompressedPostings, PostingsDecoder};

@@ -313,7 +313,9 @@ impl KIntersect for CompressedRgsIndex {
                 let mut order: Vec<&Self> = indexes.to_vec();
                 order.sort_by_key(|ix| ix.t);
                 let levels: Vec<u32> = order.iter().map(|ix| ix.t).collect();
+                // audit:allow(hot_path_panic): the match arms above handle k < 2, so `order` has at least two entries
                 let tk = *levels.last().expect("k >= 2");
+                // audit:allow(hot_path_panic): same k >= 2 invariant as above
                 let m = order.iter().map(|ix| ix.m).min().expect("k >= 2");
                 let g = order[0].g;
                 let k = order.len();

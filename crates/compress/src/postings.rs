@@ -233,6 +233,7 @@ impl CompressedLookup {
         let mut i = 0usize;
         #[allow(clippy::needless_range_loop)] // bitpos[b] is written, not read
         for b in 0..nb {
+            // audit:allow(hot_path_panic): a >4 Gbit posting stream is a capacity misuse worth failing loudly, not a data-dependent hot-path panic
             bitpos[b] = u32::try_from(w.len()).expect("bit stream exceeds 4 Gbit");
             let bucket = first_bucket + b as u32;
             let start = i;
@@ -254,6 +255,7 @@ impl CompressedLookup {
                 prev = Some(residue);
             }
         }
+        // audit:allow(hot_path_panic): same 4 Gbit capacity bound as the per-bucket offsets above
         bitpos[nb] = u32::try_from(w.len()).expect("bit stream exceeds 4 Gbit");
         Self {
             code,
@@ -340,6 +342,7 @@ impl KIntersect for CompressedLookup {
             _ => {
                 let mut order: Vec<&Self> = indexes.to_vec();
                 order.sort_by_key(|ix| ix.n);
+                // audit:allow(hot_path_panic): the match arms above handle k < 2, so `order` is non-empty
                 let (small, rest) = order.split_first().expect("k >= 2");
                 let mut bufs: Vec<Vec<u32>> = vec![Vec::new(); indexes.len()];
                 'buckets: for b in small.non_empty_buckets() {

@@ -18,13 +18,23 @@
 //! | [`PlanKind::GallopProbe`] | `gallop_unit · n_min · Σᵢ log₂(nᵢ/n_min + 2)` | moderate skew (Hwang–Lin across all k) |
 //! | [`PlanKind::RanGroupScan`] | `rgs_unit · Σ nᵢ` | balanced sparse — the paper's home turf |
 //! | [`PlanKind::HeapMerge`] | `heap_unit · Σ nᵢ · log₂ k` | structure-free fallback (tunables can force it) |
+//! | [`PlanKind::CompressedGallop`] | `gallop_unit · n_min · Σᵢ log₂(nᵢ/n_min + 2) + decode_unit · E[decoded]` | memory-bound: probe the compressed blocks directly |
 //!
 //! The minimum-cost candidate wins; `c_min` is the smallest per-operand
 //! chunk count, so the bitmap estimate prices exactly the word sweep
 //! [`BitmapSet::intersect_k_into`] executes. A [`PlannedList`] keeps every
 //! representation a plan can bind: the flat sorted list (gallop probes,
-//! heap merge), a hash table (skew probes), the RanGroupScan structure, and
-//! — for lists dense enough to ever win it — a chunked bitmap.
+//! heap merge), a hash table (skew probes), the RanGroupScan structure,
+//! skip-augmented block postings (compressed-domain probes), and — for
+//! lists dense enough to ever win it — a chunked bitmap.
+//!
+//! On top of the compute estimates, every candidate is charged a
+//! **bytes-resident term** `bytes_unit · resident_bytes(candidate)` — the
+//! cache/memory footprint the chosen representation drags through the
+//! query. The default `bytes_unit` of 0 reproduces the pure-compute model
+//! (and the pinned crossovers); raising it expresses memory pressure, and
+//! the planner starts trading decode work ([`Planner::decode_unit`]) for
+//! the ~4–10× smaller compressed operands — see `docs/compress.md`.
 //!
 //! The default constants reflect *this repository's measured* crossovers
 //! (see EXPERIMENTS.md, `BENCH_kernels.json` and `BENCH_multiway.json`):
@@ -35,13 +45,14 @@
 
 use crate::engine::SearchEngine;
 use fsi_baselines::HashSetIndex;
+use fsi_compress::{BlockCodec, BlockCursor, BlockPostings, BLOCK_LEN};
 use fsi_core::elem::{Elem, SortedSet};
 use fsi_core::hash::HashContext;
 use fsi_core::traits::{KIntersect, SetIndex};
 use fsi_core::RanGroupScanIndex;
 use fsi_kernels::{
-    gallop_probe_ordered_into, heap_merge_into, BitmapSet, GallopingSet, BITMAP_MIN_DENSITY,
-    WORDS_PER_CHUNK,
+    compressed_probe_into, gallop_probe_ordered_into, heap_merge_into, BitmapSet, GallopingSet,
+    BITMAP_MIN_DENSITY, WORDS_PER_CHUNK,
 };
 
 /// A posting list prepared for every representation a plan can bind.
@@ -55,6 +66,11 @@ pub struct PlannedList {
     /// touched 2¹⁶-value chunk, which is pure dead weight on sparse lists.
     bitmap: Option<BitmapSet>,
     flat: GallopingSet,
+    /// Skip-augmented block postings (Packed frame-of-reference codec) —
+    /// what [`PlanKind::CompressedGallop`] probes without full decode.
+    /// Always built today (`Some`); the `Option` is the plan-admissibility
+    /// contract, mirroring `bitmap`.
+    compressed: Option<BlockPostings>,
 }
 
 /// The build-floor rule shared by [`PlannedList::build`] and
@@ -78,6 +94,10 @@ impl PlannedList {
             rgs: RanGroupScanIndex::with_m(ctx, set, 2),
             bitmap: dense.then(|| BitmapSet::build(set)),
             flat: GallopingSet::build(set),
+            compressed: Some(BlockPostings::from_slice(
+                BlockCodec::Packed,
+                set.as_slice(),
+            )),
         }
     }
 
@@ -98,12 +118,19 @@ impl PlannedList {
         self.bitmap.as_ref()
     }
 
+    /// The skip-augmented block postings, when built — what
+    /// [`PlanKind::CompressedGallop`] walks in the compressed domain.
+    pub fn compressed(&self) -> Option<&BlockPostings> {
+        self.compressed.as_ref()
+    }
+
     /// The cost-model inputs of this list: its size, and its chunk count
     /// when it carries a bitmap.
     pub fn stats(&self) -> OperandStats {
         OperandStats {
             n: self.n(),
             chunks: self.bitmap.as_ref().map(|b| b.num_chunks()),
+            compressed_bytes: self.compressed.as_ref().map(|c| c.size_in_bytes()),
         }
     }
 
@@ -113,6 +140,7 @@ impl PlannedList {
             + self.rgs.size_in_bytes()
             + self.bitmap.as_ref().map_or(0, |b| b.size_in_bytes())
             + self.flat.size_in_bytes()
+            + self.compressed.as_ref().map_or(0, |c| c.size_in_bytes())
     }
 }
 
@@ -124,16 +152,23 @@ pub struct OperandStats {
     /// Number of 2¹⁶-value chunks the list touches, if a chunk bitmap is
     /// prepared for it (`None` for lists too sparse to carry one).
     pub chunks: Option<usize>,
+    /// Exact byte footprint of the list's skip-augmented block postings,
+    /// if prepared (`None` vetoes [`PlanKind::CompressedGallop`], mirroring
+    /// how a missing bitmap vetoes [`PlanKind::BitmapAnd`]).
+    pub compressed_bytes: Option<usize>,
 }
 
 impl OperandStats {
     /// Stats of a raw sorted set, exactly as [`PlannedList::build`] would
     /// produce them: the chunk count is `Some` iff the list is dense enough
-    /// in its own value range to carry a bitmap.
+    /// in its own value range to carry a bitmap, and the compressed
+    /// footprint is [`BlockPostings::measure`]'s exact size — byte-identical
+    /// to building the structure, without building it.
     pub fn of_set(set: &SortedSet) -> Self {
         Self {
             n: set.len(),
             chunks: dense_enough(set).then(|| BitmapSet::count_chunks(set.as_slice())),
+            compressed_bytes: Some(BlockPostings::measure(BlockCodec::Packed, set.as_slice())),
         }
     }
 }
@@ -158,6 +193,12 @@ pub enum PlanKind {
     GallopProbe,
     /// Heap-based k-way merge (structure-free fallback).
     HeapMerge,
+    /// Compressed-domain galloping: the smallest list's block cursor drives
+    /// seeks through the others' skip tables, decoding at most the blocks
+    /// a candidate actually lands in. Wins under memory pressure
+    /// ([`Planner::bytes_unit`] > 0), where operand footprint outprices the
+    /// decode work.
+    CompressedGallop,
 }
 
 impl PlanKind {
@@ -171,6 +212,7 @@ impl PlanKind {
             PlanKind::BitmapAnd => "BitmapAnd",
             PlanKind::GallopProbe => "GallopProbe",
             PlanKind::HeapMerge => "HeapMerge",
+            PlanKind::CompressedGallop => "CompressedGallop",
         }
     }
 
@@ -179,7 +221,7 @@ impl PlanKind {
     /// cached handle per planned query.
     fn record_choice(self) {
         use std::sync::OnceLock;
-        static COUNTERS: OnceLock<[std::sync::Arc<fsi_obs::Counter>; 7]> = OnceLock::new();
+        static COUNTERS: OnceLock<[std::sync::Arc<fsi_obs::Counter>; 8]> = OnceLock::new();
         let counters = COUNTERS.get_or_init(|| {
             [
                 PlanKind::Empty,
@@ -189,6 +231,7 @@ impl PlanKind {
                 PlanKind::BitmapAnd,
                 PlanKind::GallopProbe,
                 PlanKind::HeapMerge,
+                PlanKind::CompressedGallop,
             ]
             .map(|k| {
                 fsi_obs::Registry::global().counter("fsi_plan_kind_total", &[("kind", k.name())])
@@ -235,6 +278,19 @@ pub struct Planner {
     /// carry the RGS structure); tuning it below `rgs_unit` forces the
     /// structure-free path.
     pub heap_unit: f64,
+    /// Cost per document id decoded out of a compressed block — the extra
+    /// work [`PlanKind::CompressedGallop`] pays over a flat gallop for the
+    /// blocks its probes actually touch. Strictly positive, so with no
+    /// memory pressure (`bytes_unit = 0`) the compressed plan is dominated
+    /// by [`PlanKind::GallopProbe`] and never fires.
+    pub decode_unit: f64,
+    /// Cost per byte of operand representation the chosen kernel drags
+    /// through the cache — the memory-pressure dial. The default `0.0`
+    /// reproduces the pure-compute model exactly (every pinned crossover
+    /// below is unchanged); raising it charges flat/hash/bitmap candidates
+    /// their full footprint while [`PlanKind::CompressedGallop`] pays only
+    /// the ~4–10× smaller block-postings bytes.
+    pub bytes_unit: f64,
 }
 
 impl Default for Planner {
@@ -245,6 +301,8 @@ impl Default for Planner {
             bitmap_word_unit: 1.0,
             rgs_unit: 1.2,
             heap_unit: 2.0,
+            decode_unit: 0.5,
+            bytes_unit: 0.0,
         }
     }
 }
@@ -330,7 +388,15 @@ impl Planner {
         let total: f64 = stats.iter().map(|s| s.n as f64).sum();
         let probes = (k - 1) as f64;
 
-        let mut best = (PlanKind::RanGroupScan, self.rgs_unit * total);
+        // Bytes-resident terms: what each candidate's representation costs
+        // to drag through the cache, scaled by the memory-pressure dial
+        // (zero by default, so these vanish from the pure-compute model).
+        // Flat slices are 4 bytes/element; the hash tables and the
+        // RanGroupScan structure run about two words per element.
+        let flat_bytes = self.bytes_unit * 4.0 * total;
+        let struct_bytes = self.bytes_unit * 8.0 * total;
+
+        let mut best = (PlanKind::RanGroupScan, self.rgs_unit * total + struct_bytes);
         let mut consider = |kind: PlanKind, cost: f64| {
             if cost < best.1 {
                 best = (kind, cost);
@@ -340,20 +406,50 @@ impl Planner {
             .iter()
             .map(|&i| (stats[i].n as f64 / n_min + 2.0).log2())
             .sum();
-        consider(PlanKind::GallopProbe, self.gallop_unit * n_min * log_sum);
-        consider(PlanKind::HashProbe, self.hash_unit * n_min * probes);
+        consider(
+            PlanKind::GallopProbe,
+            self.gallop_unit * n_min * log_sum + flat_bytes,
+        );
+        consider(
+            PlanKind::HashProbe,
+            self.hash_unit * n_min * probes + struct_bytes,
+        );
         if let Some(c_min) = stats.iter().map(|s| s.chunks).min().flatten() {
             // `min` on Options puts None first, so a single bitmap-less
             // operand (None) vetoes the candidate via `.flatten()`.
+            let words: usize =
+                stats.iter().map(|s| s.chunks.unwrap_or(0)).sum::<usize>() * WORDS_PER_CHUNK;
             consider(
                 PlanKind::BitmapAnd,
-                self.bitmap_word_unit * (c_min * WORDS_PER_CHUNK) as f64 * probes,
+                self.bitmap_word_unit * (c_min * WORDS_PER_CHUNK) as f64 * probes
+                    + self.bytes_unit * 8.0 * words as f64,
             );
         }
         consider(
             PlanKind::HeapMerge,
-            self.heap_unit * total * (k as f64).log2(),
+            self.heap_unit * total * (k as f64).log2() + flat_bytes,
         );
+        // Compressed-domain galloping: admissible only when every operand
+        // carries block postings (`Option::sum` yields None otherwise). The
+        // driver decodes fully; each probed list decodes at most one block
+        // (BLOCK_LEN ids) per driver candidate, capped at its own length.
+        if let Some(comp_bytes) = stats
+            .iter()
+            .map(|s| s.compressed_bytes)
+            .sum::<Option<usize>>()
+        {
+            let decoded: f64 = n_min
+                + order[1..]
+                    .iter()
+                    .map(|&i| (stats[i].n as f64).min(n_min * BLOCK_LEN as f64))
+                    .sum::<f64>();
+            consider(
+                PlanKind::CompressedGallop,
+                self.gallop_unit * n_min * log_sum
+                    + self.decode_unit * decoded
+                    + self.bytes_unit * comp_bytes as f64,
+            );
+        }
         MultiwayPlan {
             kind: best.0,
             order,
@@ -416,6 +512,21 @@ impl Planner {
             PlanKind::HeapMerge => {
                 let slices: Vec<&[Elem]> = lists.iter().map(|l| l.flat.as_slice()).collect();
                 heap_merge_into(&slices, out);
+            }
+            PlanKind::CompressedGallop => {
+                let mut cursors: Vec<BlockCursor> = plan
+                    .order
+                    .iter()
+                    .map(|&i| {
+                        lists[i]
+                            .compressed
+                            .as_ref()
+                            // audit:allow(hot_path_panic): the planner only picks CompressedGallop when every operand carries block postings
+                            .expect("CompressedGallop only wins when every operand carries block postings")
+                            .cursor()
+                    })
+                    .collect();
+                compressed_probe_into(&mut cursors, out);
             }
         }
     }
@@ -518,9 +629,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    /// Stats of a sparse list (no bitmap prepared).
+    /// Stats of a sparse list (no bitmap or block postings prepared).
     fn sparse(n: usize) -> OperandStats {
-        OperandStats { n, chunks: None }
+        OperandStats {
+            n,
+            chunks: None,
+            compressed_bytes: None,
+        }
     }
 
     /// Stats of a dense list touching `chunks` chunks.
@@ -528,6 +643,16 @@ mod tests {
         OperandStats {
             n,
             chunks: Some(chunks),
+            compressed_bytes: None,
+        }
+    }
+
+    /// Stats of a sparse list whose block postings compressed to `bytes`.
+    fn compressed(n: usize, bytes: usize) -> OperandStats {
+        OperandStats {
+            n,
+            chunks: None,
+            compressed_bytes: Some(bytes),
         }
     }
 
@@ -597,6 +722,8 @@ mod tests {
             assert_eq!(tuned.hash_unit, base.hash_unit);
             assert_eq!(tuned.rgs_unit, base.rgs_unit);
             assert_eq!(tuned.heap_unit, base.heap_unit);
+            assert_eq!(tuned.decode_unit, base.decode_unit);
+            assert_eq!(tuned.bytes_unit, base.bytes_unit);
         }
         // Scalar tuning IS the default; auto() follows the active tier.
         assert_eq!(
@@ -747,12 +874,48 @@ mod tests {
             let lists: Vec<PlannedList> =
                 sets.iter().map(|s| PlannedList::build(&ctx, s)).collect();
             let refs: Vec<&PlannedList> = lists.iter().collect();
+            // The stats themselves must agree field-for-field — including
+            // the measured-vs-built compressed footprint — not just the
+            // plan they induce.
+            for (set, list) in sets.iter().zip(&lists) {
+                assert_eq!(OperandStats::of_set(set), list.stats(), "sizes {sizes:?}");
+            }
             assert_eq!(
                 planner.plan_for_sets(&set_refs),
                 planner.plan_for_lists(&refs),
                 "sizes {sizes:?}"
             );
         }
+    }
+
+    #[test]
+    fn memory_pressure_flips_to_compressed_domain_and_stays_correct() {
+        let ctx = HashContext::new(47);
+        // Clustered doc ids (small gaps) — the compressed form is many
+        // times smaller than the 4-bytes-per-id flat list.
+        let a: SortedSet = (0..3000u32).map(|x| x * 3).collect();
+        let b: SortedSet = (0..3500u32).map(|x| x * 3 + (x % 3)).collect();
+        let pa = PlannedList::build(&ctx, &a);
+        let pb = PlannedList::build(&ctx, &b);
+        let expect = reference_intersection(&[a.as_slice(), b.as_slice()]);
+
+        // No memory pressure: the pure-compute model never pays the decode
+        // term, so the compressed plan is dominated.
+        let calm = Planner::default();
+        assert_ne!(
+            calm.plan_for_lists(&[&pa, &pb]).kind,
+            PlanKind::CompressedGallop
+        );
+        // Under pressure the byte footprint dominates and the planner
+        // switches to probing the blocks directly — byte-identical result.
+        let pressured = Planner {
+            bytes_unit: 100.0,
+            ..Planner::default()
+        };
+        let mut out = Vec::new();
+        let plan = pressured.intersect(&[&pa, &pb], &mut out);
+        assert_eq!(plan.kind, PlanKind::CompressedGallop);
+        assert_eq!(out, expect);
     }
 
     #[test]
@@ -765,6 +928,7 @@ mod tests {
             hash_unit: hash,
             heap_unit: heap,
             bitmap_word_unit: f64::INFINITY,
+            ..Planner::default()
         };
         assert_eq!(
             kind(&force(1e-6, 1e9, 1e9, 1e9), &sets),
@@ -789,8 +953,26 @@ mod tests {
             hash_unit: 1e9,
             heap_unit: 1e9,
             bitmap_word_unit: 1e-6,
+            ..Planner::default()
         };
         assert_eq!(kind(&bitmap_cheap, &dense_sets), PlanKind::BitmapAnd);
+        // Operands carrying block postings + a hot bytes_unit force the
+        // compressed-domain plan: flat candidates pay 4 bytes/element,
+        // compressed pays only its (much smaller) exact footprint.
+        let comp_sets = [compressed(3000, 1200), compressed(4000, 1500)];
+        let pressured = Planner {
+            bytes_unit: 100.0,
+            ..Planner::default()
+        };
+        assert_eq!(kind(&pressured, &comp_sets), PlanKind::CompressedGallop);
+        // Without pressure the decode term keeps it strictly dominated.
+        assert_ne!(
+            kind(&Planner::default(), &comp_sets),
+            PlanKind::CompressedGallop
+        );
+        // A single operand without block postings vetoes the candidate.
+        let mixed = [compressed(3000, 1200), sparse(4000)];
+        assert_ne!(kind(&pressured, &mixed), PlanKind::CompressedGallop);
     }
 
     #[test]
@@ -813,6 +995,7 @@ mod tests {
                 PlanKind::HashProbe,
                 PlanKind::GallopProbe,
                 PlanKind::HeapMerge,
+                PlanKind::CompressedGallop,
             ] {
                 let plan = MultiwayPlan {
                     kind: forced,

@@ -8,7 +8,8 @@ use fsi_baselines::{
     SmallAdaptiveIndex, SvsIndex, TreapIndex,
 };
 use fsi_compress::{
-    CompressedLookup, CompressedPostings, CompressedRgsIndex, EliasCode, GroupCoding,
+    BlockCodec, BlockPostings, CompressedLookup, CompressedPostings, CompressedRgsIndex, EliasCode,
+    GroupCoding,
 };
 use fsi_core::elem::{Elem, SortedSet};
 use fsi_core::hash::HashContext;
@@ -77,6 +78,10 @@ pub enum Strategy {
     LookupCompressed(EliasCode),
     /// Compressed RanGroupScan (γ/δ/Lowbits), `m = 1`.
     RgsCompressed(GroupCoding),
+    /// Skip-augmented block postings intersected in the compressed domain:
+    /// cursors gallop across the skip table and decode at most the blocks
+    /// they land in.
+    CompressedGallop(BlockCodec),
 }
 
 impl Strategy {
@@ -105,6 +110,7 @@ impl Strategy {
             Strategy::MergeCompressed(c) => format!("Merge_{}", c.label()),
             Strategy::LookupCompressed(c) => format!("Lookup_{}", c.label()),
             Strategy::RgsCompressed(c) => format!("RanGroupScan_{}", c.label()),
+            Strategy::CompressedGallop(c) => format!("CompressedGallop_{}", c.label()),
         }
     }
 
@@ -156,6 +162,7 @@ impl Strategy {
         v.push(Strategy::RgsCompressed(GroupCoding::Elias(
             EliasCode::Gamma,
         )));
+        v.extend(BlockCodec::ALL.map(Strategy::CompressedGallop));
         v
     }
 
@@ -192,6 +199,9 @@ impl Strategy {
             Strategy::RgsCompressed(c) => {
                 PreparedList::RgsCompressed(CompressedRgsIndex::build(ctx, set, c))
             }
+            Strategy::CompressedGallop(c) => {
+                PreparedList::CompressedGallop(BlockPostings::from_slice(c, set.as_slice()))
+            }
         }
     }
 }
@@ -222,6 +232,7 @@ pub enum PreparedList {
     MergeCompressed(CompressedPostings),
     LookupCompressed(CompressedLookup),
     RgsCompressed(CompressedRgsIndex),
+    CompressedGallop(BlockPostings),
 }
 
 macro_rules! on_prepared {
@@ -249,6 +260,7 @@ macro_rules! on_prepared {
             PreparedList::MergeCompressed($ix) => $body,
             PreparedList::LookupCompressed($ix) => $body,
             PreparedList::RgsCompressed($ix) => $body,
+            PreparedList::CompressedGallop($ix) => $body,
         }
     };
 }
@@ -312,6 +324,7 @@ pub fn intersect_into(lists: &[&PreparedList], out: &mut Vec<Elem>) {
         PreparedList::MergeCompressed(_) => dispatch_k!(MergeCompressed, lists, out),
         PreparedList::LookupCompressed(_) => dispatch_k!(LookupCompressed, lists, out),
         PreparedList::RgsCompressed(_) => dispatch_k!(RgsCompressed, lists, out),
+        PreparedList::CompressedGallop(_) => dispatch_k!(CompressedGallop, lists, out),
     }
 }
 
@@ -439,6 +452,10 @@ mod tests {
         assert_eq!(
             Strategy::MergeCompressed(EliasCode::Delta).name(),
             "Merge_Delta"
+        );
+        assert_eq!(
+            Strategy::CompressedGallop(BlockCodec::Packed).name(),
+            "CompressedGallop_Packed"
         );
     }
 

@@ -103,8 +103,9 @@ pub use gallop::{
 };
 pub use kernel::{AutoKernel, Kernel, KernelChoice, ScalarMerge, SimdMerge, BITMAP_MIN_DENSITY};
 pub use multiway::{
-    gallop_probe_into, gallop_probe_ordered_into, heap_merge_into, pairwise_fold_into, BitmapAnd,
-    GallopProbe, HeapMerge, MultiwayAuto, MultiwayChoice, MultiwayKernel,
+    compressed_probe_into, gallop_probe_into, gallop_probe_ordered_into, heap_merge_into,
+    pairwise_fold_into, BitmapAnd, CompressedProbe, GallopProbe, HeapMerge, MultiwayAuto,
+    MultiwayChoice, MultiwayKernel, SkipCursor, SliceCursor,
 };
 pub use sigfilter::{SigFilterKernel, SigFilterSet};
 pub use simd::SimdLevel;

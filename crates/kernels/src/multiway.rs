@@ -309,6 +309,156 @@ impl MultiwayKernel for MultiwayAuto {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Compressed-domain k-way probe
+// ---------------------------------------------------------------------------
+
+/// A seekable streaming cursor over one sorted, duplicate-free operand —
+/// the abstraction that lets the k-way probe run directly over compressed
+/// representations. `fsi-compress`'s `BlockPostings` implements this with
+/// skip-table block jumps (decoding only the blocks a seek lands in);
+/// [`SliceCursor`] adapts a flat slice with galloping, which is both the
+/// differential-test oracle and the mixed-operand escape hatch.
+pub trait SkipCursor {
+    /// Total number of elements in the underlying operand (not the number
+    /// remaining) — the probe sorts cursors by this to pick its driver.
+    fn len(&self) -> usize;
+
+    /// Whether the underlying operand is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The element the cursor points at, or `None` once exhausted. A fresh
+    /// cursor points at the first element.
+    fn current(&self) -> Option<Elem>;
+
+    /// Advances one element.
+    fn advance(&mut self);
+
+    /// Advances to the first element `>= target` (a no-op when the current
+    /// element already qualifies) and returns it, or `None` when the
+    /// operand has no such element. Targets never decrease across calls.
+    fn seek(&mut self, target: Elem) -> Option<Elem>;
+}
+
+/// A [`SkipCursor`] over a flat sorted slice: `seek` gallops from the
+/// current position, mirroring [`gallop_probe_ordered_into`]'s cursor
+/// discipline.
+#[derive(Debug, Clone)]
+pub struct SliceCursor<'a> {
+    slice: &'a [Elem],
+    pos: usize,
+}
+
+impl<'a> SliceCursor<'a> {
+    /// A cursor positioned at the first element of `slice`.
+    pub fn new(slice: &'a [Elem]) -> Self {
+        SliceCursor { slice, pos: 0 }
+    }
+}
+
+impl SkipCursor for SliceCursor<'_> {
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn current(&self) -> Option<Elem> {
+        self.slice.get(self.pos).copied()
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn seek(&mut self, target: Elem) -> Option<Elem> {
+        match self.slice.get(self.pos) {
+            Some(&v) if v >= target => Some(v),
+            Some(_) => {
+                self.pos = gallop(self.slice, self.pos, target);
+                self.slice.get(self.pos).copied()
+            }
+            None => None,
+        }
+    }
+}
+
+/// The k-way candidate probe over [`SkipCursor`]s: the shortest operand
+/// drives, every other cursor seeks to each candidate, and a miss promotes
+/// the blocking cursor's element to the new candidate (seeking the driver
+/// forward past the gap). Appends the ascending intersection to `out`.
+///
+/// This is [`gallop_probe_into`] lifted off flat slices: when the cursors
+/// are compressed block cursors, a seek that overshoots a block consults
+/// only the skip table — the block's payload is never decoded.
+pub fn compressed_probe_into<C: SkipCursor>(cursors: &mut [C], out: &mut Vec<Elem>) {
+    match cursors {
+        [] => {}
+        [a] => {
+            while let Some(v) = a.current() {
+                out.push(v);
+                a.advance();
+            }
+        }
+        _ => {
+            // Shortest operand drives: its candidates die on their first
+            // (cheapest) miss, and the long operands are only ever probed.
+            cursors.sort_by_key(|c| c.len());
+            // audit:allow(hot_path_panic): k >= 2 was matched above, so split_first always succeeds
+            let (driver, rest) = cursors.split_first_mut().expect("k >= 2");
+            let Some(mut cand) = driver.current() else {
+                return;
+            };
+            'candidates: loop {
+                for c in rest.iter_mut() {
+                    match c.seek(cand) {
+                        // One operand exhausted: nothing further can be in
+                        // all k.
+                        None => return,
+                        Some(v) if v == cand => {}
+                        Some(v) => {
+                            // Miss: v is the smallest value this operand
+                            // still carries, so jump the driver to it.
+                            match driver.seek(v) {
+                                None => return,
+                                Some(nc) => {
+                                    cand = nc;
+                                    continue 'candidates;
+                                }
+                            }
+                        }
+                    }
+                }
+                out.push(cand);
+                driver.advance();
+                match driver.current() {
+                    Some(v) => cand = v,
+                    None => return,
+                }
+            }
+        }
+    }
+}
+
+/// The compressed-domain k-way probe kernel (see [`compressed_probe_into`])
+/// — a marker the `fsi-index` planner dispatches through; it is not a
+/// [`MultiwayKernel`] because its operands are cursors, not slices.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompressedProbe;
+
+impl CompressedProbe {
+    /// The label benchmarks and plan explainers report.
+    pub fn name(&self) -> &'static str {
+        "CompressedProbe"
+    }
+
+    /// Appends the ascending intersection of the cursors' operands to
+    /// `out`.
+    pub fn intersect<C: SkipCursor>(&self, cursors: &mut [C], out: &mut Vec<Elem>) {
+        compressed_probe_into(cursors, out);
+    }
+}
+
 /// The pairwise-fold baseline the multiway kernels are benchmarked against:
 /// sort by length, intersect the two smallest, then fold each remaining
 /// list in — materializing every intermediate, exactly what true k-way
@@ -456,6 +606,58 @@ mod tests {
         let mut out = Vec::new();
         pairwise_fold_into(&crate::kernel::ScalarMerge, &slices, &mut out);
         assert_eq!(out, reference_intersection(&slices));
+    }
+
+    #[test]
+    fn compressed_probe_over_slice_cursors_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(79);
+        for trial in 0..12 {
+            for k in 1..=6usize {
+                let universe = rng.gen_range(1..50_000u32);
+                let sets = random_sets(&mut rng, k, 1200, universe);
+                let slices: Vec<&[Elem]> = sets.iter().map(|s| s.as_slice()).collect();
+                let expect = reference_intersection(&slices);
+                let mut cursors: Vec<SliceCursor> =
+                    slices.iter().map(|s| SliceCursor::new(s)).collect();
+                let mut out = Vec::new();
+                compressed_probe_into(&mut cursors, &mut out);
+                assert_eq!(out, expect, "trial {trial} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_cursor_seek_is_monotone_and_inclusive() {
+        let s: SortedSet = (0..100u32).step_by(7).collect();
+        let mut c = SliceCursor::new(s.as_slice());
+        assert_eq!(c.current(), Some(0));
+        assert_eq!(c.seek(0), Some(0), "seek to the current element is a no-op");
+        assert_eq!(c.seek(1), Some(7));
+        assert_eq!(c.seek(7), Some(7), "repeated seek stays put");
+        assert_eq!(c.seek(50), Some(56));
+        c.advance();
+        assert_eq!(c.current(), Some(63));
+        assert_eq!(c.seek(1_000), None, "past the end exhausts the cursor");
+        assert_eq!(c.current(), None);
+        assert_eq!(c.len(), s.len(), "len reports the whole operand");
+    }
+
+    #[test]
+    fn compressed_probe_degenerate_inputs() {
+        let a: SortedSet = (0..50u32).collect();
+        let mut out = Vec::new();
+        compressed_probe_into::<SliceCursor>(&mut [], &mut out);
+        assert!(out.is_empty());
+        compressed_probe_into(&mut [SliceCursor::new(a.as_slice())], &mut out);
+        assert_eq!(out, a.as_slice());
+        out.clear();
+        let mut cursors = [
+            SliceCursor::new(a.as_slice()),
+            SliceCursor::new(&[]),
+            SliceCursor::new(a.as_slice()),
+        ];
+        compressed_probe_into(&mut cursors, &mut out);
+        assert!(out.is_empty(), "an empty operand empties the intersection");
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!   chunk sweeps: `AND` 2 (SSE) or 4 (AVX2) 64-bit words per instruction,
 //!   reject all-zero groups with a single `PTEST`, and fall into the
 //!   trailing-zeros extraction only for groups that survive.
+//! * [`unpack_deltas`] — bulk block decode for the compressed-domain
+//!   execution path (`fsi-compress`'s `BlockPostings`): gather 8
+//!   fixed-width packed deltas per iteration, variable-shift them into
+//!   place, and rebuild absolute doc ids with an in-register prefix sum —
+//!   the step that turns a 128-doc compressed block into kernel-ready
+//!   `u32`s without a bit-serial loop.
 //! * [`sig_scan`] — vectorized signature compare for
 //!   [`SigFilterSet`](crate::SigFilterSet): `AND`s 2/4 fine-bucket
 //!   signatures against their aligned coarse signatures at once and hands
@@ -266,6 +272,126 @@ pub fn merge_into_at(level: SimdLevel, a: &[Elem], b: &[Elem], out: &mut Vec<Ele
         SimdLevel::Avx2 => unsafe { x86::merge_avx2(a, b, out) },
         #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
         _ => crate::gallop::branchless_merge_into(a, b, out),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk block unpack (compressed-domain decode)
+// ---------------------------------------------------------------------------
+
+/// Widest packed field [`unpack_deltas`] accepts: doc-id gaps fit `u32`.
+pub const MAX_PACK_WIDTH: u32 = 32;
+
+/// Widest packed field the AVX2 gather path handles: a field starting at
+/// any in-byte shift (0..=7) must fit the 4 gathered bytes
+/// (`7 + width <= 32`). Wider blocks — astronomically rare gaps — decode
+/// on the scalar twin.
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+const MAX_GATHER_WIDTH: u32 = 25;
+
+/// Decodes one delta-compressed block into absolute doc ids, appending
+/// `count` ascending values to `out` at the dispatched
+/// [`SimdLevel::active`] level.
+///
+/// The block stores `count - 1` consecutive `width`-bit fields starting at
+/// `bit_offset` in the LSB-first packed payload `bytes`; field `i` holds
+/// `gap - 1` for the gap between elements `i` and `i + 1`, and the block's
+/// first element `first` lives in the skip entry, not the payload. A
+/// `width` of 0 therefore encodes a fully dense run with no payload bits
+/// at all.
+#[inline]
+pub fn unpack_deltas(
+    bytes: &[u8],
+    bit_offset: usize,
+    width: u32,
+    first: Elem,
+    count: usize,
+    out: &mut Vec<Elem>,
+) {
+    unpack_deltas_at(
+        SimdLevel::active(),
+        bytes,
+        bit_offset,
+        width,
+        first,
+        count,
+        out,
+    )
+}
+
+/// [`unpack_deltas`] at an explicit level (saturated to the hardware).
+/// The AVX2 tier gathers 8 fields per iteration and prefix-sums them in
+/// register; SSE4.1 has no gather, so it shares the scalar twin. Output is
+/// byte-identical across levels.
+///
+/// Panics when `width` exceeds [`MAX_PACK_WIDTH`] or when `bytes` does not
+/// extend at least 8 bytes past the last field's starting byte — every
+/// decode (scalar and SIMD alike) loads whole little-endian words, so the
+/// builder pads the payload and a safe API must never read out of bounds.
+pub fn unpack_deltas_at(
+    level: SimdLevel,
+    bytes: &[u8],
+    bit_offset: usize,
+    width: u32,
+    first: Elem,
+    count: usize,
+    out: &mut Vec<Elem>,
+) {
+    if count == 0 {
+        return;
+    }
+    assert!(width <= MAX_PACK_WIDTH, "packed field wider than a doc id");
+    if width == 0 || count == 1 {
+        // Dense run (every gap is 1) or a lone element: no payload bits.
+        out.extend((0..count as u32).map(|i| first + i));
+        return;
+    }
+    let fields = count - 1;
+    let last_byte = (bit_offset + (fields - 1) * width as usize) / 8;
+    assert!(
+        last_byte + 8 <= bytes.len(),
+        "packed payload missing its 8 tail padding bytes"
+    );
+    match level.saturate() {
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        // SAFETY: saturate() capped the level at SimdLevel::detect(), so
+        // AVX2 is present; the assert above plus the width guard keep
+        // every gathered 4-byte lane inside `bytes`.
+        SimdLevel::Avx2 if width <= MAX_GATHER_WIDTH => unsafe {
+            x86::unpack_deltas_avx2(bytes, bit_offset, width, first, count, out)
+        },
+        // SSE4.1 lacks a gather; wide fields skip the gather path too.
+        _ => unpack_deltas_scalar(bytes, bit_offset, width, first, count, out),
+    }
+}
+
+pub(crate) fn unpack_deltas_scalar(
+    bytes: &[u8],
+    bit_offset: usize,
+    width: u32,
+    first: Elem,
+    count: usize,
+    out: &mut Vec<Elem>,
+) {
+    let fields = count - 1;
+    // Re-assert the caller's padding contract so every 8-byte window below
+    // is in bounds even if this twin is reached directly.
+    assert!(
+        fields == 0 || (bit_offset + (fields - 1) * width as usize) / 8 + 8 <= bytes.len(),
+        "packed payload missing its 8 tail padding bytes"
+    );
+    out.reserve(count);
+    let mut val = first;
+    out.push(val);
+    let mask = (1u64 << width) - 1;
+    let mut pos = bit_offset;
+    for _ in 0..fields {
+        let byte = pos >> 3;
+        // audit:allow(hot_path_panic): the assert above keeps every 8-byte window in bounds
+        let word = u64::from_le_bytes(bytes[byte..byte + 8].try_into().expect("8-byte window"));
+        val += ((word >> (pos & 7)) & mask) as u32 + 1;
+        out.push(val);
+        pos += width as usize;
     }
 }
 
@@ -519,5 +645,91 @@ mod tests {
         for l in SimdLevel::ALL {
             assert!(l.saturate() <= SimdLevel::detect());
         }
+    }
+
+    /// Packs `deltas` (gap-1 values) LSB-first at `width` bits each,
+    /// starting at `bit_offset`, with the 8 tail padding bytes the decode
+    /// contract requires.
+    fn pack(deltas: &[u32], width: u32, bit_offset: usize) -> Vec<u8> {
+        let total_bits = bit_offset + deltas.len() * width as usize;
+        let mut bytes = vec![0u8; total_bits.div_ceil(8) + 8];
+        for (i, &d) in deltas.iter().enumerate() {
+            assert!(width == 32 || u64::from(d) < (1 << width));
+            for b in 0..width as usize {
+                let pos = bit_offset + i * width as usize + b;
+                if d & (1 << b) != 0 {
+                    bytes[pos / 8] |= 1 << (pos % 8);
+                }
+            }
+        }
+        bytes
+    }
+
+    #[test]
+    fn unpack_deltas_matches_scalar_at_every_level_and_width() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        for width in [0u32, 1, 3, 7, 13, 24, 25, 26, 31, 32] {
+            for count in [1usize, 2, 7, 8, 9, 16, 127, 128, 129] {
+                for bit_offset in [0usize, 1, 5, 13] {
+                    let fields = count - 1;
+                    let deltas: Vec<u32> = (0..fields)
+                        .map(|_| {
+                            if width == 0 {
+                                0
+                            } else if width == 32 {
+                                rng.gen_range(0..=u32::MAX - 1)
+                            } else {
+                                rng.gen_range(0..(1u32 << width))
+                            }
+                        })
+                        .collect();
+                    // Keep the absolute values inside u32.
+                    let total: u64 = deltas.iter().map(|&d| u64::from(d) + 1).sum();
+                    if total > u64::from(u32::MAX) {
+                        continue;
+                    }
+                    let first = rng.gen_range(0..=(u32::MAX - total as u32));
+                    let bytes = pack(&deltas, width, bit_offset);
+                    let mut expect = Vec::new();
+                    unpack_deltas_scalar(&bytes, bit_offset, width, first, count, &mut expect);
+                    assert_eq!(expect.len(), count);
+                    assert_eq!(expect[0], first);
+                    for l in available_levels() {
+                        let mut got = Vec::new();
+                        unpack_deltas_at(l, &bytes, bit_offset, width, first, count, &mut got);
+                        assert_eq!(
+                            got,
+                            expect,
+                            "level {} width {width} count {count} offset {bit_offset}",
+                            l.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_deltas_dense_run_needs_no_payload() {
+        let mut out = Vec::new();
+        unpack_deltas_at(SimdLevel::Scalar, &[], 0, 0, 5, 130, &mut out);
+        let expect: Vec<Elem> = (5..135).collect();
+        assert_eq!(out, expect);
+        out.clear();
+        unpack_deltas_at(SimdLevel::Scalar, &[], 3, 9, 42, 1, &mut out);
+        assert_eq!(out, vec![42], "a lone element reads no payload bits");
+        out.clear();
+        unpack_deltas_at(SimdLevel::Scalar, &[], 0, 0, 0, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "padding")]
+    fn unpack_deltas_rejects_unpadded_payloads() {
+        let mut out = Vec::new();
+        // 4 fields x 8 bits = 4 payload bytes but no tail padding.
+        unpack_deltas_at(SimdLevel::Scalar, &[0u8; 4], 0, 8, 0, 5, &mut out);
     }
 }

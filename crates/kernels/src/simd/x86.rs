@@ -517,3 +517,107 @@ pub unsafe fn sig_scan_avx2(fine: &[u64], coarse: &[u64], dt: u32, verify: &mut 
         z += 1;
     }
 }
+
+/// Lane selector broadcasting dword 3 (the low 128-bit lane's prefix-sum
+/// total) to every lane of a `vpermd`.
+static BCAST_LANE3: [u32; 8] = [3; 8];
+
+/// Adds the broadcast low-lane total only into the high 128-bit lane.
+static HI_LANE_MASK: [u32; 8] = [0, 0, 0, 0, u32::MAX, u32::MAX, u32::MAX, u32::MAX];
+
+/// AVX2 bulk delta unpack: gathers 8 `width`-bit packed fields per
+/// iteration, variable-shifts each into place, masks, and rebuilds
+/// absolute doc ids with an in-register inclusive prefix sum (two in-lane
+/// shifted adds, one cross-lane fix-up, plus the running carry). The
+/// ragged tail (< 8 fields) decodes on the scalar word loop, so output is
+/// byte-identical to the scalar twin (`unpack_deltas_scalar`).
+///
+/// # Safety
+/// The CPU must support AVX2. `count >= 2`, `width` must be in
+/// `1..=MAX_GATHER_WIDTH` (so a field starting at any in-byte
+/// shift fits one 4-byte gather lane), and `bytes` must extend at least 8
+/// bytes past the last field's starting byte — the dispatcher asserts
+/// this padding before selecting this path.
+#[target_feature(enable = "avx2")]
+pub unsafe fn unpack_deltas_avx2(
+    bytes: &[u8],
+    bit_offset: usize,
+    width: u32,
+    first: Elem,
+    count: usize,
+    out: &mut Vec<Elem>,
+) {
+    let fields = count - 1;
+    let w = width as usize;
+    out.reserve(count);
+    out.push(first);
+    let mut carry = first;
+    let mask = _mm256_set1_epi32(((1u64 << width) - 1) as i32);
+    let ones = _mm256_set1_epi32(1);
+    // SAFETY: both statics are 8 aligned-enough u32s (loadu has no
+    // alignment requirement) read in full.
+    let bcast3 = unsafe { _mm256_loadu_si256(BCAST_LANE3.as_ptr() as *const __m256i) };
+    // SAFETY: as above.
+    let hi_mask = unsafe { _mm256_loadu_si256(HI_LANE_MASK.as_ptr() as *const __m256i) };
+    let base = bytes.as_ptr();
+    let mut i = 0usize;
+    while i + 8 <= fields {
+        let p0 = bit_offset + i * w;
+        let offs = _mm256_set_epi32(
+            ((p0 + 7 * w) >> 3) as i32,
+            ((p0 + 6 * w) >> 3) as i32,
+            ((p0 + 5 * w) >> 3) as i32,
+            ((p0 + 4 * w) >> 3) as i32,
+            ((p0 + 3 * w) >> 3) as i32,
+            ((p0 + 2 * w) >> 3) as i32,
+            ((p0 + w) >> 3) as i32,
+            (p0 >> 3) as i32,
+        );
+        let shifts = _mm256_set_epi32(
+            ((p0 + 7 * w) & 7) as i32,
+            ((p0 + 6 * w) & 7) as i32,
+            ((p0 + 5 * w) & 7) as i32,
+            ((p0 + 4 * w) & 7) as i32,
+            ((p0 + 3 * w) & 7) as i32,
+            ((p0 + 2 * w) & 7) as i32,
+            ((p0 + w) & 7) as i32,
+            (p0 & 7) as i32,
+        );
+        // SAFETY: every lane's byte offset is at most the last field's
+        // starting byte, and the caller guarantees >= 8 padding bytes
+        // beyond it, so each 4-byte gathered load stays inside `bytes`.
+        let gathered = unsafe { _mm256_i32gather_epi32::<1>(base as *const i32, offs) };
+        let deltas = _mm256_and_si256(_mm256_srlv_epi32(gathered, shifts), mask);
+        let gaps = _mm256_add_epi32(deltas, ones);
+        // Inclusive prefix sum within each 128-bit lane…
+        let s1 = _mm256_add_epi32(gaps, _mm256_slli_si256::<4>(gaps));
+        let s2 = _mm256_add_epi32(s1, _mm256_slli_si256::<8>(s1));
+        // …then push the low lane's total into the high lane only.
+        let low_total = _mm256_permutevar8x32_epi32(s2, bcast3);
+        let scan = _mm256_add_epi32(s2, _mm256_and_si256(low_total, hi_mask));
+        let abs = _mm256_add_epi32(scan, _mm256_set1_epi32(carry as i32));
+        let len = out.len();
+        out.reserve(8);
+        // SAFETY: the reserve above guarantees capacity for 8 more lanes;
+        // storeu is unaligned-safe and set_len only covers initialized
+        // lanes.
+        unsafe {
+            _mm256_storeu_si256(out.as_mut_ptr().add(len) as *mut __m256i, abs);
+            out.set_len(len + 8);
+        }
+        carry = _mm256_extract_epi32::<7>(abs) as u32;
+        i += 8;
+    }
+    // Ragged tail: the same word loop as the scalar twin.
+    let m = (1u64 << width) - 1;
+    let mut pos = bit_offset + i * w;
+    while i < fields {
+        let byte = pos >> 3;
+        // audit:allow(hot_path_panic): the dispatcher asserted 8 padding bytes past the last field's byte
+        let word = u64::from_le_bytes(bytes[byte..byte + 8].try_into().expect("8-byte window"));
+        carry += ((word >> (pos & 7)) & m) as u32 + 1;
+        out.push(carry);
+        pos += w;
+        i += 1;
+    }
+}

@@ -303,6 +303,7 @@ mod tests {
         |t| OperandStats {
             n: sizes[t].0,
             chunks: sizes[t].1,
+            compressed_bytes: None,
         }
     }
 

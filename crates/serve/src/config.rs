@@ -30,6 +30,22 @@ impl ExecMode {
     pub fn planned_auto() -> Self {
         ExecMode::Planned(Planner::auto())
     }
+
+    /// Planner-mode execution under memory pressure: SIMD-tuned constants
+    /// plus a non-zero [`Planner::bytes_unit`], so every candidate is
+    /// charged its resident byte footprint and queries over compressible
+    /// lists run in the compressed domain
+    /// ([`fsi_index::PlanKind::CompressedGallop`]) instead of walking the
+    /// 4-bytes-per-id flat representations. `bytes_per_elem_unit` is the
+    /// cost of one resident byte relative to the compute units — `0.0`
+    /// degenerates to [`ExecMode::planned_auto`]; values ≥ ~1 make
+    /// footprint dominate for all but the most selective plans.
+    pub fn planned_memory_pressured(bytes_per_elem_unit: f64) -> Self {
+        ExecMode::Planned(Planner {
+            bytes_unit: bytes_per_elem_unit,
+            ..Planner::auto()
+        })
+    }
 }
 
 /// Configuration of a serving engine.
@@ -105,5 +121,17 @@ mod tests {
         assert!(ExecMode::Planned(Planner::default())
             .label()
             .starts_with("Planned"));
+    }
+
+    #[test]
+    fn memory_pressured_mode_sets_only_the_bytes_dial() {
+        let ExecMode::Planned(p) = ExecMode::planned_memory_pressured(2.5) else {
+            panic!("planned mode expected");
+        };
+        let auto = Planner::auto();
+        assert_eq!(p.bytes_unit, 2.5);
+        assert_eq!(p.gallop_unit, auto.gallop_unit);
+        assert_eq!(p.bitmap_word_unit, auto.bitmap_word_unit);
+        assert_eq!(p.decode_unit, auto.decode_unit);
     }
 }

@@ -424,6 +424,26 @@ mod tests {
     }
 
     #[test]
+    fn memory_pressured_mode_matches_fixed_results() {
+        // A hot bytes_unit pushes plans into the compressed domain
+        // (CompressedGallop over block postings); answers must stay
+        // byte-identical to the flat reference across shard counts.
+        let engine = engine();
+        let fixed = ShardedEngine::build(&engine, 1, ExecMode::Fixed(Strategy::Merge));
+        for shards in [1usize, 2, 3, 7] {
+            let pressured =
+                ShardedEngine::build(&engine, shards, ExecMode::planned_memory_pressured(100.0));
+            for q in [vec![0usize, 1], vec![2, 9, 30], vec![40, 41], vec![6]] {
+                assert_eq!(
+                    pressured.query(&q),
+                    fixed.query(&q),
+                    "shards={shards} {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn parallel_query_equals_sequential() {
         let engine = engine();
         let sharded =
