@@ -8,7 +8,9 @@ use crate::{Finding, Workspace};
 
 /// Crates whose `src/` trees are hot paths: implicit panics are forbidden
 /// outside `#[cfg(test)]` (rule `hot_path_panic` / `hot_path_index`).
-pub const HOT_CRATES: &[&str] = &["kernels", "index", "query", "obs", "serve", "compress"];
+pub const HOT_CRATES: &[&str] = &[
+    "kernels", "index", "query", "obs", "serve", "compress", "net",
+];
 
 /// How many lines above a call site the dispatch-guard scan looks for a
 /// `match …saturate()` / `is_x86_feature_detected!` context.

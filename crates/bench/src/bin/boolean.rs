@@ -25,7 +25,7 @@ use fsi_bench::{min_time, HarnessArgs, Table};
 use fsi_core::HashContext;
 use fsi_index::{Corpus, CorpusConfig, Planner, SearchEngine};
 use fsi_query::{ExprPlan, ExprPlanner, NormExpr};
-use fsi_serve::{ExecMode, ServeConfig, Server};
+use fsi_serve::{PlannerProfile, Request, ServeConfig, Server};
 use fsi_workloads::stream::{generate_boolean_stream, BooleanStreamConfig};
 
 struct ShapeRow {
@@ -202,12 +202,14 @@ fn main() {
         ServeConfig {
             num_shards: 4,
             cache_capacity: 8192,
-            mode: ExecMode::planned_auto(),
+            mode: PlannerProfile::auto().mode(),
             ..ServeConfig::default()
         },
     );
     for q in &cache_stream {
-        server.query_expr(q).expect("valid query");
+        server
+            .execute(&Request::expr(q.as_str()))
+            .expect("valid query");
     }
     let cache_stats = server.stats().cache;
     let hit_rate = cache_stats.hit_rate();

@@ -25,10 +25,16 @@
 //!   flat-u32-bytes over compressed-bytes ratio, higher = smaller — and
 //!   `qps` per (shape, algo) for the flat, decode-then-intersect, and
 //!   compressed-domain intersection variants;
-//! * `serve` files — `qps` per scaling row and the cache `warm_qps`.
-//!   Rows flagged `"oversubscribed": true` (more workers than cores) are
-//!   skipped **in either file**: their numbers measure OS timeslicing, not
-//!   the algorithms, and the baseline box's core count need not match CI's.
+//! * `serve` files — the cache-fronted `cold_qps` and `warm_qps` (the
+//!   closed-loop worker-scaling rows were retired in favor of the `slo`
+//!   bench, which measures serving under load properly);
+//! * `slo` files — `capacity_qps`, the hard `response_accounting`
+//!   conservation check, and per-row `goodput_fraction` for rows offered
+//!   *below* saturation (`offered_mult < 1.0`). Rows at or past
+//!   saturation are explicitly declined: goodput there measures where the
+//!   shedding knee lands on the CI box's core count, which legitimately
+//!   differs from the baseline box — the row exists to eyeball degradation
+//!   shape, not to gate.
 //!
 //! Ratios are speedups/throughputs (higher = better), so the check is
 //! one-sided: getting faster never fails. A metric present in the baseline
@@ -185,22 +191,42 @@ fn metrics(doc: &Json, path: &str) -> (Vec<Metric>, Vec<(String, &'static str)>)
             }
         }
         "serve" => {
-            for row in doc.get("scaling").and_then(Json::as_array).unwrap_or(&[]) {
-                let key = format!("workers={}/qps", num(row, "workers"));
-                if row.get("oversubscribed").and_then(Json::as_bool) == Some(true) {
-                    // qps/latency of timesliced workers is noise.
-                    declined.push((key, "oversubscribed"));
+            if let Some(cache) = doc.get("cache") {
+                out.push(Metric {
+                    key: "cache/cold_qps".to_string(),
+                    value: num(cache, "cold_qps"),
+                });
+                out.push(Metric {
+                    key: "cache/warm_qps".to_string(),
+                    value: num(cache, "warm_qps"),
+                });
+            }
+        }
+        "slo" => {
+            out.push(Metric {
+                key: "capacity_qps".to_string(),
+                value: num(doc, "capacity_qps"),
+            });
+            // Conservation is binary: the binary hard-asserts it in
+            // process, and the gate pins it so a baseline or current file
+            // can never carry anything but 1.0.
+            out.push(Metric {
+                key: "response_accounting".to_string(),
+                value: num(doc, "response_accounting"),
+            });
+            for row in doc.get("rows").and_then(Json::as_array).unwrap_or(&[]) {
+                let mult = num(row, "offered_mult");
+                let key = format!("offered={mult}x/goodput_fraction");
+                if mult >= 1.0 {
+                    // Where the shedding knee lands at/past saturation
+                    // depends on the box's core count; the row informs,
+                    // the gate skips it.
+                    declined.push((key, "at/past saturation"));
                     continue;
                 }
                 out.push(Metric {
                     key,
-                    value: num(row, "qps"),
-                });
-            }
-            if let Some(cache) = doc.get("cache") {
-                out.push(Metric {
-                    key: "cache/warm_qps".to_string(),
-                    value: num(cache, "warm_qps"),
+                    value: num(row, "goodput_fraction"),
                 });
             }
         }

@@ -25,7 +25,7 @@ use fsi_bench::{HarnessArgs, Table};
 use fsi_core::HashContext;
 use fsi_index::{Corpus, CorpusConfig, SearchEngine};
 use fsi_obs::{Registry, SnapshotValue};
-use fsi_serve::{ExecMode, ServeConfig, Server};
+use fsi_serve::{PlannerProfile, Request, ServeConfig, Server};
 use fsi_workloads::stream::{generate_boolean_stream, BooleanStreamConfig};
 
 const NUM_SHARDS: usize = 4;
@@ -57,7 +57,7 @@ fn main() {
         ServeConfig {
             num_shards: NUM_SHARDS,
             cache_capacity: 0, // every query must run the full pipeline
-            mode: ExecMode::planned_auto(),
+            mode: PlannerProfile::auto().mode(),
             ..ServeConfig::default()
         },
     );
@@ -85,8 +85,9 @@ fn main() {
         rows = 0;
         for q in &stream {
             rows += server
-                .query_expr(q)
+                .execute(&Request::expr(q.as_str()))
                 .expect("generated queries are valid")
+                .docs
                 .len();
         }
         rows
@@ -95,11 +96,11 @@ fn main() {
         traced_rows = 0;
         spans = 0;
         for q in &stream {
-            let (res, trace) = server
-                .query_expr_traced(q)
+            let resp = server
+                .execute(&Request::expr(q.as_str()).traced())
                 .expect("generated queries are valid");
-            traced_rows += res.len();
-            spans += trace.spans.len();
+            traced_rows += resp.docs.len();
+            spans += resp.trace.expect("traced").spans.len();
         }
         (traced_rows, spans)
     };

@@ -1,38 +1,29 @@
-//! Serving-layer throughput benchmark.
+//! Serving-layer cache benchmark.
 //!
-//! Builds a Zipf corpus, shards it, replays a Zipf-skewed query stream
-//! through the worker pool at 1/2/4 workers, and records the scaling
-//! baseline plus cache behaviour into `BENCH_serve.json` (hand-rolled
-//! JSON: this environment has no registry access, so no serde).
+//! Builds a Zipf corpus, shards it, and replays a Zipf-skewed query
+//! stream through the worker pool twice — cold, then warm — recording
+//! the result cache's throughput effect and hit rate into
+//! `BENCH_serve.json` (hand-rolled JSON: this environment has no registry
+//! access, so no serde).
 //!
-//! Worker counts above the machine's available parallelism are
-//! **annotated** (`"oversubscribed": true`): latencies are measured from
-//! query pickup, so with more workers than cores the OS timeslices the
-//! workers and tail latencies inflate by queue-wait-in-disguise — a 10x
-//! p99 "regression" from 1→4 workers on a 1-core box is scheduling, not
-//! algorithmic. Consumers (docs/benchmarks.md, the CI regression gate)
-//! must not read latency fields of oversubscribed rows as meaningful.
+//! The closed-loop worker-scaling rows this file used to carry are gone:
+//! a closed-loop generator collapses offered load to whatever the server
+//! sustains, so the rows measured OS timeslicing on small CI boxes and
+//! said nothing about overload. Serving behavior under real load —
+//! goodput against a deadline, shed rate, past-saturation degradation —
+//! is `BENCH_slo.json`'s job (`fsi-bench --bin slo`), which drives the
+//! TCP front door open-loop.
 //!
 //! Usage: `cargo run --release -p fsi-bench --bin serve -- [out.json] [--smoke]`
 
-use fsi_bench::{ms, HarnessArgs, Table};
+use fsi_bench::{ms, HarnessArgs};
 use fsi_core::HashContext;
 use fsi_index::{Corpus, CorpusConfig, SearchEngine, Strategy};
 use fsi_serve::{ExecMode, QueryCache, QueryPool, ShardedEngine};
 use fsi_workloads::stream::{generate_stream, repeat_rate, QueryStreamConfig};
 
 const NUM_SHARDS: usize = 4;
-const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
-
-struct ScalingRow {
-    workers: usize,
-    qps: f64,
-    wall_ms: f64,
-    p50_us: f64,
-    p99_us: f64,
-    max_queue_depth: usize,
-    oversubscribed: bool,
-}
+const NUM_WORKERS: usize = 4;
 
 fn main() {
     let args = HarnessArgs::parse("BENCH_serve.json");
@@ -66,122 +57,44 @@ fn main() {
     println!("stream repeat rate: {stream_repeat_rate:.3}\n");
 
     let strategy = Strategy::RanGroupScan { m: 2 };
-    // One prepared sharded engine shared by every run: only the pool width
-    // and cache vary, so the expensive preprocessing happens once and all
-    // compared runs measure the identical index.
+    // One prepared sharded engine for both passes: only the cache state
+    // varies, so the compared runs measure the identical index.
     let engine = SearchEngine::from_corpus(ctx, corpus);
     let sharded = ShardedEngine::build(&engine, NUM_SHARDS, ExecMode::Fixed(strategy));
 
-    // Scaling numbers are only meaningful relative to the cores actually
-    // available (CI containers are often single-core).
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-
-    // Scaling baseline: cache disabled so every query exercises the shards.
-    let mut scaling = Vec::new();
-    let mut table = Table::new(vec![
-        "workers",
-        "qps",
-        "batch ms",
-        "p50 us",
-        "p99 us",
-        "max depth",
-        "note",
-    ]);
-    for &workers in &WORKER_COUNTS {
-        let pool = QueryPool::new(workers);
-        // Warm-up pass, then the measured pass.
-        let _ = pool.run_batch(&sharded, None, &stream[..stream.len() / 4]);
-        let outcome = pool.run_batch(&sharded, None, &stream);
-        let oversubscribed = workers > cores;
-        let max_queue_depth = outcome.queue_depths.iter().copied().max().unwrap_or(0);
-        table.row(vec![
-            workers.to_string(),
-            format!("{:.0}", outcome.throughput_qps),
-            format!("{:.1}", ms(outcome.wall)),
-            format!("{:.1}", outcome.latency.p50_us),
-            format!("{:.1}", outcome.latency.p99_us),
-            max_queue_depth.to_string(),
-            if oversubscribed {
-                format!("oversubscribed ({workers} workers > {cores} cores)")
-            } else {
-                String::new()
-            },
-        ]);
-        scaling.push(ScalingRow {
-            workers,
-            qps: outcome.throughput_qps,
-            wall_ms: ms(outcome.wall),
-            p50_us: outcome.latency.p50_us,
-            p99_us: outcome.latency.p99_us,
-            max_queue_depth,
-            oversubscribed,
-        });
-    }
-    table.print();
-    if scaling.iter().any(|r| r.oversubscribed) {
-        println!(
-            "note: rows flagged oversubscribed ran more workers than the {cores} available \
-             core(s); their latency percentiles measure OS timeslicing, not the algorithms."
-        );
-    }
-
-    // Cache-fronted run at the widest worker count, same engine.
-    let workers = *WORKER_COUNTS.last().expect("non-empty");
     let cache = QueryCache::new(8192, 8);
-    let pool = QueryPool::new(workers);
+    let pool = QueryPool::new(NUM_WORKERS);
+    // Warm-up pass (cache off) settles the allocator before measuring.
+    let _ = pool.run_batch(&sharded, None, &stream[..stream.len() / 4]);
     let cold = pool.run_batch(&sharded, Some(&cache), &stream);
     let warm = pool.run_batch(&sharded, Some(&cache), &stream);
     let cache_stats = cache.stats();
     println!(
-        "\ncache: cold {:.0} q/s (hits {}), warm {:.0} q/s (hits {}), hit rate {:.3}",
+        "cache: cold {:.0} q/s ({:.1} ms, hits {}), warm {:.0} q/s ({:.1} ms, hits {}), \
+         hit rate {:.3}",
         cold.throughput_qps,
+        ms(cold.wall),
         cold.cache_hits,
         warm.throughput_qps,
+        ms(warm.wall),
         warm.cache_hits,
         cache_stats.hit_rate()
     );
 
-    // Percentiles are NaN for an empty batch (LatencySummary's "never a
-    // silent 0" contract) and `{:.2}` would write a bare NaN token, which
-    // is not valid JSON — emit null for anything non-finite.
-    let json_f64 = |v: f64| {
-        if v.is_finite() {
-            format!("{v:.2}")
-        } else {
-            "null".to_string()
-        }
-    };
-    let scaling_json: Vec<String> = scaling
-        .iter()
-        .map(|r| {
-            format!(
-                "    {{\"workers\": {}, \"qps\": {:.1}, \"batch_ms\": {:.2}, \
-                 \"p50_us\": {}, \"p99_us\": {}, \"max_queue_depth\": {}, \
-                 \"oversubscribed\": {}}}",
-                r.workers,
-                r.qps,
-                r.wall_ms,
-                json_f64(r.p50_us),
-                json_f64(r.p99_us),
-                r.max_queue_depth,
-                r.oversubscribed
-            )
-        })
-        .collect();
     let env = fsi_bench::env_json();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"smoke\": {},\n  {env},\n  \"config\": {{\n    \
          \"num_docs\": {num_docs},\n    \"num_terms\": {num_terms},\n    \
          \"num_queries\": {num_queries},\n    \
          \"num_shards\": {NUM_SHARDS},\n    \"available_cores\": {cores},\n    \
          \"strategy\": \"{}\",\n    \
-         \"stream_repeat_rate\": {stream_repeat_rate:.4}\n  }},\n  \"scaling\": [\n{}\n  ],\n  \
-         \"cache\": {{\n    \"capacity\": 8192,\n    \"workers\": {workers},\n    \
+         \"stream_repeat_rate\": {stream_repeat_rate:.4}\n  }},\n  \
+         \"cache\": {{\n    \"capacity\": 8192,\n    \"workers\": {NUM_WORKERS},\n    \
          \"cold_qps\": {:.1},\n    \"warm_qps\": {:.1},\n    \"warm_hits\": {},\n    \
          \"hit_rate\": {:.4},\n    \"evictions\": {}\n  }}\n}}\n",
         args.smoke,
         strategy.name(),
-        scaling_json.join(",\n"),
         cold.throughput_qps,
         warm.throughput_qps,
         warm.cache_hits,

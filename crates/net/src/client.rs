@@ -1,0 +1,73 @@
+//! A minimal blocking client for the wire protocol — enough for
+//! examples, tests, and the SLO bench's load generator.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, FrameError, RequestFrame,
+    ResponseFrame, MAX_RESPONSE_FRAME,
+};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a [`crate::NetServer`].
+///
+/// One request in flight at a time is the simple mode
+/// ([`Client::call`]); pipelining is allowed, but responses may arrive
+/// out of order — match on [`ResponseFrame::id`]. [`Client::try_clone`]
+/// splits the connection into independently owned reader and writer
+/// halves for that.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving address.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Wraps an already-connected stream (e.g. to speak raw bytes first).
+    pub fn from_stream(stream: TcpStream) -> Self {
+        Self { stream }
+    }
+
+    /// A second handle over the same connection (shared socket) — one for
+    /// a sender thread, one for a receiver thread.
+    pub fn try_clone(&self) -> io::Result<Self> {
+        Ok(Self {
+            stream: self.stream.try_clone()?,
+        })
+    }
+
+    /// Sends one request frame.
+    pub fn send(&mut self, frame: &RequestFrame) -> Result<(), FrameError> {
+        write_frame(&mut self.stream, &encode_request(frame))?;
+        Ok(())
+    }
+
+    /// Receives the next response frame; `Ok(None)` is a clean server
+    /// close.
+    pub fn recv(&mut self) -> Result<Option<ResponseFrame>, FrameError> {
+        match read_frame(&mut self.stream, MAX_RESPONSE_FRAME)? {
+            Some(body) => decode_response(&body).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn call(&mut self, frame: &RequestFrame) -> Result<ResponseFrame, FrameError> {
+        self.send(frame)?;
+        match self.recv()? {
+            Some(resp) => Ok(resp),
+            None => Err(FrameError::Malformed("connection closed before response")),
+        }
+    }
+
+    /// Half-closes the write side, telling the server no more requests
+    /// are coming; in-flight responses still arrive.
+    pub fn finish_sending(&self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+}

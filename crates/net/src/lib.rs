@@ -1,0 +1,58 @@
+//! # fsi-net — the TCP front door over `fsi-serve`
+//!
+//! Ding & König's fast intersections buy headroom per query; this crate
+//! spends that headroom under an arrival process. It serves the
+//! [`fsi_serve::Server::execute`] request-lifetime API over plain
+//! `std::net` TCP with the disciplines a front door owes its callers:
+//!
+//! * [`protocol`] — a length-prefixed binary protocol (request id,
+//!   tenant, relative deadline, query string). Decoding is panic-free by
+//!   construction; garbage gets a `BadFrame` response, never a crash.
+//! * [`queue`] — a bounded MPMC request queue: the one buffering point,
+//!   whose bound is the backpressure. Workers dequeue adaptive
+//!   micro-batches (whatever is queued, up to a cap).
+//! * [`admission`] — per-tenant token buckets, so one flooding tenant is
+//!   clipped to its rate while everyone else keeps their latency.
+//! * [`server`] — [`NetServer`]: listener, per-connection readers,
+//!   worker pool. Deadline-aware shedding happens at dequeue: a request
+//!   that already missed its deadline is answered `Shed` without
+//!   executing, and overload is answered `Overloaded` at admission time —
+//!   every decoded request gets exactly one explicit response, never
+//!   silent queueing.
+//! * [`client`] — a small blocking [`Client`] for examples, tests, and
+//!   the SLO bench (`fsi-bench --bin slo`, which drives a real loopback
+//!   socket with an open-loop arrival schedule).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use fsi_net::{Client, NetConfig, NetServer, RequestFrame, Status};
+//! use fsi_serve::{ServeConfig, Server};
+//! use fsi_core::HashContext;
+//! use fsi_index::{Corpus, CorpusConfig};
+//!
+//! let serve = Arc::new(Server::from_corpus(
+//!     HashContext::new(42),
+//!     Corpus::generate(CorpusConfig::default()),
+//!     ServeConfig::default(),
+//! ));
+//! let net = NetServer::start(serve, NetConfig::default())?;
+//! let mut client = Client::connect(net.local_addr())?;
+//! let resp = client.call(&RequestFrame::query(1, "(0 OR 1) AND 2").with_deadline_us(50_000))?;
+//! assert_eq!(resp.status, Status::Ok);
+//! println!("{} docs in {}us", resp.docs.len(), resp.latency_us);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use admission::Admission;
+pub use client::Client;
+pub use protocol::{FrameError, RequestFrame, ResponseFrame, Status};
+pub use queue::BoundedQueue;
+pub use server::{NetConfig, NetServer};

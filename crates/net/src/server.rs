@@ -1,0 +1,433 @@
+//! The TCP front door: listener, connection readers, bounded request
+//! queue, and worker pool, all feeding [`fsi_serve::Server::execute`].
+//!
+//! The request lifecycle, end to end:
+//!
+//! 1. A connection reader decodes one length-prefixed frame at a time.
+//!    Malformed frames get a [`Status::BadFrame`] response and close the
+//!    connection; well-formed frames pass admission control.
+//! 2. **Admission**: a tenant whose token bucket is empty gets
+//!    [`Status::Overloaded`] immediately — cheaper for everyone than
+//!    queueing work that will be shed later.
+//! 3. **Queueing**: the bounded queue is the only buffering point. A full
+//!    queue answers [`Status::Overloaded`] at push time.
+//! 4. **Execution**: workers pop adaptive micro-batches. A request whose
+//!    deadline has already expired is shed on dequeue
+//!    ([`Status::Shed`], nothing executed); the rest run through
+//!    [`fsi_serve::Server::execute`] and answer [`Status::Ok`] or
+//!    [`Status::InvalidQuery`].
+//!
+//! Every decoded frame gets exactly one response; requests from one
+//! connection may be answered out of order (match on the echoed request
+//! id), since independent workers finish at their own pace.
+
+use crate::admission::Admission;
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, FrameError, RequestFrame,
+    ResponseFrame, Status, DETAIL_CACHE_BYPASSED, DETAIL_CACHE_DISABLED, DETAIL_CACHE_HIT,
+    DETAIL_CACHE_MISS, DETAIL_SHED_ADMISSION, DETAIL_SHED_DEADLINE, DETAIL_SHED_QUEUE_FULL,
+    MAX_REQUEST_FRAME,
+};
+use crate::queue::BoundedQueue;
+use fsi_obs::{Registry, Snapshot};
+use fsi_serve::{CacheOutcome, Disposition, Request, ShedReason};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of the network front door.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bind address; port `0` picks an ephemeral port (the bound address
+    /// is reported by [`NetServer::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing requests; `0` means one per core.
+    pub workers: usize,
+    /// Bound of the request queue — the server's total backlog.
+    pub queue_capacity: usize,
+    /// Upper bound of one worker's dequeue batch. The effective batch
+    /// size adapts to load: whatever is queued, up to this cap.
+    pub batch_max: usize,
+    /// Per-tenant admitted requests per second; `f64::INFINITY` disables
+    /// admission control.
+    pub tenant_rate: f64,
+    /// Per-tenant token-bucket capacity (maximum burst).
+    pub tenant_burst: f64,
+    /// Deadline applied to requests that carry none of their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 1024,
+            batch_max: 32,
+            tenant_rate: f64::INFINITY,
+            tenant_burst: 64.0,
+            default_deadline: None,
+        }
+    }
+}
+
+/// One admitted request waiting for a worker.
+struct Pending {
+    frame: RequestFrame,
+    writer: Arc<Mutex<TcpStream>>,
+    deadline: Option<Instant>,
+}
+
+/// A running TCP serving stack over one [`fsi_serve::Server`].
+///
+/// Dropping the server stops it: the listener closes, readers and
+/// workers drain, and every thread is joined.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<Pending>>,
+    registry: Arc<Registry>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept_handle: Mutex<Option<JoinHandle<()>>>,
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("local_addr", &self.local_addr)
+            .field("queue_depth", &self.queue.len())
+            .finish()
+    }
+}
+
+impl NetServer {
+    /// Binds, spawns the accept loop and the worker pool, and returns
+    /// immediately. The serving engine is shared — queries admitted here
+    /// run through the same cache and counters as in-process callers.
+    pub fn start(serve: Arc<fsi_serve::Server>, config: NetConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(2, |n| n.get())
+        } else {
+            config.workers
+        };
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let registry = Arc::new(Registry::new());
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let admission = Arc::new(Admission::new(config.tenant_rate, config.tenant_burst));
+        let reader_handles = Arc::new(Mutex::new(Vec::new()));
+
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let serve = Arc::clone(&serve);
+                let queue = Arc::clone(&queue);
+                let registry = Arc::clone(&registry);
+                let batch_max = config.batch_max;
+                std::thread::spawn(move || {
+                    while let Some(batch) = queue.pop_batch(batch_max) {
+                        registry
+                            .histogram("fsi_net_batch_size", &[])
+                            .record(batch.len() as u64);
+                        for pending in batch {
+                            execute_pending(&serve, &registry, pending);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let queue = Arc::clone(&queue);
+            let registry = Arc::clone(&registry);
+            let conns = Arc::clone(&conns);
+            let reader_handles = Arc::clone(&reader_handles);
+            let default_deadline = config.default_deadline;
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Responses are small and latency-bound: leaving Nagle
+                    // on costs a delayed-ACK round (~40 ms) per response.
+                    let _ = stream.set_nodelay(true);
+                    registry.counter("fsi_net_connections_total", &[]).inc();
+                    if let Ok(reg) = stream.try_clone() {
+                        if let Ok(mut conns) = conns.lock() {
+                            conns.push(reg);
+                        }
+                    }
+                    let queue = Arc::clone(&queue);
+                    let registry = Arc::clone(&registry);
+                    let admission = Arc::clone(&admission);
+                    let handle = std::thread::spawn(move || {
+                        read_connection(stream, &queue, &registry, &admission, default_deadline);
+                    });
+                    if let Ok(mut readers) = reader_handles.lock() {
+                        readers.push(handle);
+                    }
+                }
+            })
+        };
+
+        Ok(Self {
+            local_addr,
+            shutdown,
+            queue,
+            registry,
+            conns,
+            accept_handle: Mutex::new(Some(accept_handle)),
+            worker_handles: Mutex::new(worker_handles),
+            reader_handles,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current request-queue depth (racy, for telemetry).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A snapshot of the front door's own counters
+    /// (`fsi_net_connections_total`, `fsi_net_requests_total`,
+    /// `fsi_net_responses_total` by status, `fsi_net_batch_size`).
+    pub fn metrics(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Stops the server: closes the listener and every connection, drains
+    /// the queue (queued requests still get their one response if their
+    /// connection survives long enough to carry it), and joins every
+    /// thread. Idempotent; also runs on drop.
+    pub fn stop(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop with one throwaway connection, then join it
+        // so the connection list stops growing.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Ok(mut h) = self.accept_handle.lock() {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
+        }
+        // Shut every connection down: blocked readers and writers unblock
+        // with an error and exit.
+        if let Ok(conns) = self.conns.lock() {
+            for conn in conns.iter() {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        // Workers drain what is queued, then see the closed queue and
+        // exit.
+        self.queue.close();
+        let workers: Vec<_> = match self.worker_handles.lock() {
+            Ok(mut g) => g.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        for h in workers {
+            let _ = h.join();
+        }
+        let readers: Vec<_> = match self.reader_handles.lock() {
+            Ok(mut g) => g.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        for h in readers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Writes one response frame under the connection's writer lock, so
+/// frames from concurrent workers never interleave mid-frame. Write
+/// errors are swallowed: the client hung up, and closing is its
+/// acknowledgement.
+fn respond(writer: &Mutex<TcpStream>, registry: &Registry, frame: &ResponseFrame) {
+    let status = match frame.status {
+        Status::Ok => "ok",
+        Status::Shed => "shed",
+        Status::Overloaded => "overloaded",
+        Status::InvalidQuery => "invalid_query",
+        Status::BadFrame => "bad_frame",
+    };
+    registry
+        .counter("fsi_net_responses_total", &[("status", status)])
+        .inc();
+    let body = encode_response(frame);
+    if let Ok(mut stream) = writer.lock() {
+        let _ = write_frame(&mut *stream, &body);
+    }
+}
+
+fn shed_frame(status: Status, detail: u8, id: u64) -> ResponseFrame {
+    ResponseFrame {
+        status,
+        detail,
+        flags: 0,
+        id,
+        latency_us: 0,
+        docs: Vec::new(),
+        message: String::new(),
+    }
+}
+
+/// One connection's read loop: frame → decode → admission → enqueue.
+fn read_connection(
+    stream: TcpStream,
+    queue: &BoundedQueue<Pending>,
+    registry: &Registry,
+    admission: &Admission,
+    default_deadline: Option<Duration>,
+) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    loop {
+        let body = match read_frame(&mut reader, MAX_REQUEST_FRAME) {
+            Ok(Some(body)) => body,
+            // Clean EOF at a frame boundary, or the transport died: either
+            // way the conversation is over.
+            Ok(None) | Err(FrameError::Io(_)) => return,
+            Err(e) => {
+                // Oversized or malformed framing: the stream can no longer
+                // be trusted to re-synchronize. One BadFrame response (id
+                // 0: no frame was decoded to echo), then close.
+                registry.counter("fsi_net_frames_bad_total", &[]).inc();
+                let mut frame = shed_frame(Status::BadFrame, 0, 0);
+                frame.message = e.to_string();
+                respond(&writer, registry, &frame);
+                if let Ok(s) = writer.lock() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                return;
+            }
+        };
+        let frame = match decode_request(&body) {
+            Ok(frame) => frame,
+            Err(e) => {
+                registry.counter("fsi_net_frames_bad_total", &[]).inc();
+                let mut frame = shed_frame(Status::BadFrame, 0, 0);
+                frame.message = e.to_string();
+                respond(&writer, registry, &frame);
+                if let Ok(s) = writer.lock() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                return;
+            }
+        };
+        registry.counter("fsi_net_requests_total", &[]).inc();
+        let now = Instant::now();
+        if !admission.admit(frame.tenant, now) {
+            respond(
+                &writer,
+                registry,
+                &shed_frame(Status::Overloaded, DETAIL_SHED_ADMISSION, frame.id),
+            );
+            continue;
+        }
+        let deadline = if frame.deadline_us > 0 {
+            Some(now + Duration::from_micros(u64::from(frame.deadline_us)))
+        } else {
+            default_deadline.map(|d| now + d)
+        };
+        let id = frame.id;
+        if let Err(_rejected) = queue.push(Pending {
+            frame,
+            writer: Arc::clone(&writer),
+            deadline,
+        }) {
+            respond(
+                &writer,
+                registry,
+                &shed_frame(Status::Overloaded, DETAIL_SHED_QUEUE_FULL, id),
+            );
+        }
+    }
+}
+
+/// Executes one dequeued request and writes its response.
+fn execute_pending(serve: &fsi_serve::Server, registry: &Registry, pending: Pending) {
+    // Drop-on-dequeue: a request that already missed its deadline is shed
+    // here, before any execution — the whole point of deadline-aware
+    // shedding is to spend capacity only on requests that can still
+    // succeed.
+    if let Some(deadline) = pending.deadline {
+        if Instant::now() >= deadline {
+            registry
+                .counter("fsi_net_shed_total", &[("reason", "deadline_expired")])
+                .inc();
+            respond(
+                &pending.writer,
+                registry,
+                &shed_frame(Status::Shed, DETAIL_SHED_DEADLINE, pending.frame.id),
+            );
+            return;
+        }
+    }
+    let mut request = Request::expr(&pending.frame.query);
+    if let Some(deadline) = pending.deadline {
+        request = request.deadline(deadline);
+    }
+    if let Some(tenant) = pending.frame.tenant {
+        request = request.tenant(tenant);
+    }
+    let frame = match serve.execute(&request) {
+        Ok(resp) => match resp.disposition {
+            Disposition::Served => ResponseFrame {
+                status: Status::Ok,
+                detail: match resp.cache {
+                    CacheOutcome::Miss => DETAIL_CACHE_MISS,
+                    CacheOutcome::Hit => DETAIL_CACHE_HIT,
+                    CacheOutcome::Disabled => DETAIL_CACHE_DISABLED,
+                    CacheOutcome::Bypassed => DETAIL_CACHE_BYPASSED,
+                },
+                flags: 0,
+                id: pending.frame.id,
+                latency_us: resp.latency.as_micros().min(u128::from(u32::MAX)) as u32,
+                docs: resp.docs.as_slice().to_vec(),
+                message: String::new(),
+            },
+            Disposition::Shed(reason) => {
+                registry
+                    .counter("fsi_net_shed_total", &[("reason", reason.label())])
+                    .inc();
+                let detail = match reason {
+                    ShedReason::DeadlineExpired => DETAIL_SHED_DEADLINE,
+                    ShedReason::QueueFull => DETAIL_SHED_QUEUE_FULL,
+                    ShedReason::AdmissionDenied => DETAIL_SHED_ADMISSION,
+                };
+                shed_frame(Status::Shed, detail, pending.frame.id)
+            }
+        },
+        Err(e) => ResponseFrame {
+            status: Status::InvalidQuery,
+            detail: 0,
+            flags: 0,
+            id: pending.frame.id,
+            latency_us: 0,
+            docs: Vec::new(),
+            message: e.to_string(),
+        },
+    };
+    respond(&pending.writer, registry, &frame);
+}

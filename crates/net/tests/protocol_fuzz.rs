@@ -1,0 +1,178 @@
+//! Protocol robustness: arbitrary bytes, truncated frames, bit flips,
+//! and oversized length prefixes must surface as clean `FrameError`s —
+//! never a panic, never a bogus successful decode that round-trips
+//! differently.
+
+use fsi_net::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    FrameError, RequestFrame, ResponseFrame, Status, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Printable-ASCII strings (the query language is ASCII; UTF-8 handling
+/// is covered by the unit tests).
+fn ascii(bytes: Vec<u8>) -> String {
+    bytes.into_iter().map(|b| b as char).collect()
+}
+
+fn request(id: u64, has_tenant: bool, tenant: u32, deadline_us: u32, query: &[u8]) -> RequestFrame {
+    RequestFrame {
+        id,
+        tenant: has_tenant.then_some(tenant),
+        deadline_us,
+        query: ascii(query.to_vec()),
+    }
+}
+
+fn response(
+    status: u8,
+    detail: u8,
+    id: u64,
+    latency_us: u32,
+    docs: &[u32],
+    msg: &[u8],
+) -> ResponseFrame {
+    ResponseFrame {
+        status: Status::from_byte(status).expect("0..5 are valid"),
+        detail,
+        flags: 0,
+        id,
+        latency_us,
+        docs: docs.to_vec(),
+        message: ascii(msg.to_vec()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(body in vec(any::<u8>(), 0..512)) {
+        // Any outcome but a panic is acceptable; a success must re-encode
+        // to a decodable frame (self-consistency).
+        if let Ok(frame) = decode_request(&body) {
+            prop_assert_eq!(decode_request(&encode_request(&frame)).expect("re-decode"), frame);
+        }
+        if let Ok(frame) = decode_response(&body) {
+            prop_assert_eq!(decode_response(&encode_response(&frame)).expect("re-decode"), frame);
+        }
+    }
+
+    #[test]
+    fn requests_round_trip(
+        id in any::<u64>(),
+        has_tenant in any::<bool>(),
+        tenant in any::<u32>(),
+        deadline_us in any::<u32>(),
+        query in vec(32u8..127, 0..200),
+    ) {
+        let frame = request(id, has_tenant, tenant, deadline_us, &query);
+        prop_assert_eq!(decode_request(&encode_request(&frame)).expect("round trip"), frame);
+    }
+
+    #[test]
+    fn responses_round_trip(
+        status in 0u8..5,
+        detail in any::<u8>(),
+        id in any::<u64>(),
+        latency_us in any::<u32>(),
+        docs in vec(any::<u32>(), 0..64),
+        msg in vec(32u8..127, 0..100),
+    ) {
+        let frame = response(status, detail, id, latency_us, &docs, &msg);
+        prop_assert_eq!(decode_response(&encode_response(&frame)).expect("round trip"), frame);
+    }
+
+    #[test]
+    fn truncated_requests_are_clean_errors(
+        id in any::<u64>(),
+        tenant in any::<u32>(),
+        deadline_us in any::<u32>(),
+        query in vec(32u8..127, 0..200),
+        keep in 0.0f64..1.0,
+    ) {
+        let full = encode_request(&request(id, true, tenant, deadline_us, &query));
+        let cut = ((full.len() as f64) * keep) as usize;
+        if cut < full.len() {
+            let r = decode_request(full.get(..cut).expect("in range"));
+            prop_assert!(r.is_err(), "a {}-byte prefix of a {}-byte frame decoded", cut, full.len());
+        }
+    }
+
+    #[test]
+    fn truncated_responses_are_clean_errors(
+        status in 0u8..5,
+        id in any::<u64>(),
+        docs in vec(any::<u32>(), 0..64),
+        msg in vec(32u8..127, 0..100),
+        keep in 0.0f64..1.0,
+    ) {
+        let full = encode_response(&response(status, 0, id, 7, &docs, &msg));
+        let cut = ((full.len() as f64) * keep) as usize;
+        if cut < full.len() {
+            let r = decode_response(full.get(..cut).expect("in range"));
+            prop_assert!(r.is_err(), "a {}-byte prefix of a {}-byte frame decoded", cut, full.len());
+        }
+    }
+
+    #[test]
+    fn single_byte_header_corruption_is_detected(
+        id in any::<u64>(),
+        query in vec(32u8..127, 0..40),
+        pos in 0usize..3,
+        bit in 0u8..8,
+    ) {
+        // Flips in magic/version/kind always fail decode; they can never
+        // alias another valid header byte.
+        let mut body = encode_request(&request(id, false, 0, 0, &query));
+        if let Some(b) = body.get_mut(pos) {
+            *b ^= 1 << bit;
+        }
+        prop_assert!(decode_request(&body).is_err());
+    }
+
+    #[test]
+    fn framing_survives_arbitrary_wire_garbage(wire in vec(any::<u8>(), 0..256)) {
+        // Reading frames from garbage terminates and never panics: each
+        // iteration either yields a frame, errors, or hits EOF.
+        let mut r = wire.as_slice();
+        for _ in 0..64 {
+            match read_frame(&mut r, MAX_REQUEST_FRAME) {
+                Ok(None) | Err(_) => break,
+                Ok(Some(body)) => {
+                    let _ = decode_request(&body);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_prefixes_never_allocate(len in (MAX_REQUEST_FRAME as u32 + 1)..u32::MAX) {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&len.to_le_bytes());
+        let err = read_frame(&mut wire.as_slice(), MAX_REQUEST_FRAME).expect_err("too large");
+        prop_assert!(matches!(err, FrameError::TooLarge { .. }), "{}", err);
+    }
+
+    #[test]
+    fn frame_streams_round_trip(
+        ids in vec(any::<u64>(), 0..8),
+        query in vec(32u8..127, 0..60),
+    ) {
+        let frames: Vec<RequestFrame> = ids
+            .iter()
+            .map(|&id| request(id, id % 2 == 0, (id >> 32) as u32, id as u32, &query))
+            .collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, &encode_request(f)).expect("write");
+        }
+        let mut r = wire.as_slice();
+        let mut got = Vec::new();
+        while let Some(body) = read_frame(&mut r, MAX_RESPONSE_FRAME).expect("read") {
+            got.push(decode_request(&body).expect("decode"));
+        }
+        prop_assert_eq!(got, frames);
+    }
+}

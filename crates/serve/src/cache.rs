@@ -49,11 +49,15 @@ impl From<&ExecMode> for ModeKey {
 /// execution mode the result was computed under.
 ///
 /// Flat conjunctions and parsed boolean expressions share one key space:
-/// [`CacheKey::new`] encodes a term list exactly as
-/// [`CacheKey::from_norm`] encodes the equivalent normalized conjunction
+/// `CacheKey::new` encodes a term list exactly as `CacheKey::from_norm`
+/// encodes the equivalent normalized conjunction
 /// (`fsi_query::encode_flat_and` is definitionally consistent with
 /// `fsi_query::encode ∘ normalize`), so a flat `[a, b]` query hits an
 /// entry inserted by the expression `b AND a` and vice versa.
+///
+/// Keys are derived only inside the crate (from a [`crate::Request`] or a
+/// pool worker) — callers never hand-build them, so the derivation can
+/// evolve without breaking the public API.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     expr: Box<[u32]>,
@@ -64,7 +68,7 @@ impl CacheKey {
     /// The key of a flat conjunctive query: canonicalizes `terms`
     /// (sort + dedup — conjunctions are order-insensitive and idempotent)
     /// into the shared expression encoding and attaches the mode.
-    pub fn new(terms: &[usize], mode: ModeKey) -> Self {
+    pub(crate) fn new(terms: &[usize], mode: ModeKey) -> Self {
         Self {
             expr: fsi_query::encode_flat_and(terms).into_boxed_slice(),
             mode,
@@ -72,7 +76,7 @@ impl CacheKey {
     }
 
     /// The key of a normalized boolean expression.
-    pub fn from_norm(expr: &NormExpr, mode: ModeKey) -> Self {
+    pub(crate) fn from_norm(expr: &NormExpr, mode: ModeKey) -> Self {
         Self {
             expr: fsi_query::encode(expr).into_boxed_slice(),
             mode,

@@ -23,28 +23,89 @@ impl ExecMode {
         }
     }
 
-    /// Planner-mode execution with cost constants tuned for the SIMD tier
-    /// this process dispatches to ([`Planner::auto`]) — the serving-stack
-    /// default for planned execution, so plans favour the vectorized
-    /// bitmap sweep exactly where `BENCH_simd.json` measured it winning.
+    /// Planner-mode execution with SIMD-tuned cost constants.
+    #[deprecated(since = "0.2.0", note = "use `PlannerProfile::auto().mode()`")]
     pub fn planned_auto() -> Self {
-        ExecMode::Planned(Planner::auto())
+        PlannerProfile::auto().mode()
     }
 
-    /// Planner-mode execution under memory pressure: SIMD-tuned constants
-    /// plus a non-zero [`Planner::bytes_unit`], so every candidate is
-    /// charged its resident byte footprint and queries over compressible
-    /// lists run in the compressed domain
+    /// Planner-mode execution under memory pressure.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `PlannerProfile::auto().memory_pressured(..).mode()`"
+    )]
+    pub fn planned_memory_pressured(bytes_per_elem_unit: f64) -> Self {
+        PlannerProfile::auto()
+            .memory_pressured(bytes_per_elem_unit)
+            .mode()
+    }
+}
+
+/// A builder for planner-dispatched execution modes — the one place the
+/// serving stack derives a [`Planner`] from operator intent, replacing the
+/// old `ExecMode::planned_auto()` / `planned_memory_pressured(..)`
+/// constructor sprawl (one constructor per knob combination did not
+/// scale).
+///
+/// ```
+/// use fsi_serve::{PlannerProfile, ServeConfig};
+///
+/// let config = ServeConfig::default()
+///     .with_profile(PlannerProfile::auto().memory_pressured(1.5));
+/// assert!(config.mode.label().starts_with("Planned"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlannerProfile {
+    base: Planner,
+}
+
+impl PlannerProfile {
+    /// Cost constants tuned for the SIMD tier this process dispatches to
+    /// ([`Planner::auto`]) — the serving-stack default, so plans favour
+    /// the vectorized bitmap sweep exactly where `BENCH_simd.json`
+    /// measured it winning.
+    pub fn auto() -> Self {
+        Self {
+            base: Planner::auto(),
+        }
+    }
+
+    /// The paper-era reference constants ([`Planner::default`]),
+    /// independent of the host's SIMD tier — for reproducing the paper's
+    /// crossovers rather than serving fast.
+    pub fn reference() -> Self {
+        Self {
+            base: Planner::default(),
+        }
+    }
+
+    /// Charge every candidate its resident byte footprint
+    /// ([`Planner::bytes_unit`]), so queries over compressible lists run
+    /// in the compressed domain
     /// ([`fsi_index::PlanKind::CompressedGallop`]) instead of walking the
     /// 4-bytes-per-id flat representations. `bytes_per_elem_unit` is the
     /// cost of one resident byte relative to the compute units — `0.0`
-    /// degenerates to [`ExecMode::planned_auto`]; values ≥ ~1 make
-    /// footprint dominate for all but the most selective plans.
-    pub fn planned_memory_pressured(bytes_per_elem_unit: f64) -> Self {
-        ExecMode::Planned(Planner {
-            bytes_unit: bytes_per_elem_unit,
-            ..Planner::auto()
-        })
+    /// reproduces the pure-compute model; values ≥ ~1 make footprint
+    /// dominate for all but the most selective plans.
+    pub fn memory_pressured(mut self, bytes_per_elem_unit: f64) -> Self {
+        self.base.bytes_unit = bytes_per_elem_unit;
+        self
+    }
+
+    /// The resulting planner.
+    pub fn planner(&self) -> Planner {
+        self.base.clone()
+    }
+
+    /// The resulting execution mode.
+    pub fn mode(&self) -> ExecMode {
+        ExecMode::Planned(self.planner())
+    }
+}
+
+impl Default for PlannerProfile {
+    fn default() -> Self {
+        Self::auto()
     }
 }
 
@@ -76,7 +137,7 @@ impl Default for ServeConfig {
             // SIMD tier this process dispatches to. Fix a strategy (e.g.
             // the paper's `Strategy::RanGroupScan { m: 2 }`) to pin one
             // algorithm instead.
-            mode: ExecMode::planned_auto(),
+            mode: PlannerProfile::auto().mode(),
         }
     }
 }
@@ -87,6 +148,12 @@ impl ServeConfig {
         self.num_shards = self.num_shards.max(1);
         self.num_workers = self.num_workers.max(1);
         self.cache_segments = self.cache_segments.max(1);
+        self
+    }
+
+    /// Sets planner-dispatched execution from a [`PlannerProfile`].
+    pub fn with_profile(mut self, profile: PlannerProfile) -> Self {
+        self.mode = profile.mode();
         self
     }
 }
@@ -124,8 +191,8 @@ mod tests {
     }
 
     #[test]
-    fn memory_pressured_mode_sets_only_the_bytes_dial() {
-        let ExecMode::Planned(p) = ExecMode::planned_memory_pressured(2.5) else {
+    fn memory_pressured_profile_sets_only_the_bytes_dial() {
+        let ExecMode::Planned(p) = PlannerProfile::auto().memory_pressured(2.5).mode() else {
             panic!("planned mode expected");
         };
         let auto = Planner::auto();
@@ -133,5 +200,36 @@ mod tests {
         assert_eq!(p.gallop_unit, auto.gallop_unit);
         assert_eq!(p.bitmap_word_unit, auto.bitmap_word_unit);
         assert_eq!(p.decode_unit, auto.decode_unit);
+    }
+
+    #[test]
+    fn deprecated_mode_constructors_match_profiles() {
+        #[allow(deprecated)]
+        let (old_auto, old_pressured) = (
+            ExecMode::planned_auto(),
+            ExecMode::planned_memory_pressured(2.5),
+        );
+        for (old, new) in [
+            (old_auto, PlannerProfile::auto().mode()),
+            (
+                old_pressured,
+                PlannerProfile::auto().memory_pressured(2.5).mode(),
+            ),
+        ] {
+            let (ExecMode::Planned(a), ExecMode::Planned(b)) = (old, new) else {
+                panic!("planned modes expected");
+            };
+            assert_eq!(a.bytes_unit, b.bytes_unit);
+            assert_eq!(a.gallop_unit, b.gallop_unit);
+        }
+    }
+
+    #[test]
+    fn with_profile_sets_the_mode() {
+        let c = ServeConfig::default().with_profile(PlannerProfile::reference());
+        let ExecMode::Planned(p) = c.mode else {
+            panic!("planned mode expected");
+        };
+        assert_eq!(p.gallop_unit, Planner::default().gallop_unit);
     }
 }

@@ -7,6 +7,20 @@
 //! that orthogonality in as a concurrent serving layer over
 //! [`fsi_index`]:
 //!
+//! * [`request`] — [`Request`] / [`Response`]: the request-lifetime API.
+//!   A request carries its query ([`QueryInput`]: flat term ids, a boolean
+//!   expression string, or a pre-compiled [`fsi_query::NormExpr`]) plus
+//!   [`QueryOptions`] (deadline, tenant, trace, explain, planner
+//!   override); a response carries the documents plus per-request
+//!   metadata (served vs shed, cache outcome, chosen plan kind, measured
+//!   latency).
+//! * [`server`] — [`Server`]: the assembled stack behind the single
+//!   [`Server::execute`] entry point. Parse → canonical rewrite →
+//!   validate → cache → per-shard cost-based plan, with malformed or
+//!   unbounded queries rejected as [`QueryError`]s and
+//!   already-expired deadlines shed ([`Disposition::Shed`]) instead of
+//!   executed. [`Server::execute_batch`] drains a whole batch through the
+//!   same path on the worker pool.
 //! * [`shard`] — [`ShardedEngine`]: posting lists partitioned into
 //!   contiguous document-ID ranges, one prepared index per shard; results
 //!   merge by concatenation, so sorted output is free;
@@ -17,31 +31,33 @@
 //!   results keyed by `(canonical expression encoding, execution mode)`
 //!   with hit/miss/eviction counters — Zipf-skewed query streams (the
 //!   realistic case) hit it hard, and flat conjunctions share the key
-//!   space with every equivalent boolean spelling;
+//!   space with every equivalent boolean spelling. Keys are derived
+//!   internally; callers never build a cache key;
 //! * [`config`] / [`stats`] — [`ServeConfig`] admission knobs (shards,
 //!   workers, cache capacity, fixed-[`fsi_index::Strategy`] vs
-//!   planner-dispatched execution) and [`ServeStats`] snapshots;
-//! * [`server`] — [`Server`]: the assembled stack. Beyond flat
-//!   conjunctions, `Server::query_expr` answers the [`fsi_query`] boolean
-//!   language (`AND`/`OR`/`NOT`, parentheses, implicit `AND`) end-to-end:
-//!   parse → canonical rewrite → per-shard cost-based expression plan,
-//!   with malformed or unbounded queries rejected as [`QueryError`]s.
+//!   [`PlannerProfile`]-derived planner-dispatched execution) and
+//!   [`ServeStats`] snapshots.
+//!
+//! The network front door over this API — TCP framing, admission control,
+//! deadline-aware load shedding — lives in `fsi-net`, one crate up.
 //!
 //! ## Correctness contract
 //!
-//! For every strategy and shard count, `Server::query` returns exactly the
-//! bytes `fsi_index::Executor::query` returns on the unsharded engine —
-//! asserted by the differential test suite (`tests/serve_differential.rs`
-//! at the workspace root). Boolean expressions are likewise pinned to a
-//! naive set-semantics evaluator across shard counts and planners
-//! (`tests/query_differential.rs`).
+//! For every strategy and shard count, `Server::execute` on a flat
+//! conjunction returns exactly the bytes `fsi_index::Executor::query`
+//! returns on the unsharded engine — asserted by the differential test
+//! suite (`tests/serve_differential.rs` at the workspace root). Boolean
+//! expressions are likewise pinned to a naive set-semantics evaluator
+//! across shard counts and planners (`tests/query_differential.rs`), and
+//! the deprecated pre-`execute` methods are pinned byte-identical to their
+//! `execute` equivalents (`tests/execute_differential.rs`).
 //!
 //! ## Quick start
 //!
 //! ```
 //! use fsi_core::HashContext;
 //! use fsi_index::{Corpus, CorpusConfig};
-//! use fsi_serve::{ServeConfig, Server};
+//! use fsi_serve::{Request, ServeConfig, Server};
 //!
 //! let corpus = Corpus::generate(CorpusConfig {
 //!     num_docs: 10_000,
@@ -49,11 +65,17 @@
 //!     ..CorpusConfig::default()
 //! });
 //! let server = Server::from_corpus(HashContext::new(42), corpus, ServeConfig::default());
-//! let batch: Vec<Vec<usize>> = (0..64).map(|i| vec![i % 4, 8 + i % 8]).collect();
-//! let outcome = server.run_batch(&batch);
-//! assert_eq!(outcome.results.len(), 64);
-//! println!("{:.0} q/s, p99 {:.0}us, cache hits {}",
-//!     outcome.throughput_qps, outcome.latency.p99_us, outcome.cache_hits);
+//!
+//! // One entry point for every query shape and option.
+//! let hits = server.execute(&Request::expr("(0 OR 1) AND 9")).expect("valid");
+//! println!("{} docs, cache {:?}, {}us", hits.docs.len(), hits.cache,
+//!     hits.latency.as_micros());
+//!
+//! // Batches ride the worker pool through the same path.
+//! let batch: Vec<Request> = (0..64).map(|i| Request::terms(vec![i % 4, 8 + i % 8])).collect();
+//! let outcome = server.execute_batch(&batch);
+//! assert_eq!(outcome.responses.len(), 64);
+//! println!("{:.0} q/s, p99 {:.0}us", outcome.throughput_qps, outcome.latency.p99_us);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -61,13 +83,17 @@
 pub mod cache;
 pub mod config;
 pub mod pool;
+pub mod request;
 pub mod server;
 pub mod shard;
 pub mod stats;
 
-pub use cache::{CacheKey, CacheStats, InsertOutcome, ModeKey, QueryCache, SegmentCacheStats};
-pub use config::{ExecMode, ServeConfig};
+pub use cache::{CacheStats, InsertOutcome, QueryCache, SegmentCacheStats};
+pub use config::{ExecMode, PlannerProfile, ServeConfig};
 pub use pool::{BatchOutcome, QueryPool};
-pub use server::{QueryError, Server};
+pub use request::{
+    CacheOutcome, Disposition, QueryInput, QueryOptions, Request, Response, ShedReason,
+};
+pub use server::{BatchResponse, QueryError, Server};
 pub use shard::ShardedEngine;
 pub use stats::{LatencySummary, ServeStats};

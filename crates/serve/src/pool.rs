@@ -67,13 +67,25 @@ pub struct QueryPool {
     workers: usize,
 }
 
-/// What one worker records per completed query.
-struct Completed {
-    query_idx: usize,
-    result: Arc<Vec<Elem>>,
-    latency: Duration,
-    cache_hit: bool,
+/// The product of one generic [`QueryPool::run_indexed`] run: positional
+/// per-item results with their service times, the per-worker deal depths,
+/// per-worker executed counts, and the merged per-item latency histogram.
+pub(crate) struct IndexedRun<T> {
+    /// `(f(i), service time of f(i))`, positionally parallel to `0..n`.
+    pub items: Vec<(T, Duration)>,
+    /// Items dealt to each worker's queue (round-robin).
+    pub queue_depths: Vec<usize>,
+    /// Items each worker actually completed (difference from
+    /// `queue_depths` is work stealing).
+    pub executed_per_worker: Vec<usize>,
+    /// Merged per-item service-time histogram (nanosecond samples).
+    pub hist: Histogram,
 }
+
+/// One worker's haul from a [`QueryPool::run_indexed`] run: the
+/// `(index, item, service time)` triples it completed plus its local
+/// latency histogram, merged after join.
+type WorkerHaul<T> = (Vec<(usize, T, Duration)>, Histogram);
 
 impl QueryPool {
     /// A pool of `workers` threads (normalized up to 1).
@@ -110,6 +122,10 @@ impl QueryPool {
 
     /// Drains `queries` across the pool and returns per-query results plus
     /// batch statistics. Results are positionally parallel to the input.
+    ///
+    /// This is the flat-conjunction face of the one batch scheduler
+    /// (`QueryPool::run_indexed`); `Server::execute_batch` drives the
+    /// same scheduler with full [`crate::Request`]s.
     pub fn run_batch(
         &self,
         engine: &ShardedEngine,
@@ -117,24 +133,26 @@ impl QueryPool {
         queries: &[Vec<usize>],
     ) -> BatchOutcome {
         let batch_start = Instant::now();
-        let (completed, queue_depths, executed_per_worker, hist) =
-            if self.workers == 1 || queries.len() <= 1 {
-                self.run_serial(engine, cache, queries)
-            } else {
-                self.run_stealing(engine, cache, queries)
-            };
+        let run = self.run_indexed(queries.len(), |i| {
+            // Dealt indices are always in-bounds; `.get` keeps the worker
+            // panic-free regardless.
+            queries
+                .get(i)
+                .map(|terms| Self::answer(engine, cache, terms))
+        });
         let wall = batch_start.elapsed();
 
         let empty = Arc::new(Vec::new());
-        let mut results = vec![Arc::clone(&empty); queries.len()];
-        let mut latencies = vec![Duration::ZERO; queries.len()];
+        let mut results = Vec::with_capacity(queries.len());
+        let mut latencies = Vec::with_capacity(queries.len());
         let mut cache_hits = 0u64;
-        for c in completed {
-            results[c.query_idx] = c.result;
-            latencies[c.query_idx] = c.latency;
-            cache_hits += c.cache_hit as u64;
+        for (item, latency) in run.items {
+            let (result, cache_hit) = item.unwrap_or((Arc::clone(&empty), false));
+            cache_hits += cache_hit as u64;
+            results.push(result);
+            latencies.push(latency);
         }
-        let latency_hist = hist.snapshot();
+        let latency_hist = run.hist.snapshot();
         let latency = LatencySummary::from_histogram(&latency_hist);
         let throughput_qps = if wall.as_secs_f64() > 0.0 {
             queries.len() as f64 / wall.as_secs_f64()
@@ -150,47 +168,42 @@ impl QueryPool {
             throughput_qps,
             cache_hits,
             cache_misses: queries.len() as u64 - cache_hits,
-            queue_depths,
-            executed_per_worker,
+            queue_depths: run.queue_depths,
+            executed_per_worker: run.executed_per_worker,
         }
     }
 
-    fn run_serial(
-        &self,
-        engine: &ShardedEngine,
-        cache: Option<&QueryCache>,
-        queries: &[Vec<usize>],
-    ) -> (Vec<Completed>, Vec<usize>, Vec<usize>, Histogram) {
-        let hist = Histogram::new();
-        let completed: Vec<Completed> = queries
-            .iter()
-            .enumerate()
-            .map(|(query_idx, terms)| {
-                let start = Instant::now();
-                let (result, cache_hit) = Self::answer(engine, cache, terms);
-                let latency = start.elapsed();
-                hist.record_duration(latency);
-                Completed {
-                    query_idx,
-                    result,
-                    latency,
-                    cache_hit,
-                }
-            })
-            .collect();
-        (completed, vec![queries.len()], vec![queries.len()], hist)
-    }
-
-    fn run_stealing(
-        &self,
-        engine: &ShardedEngine,
-        cache: Option<&QueryCache>,
-        queries: &[Vec<usize>],
-    ) -> (Vec<Completed>, Vec<usize>, Vec<usize>, Histogram) {
-        let workers = self.workers.min(queries.len()).max(1);
-        // Deal queries round-robin onto per-worker deques.
+    /// The one batch scheduler: runs `f(0..n)` across the pool —
+    /// round-robin dealt, work-stealing — and returns positional results
+    /// with per-item service times. Single-worker pools and trivial runs
+    /// stay on the calling thread.
+    pub(crate) fn run_indexed<T, F>(&self, n: usize, f: F) -> IndexedRun<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers == 1 || n <= 1 {
+            let hist = Histogram::new();
+            let items = (0..n)
+                .map(|i| {
+                    let start = Instant::now();
+                    let item = f(i);
+                    let latency = start.elapsed();
+                    hist.record_duration(latency);
+                    (item, latency)
+                })
+                .collect();
+            return IndexedRun {
+                items,
+                queue_depths: vec![n],
+                executed_per_worker: vec![n],
+                hist,
+            };
+        }
+        let workers = self.workers.min(n).max(1);
+        // Deal item indices round-robin onto per-worker deques.
         let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-            .map(|w| Mutex::new((w..queries.len()).step_by(workers).collect()))
+            .map(|w| Mutex::new((w..n).step_by(workers).collect()))
             .collect();
         let queue_depths: Vec<usize> = queues
             .iter()
@@ -198,6 +211,7 @@ impl QueryPool {
             .map(|q| q.lock().expect("queue lock").len())
             .collect();
         let queues = &queues;
+        let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
@@ -207,7 +221,7 @@ impl QueryPool {
                         // after the batch (bucket merge is associative, so
                         // any merge order gives the same distribution).
                         let hist = Histogram::new();
-                        let mut done = Vec::new();
+                        let mut done: Vec<(usize, T, Duration)> = Vec::new();
                         loop {
                             // Own queue first (front), then steal (back).
                             // The own-queue guard must drop before any
@@ -226,24 +240,18 @@ impl QueryPool {
                                         .pop_back()
                                 })
                             });
-                            let Some(query_idx) = next else { break };
+                            let Some(idx) = next else { break };
                             let start = Instant::now();
-                            let (result, cache_hit) =
-                                Self::answer(engine, cache, &queries[query_idx]);
+                            let item = f(idx);
                             let latency = start.elapsed();
                             hist.record_duration(latency);
-                            done.push(Completed {
-                                query_idx,
-                                result,
-                                latency,
-                                cache_hit,
-                            });
+                            done.push((idx, item, latency));
                         }
                         (done, hist)
                     })
                 })
                 .collect();
-            let per_worker: Vec<(Vec<Completed>, Histogram)> = handles
+            let per_worker: Vec<WorkerHaul<T>> = handles
                 .into_iter()
                 // audit:allow(hot_path_panic): a panicked worker must fail the whole batch, not vanish silently
                 .map(|h| h.join().expect("worker panicked"))
@@ -253,12 +261,24 @@ impl QueryPool {
             for (_, h) in &per_worker {
                 merged.merge_from(h);
             }
-            (
-                per_worker.into_iter().flat_map(|(d, _)| d).collect(),
+            // Reassemble positionally: every index was dealt exactly once,
+            // so every slot fills exactly once.
+            let mut slots: Vec<Option<(T, Duration)>> = (0..n).map(|_| None).collect();
+            for (done, _) in per_worker {
+                for (idx, item, latency) in done {
+                    if let Some(slot) = slots.get_mut(idx) {
+                        *slot = Some((item, latency));
+                    }
+                }
+            }
+            let items: Vec<(T, Duration)> = slots.into_iter().flatten().collect();
+            assert_eq!(items.len(), n, "every dealt index completes exactly once");
+            IndexedRun {
+                items,
                 queue_depths,
-                executed,
-                merged,
-            )
+                executed_per_worker: executed,
+                hist: merged,
+            }
         })
     }
 }

@@ -1,9 +1,13 @@
 //! The top-level serving facade: a [`ShardedEngine`], a [`QueryCache`] and
-//! a [`QueryPool`] assembled from one [`ServeConfig`].
+//! a [`QueryPool`] assembled from one [`ServeConfig`], answering
+//! [`Request`]s through the single [`Server::execute`] entry point.
 
 use crate::cache::{CacheKey, ModeKey, QueryCache};
-use crate::config::ServeConfig;
+use crate::config::{ExecMode, ServeConfig};
 use crate::pool::{BatchOutcome, QueryPool};
+use crate::request::{
+    flat_to_norm, CacheOutcome, Disposition, QueryInput, Request, Response, ShedReason,
+};
 use crate::shard::ShardedEngine;
 use crate::stats::{LatencySummary, ServeStats};
 use fsi_core::{Elem, HashContext};
@@ -12,9 +16,9 @@ use fsi_kernels::SimdLevel;
 use fsi_obs::{Counter, HistSnapshot, Histogram, QueryTrace, Registry, Snapshot, TraceBuilder};
 use fsi_query::{CompileError, ExplainMode, NormExpr};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Why the server rejected a boolean query string.
+/// Why the server rejected a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
     /// The query does not parse or normalizes to an unbounded set.
@@ -27,8 +31,13 @@ pub enum QueryError {
         num_terms: usize,
     },
     /// The operation needs the cost-based planner (`ExecMode::Planned`) —
-    /// `EXPLAIN` has no estimates to render under a fixed strategy.
+    /// `EXPLAIN` has no estimates to render and a per-request planner
+    /// override has no planner to replace under a fixed strategy.
     NeedsPlanner,
+    /// The requested option combination is not expressible — e.g.
+    /// `EXPLAIN` of the empty conjunction, which the canonical expression
+    /// language cannot represent.
+    Unsupported(&'static str),
 }
 
 impl std::fmt::Display for QueryError {
@@ -41,9 +50,10 @@ impl std::fmt::Display for QueryError {
             QueryError::NeedsPlanner => {
                 write!(
                     f,
-                    "EXPLAIN requires planner-dispatched execution (ExecMode::Planned)"
+                    "operation requires planner-dispatched execution (ExecMode::Planned)"
                 )
             }
+            QueryError::Unsupported(what) => write!(f, "unsupported request: {what}"),
         }
     }
 }
@@ -56,10 +66,33 @@ impl From<CompileError> for QueryError {
     }
 }
 
-/// A self-contained query-serving engine.
+/// The result of [`Server::execute_batch`]: per-request responses plus
+/// batch-level scheduling statistics.
+#[derive(Debug)]
+pub struct BatchResponse {
+    /// Per-request outcomes, positionally parallel to the input batch.
+    pub responses: Vec<Result<Response, QueryError>>,
+    /// Order statistics over per-request service times.
+    pub latency: LatencySummary,
+    /// The merged per-worker service-time histogram (nanosecond samples).
+    pub latency_hist: HistSnapshot,
+    /// Requests dealt to each worker's queue (round-robin).
+    pub queue_depths: Vec<usize>,
+    /// Requests each worker actually completed — the difference from
+    /// `queue_depths` is work stealing.
+    pub executed_per_worker: Vec<usize>,
+    /// Wall-clock duration of the whole batch.
+    pub wall: Duration,
+    /// Requests per second over the batch.
+    pub throughput_qps: f64,
+}
+
+/// A self-contained query-serving engine. [`Server::execute`] is the one
+/// execution entry point; everything a request needs rides on the
+/// [`Request`] it submits.
 ///
 /// ```
-/// use fsi_serve::{ServeConfig, Server};
+/// use fsi_serve::{Request, ServeConfig, Server};
 /// use fsi_core::{HashContext, SortedSet};
 /// use fsi_index::SearchEngine;
 ///
@@ -71,7 +104,9 @@ impl From<CompileError> for QueryError {
 ///     ],
 /// );
 /// let server = Server::new(&engine, ServeConfig::default());
-/// assert_eq!(server.query(&[0, 1]).as_slice(), &[5, 9]);
+/// let response = server.execute(&Request::terms(vec![0, 1])).expect("valid");
+/// assert_eq!(response.docs.as_slice(), &[5, 9]);
+/// assert!(response.is_served());
 /// ```
 #[derive(Debug)]
 pub struct Server {
@@ -86,9 +121,10 @@ pub struct Server {
     registry: Registry,
     queries_served: Arc<Counter>,
     expr_queries_served: Arc<Counter>,
-    /// Per-query service-time distribution in nanoseconds: single queries
-    /// record directly, batch runs fold their merged per-worker histograms
-    /// in — one distribution for everything the server answered.
+    queries_shed: Arc<Counter>,
+    /// Per-query service-time distribution in nanoseconds: every executed
+    /// request records here — single and batch requests share one
+    /// distribution.
     latency_ns: Arc<Histogram>,
 }
 
@@ -99,6 +135,7 @@ impl Server {
         let registry = Registry::new();
         let queries_served = registry.counter("fsi_queries_served_total", &[]);
         let expr_queries_served = registry.counter("fsi_expr_queries_served_total", &[]);
+        let queries_shed = registry.counter("fsi_queries_shed_total", &[]);
         let latency_ns = registry.histogram("fsi_query_latency_ns", &[]);
         Self {
             engine: ShardedEngine::build(engine, config.num_shards, config.mode.clone()),
@@ -107,6 +144,7 @@ impl Server {
             registry,
             queries_served,
             expr_queries_served,
+            queries_shed,
             latency_ns,
             config,
         }
@@ -117,22 +155,28 @@ impl Server {
         Self::new(&SearchEngine::from_corpus(ctx, corpus), config)
     }
 
-    /// Answers one conjunctive query (cache-fronted), ascending document
-    /// order.
-    pub fn query(&self, terms: &[usize]) -> Arc<Vec<Elem>> {
-        self.queries_served.inc();
-        let cache = self.cache.is_enabled().then_some(&self.cache);
-        let start = Instant::now();
-        let result = QueryPool::answer(&self.engine, cache, terms).0;
-        self.latency_ns.record_duration(start.elapsed());
-        result
-    }
-
-    /// Parses, rewrites, and answers one **boolean** query string
-    /// (cache-fronted), ascending document order.
+    /// Executes one request — the sole execution entry point.
+    ///
+    /// The request lifecycle:
+    ///
+    /// 1. **Deadline check** — a request whose deadline has already passed
+    ///    is shed (an `Ok` response with
+    ///    [`Disposition::Shed`]`(`[`ShedReason::DeadlineExpired`]`)`,
+    ///    nothing executed).
+    /// 2. **Compile & validate** — textual queries parse and normalize
+    ///    (an `EXPLAIN [ANALYZE]` prefix turns the request into an
+    ///    explain); out-of-vocabulary terms are rejected. Rejected
+    ///    requests count toward no serving counter.
+    /// 3. **Cache** — the canonical-encoding cache key is derived
+    ///    internally; flat conjunctions and equivalent boolean spellings
+    ///    share entries.
+    /// 4. **Execute** — per-shard, under the engine's planner or the
+    ///    request's override; the response reports the chosen plan kind,
+    ///    cache outcome, and measured service time, plus a trace or a
+    ///    rendered plan when asked.
     ///
     /// ```
-    /// use fsi_serve::{ServeConfig, Server};
+    /// use fsi_serve::{Request, ServeConfig, Server};
     /// use fsi_core::{HashContext, SortedSet};
     /// use fsi_index::SearchEngine;
     ///
@@ -145,74 +189,243 @@ impl Server {
     ///     ],
     /// );
     /// let server = Server::new(&engine, ServeConfig::default());
-    /// let hits = server.query_expr("(0 AND 1) AND NOT 2").expect("valid query");
-    /// assert_eq!(hits.as_slice(), &[5]);
-    /// assert!(server.query_expr("NOT 2").is_err(), "unbounded");
+    /// let hits = server.execute(&Request::expr("(0 AND 1) AND NOT 2")).expect("valid");
+    /// assert_eq!(hits.docs.as_slice(), &[5]);
+    /// assert!(server.execute(&Request::expr("NOT 2")).is_err(), "unbounded");
     /// ```
-    pub fn query_expr(&self, query: &str) -> Result<Arc<Vec<Elem>>, QueryError> {
-        let norm = fsi_query::compile(query)?;
+    pub fn execute(&self, req: &Request) -> Result<Response, QueryError> {
+        let start = Instant::now();
+        if let Some(deadline) = req.options.deadline {
+            if Instant::now() >= deadline {
+                self.queries_shed.inc();
+                self.note_tenant(req);
+                return Ok(Response::shed(ShedReason::DeadlineExpired, start.elapsed()));
+            }
+        }
+        if req.options.planner_override.is_some()
+            && !matches!(self.engine.mode(), ExecMode::Planned(_))
+        {
+            return Err(QueryError::NeedsPlanner);
+        }
+        match &req.input {
+            QueryInput::Text(src) => {
+                let (prefix_mode, rest) = fsi_query::strip_explain(src);
+                let explain_mode = prefix_mode.or(req.options.explain);
+                if req.options.trace && explain_mode.is_none() {
+                    return self.execute_traced_text(rest, req, start);
+                }
+                let norm = fsi_query::compile(rest)?;
+                self.validate(&norm)?;
+                match explain_mode {
+                    Some(mode) => self.execute_explain(&norm, mode, req, start),
+                    None => self.execute_norm(&norm, req, start, true),
+                }
+            }
+            QueryInput::Norm(expr) => {
+                self.validate(expr)?;
+                match req.options.explain {
+                    Some(mode) => self.execute_explain(expr, mode, req, start),
+                    None if req.options.trace => {
+                        let tb = TraceBuilder::new(expr.to_string());
+                        self.finish_traced(expr, tb, req, start, true)
+                    }
+                    None => self.execute_norm(expr, req, start, true),
+                }
+            }
+            QueryInput::Terms(terms) => {
+                let num_terms = self.engine.num_terms();
+                if let Some(&term) = terms.iter().find(|&&t| t >= num_terms) {
+                    return Err(QueryError::UnknownTerm { term, num_terms });
+                }
+                let needs_expr_route = req.options.explain.is_some()
+                    || req.options.trace
+                    || req.options.planner_override.is_some();
+                if !needs_expr_route {
+                    return self.execute_terms(terms, req, start);
+                }
+                // Options that need the expression engine route through the
+                // canonical conjunction — byte-identical results and the
+                // same cache entry (`encode_flat_and ≡ encode ∘ normalize`).
+                // The flat counter semantics are kept: these are not
+                // "expression queries served".
+                let Some(norm) = flat_to_norm(terms) else {
+                    return Err(QueryError::Unsupported(
+                        "the empty conjunction has no expression form to explain, trace, or re-plan",
+                    ));
+                };
+                match req.options.explain {
+                    Some(mode) => self.execute_explain(&norm, mode, req, start),
+                    None if req.options.trace => {
+                        let tb = TraceBuilder::new(norm.to_string());
+                        self.finish_traced(&norm, tb, req, start, false)
+                    }
+                    None => self.execute_norm(&norm, req, start, false),
+                }
+            }
+        }
+    }
+
+    /// Executes a batch of requests across the worker pool — round-robin
+    /// dealt, work-stealing — and reports batch scheduling statistics
+    /// alongside the per-request responses. This drives the same
+    /// per-request [`Server::execute`] path workers use for single
+    /// requests; there is no separate batch execution surface.
+    pub fn execute_batch(&self, requests: &[Request]) -> BatchResponse {
+        let batch_start = Instant::now();
+        let run = self
+            .pool
+            .run_indexed(requests.len(), |i| match requests.get(i) {
+                Some(req) => self.execute(req),
+                None => Err(QueryError::Unsupported("request index out of range")),
+            });
+        let wall = batch_start.elapsed();
+        let latency_hist = run.hist.snapshot();
+        let latency = LatencySummary::from_histogram(&latency_hist);
+        let throughput_qps = if wall.as_secs_f64() > 0.0 {
+            requests.len() as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        BatchResponse {
+            responses: run.items.into_iter().map(|(item, _)| item).collect(),
+            latency,
+            latency_hist,
+            queue_depths: run.queue_depths,
+            executed_per_worker: run.executed_per_worker,
+            wall,
+            throughput_qps,
+        }
+    }
+
+    // -- the execute stages -------------------------------------------------
+
+    fn validate(&self, norm: &NormExpr) -> Result<(), QueryError> {
         let num_terms = self.engine.num_terms();
         if let Some(&term) = norm.terms().iter().find(|&&t| t >= num_terms) {
             return Err(QueryError::UnknownTerm { term, num_terms });
         }
-        Ok(self.query_norm(&norm))
+        Ok(())
     }
 
-    /// Answers one pre-compiled boolean expression (cache-fronted; the
-    /// caller guarantees every term is in `0..num_terms`). The cache key
-    /// is the canonical encoding, so any expression equivalent to a
-    /// previously answered one — including a flat conjunctive query of
-    /// the same terms — hits its entry.
-    pub fn query_norm(&self, expr: &NormExpr) -> Arc<Vec<Elem>> {
+    /// Bills the request to its tenant, if any.
+    fn note_tenant(&self, req: &Request) {
+        if let Some(tenant) = req.options.tenant {
+            let id = tenant.to_string();
+            self.registry
+                .counter("fsi_tenant_queries_total", &[("tenant", &id)])
+                .inc();
+        }
+    }
+
+    fn record(&self, start: Instant) -> Duration {
+        let latency = start.elapsed();
+        self.latency_ns.record_duration(latency);
+        latency
+    }
+
+    /// The flat conjunctive path (no trace/explain/override): cache-fronted
+    /// intersection, exactly the pool workers' `answer` discipline.
+    fn execute_terms(
+        &self,
+        terms: &[usize],
+        req: &Request,
+        start: Instant,
+    ) -> Result<Response, QueryError> {
         self.queries_served.inc();
-        self.expr_queries_served.inc();
-        let start = Instant::now();
-        let key = self
-            .cache
-            .is_enabled()
-            .then(|| CacheKey::from_norm(expr, ModeKey::from(self.engine.mode())));
+        self.note_tenant(req);
+        let enabled = self.cache.is_enabled();
+        let key = enabled.then(|| CacheKey::new(terms, ModeKey::from(self.engine.mode())));
         if let Some(key) = &key {
             if let Some(hit) = self.cache.get(key) {
-                self.latency_ns.record_duration(start.elapsed());
-                return hit;
+                return Ok(self.served(hit, CacheOutcome::Hit, None, self.record(start)));
             }
         }
-        let result = Arc::new(self.engine.query_expr(expr));
+        let (result, kind) = self.engine.query_kind(terms);
+        let result = Arc::new(result);
         if let Some(key) = key {
             self.cache.insert(key, Arc::clone(&result));
         }
-        self.latency_ns.record_duration(start.elapsed());
-        result
+        let cache = if enabled {
+            CacheOutcome::Miss
+        } else {
+            CacheOutcome::Disabled
+        };
+        Ok(self.served(result, cache, kind, self.record(start)))
     }
 
-    /// Drains a batch of queries across the worker pool, consulting and
-    /// filling the result cache. The batch's merged per-worker latency
-    /// histogram folds into the server's registry, so `stats()` covers
-    /// batch traffic too.
-    pub fn run_batch(&self, queries: &[Vec<usize>]) -> BatchOutcome {
-        self.queries_served.add(queries.len() as u64);
-        let cache = self.cache.is_enabled().then_some(&self.cache);
-        let outcome = self.pool.run_batch(&self.engine, cache, queries);
-        self.latency_ns.merge_snapshot(&outcome.latency_hist);
-        outcome
+    /// The expression path: cache-fronted per-shard evaluation, with the
+    /// request's planner override when present. `count_expr` is false when
+    /// a flat request routed here for its options — it still counts as a
+    /// served query, not as an expression query.
+    fn execute_norm(
+        &self,
+        expr: &NormExpr,
+        req: &Request,
+        start: Instant,
+        count_expr: bool,
+    ) -> Result<Response, QueryError> {
+        self.queries_served.inc();
+        if count_expr {
+            self.expr_queries_served.inc();
+        }
+        self.note_tenant(req);
+        let enabled = self.cache.is_enabled();
+        let key = enabled.then(|| CacheKey::from_norm(expr, ModeKey::from(self.engine.mode())));
+        if let Some(key) = &key {
+            if let Some(hit) = self.cache.get(key) {
+                return Ok(self.served(hit, CacheOutcome::Hit, None, self.record(start)));
+            }
+        }
+        let (result, kind) = self
+            .engine
+            .query_expr_with(expr, req.options.planner_override.as_ref());
+        let result = Arc::new(result);
+        if let Some(key) = key {
+            self.cache.insert(key, Arc::clone(&result));
+        }
+        let cache = if enabled {
+            CacheOutcome::Miss
+        } else {
+            CacheOutcome::Disabled
+        };
+        Ok(self.served(result, cache, kind, self.record(start)))
     }
 
-    /// Parses, plans, executes, and fully traces one boolean query:
-    /// returns the result plus a [`QueryTrace`] with one span per stage —
-    /// `parse`, `rewrite`, `cache` (hit/miss/disabled), one
-    /// `shard<N>.exec` span per shard carrying the chosen plan and its
-    /// estimated vs observed cardinality, a closing `exec` span, and a
-    /// `cache_insert` event with fresh/refresh/evicted attribution.
-    ///
-    /// Identical result and identical cache interaction to
-    /// [`Server::query_expr`]; only the span bookkeeping is added, so
-    /// traced and untraced paths can be compared for overhead directly.
-    pub fn query_expr_traced(
+    /// The `EXPLAIN` path: renders one plan tree per shard instead of
+    /// serving documents. Does not count toward the serving counters (no
+    /// documents served), exactly like the legacy `explain` method.
+    fn execute_explain(
+        &self,
+        expr: &NormExpr,
+        mode: ExplainMode,
+        req: &Request,
+        start: Instant,
+    ) -> Result<Response, QueryError> {
+        let text = self
+            .engine
+            .explain_expr_with(expr, mode, req.options.planner_override.as_ref())
+            .ok_or(QueryError::NeedsPlanner)?;
+        self.note_tenant(req);
+        Ok(Response {
+            docs: Arc::new(Vec::new()),
+            disposition: Disposition::Served,
+            cache: CacheOutcome::Bypassed,
+            plan_kind: None,
+            latency: start.elapsed(),
+            trace: None,
+            explain: Some(text),
+        })
+    }
+
+    /// The traced textual path: parse and rewrite under their own spans,
+    /// then the shared traced tail.
+    fn execute_traced_text(
         &self,
         query: &str,
-    ) -> Result<(Arc<Vec<Elem>>, QueryTrace), QueryError> {
+        req: &Request,
+        start: Instant,
+    ) -> Result<Response, QueryError> {
         let mut tb = TraceBuilder::new(query);
-        let start = Instant::now();
         let s = tb.start_span();
         let ast = fsi_query::parse(query).map_err(CompileError::from)?;
         tb.end_span(s, "parse");
@@ -222,58 +435,183 @@ impl Server {
             "fingerprint",
             format!("{:016x}", fsi_query::fingerprint(&norm)),
         );
-        let num_terms = self.engine.num_terms();
-        if let Some(&term) = norm.terms().iter().find(|&&t| t >= num_terms) {
-            return Err(QueryError::UnknownTerm { term, num_terms });
-        }
+        self.validate(&norm)?;
+        self.finish_traced(&norm, tb, req, start, true)
+    }
+
+    /// The shared traced tail: cache span, traced per-shard execution,
+    /// cache-insert event. Identical result and identical cache
+    /// interaction to the untraced path — only the span bookkeeping is
+    /// added, so traced and untraced runs compare for overhead directly.
+    fn finish_traced(
+        &self,
+        norm: &NormExpr,
+        mut tb: TraceBuilder,
+        req: &Request,
+        start: Instant,
+        count_expr: bool,
+    ) -> Result<Response, QueryError> {
         self.queries_served.inc();
-        self.expr_queries_served.inc();
+        if count_expr {
+            self.expr_queries_served.inc();
+        }
+        self.note_tenant(req);
         let key = self
             .cache
             .is_enabled()
-            .then(|| CacheKey::from_norm(&norm, ModeKey::from(self.engine.mode())));
+            .then(|| CacheKey::from_norm(norm, ModeKey::from(self.engine.mode())));
         let s = tb.start_span();
         let hit = key.as_ref().and_then(|k| self.cache.get(k));
         if let Some(hit) = hit {
             tb.end_span(s, "cache").attr("outcome", "hit");
-            self.latency_ns.record_duration(start.elapsed());
-            return Ok((hit, tb.finish()));
+            let latency = self.record(start);
+            let mut resp = self.served(hit, CacheOutcome::Hit, None, latency);
+            resp.trace = Some(tb.finish());
+            return Ok(resp);
         }
         tb.end_span(s, "cache")
             .attr("outcome", if key.is_some() { "miss" } else { "disabled" });
         let s = tb.start_span();
-        let result = Arc::new(self.engine.query_expr_traced(&norm, &mut tb));
+        let (result, kind) = self.engine.query_expr_traced_with(
+            norm,
+            &mut tb,
+            req.options.planner_override.as_ref(),
+        );
+        let result = Arc::new(result);
         tb.end_span(s, "exec")
             .attr("simd", SimdLevel::active().name())
             .attr("shards", self.engine.num_shards())
             .attr("rows", result.len());
-        if let Some(key) = key {
+        let cache = if let Some(key) = key {
             let outcome = self.cache.insert(key, Arc::clone(&result));
             tb.event("cache_insert")
                 .attr("fresh", outcome.fresh)
                 .attr("evicted", outcome.evicted);
+            CacheOutcome::Miss
+        } else {
+            CacheOutcome::Disabled
+        };
+        let latency = self.record(start);
+        let mut resp = self.served(result, cache, kind, latency);
+        resp.trace = Some(tb.finish());
+        Ok(resp)
+    }
+
+    fn served(
+        &self,
+        docs: Arc<Vec<Elem>>,
+        cache: CacheOutcome,
+        plan_kind: Option<&'static str>,
+        latency: Duration,
+    ) -> Response {
+        Response {
+            docs,
+            disposition: Disposition::Served,
+            cache,
+            plan_kind,
+            latency,
+            trace: None,
+            explain: None,
         }
-        self.latency_ns.record_duration(start.elapsed());
-        Ok((result, tb.finish()))
+    }
+
+    // -- deprecated delegating shims ---------------------------------------
+    //
+    // Each shim is pinned byte-identical to the `execute` path it delegates
+    // to by `tests/execute_differential.rs`.
+
+    /// Answers one conjunctive query (cache-fronted), ascending document
+    /// order.
+    #[deprecated(since = "0.2.0", note = "use `Server::execute(&Request::terms(..))`")]
+    pub fn query(&self, terms: &[usize]) -> Arc<Vec<Elem>> {
+        match self.execute(&Request::terms(terms.to_vec())) {
+            Ok(resp) => resp.docs,
+            // audit:allow(hot_path_panic): the legacy API has no error channel — out-of-vocabulary terms panicked inside the engine before this shim existed
+            Err(e) => panic!("legacy Server::query: {e}"),
+        }
+    }
+
+    /// Parses, rewrites, and answers one boolean query string
+    /// (cache-fronted), ascending document order.
+    #[deprecated(since = "0.2.0", note = "use `Server::execute(&Request::expr(..))`")]
+    pub fn query_expr(&self, query: &str) -> Result<Arc<Vec<Elem>>, QueryError> {
+        self.execute(&Request::expr(query)).map(|resp| resp.docs)
+    }
+
+    /// Answers one pre-compiled boolean expression (cache-fronted).
+    #[deprecated(since = "0.2.0", note = "use `Server::execute(&Request::norm(..))`")]
+    pub fn query_norm(&self, expr: &NormExpr) -> Arc<Vec<Elem>> {
+        match self.execute(&Request::norm(expr.clone())) {
+            Ok(resp) => resp.docs,
+            // audit:allow(hot_path_panic): the legacy API has no error channel — its contract was "caller guarantees every term is in vocabulary"
+            Err(e) => panic!("legacy Server::query_norm: {e}"),
+        }
+    }
+
+    /// Drains a batch of flat conjunctive queries across the worker pool.
+    #[deprecated(since = "0.2.0", note = "use `Server::execute_batch`")]
+    pub fn run_batch(&self, queries: &[Vec<usize>]) -> BatchOutcome {
+        let requests: Vec<Request> = queries.iter().cloned().map(Request::terms).collect();
+        let batch = self.execute_batch(&requests);
+        let mut results = Vec::with_capacity(queries.len());
+        let mut latencies = Vec::with_capacity(queries.len());
+        let mut cache_hits = 0u64;
+        for r in batch.responses {
+            let resp = match r {
+                Ok(resp) => resp,
+                // audit:allow(hot_path_panic): the legacy batch API has no error channel — invalid terms panicked inside the engine before this shim existed
+                Err(e) => panic!("legacy Server::run_batch: {e}"),
+            };
+            cache_hits += (resp.cache == CacheOutcome::Hit) as u64;
+            latencies.push(resp.latency);
+            results.push(resp.docs);
+        }
+        BatchOutcome {
+            results,
+            latencies,
+            latency: batch.latency,
+            latency_hist: batch.latency_hist,
+            queue_depths: batch.queue_depths,
+            executed_per_worker: batch.executed_per_worker,
+            wall: batch.wall,
+            throughput_qps: batch.throughput_qps,
+            cache_hits,
+            cache_misses: queries.len() as u64 - cache_hits,
+        }
+    }
+
+    /// Parses, plans, executes, and fully traces one boolean query.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Server::execute(&Request::expr(..).traced())`"
+    )]
+    pub fn query_expr_traced(
+        &self,
+        query: &str,
+    ) -> Result<(Arc<Vec<Elem>>, QueryTrace), QueryError> {
+        let resp = self.execute(&Request::expr(query).traced())?;
+        match resp.trace {
+            Some(trace) => Ok((resp.docs, trace)),
+            None => Err(QueryError::Unsupported("traced request carried no trace")),
+        }
     }
 
     /// Renders `EXPLAIN` or `EXPLAIN ANALYZE` for a boolean query. The
     /// string may carry the `EXPLAIN [ANALYZE]` prefix (as a user would
     /// type it) or be a bare query, in which case `default_mode` applies.
-    /// One plan tree renders per shard (shards plan independently over
-    /// shard-local statistics). Requires `ExecMode::Planned`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Server::execute(&Request::expr(..).explain(mode))`"
+    )]
     pub fn explain(&self, query: &str, default_mode: ExplainMode) -> Result<String, QueryError> {
-        let (mode, rest) = fsi_query::strip_explain(query);
-        let mode = mode.unwrap_or(default_mode);
-        let norm = fsi_query::compile(rest)?;
-        let num_terms = self.engine.num_terms();
-        if let Some(&term) = norm.terms().iter().find(|&&t| t >= num_terms) {
-            return Err(QueryError::UnknownTerm { term, num_terms });
+        let resp = self.execute(&Request::expr(query).explain(default_mode))?;
+        match resp.explain {
+            Some(text) => Ok(text),
+            None => Err(QueryError::Unsupported("explain request carried no plan")),
         }
-        self.engine
-            .explain_expr(&norm, mode)
-            .ok_or(QueryError::NeedsPlanner)
     }
+
+    // -- accessors & telemetry ---------------------------------------------
 
     /// The sharded engine.
     pub fn engine(&self) -> &ShardedEngine {
@@ -321,9 +659,10 @@ impl Server {
     }
 
     /// A full metrics snapshot: this server's registry (serving counters,
-    /// latency histogram, cache gauges) merged with the process-global
-    /// registry (kernel dispatch and planner choice counters). Render with
-    /// [`Snapshot::to_prometheus`] or [`Snapshot::to_json`].
+    /// per-tenant counters, latency histogram, cache gauges) merged with
+    /// the process-global registry (kernel dispatch and planner choice
+    /// counters). Render with [`Snapshot::to_prometheus`] or
+    /// [`Snapshot::to_json`].
     pub fn metrics(&self) -> Snapshot {
         self.sync_gauges();
         let mut snap = self.registry.snapshot();
@@ -344,6 +683,7 @@ impl Server {
             expr_queries_served: snap
                 .counter("fsi_expr_queries_served_total", &[])
                 .unwrap_or(0),
+            queries_shed: snap.counter("fsi_queries_shed_total", &[]).unwrap_or(0),
             latency: LatencySummary::from_histogram(latency_hist),
             cache: self.cache.stats(),
             num_shards: self.engine.num_shards(),
@@ -356,7 +696,7 @@ impl Server {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ExecMode;
+    use crate::config::PlannerProfile;
     use fsi_index::{CorpusConfig, Planner, Strategy};
 
     fn server(config: ServeConfig) -> Server {
@@ -375,9 +715,13 @@ mod tests {
             cache_capacity: 16,
             ..ServeConfig::default()
         });
-        let a = s.query(&[0, 1, 5]);
-        let b = s.query(&[5, 1, 0]); // order-insensitive key
-        assert_eq!(a, b);
+        let a = s.execute(&Request::terms(vec![0, 1, 5])).expect("valid");
+        let b = s.execute(&Request::terms(vec![5, 1, 0])).expect("valid");
+        assert_eq!(a.docs, b.docs, "order-insensitive key");
+        assert_eq!(a.cache, CacheOutcome::Miss);
+        assert_eq!(b.cache, CacheOutcome::Hit);
+        assert!(a.plan_kind.is_some(), "planned default reports a kind");
+        assert_eq!(b.plan_kind, None, "hits execute nothing");
         let stats = s.stats();
         assert_eq!(stats.queries_served, 2);
         assert_eq!(stats.cache.hits, 1);
@@ -391,10 +735,14 @@ mod tests {
             num_workers: 2,
             ..ServeConfig::default()
         });
-        let queries: Vec<Vec<usize>> = (0..10).map(|i| vec![i % 4, 8 + i % 2]).collect();
-        let outcome = s.run_batch(&queries);
-        assert_eq!(outcome.results.len(), 10);
+        let requests: Vec<Request> = (0..10)
+            .map(|i| Request::terms(vec![i % 4, 8 + i % 2]))
+            .collect();
+        let outcome = s.execute_batch(&requests);
+        assert_eq!(outcome.responses.len(), 10);
+        assert!(outcome.responses.iter().all(|r| r.is_ok()));
         assert_eq!(s.stats().queries_served, 10);
+        assert_eq!(s.stats().latency.count, 10, "batch latencies recorded");
     }
 
     #[test]
@@ -403,9 +751,11 @@ mod tests {
             cache_capacity: 0,
             ..ServeConfig::default()
         });
-        let a = s.query(&[0, 1]);
-        let b = s.query(&[0, 1]);
-        assert_eq!(a, b);
+        let a = s.execute(&Request::terms(vec![0, 1])).expect("valid");
+        let b = s.execute(&Request::terms(vec![0, 1])).expect("valid");
+        assert_eq!(a.docs, b.docs);
+        assert_eq!(a.cache, CacheOutcome::Disabled);
+        assert_eq!(b.cache, CacheOutcome::Disabled);
         let stats = s.stats();
         assert_eq!(stats.cache.hits, 0);
         assert_eq!(stats.cache.misses, 0, "disabled cache records nothing");
@@ -418,13 +768,17 @@ mod tests {
             cache_capacity: 32,
             ..ServeConfig::default()
         });
-        let a = s.query_expr("(0 OR 1) AND 5 AND NOT 2").expect("valid");
+        let a = s
+            .execute(&Request::expr("(0 OR 1) AND 5 AND NOT 2"))
+            .expect("valid");
         // An equivalent expression — reordered, duplicated, De Morgan'd —
         // must hit the same cache entry.
         let b = s
-            .query_expr("5 AND NOT 2 AND NOT (NOT 1 AND NOT 0) AND 5")
+            .execute(&Request::expr(
+                "5 AND NOT 2 AND NOT (NOT 1 AND NOT 0) AND 5",
+            ))
             .expect("valid");
-        assert_eq!(a, b);
+        assert_eq!(a.docs, b.docs);
         let stats = s.stats();
         assert_eq!(stats.cache.hits, 1);
         assert_eq!(stats.expr_queries_served, 2);
@@ -438,9 +792,9 @@ mod tests {
             cache_capacity: 32,
             ..ServeConfig::default()
         });
-        let flat = s.query(&[1, 0]);
-        let expr = s.query_expr("0 AND 1").expect("valid");
-        assert_eq!(flat, expr);
+        let flat = s.execute(&Request::terms(vec![1, 0])).expect("valid");
+        let expr = s.execute(&Request::expr("0 AND 1")).expect("valid");
+        assert_eq!(flat.docs, expr.docs);
         assert_eq!(s.stats().cache.hits, 1, "expression hit the flat entry");
     }
 
@@ -456,8 +810,12 @@ mod tests {
                 ..ServeConfig::default()
             });
             assert_eq!(
-                s.query_expr("0 AND 1 AND 9").expect("valid"),
-                s.query(&[0, 1, 9])
+                s.execute(&Request::expr("0 AND 1 AND 9"))
+                    .expect("valid")
+                    .docs,
+                s.execute(&Request::terms(vec![0, 1, 9]))
+                    .expect("valid")
+                    .docs
             );
         }
     }
@@ -466,18 +824,24 @@ mod tests {
     fn invalid_queries_are_rejected_not_panicked() {
         let s = server(ServeConfig::default());
         assert!(matches!(
-            s.query_expr("0 AND"),
+            s.execute(&Request::expr("0 AND")),
             Err(QueryError::Compile(fsi_query::CompileError::Parse(_)))
         ));
         assert!(matches!(
-            s.query_expr("NOT 0"),
+            s.execute(&Request::expr("NOT 0")),
             Err(QueryError::Compile(fsi_query::CompileError::Rewrite(_)))
         ));
-        let err = s.query_expr("0 AND 99999").expect_err("unknown term");
+        let err = s
+            .execute(&Request::expr("0 AND 99999"))
+            .expect_err("unknown term");
         assert!(
             matches!(err, QueryError::UnknownTerm { term: 99999, .. }),
             "{err}"
         );
+        let err = s
+            .execute(&Request::terms(vec![0, 99999]))
+            .expect_err("unknown term");
+        assert!(matches!(err, QueryError::UnknownTerm { term: 99999, .. }));
         assert_eq!(
             s.stats().queries_served,
             0,
@@ -486,7 +850,7 @@ mod tests {
     }
 
     #[test]
-    fn traced_query_matches_untraced_and_carries_spans() {
+    fn traced_request_matches_untraced_and_carries_spans() {
         let s = server(ServeConfig {
             mode: ExecMode::Planned(Planner::default()),
             num_shards: 3,
@@ -494,9 +858,10 @@ mod tests {
             ..ServeConfig::default()
         });
         let src = "(0 OR 1) AND 5 AND NOT 2";
-        let (traced, trace) = s.query_expr_traced(src).expect("valid");
-        let plain = s.query_expr(src).expect("valid");
-        assert_eq!(plain, traced, "tracing must not change results");
+        let traced = s.execute(&Request::expr(src).traced()).expect("valid");
+        let trace = traced.trace.as_ref().expect("trace recorded");
+        let plain = s.execute(&Request::expr(src)).expect("valid");
+        assert_eq!(plain.docs, traced.docs, "tracing must not change results");
         for span in ["parse", "rewrite", "cache", "exec"] {
             assert!(trace.span(span).is_some(), "missing span {span}");
         }
@@ -510,13 +875,20 @@ mod tests {
             assert!(span.get("est_rows").is_some());
             assert!(span.get("rows").is_some());
         }
+        assert_eq!(
+            traced.plan_kind,
+            trace.span("shard0.exec").and_then(|sp| sp.get("kind")),
+            "response metadata mirrors shard 0's span"
+        );
         let rendered = trace.render();
         assert!(rendered.contains("shard0.exec"), "{rendered}");
         assert!(trace.to_json().contains("\"spans\""));
         // A second traced run hits the entry the first one inserted and
         // returns early: cache span says hit, no exec span.
-        let (again, trace2) = s.query_expr_traced(src).expect("valid");
-        assert_eq!(again, traced);
+        let again = s.execute(&Request::expr(src).traced()).expect("valid");
+        let trace2 = again.trace.as_ref().expect("trace recorded");
+        assert_eq!(again.docs, traced.docs);
+        assert_eq!(again.cache, CacheOutcome::Hit);
         assert_eq!(
             trace2.span("cache").and_then(|s| s.get("outcome")),
             Some("hit")
@@ -532,7 +904,10 @@ mod tests {
             cache_capacity: 8,
             ..ServeConfig::default()
         });
-        let (_, trace) = s.query_expr_traced("0 AND 9").expect("valid");
+        let resp = s
+            .execute(&Request::expr("0 AND 9").traced())
+            .expect("valid");
+        let trace = resp.trace.as_ref().expect("trace recorded");
         assert_eq!(
             trace.span("cache").and_then(|s| s.get("outcome")),
             Some("miss")
@@ -553,25 +928,29 @@ mod tests {
             num_shards: 2,
             ..ServeConfig::default()
         });
-        let plain = planned
-            .explain("EXPLAIN (0 OR 1) AND 5", fsi_query::ExplainMode::Plan)
+        // The EXPLAIN prefix turns a plain execute into an explain.
+        let resp = planned
+            .execute(&Request::expr("EXPLAIN (0 OR 1) AND 5"))
             .expect("valid");
+        let plain = resp.explain.as_ref().expect("explain rendered");
+        assert!(resp.docs.is_empty(), "EXPLAIN serves no documents");
         assert!(plain.contains("-- shard 0"), "{plain}");
         assert!(plain.contains("-- shard 1"), "{plain}");
         assert!(plain.contains("est_cost"), "{plain}");
         assert!(!plain.contains("time"), "plain EXPLAIN has no timings");
         let analyzed = planned
-            .explain(
-                "EXPLAIN ANALYZE (0 OR 1) AND 5",
-                fsi_query::ExplainMode::Plan,
-            )
-            .expect("valid");
+            .execute(&Request::expr("EXPLAIN ANALYZE (0 OR 1) AND 5"))
+            .expect("valid")
+            .explain
+            .expect("explain rendered");
         assert!(analyzed.contains("EXPLAIN ANALYZE"), "{analyzed}");
         assert!(analyzed.contains("rows"), "{analyzed}");
-        // Bare queries take the default mode.
+        // Bare queries take the option's default mode.
         let defaulted = planned
-            .explain("0 AND 5", fsi_query::ExplainMode::Analyze)
-            .expect("valid");
+            .execute(&Request::expr("0 AND 5").explain(fsi_query::ExplainMode::Analyze))
+            .expect("valid")
+            .explain
+            .expect("explain rendered");
         assert!(defaulted.contains("EXPLAIN ANALYZE"), "{defaulted}");
         // EXPLAIN does not serve documents.
         assert_eq!(planned.stats().queries_served, 0);
@@ -581,9 +960,129 @@ mod tests {
             ..ServeConfig::default()
         });
         assert_eq!(
-            fixed.explain("EXPLAIN 0 AND 1", fsi_query::ExplainMode::Plan),
-            Err(QueryError::NeedsPlanner)
+            fixed
+                .execute(&Request::expr("EXPLAIN 0 AND 1"))
+                .expect_err("no planner"),
+            QueryError::NeedsPlanner
         );
+    }
+
+    #[test]
+    fn expired_deadline_sheds_without_executing() {
+        let s = server(ServeConfig::default());
+        let resp = s
+            .execute(
+                &Request::terms(vec![0, 1]).deadline(Instant::now() - Duration::from_millis(1)),
+            )
+            .expect("shed is not an error");
+        assert_eq!(
+            resp.disposition,
+            Disposition::Shed(ShedReason::DeadlineExpired)
+        );
+        assert!(resp.docs.is_empty());
+        assert_eq!(resp.cache, CacheOutcome::Bypassed);
+        let stats = s.stats();
+        assert_eq!(stats.queries_served, 0, "shed requests serve nothing");
+        assert_eq!(stats.queries_shed, 1);
+        // A generous deadline serves normally.
+        let ok = s
+            .execute(&Request::terms(vec![0, 1]).deadline_in(Duration::from_secs(60)))
+            .expect("valid");
+        assert!(ok.is_served());
+        assert_eq!(s.stats().queries_served, 1);
+    }
+
+    #[test]
+    fn planner_override_changes_plans_not_results() {
+        let s = server(ServeConfig {
+            mode: ExecMode::Planned(Planner::default()),
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        });
+        let base = s.execute(&Request::expr("0 AND 1 AND 9")).expect("valid");
+        let pressured = PlannerProfile::auto().memory_pressured(100.0).planner();
+        let overridden = s
+            .execute(&Request::expr("0 AND 1 AND 9").planner(pressured))
+            .expect("valid");
+        assert_eq!(base.docs, overridden.docs, "plans vary, results never");
+        assert!(overridden.plan_kind.is_some());
+        // Fixed engines have no planner to override.
+        let fixed = server(ServeConfig {
+            mode: ExecMode::Fixed(Strategy::Merge),
+            ..ServeConfig::default()
+        });
+        assert_eq!(
+            fixed
+                .execute(&Request::terms(vec![0, 1]).planner(Planner::default()))
+                .expect_err("no planner"),
+            QueryError::NeedsPlanner
+        );
+    }
+
+    #[test]
+    fn tenant_requests_are_billed_per_tenant() {
+        let s = server(ServeConfig::default());
+        s.execute(&Request::terms(vec![0, 1]).tenant(7))
+            .expect("valid");
+        s.execute(&Request::terms(vec![0, 2]).tenant(7))
+            .expect("valid");
+        s.execute(&Request::terms(vec![0, 3]).tenant(9))
+            .expect("valid");
+        s.execute(&Request::terms(vec![0, 4])).expect("valid");
+        let snap = s.metrics();
+        assert_eq!(
+            snap.counter("fsi_tenant_queries_total", &[("tenant", "7")]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter("fsi_tenant_queries_total", &[("tenant", "9")]),
+            Some(1)
+        );
+        assert_eq!(snap.counter("fsi_queries_served_total", &[]), Some(4));
+    }
+
+    #[test]
+    fn empty_conjunction_options_are_rejected_cleanly() {
+        let s = server(ServeConfig::default());
+        // The empty flat query itself executes (every document matches
+        // nothing — an empty result by convention of the engine).
+        let resp = s.execute(&Request::terms(vec![])).expect("valid");
+        assert!(resp.is_served());
+        // But it has no expression form to explain or trace.
+        assert!(matches!(
+            s.execute(&Request::terms(vec![]).explain(ExplainMode::Plan)),
+            Err(QueryError::Unsupported(_))
+        ));
+        assert!(matches!(
+            s.execute(&Request::terms(vec![]).traced()),
+            Err(QueryError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn flat_options_route_through_the_expression_engine() {
+        let s = server(ServeConfig {
+            mode: ExecMode::Planned(Planner::default()),
+            num_shards: 2,
+            cache_capacity: 16,
+            ..ServeConfig::default()
+        });
+        let plain = s.execute(&Request::terms(vec![1, 0])).expect("valid");
+        // A traced flat request hits the same cache entry and counts as a
+        // flat query, not an expression query.
+        let traced = s
+            .execute(&Request::terms(vec![0, 1]).traced())
+            .expect("valid");
+        assert_eq!(plain.docs, traced.docs);
+        assert_eq!(traced.cache, CacheOutcome::Hit);
+        assert!(traced.trace.is_some());
+        assert_eq!(s.stats().expr_queries_served, 0);
+        assert_eq!(s.stats().queries_served, 2);
+        // EXPLAIN of a flat request renders the conjunction's plan.
+        let explained = s
+            .execute(&Request::terms(vec![0, 1]).explain(ExplainMode::Plan))
+            .expect("valid");
+        assert!(explained.explain.expect("rendered").contains("est_cost"));
     }
 
     #[test]
@@ -594,9 +1093,9 @@ mod tests {
             cache_segments: 2,
             ..ServeConfig::default()
         });
-        s.query(&[0, 1]);
-        s.query(&[0, 1]);
-        s.query_expr("3 AND 4").expect("valid");
+        s.execute(&Request::terms(vec![0, 1])).expect("valid");
+        s.execute(&Request::terms(vec![0, 1])).expect("valid");
+        s.execute(&Request::expr("3 AND 4")).expect("valid");
         let snap = s.metrics();
         assert_eq!(snap.counter("fsi_queries_served_total", &[]), Some(3));
         assert_eq!(snap.counter("fsi_expr_queries_served_total", &[]), Some(1));
@@ -634,17 +1133,42 @@ mod tests {
             num_workers: 3,
             ..ServeConfig::default()
         });
-        let queries: Vec<Vec<usize>> = (0..12).map(|i| vec![i % 4, 8 + i % 2]).collect();
-        let outcome = s.run_batch(&queries);
+        let requests: Vec<Request> = (0..12)
+            .map(|i| Request::terms(vec![i % 4, 8 + i % 2]))
+            .collect();
+        let outcome = s.execute_batch(&requests);
         assert_eq!(outcome.latency_hist.count, 12);
         let stats = s.stats();
-        assert_eq!(stats.latency.count, 12, "batch latencies merged");
-        s.query(&[0, 1]);
+        assert_eq!(stats.latency.count, 12, "batch latencies recorded");
+        s.execute(&Request::terms(vec![0, 1])).expect("valid");
         assert_eq!(
             s.stats().latency.count,
             13,
             "single queries join the same histogram"
         );
+    }
+
+    #[test]
+    fn mixed_batches_carry_per_request_errors() {
+        let s = server(ServeConfig {
+            num_workers: 2,
+            ..ServeConfig::default()
+        });
+        let requests = vec![
+            Request::terms(vec![0, 1]),
+            Request::expr("NOT 0"),
+            Request::expr("(2 OR 3) AND 4"),
+            Request::terms(vec![99999]),
+        ];
+        let batch = s.execute_batch(&requests);
+        assert!(batch.responses[0].is_ok());
+        assert!(matches!(batch.responses[1], Err(QueryError::Compile(_))));
+        assert!(batch.responses[2].is_ok());
+        assert!(matches!(
+            batch.responses[3],
+            Err(QueryError::UnknownTerm { term: 99999, .. })
+        ));
+        assert_eq!(s.stats().queries_served, 2, "only valid requests count");
     }
 
     #[test]
@@ -660,7 +1184,14 @@ mod tests {
             ..ServeConfig::default()
         });
         for q in [vec![0usize, 1], vec![2, 3, 10], vec![20]] {
-            assert_eq!(s.query(&q), fixed.query(&q), "{q:?}");
+            assert_eq!(
+                s.execute(&Request::terms(q.clone())).expect("valid").docs,
+                fixed
+                    .execute(&Request::terms(q.clone()))
+                    .expect("valid")
+                    .docs,
+                "{q:?}"
+            );
         }
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::config::ExecMode;
 use fsi_core::Elem;
-use fsi_index::{OwnedExecutor, PlannedExecutor, SearchEngine};
+use fsi_index::{OwnedExecutor, PlannedExecutor, Planner, SearchEngine};
 use fsi_obs::TraceBuilder;
 use fsi_query::{ExplainMode, ExprPlan, ExprPlanner, NormExpr, PlanNode};
 use std::ops::Range;
@@ -72,11 +72,19 @@ impl Shard {
     /// Appends the shard's sorted result to `out` — shards share one
     /// output buffer on the sequential path instead of allocating each.
     fn query_into(&self, terms: &[usize], out: &mut Vec<Elem>) {
+        self.query_into_kind(terms, out);
+    }
+
+    /// Like [`Shard::query_into`], but reports the chosen kernel of the
+    /// executed multiway plan (`None` under a fixed strategy, which plans
+    /// nothing).
+    fn query_into_kind(&self, terms: &[usize], out: &mut Vec<Elem>) -> Option<&'static str> {
         match &self.index {
-            ShardIndex::Fixed(exec) => exec.query_into(terms, out),
-            ShardIndex::Planned(exec) => {
+            ShardIndex::Fixed(exec) => {
                 exec.query_into(terms, out);
+                None
             }
+            ShardIndex::Planned(exec) => Some(exec.query_into(terms, out).kind.name()),
         }
     }
 
@@ -92,11 +100,29 @@ impl Shard {
     /// the full cost-based expression plan over shard-local statistics;
     /// fixed shards evaluate structurally through their own strategy.
     fn query_expr_into(&self, expr: &NormExpr, out: &mut Vec<Elem>) {
+        self.query_expr_into_with(expr, out, None);
+    }
+
+    /// Like [`Shard::query_expr_into`], but optionally planning under a
+    /// per-request `planner` override instead of the shard's own, and
+    /// reporting the plan's root operator label (`None` under a fixed
+    /// strategy, where the override — validated away by the server — is
+    /// ignored).
+    fn query_expr_into_with(
+        &self,
+        expr: &NormExpr,
+        out: &mut Vec<Elem>,
+        planner: Option<&Planner>,
+    ) -> Option<&'static str> {
         match &self.index {
-            ShardIndex::Fixed(exec) => fsi_query::eval_owned_into(exec, expr, out),
+            ShardIndex::Fixed(exec) => {
+                fsi_query::eval_owned_into(exec, expr, out);
+                None
+            }
             ShardIndex::Planned(exec) => {
-                let planner = ExprPlanner::new(exec.planner().clone());
-                fsi_query::eval_planned_into(exec, &planner, expr, out);
+                let planner = ExprPlanner::new(planner.unwrap_or_else(|| exec.planner()).clone());
+                let plan = fsi_query::eval_planned_into(exec, &planner, expr, out);
+                Some(plan_kind_label(&plan))
             }
         }
     }
@@ -105,7 +131,13 @@ impl Shard {
     /// plus one span per shard carrying the chosen plan, its estimates,
     /// and the observed result size — the planner-misprediction signal at
     /// per-shard granularity.
-    fn query_expr_into_traced(&self, expr: &NormExpr, out: &mut Vec<Elem>, tb: &mut TraceBuilder) {
+    fn query_expr_into_traced(
+        &self,
+        expr: &NormExpr,
+        out: &mut Vec<Elem>,
+        tb: &mut TraceBuilder,
+        planner: Option<&Planner>,
+    ) -> Option<&'static str> {
         let before = out.len();
         let start = tb.start_span();
         match &self.index {
@@ -115,33 +147,41 @@ impl Shard {
                     .attr("mode", "fixed")
                     .attr("docs", &self.docs_label)
                     .attr("rows", out.len() - before);
+                None
             }
             ShardIndex::Planned(exec) => {
-                let planner = ExprPlanner::new(exec.planner().clone());
+                let planner = ExprPlanner::new(planner.unwrap_or_else(|| exec.planner()).clone());
                 let plan = fsi_query::eval_planned_into(exec, &planner, expr, out);
                 // The chosen root operator rides along as a cheap static
                 // label, and the estimates round to integers; the full plan
                 // tree is deliberately NOT rendered here (that is EXPLAIN's
                 // job) — a `describe()` per shard per query costs more than
                 // the tracing budget allows.
+                let kind = plan_kind_label(&plan);
                 tb.end_span(start, &self.span_name)
                     .attr("mode", "planned")
                     .attr("docs", &self.docs_label)
-                    .attr("kind", plan_kind_label(&plan))
+                    .attr("kind", kind)
                     .attr("est_rows", plan.est_rows.round() as u64)
                     .attr("est_cost", plan.est_cost.round() as u64)
                     .attr("rows", out.len() - before);
+                Some(kind)
             }
         }
     }
 
     /// Shard-local `EXPLAIN` (planned shards only — the fixed path has no
-    /// cost model to render).
-    fn explain_expr(&self, expr: &NormExpr, mode: ExplainMode) -> Option<String> {
+    /// cost model to render), optionally under a per-request planner.
+    fn explain_expr(
+        &self,
+        expr: &NormExpr,
+        mode: ExplainMode,
+        planner: Option<&Planner>,
+    ) -> Option<String> {
         match &self.index {
             ShardIndex::Fixed(_) => None,
             ShardIndex::Planned(exec) => {
-                let planner = ExprPlanner::new(exec.planner().clone());
+                let planner = ExprPlanner::new(planner.unwrap_or_else(|| exec.planner()).clone());
                 Some(fsi_query::explain(exec, &planner, expr, mode))
             }
         }
@@ -239,6 +279,42 @@ impl ShardedEngine {
         out
     }
 
+    /// Like [`ShardedEngine::query`], but reports the chosen kernel of
+    /// shard 0's plan alongside the result (`None` under a fixed
+    /// strategy). Shards plan independently; the first shard's label is
+    /// the response-metadata representative, per-shard detail being the
+    /// trace's job.
+    pub(crate) fn query_kind(&self, terms: &[usize]) -> (Vec<Elem>, Option<&'static str>) {
+        let mut out = Vec::new();
+        let mut kind = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let k = shard.query_into_kind(terms, &mut out);
+            if i == 0 {
+                kind = k;
+            }
+        }
+        (out, kind)
+    }
+
+    /// Expression evaluation with an optional per-request planner override
+    /// and shard 0's plan-kind label (the [`ShardedEngine::query_kind`]
+    /// sibling).
+    pub(crate) fn query_expr_with(
+        &self,
+        expr: &NormExpr,
+        planner: Option<&Planner>,
+    ) -> (Vec<Elem>, Option<&'static str>) {
+        let mut out = Vec::new();
+        let mut kind = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let k = shard.query_expr_into_with(expr, &mut out, planner);
+            if i == 0 {
+                kind = k;
+            }
+        }
+        (out, kind)
+    }
+
     /// Evaluates a boolean expression in ascending document order, running
     /// shards sequentially on the calling thread.
     ///
@@ -262,20 +338,45 @@ impl ShardedEngine {
     /// spans on one builder need one
     /// thread; the untraced parallel path stays available for serving.
     pub fn query_expr_traced(&self, expr: &NormExpr, tb: &mut TraceBuilder) -> Vec<Elem> {
+        self.query_expr_traced_with(expr, tb, None).0
+    }
+
+    /// The override-aware, kind-reporting twin of
+    /// [`ShardedEngine::query_expr_traced`].
+    pub(crate) fn query_expr_traced_with(
+        &self,
+        expr: &NormExpr,
+        tb: &mut TraceBuilder,
+        planner: Option<&Planner>,
+    ) -> (Vec<Elem>, Option<&'static str>) {
         let mut out = Vec::new();
-        for shard in &self.shards {
-            shard.query_expr_into_traced(expr, &mut out, tb);
+        let mut kind = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let k = shard.query_expr_into_traced(expr, &mut out, tb, planner);
+            if i == 0 {
+                kind = k;
+            }
         }
-        out
+        (out, kind)
     }
 
     /// Renders `EXPLAIN`/`EXPLAIN ANALYZE` for every shard, concatenated
     /// with per-shard headers. Returns `None` in fixed-strategy mode,
     /// which has no cost model to render.
     pub fn explain_expr(&self, expr: &NormExpr, mode: ExplainMode) -> Option<String> {
+        self.explain_expr_with(expr, mode, None)
+    }
+
+    /// The override-aware twin of [`ShardedEngine::explain_expr`].
+    pub(crate) fn explain_expr_with(
+        &self,
+        expr: &NormExpr,
+        mode: ExplainMode,
+        planner: Option<&Planner>,
+    ) -> Option<String> {
         let mut out = String::new();
         for (idx, shard) in self.shards.iter().enumerate() {
-            let section = shard.explain_expr(expr, mode)?;
+            let section = shard.explain_expr(expr, mode, planner)?;
             out.push_str(&format!(
                 "-- shard {idx} [docs {}..{}] --\n{section}",
                 shard.docs.start, shard.docs.end
@@ -431,8 +532,11 @@ mod tests {
         let engine = engine();
         let fixed = ShardedEngine::build(&engine, 1, ExecMode::Fixed(Strategy::Merge));
         for shards in [1usize, 2, 3, 7] {
-            let pressured =
-                ShardedEngine::build(&engine, shards, ExecMode::planned_memory_pressured(100.0));
+            let pressured = ShardedEngine::build(
+                &engine,
+                shards,
+                crate::PlannerProfile::auto().memory_pressured(100.0).mode(),
+            );
             for q in [vec![0usize, 1], vec![2, 9, 30], vec![40, 41], vec![6]] {
                 assert_eq!(
                     pressured.query(&q),

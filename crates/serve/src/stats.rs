@@ -84,8 +84,12 @@ pub struct ServeStats {
     /// Queries answered since the server was built (cache hits included).
     pub queries_served: u64,
     /// The subset of `queries_served` that arrived as boolean expressions
-    /// (`Server::query_expr` / `Server::query_norm`).
+    /// ([`crate::QueryInput::Text`] / [`crate::QueryInput::Norm`]).
     pub expr_queries_served: u64,
+    /// Requests shed instead of served — their deadline had already
+    /// expired when the server picked them up. Disjoint from
+    /// `queries_served`.
+    pub queries_shed: u64,
     /// Latency distribution over every individually timed query this
     /// server answered (single queries and batch queries both land here;
     /// `count` is 0 until something is timed).

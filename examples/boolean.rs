@@ -6,7 +6,7 @@
 use fast_set_intersection::core::HashContext;
 use fast_set_intersection::index::{Corpus, CorpusConfig, Planner, SearchEngine};
 use fast_set_intersection::query::{self, ExprPlanner};
-use fast_set_intersection::serve::{ServeConfig, Server};
+use fast_set_intersection::serve::{Request, ServeConfig, Server};
 
 fn main() {
     let corpus = Corpus::generate(CorpusConfig {
@@ -60,12 +60,12 @@ fn main() {
             ..ServeConfig::default()
         },
     );
-    let first = server.query_expr(src).expect("valid");
+    let first = server.execute(&Request::expr(src)).expect("valid");
     let reordered = server
-        .query_expr("(3 AND 4 AND NOT 7) OR (5 0)")
+        .execute(&Request::expr("(3 AND 4 AND NOT 7) OR (5 0)"))
         .expect("valid");
-    assert_eq!(first, reordered);
-    assert_eq!(first.as_slice(), out.as_slice());
+    assert_eq!(first.docs, reordered.docs);
+    assert_eq!(first.docs.as_slice(), out.as_slice());
     let stats = server.stats();
     println!(
         "\nserved {} boolean queries over {} shards; cache hits {} (canonical keying)",

@@ -9,7 +9,7 @@
 //!    the result against the flat kernels;
 //! 3. watch the cost-model planner flip to `CompressedGallop` when memory
 //!    bytes are made expensive (`Planner::bytes_unit`), the dial
-//!    `ExecMode::planned_memory_pressured` exposes to the serving layer.
+//!    `PlannerProfile::memory_pressured` exposes to the serving layer.
 //!
 //! Run with: `cargo run --release --example compressed`
 

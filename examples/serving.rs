@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example serving`
 
 use fast_set_intersection::index::{Corpus, CorpusConfig, SearchEngine, Strategy};
-use fast_set_intersection::serve::{ExecMode, QueryPool, ServeConfig, Server, ShardedEngine};
+use fast_set_intersection::serve::{
+    ExecMode, QueryPool, Request, ServeConfig, Server, ShardedEngine,
+};
 use fast_set_intersection::workloads::{generate_stream, repeat_rate, QueryStreamConfig};
 use fast_set_intersection::HashContext;
 
@@ -58,8 +60,9 @@ fn main() {
             ..ServeConfig::default()
         },
     );
-    let cold = server.run_batch(&stream);
-    let warm = server.run_batch(&stream);
+    let requests: Vec<Request> = stream.iter().map(|q| Request::terms(q.clone())).collect();
+    let cold = server.execute_batch(&requests);
+    let warm = server.execute_batch(&requests);
     let stats = server.stats();
     println!(
         "\ncache (capacity 4096): cold {:.0} q/s, warm {:.0} q/s, hit rate {:.2}",

@@ -30,9 +30,15 @@
 //! * [`serve`] — the concurrent query-serving subsystem: document-range
 //!   sharding ([`serve::ShardedEngine`]), batched work-stealing execution
 //!   ([`serve::QueryPool`]), a segmented LRU result cache
-//!   ([`serve::QueryCache`]), and the assembled [`serve::Server`] — the
-//!   paper's "intersection is the serving bottleneck" framing taken to a
-//!   multi-core serving stack.
+//!   ([`serve::QueryCache`]), and the assembled [`serve::Server`] behind
+//!   the single request-lifetime entry point [`serve::Server::execute`] —
+//!   the paper's "intersection is the serving bottleneck" framing taken
+//!   to a multi-core serving stack.
+//! * [`net`] — the TCP front door over [`serve`]: a length-prefixed
+//!   binary protocol ([`net::protocol`]), a bounded request queue with
+//!   adaptive micro-batching, per-tenant token-bucket admission control,
+//!   and deadline-aware load shedding ([`net::NetServer`] /
+//!   [`net::Client`]).
 //!
 //! ## Quick start
 //!
@@ -57,6 +63,7 @@ pub use fsi_compress as compress;
 pub use fsi_core as core;
 pub use fsi_index as index;
 pub use fsi_kernels as kernels;
+pub use fsi_net as net;
 pub use fsi_obs as obs;
 pub use fsi_query as query;
 pub use fsi_serve as serve;

@@ -6,7 +6,7 @@
 //! stack — must be byte-identical to the flat reference.
 
 use fast_set_intersection::index::{PlannedList, Planner, SearchEngine, Strategy};
-use fast_set_intersection::serve::{ExecMode, ShardedEngine};
+use fast_set_intersection::serve::{ExecMode, PlannerProfile, ShardedEngine};
 use fast_set_intersection::{reference_intersection, HashContext, SortedSet};
 use fsi_compress::{BlockCodec, BlockPostings, BLOCK_LEN};
 use fsi_core::{KIntersect, PairIntersect, SetIndex};
@@ -220,7 +220,7 @@ fn compressed_serving_is_shard_count_invariant() {
         for mode in [
             ExecMode::Fixed(Strategy::CompressedGallop(BlockCodec::Packed)),
             ExecMode::Fixed(Strategy::CompressedGallop(BlockCodec::Delta)),
-            ExecMode::planned_memory_pressured(100.0),
+            PlannerProfile::auto().memory_pressured(100.0).mode(),
         ] {
             let sharded = ShardedEngine::build(&engine, shards, mode.clone());
             for q in &queries {

@@ -1,0 +1,248 @@
+//! Differential pinning of the deprecated `Server` method zoo against the
+//! request-lifetime [`Server::execute`] entry point.
+//!
+//! Each legacy method (`query`, `query_expr`, `query_norm`, `run_batch`,
+//! `query_expr_traced`, `explain`) is now a thin shim over `execute`. These
+//! tests drive two identically built servers — one through the shims, one
+//! through `execute` — and require *byte-identical* observable behavior:
+//! the same documents, the same counter increments, the same cache
+//! statistics, the same rendered plans, the same trace span inventory.
+//! Any divergence means the shims are no longer faithful and a caller
+//! migrating off them would see a behavior change.
+
+#![allow(deprecated)]
+
+use fast_set_intersection::core::HashContext;
+use fast_set_intersection::index::{Corpus, CorpusConfig, SearchEngine};
+use fast_set_intersection::query::{compile, ExplainMode};
+use fast_set_intersection::serve::{Request, ServeConfig, Server};
+
+fn engine() -> SearchEngine {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_docs: 15_000,
+        num_terms: 32,
+        ..CorpusConfig::default()
+    });
+    SearchEngine::from_corpus(HashContext::new(0x0404), corpus)
+}
+
+fn server_pair(config: ServeConfig) -> (Server, Server) {
+    let engine = engine();
+    (
+        Server::new(&engine, config.clone()),
+        Server::new(&engine, config),
+    )
+}
+
+/// Counter-for-counter equality of everything a caller can observe about
+/// two servers' accounting (latency distributions excluded: wall-clock is
+/// not deterministic, but counts are).
+fn assert_stats_match(legacy: &Server, modern: &Server, ctx: &str) {
+    let (a, b) = (legacy.stats(), modern.stats());
+    assert_eq!(a.queries_served, b.queries_served, "{ctx}: queries_served");
+    assert_eq!(
+        a.expr_queries_served, b.expr_queries_served,
+        "{ctx}: expr_queries_served"
+    );
+    assert_eq!(a.queries_shed, b.queries_shed, "{ctx}: queries_shed");
+    assert_eq!(a.latency.count, b.latency.count, "{ctx}: latency samples");
+    assert_eq!(a.cache.hits, b.cache.hits, "{ctx}: cache hits");
+    assert_eq!(a.cache.misses, b.cache.misses, "{ctx}: cache misses");
+    assert_eq!(a.cache.lookups, b.cache.lookups, "{ctx}: cache lookups");
+    assert_eq!(
+        a.cache.insertions, b.cache.insertions,
+        "{ctx}: cache insertions"
+    );
+    assert_eq!(
+        a.cache.evictions, b.cache.evictions,
+        "{ctx}: cache evictions"
+    );
+    assert_eq!(a.cache.len, b.cache.len, "{ctx}: cache len");
+    assert_eq!(
+        a.cache.value_bytes, b.cache.value_bytes,
+        "{ctx}: cache value bytes"
+    );
+}
+
+fn flat_queries() -> Vec<Vec<usize>> {
+    vec![
+        vec![0, 1],
+        vec![1, 2, 3],
+        vec![0, 10, 20, 31],
+        vec![7],
+        vec![],         // empty conjunction
+        vec![4, 4, 12], // duplicate term
+        vec![0, 1],     // repeat: cache hit on both sides
+    ]
+}
+
+#[test]
+fn query_shim_matches_execute_terms() {
+    let (legacy, modern) = server_pair(ServeConfig {
+        num_shards: 2,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    });
+    for q in &flat_queries() {
+        let old = legacy.query(q);
+        let new = modern.execute(&Request::terms(q.clone())).expect("valid");
+        assert_eq!(old, new.docs, "{q:?}");
+        assert!(new.is_served());
+    }
+    assert_stats_match(&legacy, &modern, "flat queries");
+}
+
+#[test]
+fn query_expr_shim_matches_execute_text() {
+    let (legacy, modern) = server_pair(ServeConfig {
+        num_shards: 3,
+        cache_capacity: 128,
+        ..ServeConfig::default()
+    });
+    let exprs = [
+        "0 AND 1",
+        "(0 OR 1) AND 5 AND NOT 7",
+        "3 4 5",
+        "0 AND 1", // repeat
+        "NOT 7 AND 4 AND 1",
+        "1 AND 4 AND NOT 7", // canonical twin of the previous query
+    ];
+    for q in exprs {
+        let old = legacy.query_expr(q).expect("valid");
+        let new = modern.execute(&Request::expr(q)).expect("valid");
+        assert_eq!(old, new.docs, "{q}");
+    }
+    // Both faces reject the same invalid inputs with the same rendering.
+    for bad in ["0 AND", "NOT 3", "0 AND 99999"] {
+        let old = legacy.query_expr(bad).expect_err("invalid");
+        let new = modern.execute(&Request::expr(bad)).expect_err("invalid");
+        assert_eq!(old.to_string(), new.to_string(), "{bad}");
+    }
+    assert_stats_match(&legacy, &modern, "expression queries");
+}
+
+#[test]
+fn query_norm_shim_matches_execute_norm() {
+    let (legacy, modern) = server_pair(ServeConfig {
+        num_shards: 2,
+        cache_capacity: 32,
+        ..ServeConfig::default()
+    });
+    for q in ["0 AND 1", "(2 OR 3) AND 4", "5 AND 6 AND NOT 7", "0 AND 1"] {
+        let norm = compile(q).expect("compiles");
+        let old = legacy.query_norm(&norm);
+        let new = modern.execute(&Request::norm(norm.clone())).expect("valid");
+        assert_eq!(old, new.docs, "{q}");
+    }
+    assert_stats_match(&legacy, &modern, "norm queries");
+}
+
+#[test]
+fn run_batch_shim_matches_execute_batch() {
+    // One worker: with several workers, duplicate keys inside a batch hit
+    // the cache's benign get→compute→insert stampede, and the two servers
+    // would race it differently. Sequential execution pins the accounting;
+    // the multi-worker results path is covered below.
+    let (legacy, modern) = server_pair(ServeConfig {
+        num_shards: 2,
+        num_workers: 1,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    });
+    let batch: Vec<Vec<usize>> = (0..120).map(|i| vec![i % 5, 5 + i % 7]).collect();
+    let requests: Vec<Request> = batch.iter().cloned().map(Request::terms).collect();
+    for round in 0..2 {
+        let old = legacy.run_batch(&batch);
+        let new = modern.execute_batch(&requests);
+        assert_eq!(old.results.len(), new.responses.len());
+        for (i, (o, n)) in old.results.iter().zip(&new.responses).enumerate() {
+            let n = n.as_ref().expect("valid");
+            assert_eq!(o, &n.docs, "round {round} query {i}");
+        }
+        assert_eq!(
+            (old.cache_hits, old.cache_misses),
+            {
+                let hits = new
+                    .responses
+                    .iter()
+                    .filter(|r| {
+                        matches!(
+                            r.as_ref().map(|resp| resp.cache),
+                            Ok(fast_set_intersection::serve::CacheOutcome::Hit)
+                        )
+                    })
+                    .count() as u64;
+                (hits, batch.len() as u64 - hits)
+            },
+            "round {round} cache accounting"
+        );
+        assert_eq!(old.latency.count, new.latency.count);
+        assert_eq!(old.queue_depths.len(), new.queue_depths.len());
+    }
+    assert_stats_match(&legacy, &modern, "batch");
+}
+
+#[test]
+fn run_batch_shim_matches_execute_batch_across_workers() {
+    // Multi-worker: results stay positionally identical even though cache
+    // stampedes make hit counts nondeterministic.
+    let (legacy, modern) = server_pair(ServeConfig {
+        num_shards: 3,
+        num_workers: 4,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    });
+    let batch: Vec<Vec<usize>> = (0..160).map(|i| vec![i % 6, 6 + i % 11]).collect();
+    let requests: Vec<Request> = batch.iter().cloned().map(Request::terms).collect();
+    let old = legacy.run_batch(&batch);
+    let new = modern.execute_batch(&requests);
+    for (i, (o, n)) in old.results.iter().zip(&new.responses).enumerate() {
+        assert_eq!(o, &n.as_ref().expect("valid").docs, "query {i}");
+    }
+    assert_eq!(legacy.stats().queries_served, modern.stats().queries_served);
+}
+
+#[test]
+fn traced_shim_matches_execute_traced() {
+    let (legacy, modern) = server_pair(ServeConfig {
+        num_shards: 2,
+        cache_capacity: 0, // every run executes: traces cover the exec path
+        ..ServeConfig::default()
+    });
+    let q = "(0 OR 1) AND 5 AND NOT 7";
+    let (old_docs, old_trace) = legacy.query_expr_traced(q).expect("valid");
+    let new = modern.execute(&Request::expr(q).traced()).expect("valid");
+    let new_trace = new.trace.expect("trace recorded");
+    assert_eq!(old_docs, new.docs);
+    let old_spans: Vec<&str> = old_trace.spans.iter().map(|s| s.name.as_str()).collect();
+    let new_spans: Vec<&str> = new_trace.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(old_spans, new_spans, "span inventory");
+    assert_stats_match(&legacy, &modern, "traced");
+}
+
+#[test]
+fn explain_shim_matches_execute_explain() {
+    let (legacy, modern) = server_pair(ServeConfig {
+        num_shards: 2,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    });
+    // Bare queries take the option's mode; EXPLAIN-prefixed queries carry
+    // their own. Plans must render identically through both faces.
+    for (q, mode) in [
+        ("0 AND 1 AND NOT 5", ExplainMode::Plan),
+        ("EXPLAIN (0 OR 1) AND 5", ExplainMode::Plan),
+    ] {
+        let old = legacy.explain(q, mode).expect("valid");
+        let new = modern
+            .execute(&Request::expr(q).explain(mode))
+            .expect("valid")
+            .explain
+            .expect("plan rendered");
+        assert_eq!(old, new, "{q}");
+    }
+    // EXPLAIN counts neither queries_served nor cache traffic, through
+    // either face.
+    assert_eq!(legacy.stats().queries_served, 0);
+    assert_stats_match(&legacy, &modern, "explain");
+}

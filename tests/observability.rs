@@ -15,7 +15,7 @@
 use fast_set_intersection::core::HashContext;
 use fast_set_intersection::index::{Corpus, CorpusConfig, SearchEngine};
 use fast_set_intersection::obs::{HistSnapshot, Histogram, Registry};
-use fast_set_intersection::serve::{ServeConfig, Server};
+use fast_set_intersection::serve::{Request, ServeConfig, Server};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -163,7 +163,11 @@ fn explain_analyze_timings_fit_inside_the_traced_exec_span() {
     );
 
     let query = "(0 OR 1) AND 5 AND NOT 7";
-    let (_, trace) = server.query_expr_traced(query).unwrap();
+    let trace = server
+        .execute(&Request::expr(query).traced())
+        .unwrap()
+        .trace
+        .expect("traced request records a trace");
 
     // The exec span covers every shard span, which in turn lie inside the
     // trace's total wall-clock.
@@ -187,11 +191,10 @@ fn explain_analyze_timings_fit_inside_the_traced_exec_span() {
     // total that bounds its root node's wall, and text and traced paths
     // agree on the plan shape (same root operator as the span's kind).
     let analyzed = server
-        .explain(
-            &format!("EXPLAIN ANALYZE {query}"),
-            fast_set_intersection::query::ExplainMode::Plan,
-        )
-        .unwrap();
+        .execute(&Request::expr(format!("EXPLAIN ANALYZE {query}")))
+        .unwrap()
+        .explain
+        .expect("EXPLAIN renders a plan");
     assert!(analyzed.contains("-- shard 0"), "{analyzed}");
     assert!(analyzed.contains("rows"), "{analyzed}");
     let kind = trace

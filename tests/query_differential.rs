@@ -9,7 +9,7 @@ use fsi_core::{Elem, HashContext, SortedSet};
 use fsi_index::{Planner, SearchEngine, Strategy};
 use fsi_query::naive::{naive_eval, naive_eval_universe};
 use fsi_query::{compile, encode, fingerprint, normalize, parse, Expr, NormExpr, RewriteError};
-use fsi_serve::{ExecMode, ServeConfig, Server, ShardedEngine};
+use fsi_serve::{ExecMode, Request, ServeConfig, Server, ShardedEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -213,8 +213,10 @@ fn generated_boolean_streams_run_end_to_end() {
     for q in &stream {
         let norm = compile(q).expect("generated queries compile");
         let expect: Vec<Elem> = naive_eval(&slices, &norm).into_iter().collect();
-        let got = server.query_expr(q).expect("valid query");
-        assert_eq!(got.as_slice(), expect.as_slice(), "{q}");
+        let got = server
+            .execute(&Request::expr(q.as_str()))
+            .expect("valid query");
+        assert_eq!(got.docs.as_slice(), expect.as_slice(), "{q}");
     }
     // Zipf repeats must have produced canonical-key cache hits.
     assert!(
@@ -245,7 +247,7 @@ fn reordered_duplicate_queries_hit_one_cache_entry() {
     ];
     let mut results = Vec::new();
     for q in spellings {
-        results.push(server.query_expr(q).expect("valid"));
+        results.push(server.execute(&Request::expr(q)).expect("valid").docs);
     }
     for r in &results[1..] {
         assert_eq!(r, &results[0]);

@@ -7,7 +7,7 @@
 //! * concurrent batches over one shared server agree with serial queries.
 
 use fast_set_intersection::index::{Corpus, CorpusConfig, SearchEngine, Strategy};
-use fast_set_intersection::serve::{ExecMode, ServeConfig, Server, ShardedEngine};
+use fast_set_intersection::serve::{ExecMode, Request, ServeConfig, Server, ShardedEngine};
 use fast_set_intersection::HashContext;
 use fsi_index::Planner;
 
@@ -84,10 +84,11 @@ fn cache_hit_path_equals_miss_path() {
         },
     );
     for q in &queries() {
-        let miss = server.query(q); // computed by the shards
-        let hit = server.query(q); // served by the cache
-        assert_eq!(miss, hit, "{q:?}");
-        assert_eq!(hit.as_slice(), reference.query(q), "{q:?}");
+        // Computed by the shards, then served by the cache.
+        let miss = server.execute(&Request::terms(q.clone())).expect("valid");
+        let hit = server.execute(&Request::terms(q.clone())).expect("valid");
+        assert_eq!(miss.docs, hit.docs, "{q:?}");
+        assert_eq!(hit.docs.as_slice(), reference.query(q), "{q:?}");
     }
     let stats = server.stats();
     assert_eq!(stats.cache.hits, queries().len() as u64);
@@ -107,13 +108,17 @@ fn sharded_and_cached_batches_match_executor() {
             mode: ExecMode::Fixed(Strategy::Lookup),
         },
     );
-    let batch: Vec<Vec<usize>> = (0..200)
+    let batch: Vec<Request> = (0..200)
+        .map(|i| Request::terms(vec![i % 5, 5 + i % 7, 12 + i % 28]))
+        .collect();
+    let terms: Vec<Vec<usize>> = (0..200)
         .map(|i| vec![i % 5, 5 + i % 7, 12 + i % 28])
         .collect();
     for _round in 0..3 {
-        let outcome = server.run_batch(&batch);
-        for (q, r) in batch.iter().zip(&outcome.results) {
-            assert_eq!(r.as_slice(), reference.query(q), "{q:?}");
+        let outcome = server.execute_batch(&batch);
+        for (q, r) in terms.iter().zip(&outcome.responses) {
+            let resp = r.as_ref().expect("valid");
+            assert_eq!(resp.docs.as_slice(), reference.query(q), "{q:?}");
         }
     }
 }
@@ -142,8 +147,10 @@ fn concurrent_clients_smoke() {
             scope.spawn(move || {
                 for i in 0..100usize {
                     let t = (client + i) % 8;
-                    let got = server.query(&[t, 8 + t, 16 + t]);
-                    assert_eq!(got.as_slice(), expected[t], "client {client} t {t}");
+                    let got = server
+                        .execute(&Request::terms(vec![t, 8 + t, 16 + t]))
+                        .expect("valid");
+                    assert_eq!(got.docs.as_slice(), expected[t], "client {client} t {t}");
                 }
             });
         }
