@@ -34,7 +34,14 @@
 //!   saturation are explicitly declined: goodput there measures where the
 //!   shedding knee lands on the CI box's core count, which legitimately
 //!   differs from the baseline box — the row exists to eyeball degradation
-//!   shape, not to gate.
+//!   shape, not to gate. Also gated: `lifecycle/qps_ratio`
+//!   (instrumented-over-stripped capacity — higher = cheaper lifecycle
+//!   instrumentation; the binary hard-asserts the overhead budget in
+//!   process, so this only catches cliffs that slack admits) and
+//!   `attribution/shed_retained` clamped to 1.0 (presence of retained
+//!   slow-log records for shed requests — how *many* the ring holds at
+//!   scrape time depends on row volume, so the gate pins only that
+//!   retention works at all).
 //!
 //! Ratios are speedups/throughputs (higher = better), so the check is
 //! one-sided: getting faster never fails. A metric present in the baseline
@@ -229,6 +236,22 @@ fn metrics(doc: &Json, path: &str) -> (Vec<Metric>, Vec<(String, &'static str)>)
                     value: num(row, "goodput_fraction"),
                 });
             }
+            let lifecycle = doc
+                .get("lifecycle")
+                .unwrap_or_else(|| panic!("{path}: slo file without a lifecycle object"));
+            out.push(Metric {
+                key: "lifecycle/qps_ratio".to_string(),
+                value: num(lifecycle, "qps_ratio"),
+            });
+            let attribution = doc
+                .get("attribution")
+                .unwrap_or_else(|| panic!("{path}: slo file without an attribution object"));
+            // Presence, not magnitude: 1.0 if any shed request left a
+            // retained slow-log record, which the binary also asserts.
+            out.push(Metric {
+                key: "attribution/shed_retained".to_string(),
+                value: num(attribution, "shed_retained").min(1.0),
+            });
         }
         other => panic!("{path}: unknown bench tag {other:?}"),
     }

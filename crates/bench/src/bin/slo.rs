@@ -25,12 +25,28 @@
 //!   response (`response_accounting == 1.0`), the conservation invariant
 //!   the net layer promises.
 //!
+//! After the open-loop rows, two more sections exercise the lifecycle
+//! observability layer:
+//!
+//! * `lifecycle` — closed-loop capacity with the always-on lifecycle
+//!   instrumentation (stage timestamps, per-tenant histograms, tail
+//!   sampling) versus a stripped front door (`lifecycle: false`) over the
+//!   same serving engine. Calibration reps interleave between the two
+//!   servers so machine drift hits both sides evenly; the overhead budget
+//!   is hard-asserted in process;
+//! * `attribution` — the p99 queue-wait vs service-time split from the
+//!   per-tenant lifecycle histograms (where did the tail go: waiting or
+//!   executing?), plus a deterministic shed probe — a pipelined burst
+//!   with a 1µs deadline — whose retained slow-log records are scraped
+//!   back over the in-band `SlowLog` admin op.
+//!
 //! Usage: `cargo run --release -p fsi-bench --bin slo -- [out.json] [--smoke]`
 
+use fsi_bench::json::Json;
 use fsi_bench::{HarnessArgs, Table};
 use fsi_core::HashContext;
 use fsi_index::{Corpus, CorpusConfig};
-use fsi_net::{Client, NetConfig, NetServer, RequestFrame, Status};
+use fsi_net::{Client, NetConfig, NetServer, ObsConfig, RequestFrame, Status};
 use fsi_serve::{ServeConfig, Server};
 use fsi_workloads::stream::{generate_boolean_stream, BooleanStreamConfig};
 use rand::rngs::StdRng;
@@ -277,7 +293,19 @@ fn main() {
             ..ServeConfig::default()
         },
     ));
-    let net = NetServer::start(Arc::clone(&serve), NetConfig::default()).expect("bind loopback");
+    // The server under test runs the default (instrumented) lifecycle
+    // config plus 1-in-64 head sampling — the production posture.
+    let net = NetServer::start(
+        Arc::clone(&serve),
+        NetConfig {
+            obs: ObsConfig {
+                head_sample_every: 64,
+                ..ObsConfig::default()
+            },
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind loopback");
     let addr = net.local_addr();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -336,6 +364,108 @@ fn main() {
         rows.push(row);
     }
     table.print();
+
+    // ---- lifecycle overhead: instrumented vs stripped capacity --------
+    // Same serving engine behind a second, stripped front door
+    // (`lifecycle: false`: no stage stamps, no per-tenant series, no
+    // retention). Calibration reps interleave between the two servers so
+    // drift (thermal, CI neighbors) lands on both sides evenly, and each
+    // side keeps its best rep — peaks compare capacity, not noise.
+    let stripped = NetServer::start(
+        Arc::clone(&serve),
+        NetConfig {
+            obs: ObsConfig {
+                lifecycle: false,
+                slowlog_capacity: 0,
+                ..ObsConfig::default()
+            },
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let _ = calibrate(stripped.local_addr(), &stream, cal_queries / 4);
+    let mut instrumented_qps = 0.0f64;
+    let mut stripped_qps = 0.0f64;
+    for _ in 0..3 {
+        instrumented_qps = instrumented_qps.max(calibrate(addr, &stream, cal_queries));
+        stripped_qps = stripped_qps.max(calibrate(stripped.local_addr(), &stream, cal_queries));
+    }
+    stripped.stop();
+    let qps_ratio = instrumented_qps / stripped_qps;
+    let overhead_pct = (1.0 - qps_ratio) * 100.0;
+    let overhead_budget_pct: f64 = args.pick(5.0, 10.0);
+    println!(
+        "\nlifecycle overhead: instrumented {instrumented_qps:.0} q/s vs stripped \
+         {stripped_qps:.0} q/s ({overhead_pct:+.2}%, budget {overhead_budget_pct:.0}%)"
+    );
+    assert!(
+        overhead_pct <= overhead_budget_pct,
+        "always-on lifecycle instrumentation costs {overhead_pct:.2}% of closed-loop \
+         capacity (budget {overhead_budget_pct:.0}%)"
+    );
+
+    // ---- queue-wait attribution + shed-retention probe ----------------
+    // A pipelined burst with a 1µs deadline is dead by dequeue time on
+    // any box: the sheds are deterministic, and each must leave a
+    // retained slow-log record observable over the in-band admin op.
+    const SHED_BURST: u64 = 32;
+    let mut prober = Client::connect(addr).expect("connect");
+    for id in 0..SHED_BURST {
+        prober
+            .send(&RequestFrame::query((1 << 40) | id, stream[0].as_str()).with_deadline_us(1))
+            .expect("send");
+    }
+    let mut shed_responses = 0u64;
+    for _ in 0..SHED_BURST {
+        let resp = prober.recv().expect("recv").expect("response");
+        if matches!(resp.status, Status::Shed | Status::Overloaded) {
+            shed_responses += 1;
+        }
+    }
+    assert!(shed_responses > 0, "the 1µs-deadline burst must shed");
+    // Retention lands on the worker just after the response write: poll
+    // the wire op until the records show up.
+    let mut shed_retained = 0u64;
+    for _ in 0..500 {
+        let dump = prober.slowlog().expect("slowlog");
+        let doc = Json::parse(&dump).expect("slowlog json");
+        shed_retained = doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|e| {
+                e.get("outcome").and_then(Json::as_str) == Some("shed")
+                    && e.get("stages")
+                        .and_then(Json::as_array)
+                        .is_some_and(|s| !s.is_empty())
+            })
+            .count() as u64;
+        if shed_retained >= shed_responses {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(
+        shed_retained > 0,
+        "a shed request must leave a slow-log record with stage timestamps"
+    );
+
+    // Where did the p99 go — waiting in the queue, or executing? The
+    // per-tenant lifecycle histograms answer without any per-request log.
+    let snap = net.metrics();
+    let p99_ms = |name: &str| {
+        snap.histogram(name, &[("tenant", "anon")])
+            .map_or(f64::NAN, |h| h.percentile(0.99) / 1e6)
+    };
+    let wait_p99_ms = p99_ms("fsi_net_queue_wait_ns");
+    let service_p99_ms = p99_ms("fsi_net_service_ns");
+    let wait_share_p99 = wait_p99_ms / (wait_p99_ms + service_p99_ms);
+    println!(
+        "p99 attribution: wait {wait_p99_ms:.3} ms vs service {service_p99_ms:.3} ms \
+         (wait share {wait_share_p99:.2}); shed probe retained {shed_retained} records \
+         ({shed_responses} shed responses)"
+    );
     net.stop();
 
     let json_f64 = |v: f64| {
@@ -377,8 +507,18 @@ fn main() {
          \"deadline_ms\": {DEADLINE_MS},\n    \"available_cores\": {cores},\n    \
          \"calibration_queries\": {cal_queries}\n  }},\n  \
          \"capacity_qps\": {capacity_qps:.1},\n  \"response_accounting\": 1.0,\n  \
+         \"lifecycle\": {{\n    \"instrumented_qps\": {instrumented_qps:.1},\n    \
+         \"stripped_qps\": {stripped_qps:.1},\n    \"qps_ratio\": {qps_ratio:.4},\n    \
+         \"overhead_pct\": {overhead_pct:.2},\n    \
+         \"overhead_budget_pct\": {overhead_budget_pct:.1}\n  }},\n  \
+         \"attribution\": {{\n    \"wait_p99_ms\": {},\n    \"service_p99_ms\": {},\n    \
+         \"wait_share_p99\": {},\n    \"shed_responses\": {shed_responses},\n    \
+         \"shed_retained\": {shed_retained}\n  }},\n  \
          \"rows\": [\n{}\n  ]\n}}\n",
         args.smoke,
+        json_f64(wait_p99_ms),
+        json_f64(service_p99_ms),
+        json_f64(wait_share_p99),
         rows_json.join(",\n"),
     );
     args.write_output(&json);

@@ -2,8 +2,9 @@
 //! examples, tests, and the SLO bench's load generator.
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, FrameError, RequestFrame,
-    ResponseFrame, MAX_RESPONSE_FRAME,
+    decode_admin_response, decode_response, encode_admin_request, encode_request, read_frame,
+    write_frame, AdminOp, AdminRequest, AdminResponse, FrameError, RequestFrame, ResponseFrame,
+    MAX_RESPONSE_FRAME,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -63,6 +64,40 @@ impl Client {
             Some(resp) => Ok(resp),
             None => Err(FrameError::Malformed("connection closed before response")),
         }
+    }
+
+    /// Sends one admin op and blocks for its response. Admin requests
+    /// bypass the server's admission control and request queue, so this
+    /// works while the data path is overloaded — but do not interleave
+    /// it with pipelined queries on the same connection (the next frame
+    /// on the wire would be a query response, not the admin response).
+    pub fn admin(&mut self, op: AdminOp, id: u64) -> Result<AdminResponse, FrameError> {
+        write_frame(
+            &mut self.stream,
+            &encode_admin_request(&AdminRequest::new(id, op)),
+        )?;
+        match read_frame(&mut self.stream, MAX_RESPONSE_FRAME)? {
+            Some(body) => decode_admin_response(&body),
+            None => Err(FrameError::Malformed(
+                "connection closed before admin response",
+            )),
+        }
+    }
+
+    /// Scrapes the merged net + serve + global registries as Prometheus
+    /// exposition text.
+    pub fn metrics(&mut self) -> Result<String, FrameError> {
+        self.admin(AdminOp::Metrics, 0).map(|r| r.payload)
+    }
+
+    /// Fetches the server's health document (JSON).
+    pub fn health(&mut self) -> Result<String, FrameError> {
+        self.admin(AdminOp::Health, 0).map(|r| r.payload)
+    }
+
+    /// Dumps the retained slow-query log (JSON).
+    pub fn slowlog(&mut self) -> Result<String, FrameError> {
+        self.admin(AdminOp::SlowLog, 0).map(|r| r.payload)
     }
 
     /// Half-closes the write side, telling the server no more requests

@@ -19,6 +19,13 @@
 //!   executing, and overload is answered `Overloaded` at admission time —
 //!   every decoded request gets exactly one explicit response, never
 //!   silent queueing.
+//! * [`lifecycle`] — request-lifecycle observability ([`ObsConfig`]):
+//!   per-stage timestamps (`decode` → `queue` → `execute` → `write`),
+//!   per-tenant wait/service histograms behind a label-cardinality cap,
+//!   and tail-sampled retention into the [`fsi_obs::SlowLog`]. The
+//!   in-band admin ops ([`protocol::AdminOp`]: `Metrics`, `Health`,
+//!   `SlowLog`) expose all of it over the same socket, bypassing
+//!   admission and the queue so scraping works under overload.
 //! * [`client`] — a small blocking [`Client`] for examples, tests, and
 //!   the SLO bench (`fsi-bench --bin slo`, which drives a real loopback
 //!   socket with an open-loop arrival schedule).
@@ -47,12 +54,17 @@
 
 pub mod admission;
 pub mod client;
+pub mod lifecycle;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use admission::Admission;
 pub use client::Client;
-pub use protocol::{FrameError, RequestFrame, ResponseFrame, Status};
+pub use lifecycle::ObsConfig;
+pub use protocol::{
+    AdminOp, AdminRequest, AdminResponse, ClientFrame, FrameError, RequestFrame, ResponseFrame,
+    Status,
+};
 pub use queue::BoundedQueue;
 pub use server::{NetConfig, NetServer};

@@ -1,0 +1,308 @@
+//! Request-lifecycle observability for the front door: per-stage
+//! timestamps from frame read to response write, tail-based retention
+//! into the [`SlowLog`], and per-tenant labeled metrics behind a
+//! cardinality cap.
+//!
+//! The always-on path records **timestamps only** (one `Instant::now()`
+//! per stage boundary plus a handful of relaxed atomics at completion) —
+//! the ≤5% overhead discipline that `BENCH_slo.json`'s
+//! instrumented-vs-stripped gate enforces. Full span trees are built
+//! only for head-sampled requests, which run through
+//! `fsi_serve::Request::traced`; everything else that the tail sampler
+//! retains (threshold breaches, sheds, rejections) carries the stage
+//! timeline, outcome attribution, and queue depth — enough to answer
+//! "where did the time go" without paying trace construction per
+//! request.
+//!
+//! The stage vocabulary, in order: `decode` (frame read + parse +
+//! admission check), `queue` (wait from enqueue to dequeue — under
+//! overload this is where p99 lives), `execute` (serve-side service
+//! time), `write` (encode + socket write).
+
+use fsi_obs::{LabelCap, QueryTrace, Registry, SlowLog, SlowLogEntry, Stage, TailSampler};
+use std::time::{Duration, Instant};
+
+/// Observability configuration of the front door.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Whether the lifecycle layer runs at all. `false` strips every
+    /// per-request timestamp, per-tenant metric, and slow-log push —
+    /// the baseline side of the instrumented-vs-stripped bench gate.
+    pub lifecycle: bool,
+    /// Retained slow-log entries; `0` disables retention.
+    pub slowlog_capacity: usize,
+    /// Latency threshold past which a request's record is retained.
+    pub slow_threshold: Duration,
+    /// Head-sample every N-th request with a full execution trace;
+    /// `0` disables head sampling.
+    pub head_sample_every: u64,
+    /// Maximum distinct tenant label values on per-tenant metrics;
+    /// further tenants collapse into the `other` label.
+    pub tenant_label_cap: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            lifecycle: true,
+            slowlog_capacity: 256,
+            slow_threshold: Duration::from_millis(100),
+            head_sample_every: 0,
+            tenant_label_cap: 64,
+        }
+    }
+}
+
+/// Per-request lifecycle context: an origin instant and sequential stage
+/// stamps. Created at frame read, carried through the queue with the
+/// request, finished after the response write.
+#[derive(Debug)]
+pub(crate) struct Lifecycle {
+    origin: Instant,
+    last: Instant,
+    stages: Vec<Stage>,
+    /// Whether the 1-in-N head sampler picked this request (it then runs
+    /// fully traced).
+    pub head_sampled: bool,
+    /// Queue depth observed at admission.
+    pub queue_depth: usize,
+}
+
+impl Lifecycle {
+    fn new(origin: Instant, head_sampled: bool) -> Self {
+        Self {
+            origin,
+            last: origin,
+            stages: Vec::with_capacity(5),
+            head_sampled,
+            queue_depth: 0,
+        }
+    }
+
+    /// Closes the stage that ran from the previous boundary to now.
+    pub fn stage(&mut self, name: &'static str) {
+        let now = Instant::now();
+        self.stages.push(Stage {
+            name,
+            start_ns: ns(self.last.saturating_duration_since(self.origin)),
+            dur_ns: ns(now.saturating_duration_since(self.last)),
+        });
+        self.last = now;
+    }
+
+    fn total_ns(&self) -> u64 {
+        ns(self.last.saturating_duration_since(self.origin))
+    }
+
+    fn stage_dur(&self, name: &str) -> Option<u64> {
+        self.stages
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.dur_ns)
+    }
+}
+
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The shared observability state of one `NetServer`: its registry, slow
+/// log, sampling policy, and tenant label cap.
+pub(crate) struct NetObs {
+    pub registry: Registry,
+    pub slowlog: SlowLog,
+    sampler: TailSampler,
+    tenants: LabelCap,
+    pub lifecycle: bool,
+    pub started: Instant,
+}
+
+impl NetObs {
+    pub fn new(config: &ObsConfig) -> Self {
+        Self {
+            registry: Registry::new(),
+            slowlog: SlowLog::new(if config.lifecycle {
+                config.slowlog_capacity
+            } else {
+                0
+            }),
+            sampler: TailSampler::new(config.slow_threshold, config.head_sample_every),
+            tenants: LabelCap::new(config.tenant_label_cap),
+            lifecycle: config.lifecycle,
+            started: Instant::now(),
+        }
+    }
+
+    /// Opens a lifecycle context for one request, making the head-sample
+    /// decision now so a sampled request can run fully traced. `None` in
+    /// stripped mode — downstream stamping short-circuits on it.
+    pub fn begin(&self, origin: Instant) -> Option<Lifecycle> {
+        self.lifecycle
+            .then(|| Lifecycle::new(origin, self.sampler.sample_head()))
+    }
+
+    /// The capped label value for a tenant (`anon` for anonymous
+    /// requests).
+    pub fn tenant_label(&self, tenant: Option<u32>) -> String {
+        match tenant {
+            Some(t) => self.tenants.label(t),
+            None => "anon".to_string(),
+        }
+    }
+
+    /// Counts one per-tenant outcome (`admitted` at enqueue, `rejected`
+    /// at admission denial, `shed` at deadline/overload shedding).
+    pub fn tenant_outcome(&self, tenant: Option<u32>, outcome: &'static str) {
+        if !self.lifecycle {
+            return;
+        }
+        let label = self.tenant_label(tenant);
+        self.registry
+            .counter(
+                "fsi_net_tenant_requests_total",
+                &[("tenant", &label), ("outcome", outcome)],
+            )
+            .inc();
+    }
+
+    /// Finishes one request: records queue-wait and service-time into
+    /// per-tenant histograms (with the request id as exemplar), asks the
+    /// tail sampler whether to retain, and pushes the slow-log entry if
+    /// so. A `None` lifecycle (stripped mode) records nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish(
+        &self,
+        lifecycle: Option<Lifecycle>,
+        id: u64,
+        tenant: Option<u32>,
+        query: &str,
+        outcome: &'static str,
+        reason: &'static str,
+        plan_summary: &str,
+        trace: Option<QueryTrace>,
+    ) {
+        let Some(lc) = lifecycle else { return };
+        let total_ns = lc.total_ns();
+        let label = self.tenant_label(tenant);
+        if let Some(wait) = lc.stage_dur("queue") {
+            self.registry
+                .histogram("fsi_net_queue_wait_ns", &[("tenant", &label)])
+                .record_with_exemplar(wait, id);
+        }
+        if let Some(service) = lc.stage_dur("execute") {
+            self.registry
+                .histogram("fsi_net_service_ns", &[("tenant", &label)])
+                .record_with_exemplar(service, id);
+        }
+        if self
+            .sampler
+            .retain(total_ns, outcome == "ok", lc.head_sampled)
+        {
+            self.slowlog.push(SlowLogEntry {
+                id,
+                tenant,
+                query: query.to_string(),
+                outcome,
+                reason,
+                queue_depth: lc.queue_depth,
+                total_ns,
+                stages: lc.stages,
+                plan_summary: plan_summary.to_string(),
+                trace,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_are_sequential_offsets_from_origin() {
+        let origin = Instant::now();
+        let mut lc = Lifecycle::new(origin, false);
+        lc.stage("decode");
+        std::thread::sleep(Duration::from_millis(2));
+        lc.stage("queue");
+        lc.stage("execute");
+        assert_eq!(
+            lc.stages.iter().map(|s| s.name).collect::<Vec<_>>(),
+            ["decode", "queue", "execute"]
+        );
+        // Each stage starts where the previous one ended.
+        for pair in lc.stages.windows(2) {
+            assert_eq!(pair[0].start_ns + pair[0].dur_ns, pair[1].start_ns);
+        }
+        assert!(lc.stage_dur("queue").expect("queue stage") >= 2_000_000);
+        assert!(lc.total_ns() >= 2_000_000);
+        assert_eq!(lc.stage_dur("write"), None);
+    }
+
+    #[test]
+    fn stripped_mode_produces_no_context_and_retains_nothing() {
+        let obs = NetObs::new(&ObsConfig {
+            lifecycle: false,
+            ..ObsConfig::default()
+        });
+        assert!(obs.begin(Instant::now()).is_none());
+        obs.tenant_outcome(Some(1), "admitted");
+        obs.finish(None, 1, Some(1), "0 AND 1", "shed", "queue_full", "", None);
+        assert_eq!(obs.registry.snapshot().entries.len(), 0);
+        assert_eq!(obs.slowlog.capacity(), 0);
+    }
+
+    #[test]
+    fn finish_records_per_tenant_histograms_and_retains_non_success() {
+        let obs = NetObs::new(&ObsConfig {
+            slow_threshold: Duration::from_secs(3600), // only non-success retains
+            ..ObsConfig::default()
+        });
+        let mut lc = obs.begin(Instant::now()).expect("lifecycle on");
+        lc.stage("decode");
+        lc.stage("queue");
+        lc.stage("execute");
+        lc.stage("write");
+        lc.queue_depth = 9;
+        obs.finish(
+            Some(lc),
+            42,
+            Some(7),
+            "0 AND 1",
+            "shed",
+            "deadline_expired",
+            "",
+            None,
+        );
+        let snap = obs.registry.snapshot();
+        let wait = snap
+            .histogram("fsi_net_queue_wait_ns", &[("tenant", "7")])
+            .expect("wait histogram");
+        assert_eq!(wait.count, 1);
+        assert_eq!(wait.exemplar.map(|(_, id)| id), Some(42));
+        assert!(snap
+            .histogram("fsi_net_service_ns", &[("tenant", "7")])
+            .is_some());
+        let entries = obs.slowlog.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].id, 42);
+        assert_eq!(entries[0].queue_depth, 9);
+        assert_eq!(entries[0].outcome, "shed");
+        assert_eq!(entries[0].stages.len(), 4);
+        // A fast success under the same policy is not retained.
+        let mut lc = obs.begin(Instant::now()).expect("lifecycle on");
+        lc.stage("decode");
+        lc.stage("execute");
+        obs.finish(
+            Some(lc),
+            43,
+            Some(7),
+            "0 AND 1",
+            "ok",
+            "cache_miss",
+            "",
+            None,
+        );
+        assert_eq!(obs.slowlog.len(), 1, "fast success dropped");
+    }
+}

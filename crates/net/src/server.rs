@@ -5,7 +5,10 @@
 //!
 //! 1. A connection reader decodes one length-prefixed frame at a time.
 //!    Malformed frames get a [`Status::BadFrame`] response and close the
-//!    connection; well-formed frames pass admission control.
+//!    connection; well-formed frames pass admission control. Admin
+//!    frames ([`crate::protocol::AdminOp`]) are answered inline by the
+//!    reader, bypassing admission and the queue — scraping must work
+//!    exactly when the server is overloaded.
 //! 2. **Admission**: a tenant whose token bucket is empty gets
 //!    [`Status::Overloaded`] immediately — cheaper for everyone than
 //!    queueing work that will be shed later.
@@ -20,16 +23,25 @@
 //! Every decoded frame gets exactly one response; requests from one
 //! connection may be answered out of order (match on the echoed request
 //! id), since independent workers finish at their own pace.
+//!
+//! Each request additionally carries a lifecycle context
+//! (`crate::lifecycle::Lifecycle`) stamping the stage boundaries (`decode` → `queue` →
+//! `execute` → `write`); completions feed per-tenant wait/service
+//! histograms and the tail sampler decides which records the
+//! [`fsi_obs::SlowLog`] retains. Setting
+//! [`ObsConfig::lifecycle`](crate::ObsConfig) to `false` strips all of
+//! it — the baseline side of the instrumented-vs-stripped bench gate.
 
 use crate::admission::Admission;
+use crate::lifecycle::{Lifecycle, NetObs, ObsConfig};
 use crate::protocol::{
-    decode_request, encode_response, read_frame, write_frame, FrameError, RequestFrame,
-    ResponseFrame, Status, DETAIL_CACHE_BYPASSED, DETAIL_CACHE_DISABLED, DETAIL_CACHE_HIT,
-    DETAIL_CACHE_MISS, DETAIL_SHED_ADMISSION, DETAIL_SHED_DEADLINE, DETAIL_SHED_QUEUE_FULL,
-    MAX_REQUEST_FRAME,
+    decode_client_frame, encode_admin_response, encode_response, read_frame, write_frame, AdminOp,
+    AdminRequest, AdminResponse, ClientFrame, FrameError, ResponseFrame, Status,
+    DETAIL_CACHE_BYPASSED, DETAIL_CACHE_DISABLED, DETAIL_CACHE_HIT, DETAIL_CACHE_MISS,
+    DETAIL_SHED_ADMISSION, DETAIL_SHED_DEADLINE, DETAIL_SHED_QUEUE_FULL, MAX_REQUEST_FRAME,
 };
 use crate::queue::BoundedQueue;
-use fsi_obs::{Registry, Snapshot};
+use fsi_obs::{Registry, SlowLogEntry, Snapshot};
 use fsi_serve::{CacheOutcome, Disposition, Request, ShedReason};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -58,6 +70,9 @@ pub struct NetConfig {
     pub tenant_burst: f64,
     /// Deadline applied to requests that carry none of their own.
     pub default_deadline: Option<Duration>,
+    /// Lifecycle observability: stage timestamps, tail sampling, the
+    /// slow log, and per-tenant metrics.
+    pub obs: ObsConfig,
 }
 
 impl Default for NetConfig {
@@ -70,15 +85,28 @@ impl Default for NetConfig {
             tenant_rate: f64::INFINITY,
             tenant_burst: 64.0,
             default_deadline: None,
+            obs: ObsConfig::default(),
         }
     }
 }
 
 /// One admitted request waiting for a worker.
 struct Pending {
-    frame: RequestFrame,
+    frame: crate::protocol::RequestFrame,
     writer: Arc<Mutex<TcpStream>>,
     deadline: Option<Instant>,
+    lifecycle: Option<Lifecycle>,
+}
+
+/// Everything a connection reader needs, shared across connections.
+struct ConnCtx {
+    queue: Arc<BoundedQueue<Pending>>,
+    obs: Arc<NetObs>,
+    admission: Arc<Admission>,
+    serve: Arc<fsi_serve::Server>,
+    default_deadline: Option<Duration>,
+    queue_capacity: usize,
+    workers: usize,
 }
 
 /// A running TCP serving stack over one [`fsi_serve::Server`].
@@ -89,7 +117,8 @@ pub struct NetServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     queue: Arc<BoundedQueue<Pending>>,
-    registry: Arc<Registry>,
+    obs: Arc<NetObs>,
+    serve: Arc<fsi_serve::Server>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
     accept_handle: Mutex<Option<JoinHandle<()>>>,
     worker_handles: Mutex<Vec<JoinHandle<()>>>,
@@ -119,7 +148,7 @@ impl NetServer {
         };
         let shutdown = Arc::new(AtomicBool::new(false));
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-        let registry = Arc::new(Registry::new());
+        let obs = Arc::new(NetObs::new(&config.obs));
         let conns = Arc::new(Mutex::new(Vec::new()));
         let admission = Arc::new(Admission::new(config.tenant_rate, config.tenant_burst));
         let reader_handles = Arc::new(Mutex::new(Vec::new()));
@@ -128,28 +157,35 @@ impl NetServer {
             .map(|_| {
                 let serve = Arc::clone(&serve);
                 let queue = Arc::clone(&queue);
-                let registry = Arc::clone(&registry);
+                let obs = Arc::clone(&obs);
                 let batch_max = config.batch_max;
                 std::thread::spawn(move || {
                     while let Some(batch) = queue.pop_batch(batch_max) {
-                        registry
+                        obs.registry
                             .histogram("fsi_net_batch_size", &[])
                             .record(batch.len() as u64);
                         for pending in batch {
-                            execute_pending(&serve, &registry, pending);
+                            execute_pending(&serve, &obs, pending);
                         }
                     }
                 })
             })
             .collect();
 
+        let ctx = Arc::new(ConnCtx {
+            queue: Arc::clone(&queue),
+            obs: Arc::clone(&obs),
+            admission,
+            serve: Arc::clone(&serve),
+            default_deadline: config.default_deadline,
+            queue_capacity: config.queue_capacity,
+            workers,
+        });
+
         let accept_handle = {
             let shutdown = Arc::clone(&shutdown);
-            let queue = Arc::clone(&queue);
-            let registry = Arc::clone(&registry);
             let conns = Arc::clone(&conns);
             let reader_handles = Arc::clone(&reader_handles);
-            let default_deadline = config.default_deadline;
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::SeqCst) {
@@ -159,17 +195,18 @@ impl NetServer {
                     // Responses are small and latency-bound: leaving Nagle
                     // on costs a delayed-ACK round (~40 ms) per response.
                     let _ = stream.set_nodelay(true);
-                    registry.counter("fsi_net_connections_total", &[]).inc();
+                    ctx.obs
+                        .registry
+                        .counter("fsi_net_connections_total", &[])
+                        .inc();
                     if let Ok(reg) = stream.try_clone() {
                         if let Ok(mut conns) = conns.lock() {
                             conns.push(reg);
                         }
                     }
-                    let queue = Arc::clone(&queue);
-                    let registry = Arc::clone(&registry);
-                    let admission = Arc::clone(&admission);
+                    let ctx = Arc::clone(&ctx);
                     let handle = std::thread::spawn(move || {
-                        read_connection(stream, &queue, &registry, &admission, default_deadline);
+                        read_connection(stream, &ctx);
                     });
                     if let Ok(mut readers) = reader_handles.lock() {
                         readers.push(handle);
@@ -182,7 +219,8 @@ impl NetServer {
             local_addr,
             shutdown,
             queue,
-            registry,
+            obs,
+            serve,
             conns,
             accept_handle: Mutex::new(Some(accept_handle)),
             worker_handles: Mutex::new(worker_handles),
@@ -200,11 +238,24 @@ impl NetServer {
         self.queue.len()
     }
 
-    /// A snapshot of the front door's own counters
-    /// (`fsi_net_connections_total`, `fsi_net_requests_total`,
-    /// `fsi_net_responses_total` by status, `fsi_net_batch_size`).
+    /// One snapshot of the whole stack: the front door's own counters
+    /// (`fsi_net_*`) merged with the serving engine's registry and the
+    /// process-global registry (kernel dispatch, plan kinds) — the same
+    /// merge the in-band [`AdminOp::Metrics`] op renders as Prometheus
+    /// text. The namespaces are disjoint by convention (`fsi_net_*` vs
+    /// everything else), so the merge never collides.
     pub fn metrics(&self) -> Snapshot {
-        self.registry.snapshot()
+        let mut snap = self.obs.registry.snapshot();
+        // `Server::metrics` already folds in `Registry::global()`.
+        snap.merge_from(&self.serve.metrics());
+        snap
+    }
+
+    /// A point-in-time copy of the retained slow-log entries, oldest
+    /// first (the in-process counterpart of the [`AdminOp::SlowLog`]
+    /// wire op).
+    pub fn slow_log(&self) -> Vec<Arc<SlowLogEntry>> {
+        self.obs.slowlog.entries()
     }
 
     /// Stops the server: closes the listener and every connection, drains
@@ -289,19 +340,63 @@ fn shed_frame(status: Status, detail: u8, id: u64) -> ResponseFrame {
     }
 }
 
-/// One connection's read loop: frame → decode → admission → enqueue.
-fn read_connection(
-    stream: TcpStream,
-    queue: &BoundedQueue<Pending>,
-    registry: &Registry,
-    admission: &Admission,
-    default_deadline: Option<Duration>,
-) {
+/// Answers one admin request inline on the reader thread: no admission,
+/// no queueing — the whole point of the in-band surface is that it works
+/// while the data path is overloaded.
+fn handle_admin(ctx: &ConnCtx, writer: &Mutex<TcpStream>, req: AdminRequest) {
+    ctx.obs
+        .registry
+        .counter("fsi_net_admin_requests_total", &[("op", req.op.name())])
+        .inc();
+    let payload = match req.op {
+        AdminOp::Metrics => {
+            let mut snap = ctx.obs.registry.snapshot();
+            // `Server::metrics` already folds in `Registry::global()`, so
+            // one scrape sees net + serve + kernels/planner.
+            snap.merge_from(&ctx.serve.metrics());
+            snap.to_prometheus()
+        }
+        AdminOp::Health => {
+            let uptime_us = ctx
+                .obs
+                .started
+                .elapsed()
+                .as_micros()
+                .min(u128::from(u64::MAX));
+            format!(
+                "{{\"status\": \"ok\", \"uptime_us\": {}, \"queue_depth\": {}, \
+                 \"queue_capacity\": {}, \"workers\": {}, \"lifecycle\": {}, \
+                 \"slowlog_entries\": {}, \"slowlog_capacity\": {}}}",
+                uptime_us,
+                ctx.queue.len(),
+                ctx.queue_capacity,
+                ctx.workers,
+                ctx.obs.lifecycle,
+                ctx.obs.slowlog.len(),
+                ctx.obs.slowlog.capacity(),
+            )
+        }
+        AdminOp::SlowLog => ctx.obs.slowlog.to_json(),
+    };
+    let body = encode_admin_response(&AdminResponse {
+        id: req.id,
+        op: req.op,
+        payload,
+    });
+    if let Ok(mut stream) = writer.lock() {
+        let _ = write_frame(&mut *stream, &body);
+    }
+}
+
+/// One connection's read loop: frame → decode → admission → enqueue
+/// (query frames) or inline answer (admin frames).
+fn read_connection(stream: TcpStream, ctx: &ConnCtx) {
     let mut reader = match stream.try_clone() {
         Ok(r) => r,
         Err(_) => return,
     };
     let writer = Arc::new(Mutex::new(stream));
+    let registry = &ctx.obs.registry;
     loop {
         let body = match read_frame(&mut reader, MAX_REQUEST_FRAME) {
             Ok(Some(body)) => body,
@@ -322,8 +417,14 @@ fn read_connection(
                 return;
             }
         };
-        let frame = match decode_request(&body) {
-            Ok(frame) => frame,
+        // The lifecycle origin: the whole frame is in hand, decode starts.
+        let origin = Instant::now();
+        let frame = match decode_client_frame(&body) {
+            Ok(ClientFrame::Admin(req)) => {
+                handle_admin(ctx, &writer, req);
+                continue;
+            }
+            Ok(ClientFrame::Query(frame)) => frame,
             Err(e) => {
                 registry.counter("fsi_net_frames_bad_total", &[]).inc();
                 let mut frame = shed_frame(Status::BadFrame, 0, 0);
@@ -336,98 +437,214 @@ fn read_connection(
             }
         };
         registry.counter("fsi_net_requests_total", &[]).inc();
+        let mut lifecycle = ctx.obs.begin(origin);
         let now = Instant::now();
-        if !admission.admit(frame.tenant, now) {
+        let admitted = ctx.admission.admit(frame.tenant, now);
+        if let Some(lc) = &mut lifecycle {
+            lc.stage("decode");
+        }
+        if !admitted {
+            ctx.obs.tenant_outcome(frame.tenant, "rejected");
             respond(
                 &writer,
                 registry,
                 &shed_frame(Status::Overloaded, DETAIL_SHED_ADMISSION, frame.id),
+            );
+            if let Some(lc) = &mut lifecycle {
+                lc.stage("write");
+            }
+            ctx.obs.finish(
+                lifecycle,
+                frame.id,
+                frame.tenant,
+                &frame.query,
+                "overloaded",
+                "admission_denied",
+                "",
+                None,
             );
             continue;
         }
         let deadline = if frame.deadline_us > 0 {
             Some(now + Duration::from_micros(u64::from(frame.deadline_us)))
         } else {
-            default_deadline.map(|d| now + d)
+            ctx.default_deadline.map(|d| now + d)
         };
-        let id = frame.id;
-        if let Err(_rejected) = queue.push(Pending {
+        if let Some(lc) = &mut lifecycle {
+            lc.queue_depth = ctx.queue.len();
+        }
+        let (id, tenant) = (frame.id, frame.tenant);
+        match ctx.queue.push(Pending {
             frame,
             writer: Arc::clone(&writer),
             deadline,
+            lifecycle,
         }) {
-            respond(
-                &writer,
-                registry,
-                &shed_frame(Status::Overloaded, DETAIL_SHED_QUEUE_FULL, id),
-            );
+            Ok(()) => ctx.obs.tenant_outcome(tenant, "admitted"),
+            Err(rejected) => {
+                ctx.obs.tenant_outcome(tenant, "shed");
+                respond(
+                    &writer,
+                    registry,
+                    &shed_frame(Status::Overloaded, DETAIL_SHED_QUEUE_FULL, id),
+                );
+                let Pending {
+                    frame,
+                    mut lifecycle,
+                    ..
+                } = rejected;
+                if let Some(lc) = &mut lifecycle {
+                    lc.stage("write");
+                }
+                ctx.obs.finish(
+                    lifecycle,
+                    id,
+                    tenant,
+                    &frame.query,
+                    "overloaded",
+                    "queue_full",
+                    "",
+                    None,
+                );
+            }
         }
     }
 }
 
 /// Executes one dequeued request and writes its response.
-fn execute_pending(serve: &fsi_serve::Server, registry: &Registry, pending: Pending) {
+fn execute_pending(serve: &fsi_serve::Server, obs: &NetObs, pending: Pending) {
+    let Pending {
+        frame,
+        writer,
+        deadline,
+        mut lifecycle,
+    } = pending;
+    // Close the queue stage first: everything since the reader handed the
+    // request over was wait time.
+    if let Some(lc) = &mut lifecycle {
+        lc.stage("queue");
+    }
+    let registry = &obs.registry;
     // Drop-on-dequeue: a request that already missed its deadline is shed
     // here, before any execution — the whole point of deadline-aware
     // shedding is to spend capacity only on requests that can still
     // succeed.
-    if let Some(deadline) = pending.deadline {
+    if let Some(deadline) = deadline {
         if Instant::now() >= deadline {
             registry
                 .counter("fsi_net_shed_total", &[("reason", "deadline_expired")])
                 .inc();
+            obs.tenant_outcome(frame.tenant, "shed");
             respond(
-                &pending.writer,
+                &writer,
                 registry,
-                &shed_frame(Status::Shed, DETAIL_SHED_DEADLINE, pending.frame.id),
+                &shed_frame(Status::Shed, DETAIL_SHED_DEADLINE, frame.id),
+            );
+            if let Some(lc) = &mut lifecycle {
+                lc.stage("write");
+            }
+            obs.finish(
+                lifecycle,
+                frame.id,
+                frame.tenant,
+                &frame.query,
+                "shed",
+                "deadline_expired",
+                "",
+                None,
             );
             return;
         }
     }
-    let mut request = Request::expr(&pending.frame.query);
-    if let Some(deadline) = pending.deadline {
+    let mut request = Request::expr(&frame.query);
+    if let Some(deadline) = deadline {
         request = request.deadline(deadline);
     }
-    if let Some(tenant) = pending.frame.tenant {
+    if let Some(tenant) = frame.tenant {
         request = request.tenant(tenant);
     }
-    let frame = match serve.execute(&request) {
+    // Head-sampled requests run fully traced, so the slow-log entry can
+    // carry the execution span tree alongside the stage timeline.
+    if lifecycle.as_ref().is_some_and(|lc| lc.head_sampled) {
+        request = request.traced();
+    }
+    let result = serve.execute(&request);
+    if let Some(lc) = &mut lifecycle {
+        lc.stage("execute");
+    }
+    let (resp_frame, outcome, reason, plan, trace) = match result {
         Ok(resp) => match resp.disposition {
-            Disposition::Served => ResponseFrame {
-                status: Status::Ok,
-                detail: match resp.cache {
-                    CacheOutcome::Miss => DETAIL_CACHE_MISS,
-                    CacheOutcome::Hit => DETAIL_CACHE_HIT,
-                    CacheOutcome::Disabled => DETAIL_CACHE_DISABLED,
-                    CacheOutcome::Bypassed => DETAIL_CACHE_BYPASSED,
-                },
-                flags: 0,
-                id: pending.frame.id,
-                latency_us: resp.latency.as_micros().min(u128::from(u32::MAX)) as u32,
-                docs: resp.docs.as_slice().to_vec(),
-                message: String::new(),
-            },
-            Disposition::Shed(reason) => {
+            Disposition::Served => {
+                let (detail, reason) = match resp.cache {
+                    CacheOutcome::Miss => (DETAIL_CACHE_MISS, "cache_miss"),
+                    CacheOutcome::Hit => (DETAIL_CACHE_HIT, "cache_hit"),
+                    CacheOutcome::Disabled => (DETAIL_CACHE_DISABLED, "cache_disabled"),
+                    CacheOutcome::Bypassed => (DETAIL_CACHE_BYPASSED, "cache_bypassed"),
+                };
+                let frame = ResponseFrame {
+                    status: Status::Ok,
+                    detail,
+                    flags: 0,
+                    id: frame.id,
+                    latency_us: resp.latency.as_micros().min(u128::from(u32::MAX)) as u32,
+                    docs: resp.docs.as_slice().to_vec(),
+                    message: String::new(),
+                };
+                (
+                    frame,
+                    "ok",
+                    reason,
+                    resp.plan_kind.unwrap_or(""),
+                    resp.trace,
+                )
+            }
+            Disposition::Shed(shed_reason) => {
                 registry
-                    .counter("fsi_net_shed_total", &[("reason", reason.label())])
+                    .counter("fsi_net_shed_total", &[("reason", shed_reason.label())])
                     .inc();
-                let detail = match reason {
+                obs.tenant_outcome(frame.tenant, "shed");
+                let detail = match shed_reason {
                     ShedReason::DeadlineExpired => DETAIL_SHED_DEADLINE,
                     ShedReason::QueueFull => DETAIL_SHED_QUEUE_FULL,
                     ShedReason::AdmissionDenied => DETAIL_SHED_ADMISSION,
                 };
-                shed_frame(Status::Shed, detail, pending.frame.id)
+                (
+                    shed_frame(Status::Shed, detail, frame.id),
+                    "shed",
+                    shed_reason.label(),
+                    "",
+                    None,
+                )
             }
         },
-        Err(e) => ResponseFrame {
-            status: Status::InvalidQuery,
-            detail: 0,
-            flags: 0,
-            id: pending.frame.id,
-            latency_us: 0,
-            docs: Vec::new(),
-            message: e.to_string(),
-        },
+        Err(e) => (
+            ResponseFrame {
+                status: Status::InvalidQuery,
+                detail: 0,
+                flags: 0,
+                id: frame.id,
+                latency_us: 0,
+                docs: Vec::new(),
+                message: e.to_string(),
+            },
+            "invalid_query",
+            "",
+            "",
+            None,
+        ),
     };
-    respond(&pending.writer, registry, &frame);
+    respond(&writer, registry, &resp_frame);
+    if let Some(lc) = &mut lifecycle {
+        lc.stage("write");
+    }
+    obs.finish(
+        lifecycle,
+        frame.id,
+        frame.tenant,
+        &frame.query,
+        outcome,
+        reason,
+        plan,
+        trace,
+    );
 }

@@ -5,10 +5,11 @@
 use fsi_core::HashContext;
 use fsi_index::{Corpus, CorpusConfig};
 use fsi_net::protocol::{write_frame, Status, DETAIL_CACHE_HIT, DETAIL_SHED_ADMISSION};
-use fsi_net::{Client, NetConfig, NetServer, RequestFrame};
+use fsi_net::{Client, NetConfig, NetServer, ObsConfig, RequestFrame};
 use fsi_serve::{Request, ServeConfig, Server};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn serving_stack(net: NetConfig) -> (Arc<Server>, NetServer) {
     let corpus = Corpus::generate(CorpusConfig {
@@ -26,6 +27,19 @@ fn serving_stack(net: NetConfig) -> (Arc<Server>, NetServer) {
     ));
     let net = NetServer::start(Arc::clone(&serve), net).expect("bind loopback");
     (serve, net)
+}
+
+/// Retention happens on the worker after the response is written, so a
+/// client can observe its response before the slow-log entry lands;
+/// poll briefly for the record.
+fn wait_for_slowlog_entry(net: &NetServer, id: u64) -> Arc<fsi_obs::SlowLogEntry> {
+    for _ in 0..500 {
+        if let Some(e) = net.slow_log().into_iter().find(|e| e.id == id) {
+            return e;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("request {id} never showed up in the slow log");
 }
 
 #[test]
@@ -262,6 +276,171 @@ fn flood_gets_exactly_one_response_per_request() {
         .call(&RequestFrame::query(u64::MAX, "0 AND 1 AND 2"))
         .expect("post-flood call");
     assert_eq!(resp.status, Status::Ok, "server serves again after flood");
+    net.stop();
+}
+
+#[test]
+fn admin_metrics_and_health_answer_in_band() {
+    let (_serve, net) = serving_stack(NetConfig::default());
+    let mut client = Client::connect(net.local_addr()).expect("connect");
+    let resp = client
+        .call(&RequestFrame::query(1, "0 AND 1"))
+        .expect("call");
+    assert_eq!(resp.status, Status::Ok);
+    // One wire scrape sees all three registries: the front door's
+    // (`fsi_net_*`), the serving engine's, and the process-global one
+    // the planner and kernels dispatch into.
+    let prom = client.metrics().expect("metrics");
+    for family in [
+        "fsi_net_requests_total",
+        "fsi_queries_served_total",
+        "fsi_plan_kind_total",
+    ] {
+        assert!(prom.contains(family), "scrape is missing {family}:\n{prom}");
+    }
+    // The in-process snapshot is the same merge (pins the namespaces
+    // staying disjoint: counts come through unscaled, not doubled).
+    let snap = net.metrics();
+    assert_eq!(snap.counter("fsi_net_requests_total", &[]), Some(1));
+    assert_eq!(snap.counter("fsi_queries_served_total", &[]), Some(1));
+    assert_eq!(
+        snap.counter("fsi_net_admin_requests_total", &[("op", "metrics")]),
+        Some(1)
+    );
+    let health = client.health().expect("health");
+    for needle in [
+        "\"status\": \"ok\"",
+        "\"lifecycle\": true",
+        "\"queue_capacity\"",
+        "\"slowlog_capacity\": 256",
+    ] {
+        assert!(
+            health.contains(needle),
+            "health is missing {needle}: {health}"
+        );
+    }
+    net.stop();
+}
+
+/// The acceptance path: a request shed under flood leaves a retained
+/// slow-log entry with per-stage timestamps, and that entry is
+/// observable in-band over the wire `SlowLog` op.
+#[test]
+fn shed_requests_under_flood_are_retained_and_scrapable_via_the_slowlog_op() {
+    let (_serve, net) = serving_stack(NetConfig {
+        workers: 1,
+        batch_max: 1,
+        queue_capacity: 256,
+        ..NetConfig::default()
+    });
+    let client = Client::connect(net.local_addr()).expect("connect");
+    let mut sender = client.try_clone().expect("clone");
+    let mut receiver = client;
+    const BACKLOG: u64 = 64;
+    for id in 0..BACKLOG {
+        sender
+            .send(&RequestFrame::query(id, "0 AND 1 AND 2"))
+            .expect("send");
+    }
+    sender
+        .send(
+            &RequestFrame::query(BACKLOG, "0 AND 1")
+                .with_deadline_us(1)
+                .with_tenant(3),
+        )
+        .expect("send");
+    for _ in 0..=BACKLOG {
+        receiver.recv().expect("recv").expect("response");
+    }
+    // Shed outcomes are always retained, whatever the latency threshold.
+    let shed = wait_for_slowlog_entry(&net, BACKLOG);
+    assert_eq!((shed.outcome, shed.reason), ("shed", "deadline_expired"));
+    assert_eq!(shed.tenant, Some(3));
+    let names: Vec<&str> = shed.stages.iter().map(|s| s.name).collect();
+    assert_eq!(
+        names,
+        ["decode", "queue", "write"],
+        "stage timestamps cover the lifecycle up to the shed"
+    );
+    assert!(
+        shed.stages
+            .iter()
+            .any(|s| s.name == "queue" && s.dur_ns > 0),
+        "the queue wait behind the backlog is attributed: {:?}",
+        shed.stages
+    );
+    // The same record comes back over the wire, on a fresh connection,
+    // without touching admission or the queue.
+    let mut admin = Client::connect(net.local_addr()).expect("connect");
+    let json = admin.slowlog().expect("slowlog");
+    let shed_id = format!("\"id\": {BACKLOG},");
+    for needle in [
+        shed_id.as_str(),
+        "\"outcome\": \"shed\"",
+        "\"reason\": \"deadline_expired\"",
+        "\"name\": \"queue\"",
+    ] {
+        assert!(
+            json.contains(needle),
+            "slow-log dump is missing {needle}: {json}"
+        );
+    }
+    net.stop();
+}
+
+#[test]
+fn head_sampled_successes_carry_a_full_trace_into_the_slow_log() {
+    let (_serve, net) = serving_stack(NetConfig {
+        obs: ObsConfig {
+            head_sample_every: 1, // sample everything
+            ..ObsConfig::default()
+        },
+        ..NetConfig::default()
+    });
+    let mut client = Client::connect(net.local_addr()).expect("connect");
+    let resp = client
+        .call(&RequestFrame::query(9, "0 AND 1"))
+        .expect("call");
+    assert_eq!(resp.status, Status::Ok);
+    let entry = wait_for_slowlog_entry(&net, 9);
+    assert_eq!((entry.outcome, entry.reason), ("ok", "cache_miss"));
+    assert_eq!(entry.query, "0 AND 1");
+    let names: Vec<&str> = entry.stages.iter().map(|s| s.name).collect();
+    assert_eq!(names, ["decode", "queue", "execute", "write"]);
+    assert!(
+        entry.trace.is_some(),
+        "head-sampled requests run traced, and the trace rides along"
+    );
+    assert!(!entry.plan_summary.is_empty(), "plan summary recorded");
+    net.stop();
+}
+
+#[test]
+fn stripped_lifecycle_mode_still_serves_and_answers_admin_ops() {
+    let (_serve, net) = serving_stack(NetConfig {
+        obs: ObsConfig {
+            lifecycle: false,
+            ..ObsConfig::default()
+        },
+        ..NetConfig::default()
+    });
+    let mut client = Client::connect(net.local_addr()).expect("connect");
+    let resp = client
+        .call(&RequestFrame::query(1, "0 AND 1"))
+        .expect("call");
+    assert_eq!(resp.status, Status::Ok);
+    let health = client.health().expect("health");
+    assert!(health.contains("\"lifecycle\": false"), "{health}");
+    // No retention and no per-tenant lifecycle series in stripped mode —
+    // but the admin surface itself still answers.
+    let json = client.slowlog().expect("slowlog");
+    assert!(json.contains("\"capacity\": 0"), "{json}");
+    assert!(!json.contains("\"id\":"), "nothing retained: {json}");
+    let snap = net.metrics();
+    assert!(snap
+        .histogram("fsi_net_queue_wait_ns", &[("tenant", "anon")])
+        .is_none());
+    assert_eq!(snap.counter("fsi_net_requests_total", &[]), Some(1));
     net.stop();
 }
 

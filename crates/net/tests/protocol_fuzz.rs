@@ -4,8 +4,10 @@
 //! differently.
 
 use fsi_net::protocol::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    FrameError, RequestFrame, ResponseFrame, Status, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
+    decode_admin_request, decode_admin_response, decode_client_frame, decode_request,
+    decode_response, encode_admin_request, encode_admin_response, encode_request, encode_response,
+    read_frame, write_frame, AdminOp, AdminRequest, AdminResponse, ClientFrame, FrameError,
+    RequestFrame, ResponseFrame, Status, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -153,6 +155,106 @@ proptest! {
         wire.extend_from_slice(&len.to_le_bytes());
         let err = read_frame(&mut wire.as_slice(), MAX_REQUEST_FRAME).expect_err("too large");
         prop_assert!(matches!(err, FrameError::TooLarge { .. }), "{}", err);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_admin_decoders(body in vec(any::<u8>(), 0..512)) {
+        // Same self-consistency contract as the query decoders: any
+        // outcome but a panic is fine; a success must re-encode to an
+        // identical frame.
+        if let Ok(frame) = decode_admin_request(&body) {
+            prop_assert_eq!(
+                decode_admin_request(&encode_admin_request(&frame)).expect("re-decode"),
+                frame
+            );
+        }
+        if let Ok(frame) = decode_admin_response(&body) {
+            prop_assert_eq!(
+                decode_admin_response(&encode_admin_response(&frame)).expect("re-decode"),
+                frame
+            );
+        }
+        // The dispatching decoder sits in front of both query and admin
+        // paths on the server's read loop — it must share the guarantee.
+        let _ = decode_client_frame(&body);
+    }
+
+    #[test]
+    fn admin_requests_round_trip_and_dispatch(id in any::<u64>(), op in 1u8..4) {
+        let req = AdminRequest::new(id, AdminOp::from_byte(op).expect("1..4 are valid"));
+        let wire = encode_admin_request(&req);
+        prop_assert_eq!(decode_admin_request(&wire).expect("round trip"), req);
+        match decode_client_frame(&wire).expect("dispatch") {
+            ClientFrame::Admin(got) => prop_assert_eq!(got, req),
+            ClientFrame::Query(q) => prop_assert!(false, "admin frame decoded as query {q:?}"),
+        }
+    }
+
+    #[test]
+    fn admin_responses_round_trip(
+        id in any::<u64>(),
+        op in 1u8..4,
+        payload in vec(32u8..127, 0..300),
+    ) {
+        let resp = AdminResponse {
+            id,
+            op: AdminOp::from_byte(op).expect("1..4 are valid"),
+            payload: ascii(payload.clone()),
+        };
+        prop_assert_eq!(
+            decode_admin_response(&encode_admin_response(&resp)).expect("round trip"),
+            resp
+        );
+    }
+
+    #[test]
+    fn truncated_admin_frames_are_clean_errors(
+        id in any::<u64>(),
+        op in 1u8..4,
+        payload in vec(32u8..127, 0..100),
+        keep in 0.0f64..1.0,
+    ) {
+        let op = AdminOp::from_byte(op).expect("1..4 are valid");
+        for full in [
+            encode_admin_request(&AdminRequest::new(id, op)),
+            encode_admin_response(&AdminResponse { id, op, payload: ascii(payload.clone()) }),
+        ] {
+            let cut = ((full.len() as f64) * keep) as usize;
+            if cut < full.len() {
+                let prefix = full.get(..cut).expect("in range");
+                prop_assert!(decode_admin_request(prefix).is_err());
+                prop_assert!(decode_admin_response(prefix).is_err());
+                prop_assert!(decode_client_frame(prefix).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_admin_op_bytes_are_rejected(id in any::<u64>(), op in any::<u8>()) {
+        // Ops outside 1..=3 must fail both the direct decoder and the
+        // dispatcher, whatever the id bytes say.
+        if AdminOp::from_byte(op).is_ok() {
+            return Ok(());
+        }
+        let mut wire = encode_admin_request(&AdminRequest::new(id, AdminOp::Metrics));
+        wire[3] = op;
+        prop_assert!(decode_admin_request(&wire).is_err());
+        prop_assert!(decode_client_frame(&wire).is_err());
+    }
+
+    #[test]
+    fn oversized_admin_payload_lengths_are_rejected_before_allocation(
+        id in any::<u64>(),
+        op in 1u8..4,
+        extra in 1u32..1024,
+    ) {
+        // A response header advertising a payload longer than the cap
+        // (or than the frame actually carries) is a clean error.
+        let op = AdminOp::from_byte(op).expect("1..4 are valid");
+        let mut wire = encode_admin_response(&AdminResponse { id, op, payload: String::new() });
+        let len_at = wire.len() - 4;
+        wire[len_at..].copy_from_slice(&(u32::MAX - extra).to_le_bytes());
+        prop_assert!(decode_admin_response(&wire).is_err());
     }
 
     #[test]

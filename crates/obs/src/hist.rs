@@ -76,6 +76,11 @@ pub struct Histogram {
     max: AtomicU64,
     /// Stored as the raw minimum; `u64::MAX` means "no samples yet".
     min: AtomicU64,
+    /// Largest value recorded with an exemplar id (0 = no exemplar yet;
+    /// see [`Histogram::record_with_exemplar`]).
+    exemplar_val: AtomicU64,
+    /// The id recorded alongside `exemplar_val`; best-effort under races.
+    exemplar_id: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -106,6 +111,8 @@ impl Histogram {
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
+            exemplar_val: AtomicU64::new(0),
+            exemplar_id: AtomicU64::new(0),
         }
     }
 
@@ -127,6 +134,38 @@ impl Histogram {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }
 
+    /// Records one sample and attaches `id` (by convention a request id)
+    /// as the histogram's exemplar when `v` is the largest value seen so
+    /// far — Prometheus-exemplar style, answering "*which* request hit
+    /// the tail?". The `(value, id)` pairing is best-effort under
+    /// concurrent recording: two threads racing new maxima can pair one's
+    /// value with the other's id, which is acceptable for a debugging
+    /// breadcrumb and keeps the hot path at two extra relaxed atomic ops.
+    /// A value of 0 never becomes the exemplar (0 encodes "none").
+    pub fn record_with_exemplar(&self, v: u64, id: u64) {
+        self.record(v);
+        self.note_exemplar(v, id);
+    }
+
+    fn note_exemplar(&self, v: u64, id: u64) {
+        if v == 0 {
+            return;
+        }
+        let prev = self.exemplar_val.fetch_max(v, Ordering::Relaxed);
+        if v >= prev {
+            self.exemplar_id.store(id, Ordering::Relaxed);
+        }
+    }
+
+    /// The `(value, id)` exemplar of the largest sample recorded via
+    /// [`Histogram::record_with_exemplar`], if any.
+    pub fn exemplar(&self) -> Option<(u64, u64)> {
+        match self.exemplar_val.load(Ordering::Relaxed) {
+            0 => None,
+            v => Some((v, self.exemplar_id.load(Ordering::Relaxed))),
+        }
+    }
+
     /// Adds every sample of `other` into `self` (bucket-wise addition —
     /// associative and commutative, so per-worker and per-shard histograms
     /// merge in any grouping).
@@ -145,6 +184,9 @@ impl Histogram {
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
         self.min
             .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        if let Some((v, id)) = other.exemplar() {
+            self.note_exemplar(v, id);
+        }
     }
 
     /// Adds every sample of a point-in-time snapshot into `self` — the
@@ -162,6 +204,9 @@ impl Histogram {
         self.max.fetch_max(other.max, Ordering::Relaxed);
         if let Some(mn) = other.min {
             self.min.fetch_min(mn, Ordering::Relaxed);
+        }
+        if let Some((v, id)) = other.exemplar {
+            self.note_exemplar(v, id);
         }
     }
 
@@ -223,6 +268,7 @@ impl Histogram {
             sum: self.sum(),
             max: self.max(),
             min: self.min(),
+            exemplar: self.exemplar(),
         }
     }
 }
@@ -261,6 +307,9 @@ pub struct HistSnapshot {
     pub max: u64,
     /// Exact minimum sample (`None` when empty).
     pub min: Option<u64>,
+    /// `(value, id)` of the largest exemplar-carrying sample, if any
+    /// (see [`Histogram::record_with_exemplar`]).
+    pub exemplar: Option<(u64, u64)>,
 }
 
 impl HistSnapshot {
@@ -340,6 +389,12 @@ impl HistSnapshot {
         self.max = self.max.max(other.max);
         self.min = match (self.min, other.min) {
             (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        // The merged exemplar is whichever side's carries the larger
+        // value — consistent with "the exemplar tracks the max".
+        self.exemplar = match (self.exemplar, other.exemplar) {
+            (Some(a), Some(b)) => Some(if b.0 > a.0 { b } else { a }),
             (a, b) => a.or(b),
         };
     }
@@ -489,6 +544,37 @@ mod tests {
         assert_eq!(h.count(), 4 * PER_THREAD);
         let bucket_total: u64 = h.snapshot().buckets.iter().map(|&(_, n)| n).sum();
         assert_eq!(bucket_total, 4 * PER_THREAD);
+    }
+
+    #[test]
+    fn exemplar_tracks_the_max_and_survives_merges() {
+        let h = Histogram::new();
+        assert_eq!(h.exemplar(), None);
+        h.record(500); // plain records never set an exemplar
+        assert_eq!(h.exemplar(), None);
+        h.record_with_exemplar(100, 41);
+        h.record_with_exemplar(300, 42);
+        h.record_with_exemplar(200, 43); // smaller: exemplar unchanged
+        assert_eq!(h.exemplar(), Some((300, 42)));
+        assert_eq!(h.snapshot().exemplar, Some((300, 42)));
+        // Histogram merge adopts the larger exemplar.
+        let other = Histogram::new();
+        other.record_with_exemplar(900, 77);
+        h.merge_from(&other);
+        assert_eq!(h.exemplar(), Some((900, 77)));
+        // Snapshot merge agrees, in either direction.
+        let mut sa = h.snapshot();
+        let fresh = Histogram::new();
+        fresh.record_with_exemplar(50, 1);
+        sa.merge_from(&fresh.snapshot());
+        assert_eq!(sa.exemplar, Some((900, 77)));
+        let mut sb = fresh.snapshot();
+        sb.merge_from(&h.snapshot());
+        assert_eq!(sb.exemplar, Some((900, 77)));
+        // merge_snapshot folds the exemplar back into a live histogram.
+        let folded = Histogram::new();
+        folded.merge_snapshot(&h.snapshot());
+        assert_eq!(folded.exemplar(), Some((900, 77)));
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //!   (parse → rewrite → plan → per-shard exec) with string attributes for
 //!   the chosen `PlanKind`/`Kernel`/`SimdLevel`, estimated vs observed
 //!   cardinalities, and cache attribution.
+//! * [`SlowLog`] / [`TailSampler`] — the request-lifecycle layer: a
+//!   fixed-capacity concurrent ring of retained request records (stage
+//!   timestamps, outcome attribution, queue depth, optional full trace)
+//!   and the tail-based retention policy (latency threshold, non-success
+//!   outcome, or 1-in-N head sample). [`LabelCap`] bounds per-tenant
+//!   label cardinality; [`Histogram::record_with_exemplar`] attaches the
+//!   request id that hit the current maximum.
 //!
 //! The overhead discipline: instrumentation on always-on paths is counters
 //! and histogram records only (~tens of nanoseconds against multi-µs
@@ -30,8 +37,12 @@
 
 pub mod hist;
 pub mod registry;
+pub mod slowlog;
 pub mod trace;
 
 pub use hist::{HistSnapshot, Histogram, NUM_BUCKETS, SUB_BUCKETS};
-pub use registry::{Counter, Gauge, Labels, Registry, Snapshot, SnapshotEntry, SnapshotValue};
+pub use registry::{
+    Counter, Gauge, LabelCap, Labels, Registry, Snapshot, SnapshotEntry, SnapshotValue,
+};
+pub use slowlog::{SlowLog, SlowLogEntry, Stage, TailSampler};
 pub use trace::{fmt_ns, QueryTrace, Span, SpanStart, TraceBuilder};

@@ -15,9 +15,9 @@
 //! an identical result (the merge-associativity proptests pin this).
 
 use crate::hist::{HistSnapshot, Histogram};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Stripes per counter. A power of two; 8 × 64 B = one stripe per core of
 /// a typical small host without bloating every counter past 512 B.
@@ -106,6 +106,63 @@ impl std::fmt::Debug for Gauge {
 
 /// Label pairs attached to a metric, e.g. `[("kernel", "Galloping")]`.
 pub type Labels = Vec<(String, String)>;
+
+/// A label-cardinality cap for metrics labeled by an unbounded external
+/// id (tenants on the wire can be any `u32`): the first `max` distinct
+/// ids keep their own label value, everything past the cap collapses
+/// into [`LabelCap::OVERFLOW`]. This bounds registry growth — and scrape
+/// size — under adversarial or merely chatty traffic, while an id seen
+/// before the cap filled keeps its own series forever (stable identity,
+/// no flapping between "own label" and "other").
+#[derive(Debug, Default)]
+pub struct LabelCap {
+    max: usize,
+    seen: Mutex<BTreeSet<u32>>,
+    overflow: AtomicU64,
+}
+
+impl LabelCap {
+    /// The label value every over-cap id collapses into.
+    pub const OVERFLOW: &'static str = "other";
+
+    /// A cap admitting at most `max` distinct label values.
+    pub fn new(max: usize) -> Self {
+        Self {
+            max,
+            seen: Mutex::new(BTreeSet::new()),
+            overflow: AtomicU64::new(0),
+        }
+    }
+
+    /// The label value for `id`: its decimal form while the cap has
+    /// room (or `id` was already admitted), [`LabelCap::OVERFLOW`]
+    /// afterwards.
+    pub fn label(&self, id: u32) -> String {
+        // audit:allow(hot_path_panic): mutex poisoning means another thread already panicked; propagating is correct
+        let mut seen = self.seen.lock().expect("label cap lock");
+        if seen.contains(&id) {
+            return id.to_string();
+        }
+        if seen.len() < self.max {
+            seen.insert(id);
+            return id.to_string();
+        }
+        drop(seen);
+        self.overflow.fetch_add(1, Ordering::Relaxed);
+        Self::OVERFLOW.to_string()
+    }
+
+    /// Distinct ids currently admitted.
+    pub fn admitted(&self) -> usize {
+        // audit:allow(hot_path_panic): mutex poisoning means another thread already panicked; propagating is correct
+        self.seen.lock().expect("label cap lock").len()
+    }
+
+    /// Total lookups that collapsed into [`LabelCap::OVERFLOW`].
+    pub fn overflowed(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+}
 
 /// Fully qualified metric identity: name plus sorted label pairs.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -575,6 +632,23 @@ mod tests {
         r.counter("d_total", &[("kernel", "Merge")]).add(2);
         r.counter("d_total", &[("kernel", "Galloping")]).add(3);
         assert_eq!(r.snapshot().sum("d_total"), 5);
+    }
+
+    #[test]
+    fn label_cap_bounds_cardinality_with_stable_identity() {
+        let cap = LabelCap::new(3);
+        assert_eq!(cap.label(10), "10");
+        assert_eq!(cap.label(20), "20");
+        assert_eq!(cap.label(10), "10", "repeat lookups are stable");
+        assert_eq!(cap.label(30), "30");
+        assert_eq!(cap.label(40), LabelCap::OVERFLOW, "cap full");
+        assert_eq!(cap.label(99), LabelCap::OVERFLOW);
+        assert_eq!(cap.label(20), "20", "admitted ids never demote");
+        assert_eq!(cap.admitted(), 3);
+        assert_eq!(cap.overflowed(), 2);
+        // A zero cap sends everything to the overflow label.
+        let none = LabelCap::new(0);
+        assert_eq!(none.label(1), LabelCap::OVERFLOW);
     }
 
     #[test]

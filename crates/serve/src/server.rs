@@ -13,7 +13,9 @@ use crate::stats::{LatencySummary, ServeStats};
 use fsi_core::{Elem, HashContext};
 use fsi_index::{Corpus, SearchEngine};
 use fsi_kernels::SimdLevel;
-use fsi_obs::{Counter, HistSnapshot, Histogram, QueryTrace, Registry, Snapshot, TraceBuilder};
+use fsi_obs::{
+    Counter, HistSnapshot, Histogram, LabelCap, QueryTrace, Registry, Snapshot, TraceBuilder,
+};
 use fsi_query::{CompileError, ExplainMode, NormExpr};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -119,6 +121,9 @@ pub struct Server {
     /// alias; [`Server::metrics`] folds the global registry's kernel- and
     /// planner-dispatch counters in at snapshot time.
     registry: Registry,
+    /// Bounds the distinct `tenant` label values on per-tenant counters
+    /// (tenant ids come off the wire; see [`Server::TENANT_LABEL_CAP`]).
+    tenant_labels: LabelCap,
     queries_served: Arc<Counter>,
     expr_queries_served: Arc<Counter>,
     queries_shed: Arc<Counter>,
@@ -129,6 +134,10 @@ pub struct Server {
 }
 
 impl Server {
+    /// Maximum distinct `tenant` label values on per-tenant metrics;
+    /// tenants beyond the cap share the `other` label.
+    pub const TENANT_LABEL_CAP: usize = 64;
+
     /// Builds the serving stack over an existing engine.
     pub fn new(engine: &SearchEngine, config: ServeConfig) -> Self {
         let config = config.normalized();
@@ -142,6 +151,7 @@ impl Server {
             cache: QueryCache::new(config.cache_capacity, config.cache_segments),
             pool: QueryPool::new(config.num_workers),
             registry,
+            tenant_labels: LabelCap::new(Self::TENANT_LABEL_CAP),
             queries_served,
             expr_queries_served,
             queries_shed,
@@ -307,10 +317,14 @@ impl Server {
         Ok(())
     }
 
-    /// Bills the request to its tenant, if any.
+    /// Bills the request to its tenant, if any. The tenant label is
+    /// cardinality-capped ([`Server::TENANT_LABEL_CAP`]): tenant ids are
+    /// client-controlled `u32`s, and without a cap a tenant-id sweep
+    /// would grow the registry — and every scrape — without bound.
+    /// Over-cap tenants collapse into the `other` label.
     fn note_tenant(&self, req: &Request) {
         if let Some(tenant) = req.options.tenant {
-            let id = tenant.to_string();
+            let id = self.tenant_labels.label(tenant);
             self.registry
                 .counter("fsi_tenant_queries_total", &[("tenant", &id)])
                 .inc();
@@ -1039,6 +1053,37 @@ mod tests {
             Some(1)
         );
         assert_eq!(snap.counter("fsi_queries_served_total", &[]), Some(4));
+    }
+
+    #[test]
+    fn tenant_label_cardinality_is_capped() {
+        // A tenant-id sweep (ids are client-controlled) must not grow the
+        // registry without bound: past the cap, tenants collapse into the
+        // `other` label.
+        let s = server(ServeConfig::default());
+        let sweep = Server::TENANT_LABEL_CAP as u32 + 10;
+        for t in 0..sweep {
+            s.execute(&Request::terms(vec![0, 1]).tenant(t))
+                .expect("valid");
+        }
+        let snap = s.metrics();
+        let tenant_series = snap
+            .entries
+            .iter()
+            .filter(|e| e.name == "fsi_tenant_queries_total")
+            .count();
+        assert_eq!(tenant_series, Server::TENANT_LABEL_CAP + 1);
+        assert_eq!(
+            snap.counter("fsi_tenant_queries_total", &[("tenant", "other")]),
+            Some(10),
+            "over-cap tenants share the overflow label"
+        );
+        assert_eq!(
+            snap.counter("fsi_tenant_queries_total", &[("tenant", "0")]),
+            Some(1),
+            "under-cap tenants keep their own series"
+        );
+        assert_eq!(snap.sum("fsi_tenant_queries_total"), u64::from(sweep));
     }
 
     #[test]
